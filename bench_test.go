@@ -1,0 +1,192 @@
+// Benchmarks regenerating every table and figure of the paper (one
+// Benchmark per artifact, wired to the same code as cmd/experiments), plus
+// microbenchmarks of the core machinery. Run:
+//
+//	go test -bench=. -benchmem
+//
+// The FigureN/Table1/Example5 benches measure a full checked reproduction
+// of the corresponding paper artifact; the sweep benches (X1-X5) regenerate
+// the extension tables of EXPERIMENTS.md once per iteration.
+package pcpda_test
+
+import (
+	"io"
+	"testing"
+
+	root "pcpda"
+	"pcpda/internal/experiments"
+	"pcpda/internal/papercases"
+	"pcpda/internal/sim"
+	"pcpda/internal/workload"
+)
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	e, ok := experiments.ByName(name)
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- paper artifacts ---------------------------------------------------------
+
+func BenchmarkFigure1(b *testing.B)  { benchExperiment(b, "fig1") }
+func BenchmarkTable1(b *testing.B)   { benchExperiment(b, "table1") }
+func BenchmarkFigure2(b *testing.B)  { benchExperiment(b, "fig2") }
+func BenchmarkFigure3(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkFigure4(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFigure5(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkExample5(b *testing.B) { benchExperiment(b, "ex5") }
+
+// BenchmarkSchedAnalysis regenerates the Section 9 blocking/schedulability
+// comparison (including the 200-set containment sweep).
+func BenchmarkSchedAnalysis(b *testing.B) { benchExperiment(b, "sched") }
+
+// --- extension experiments (X1-X5 in DESIGN.md) ------------------------------
+
+func BenchmarkBreakdownUtilization(b *testing.B) { benchExperiment(b, "breakdown") }
+func BenchmarkMissRatio(b *testing.B)            { benchExperiment(b, "missratio") }
+func BenchmarkBlockingProfile(b *testing.B)      { benchExperiment(b, "blocking") }
+func BenchmarkRestarts(b *testing.B)             { benchExperiment(b, "restarts") }
+func BenchmarkAblation(b *testing.B)             { benchExperiment(b, "ablation") }
+func BenchmarkCSLength(b *testing.B)             { benchExperiment(b, "cslength") }
+func BenchmarkHotspot(b *testing.B)              { benchExperiment(b, "hotspot") }
+func BenchmarkTightness(b *testing.B)            { benchExperiment(b, "tightness") }
+
+// --- core machinery ----------------------------------------------------------
+
+// BenchmarkSimulationTicks measures raw kernel throughput: ticks simulated
+// per second for an 8-transaction contended workload under PCP-DA.
+func BenchmarkSimulationTicks(b *testing.B) {
+	set, err := workload.Generate(workload.Config{
+		N: 8, Items: 6, Utilization: 0.6,
+		PeriodMin: 40, PeriodMax: 400,
+		OpsMin: 2, OpsMax: 4, WriteProb: 0.5, Seed: 77,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	horizon := sim.DefaultHorizon(set)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ticks int64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(set, "pcpda", sim.Options{Horizon: horizon})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ticks += int64(res.Horizon)
+	}
+	b.ReportMetric(float64(ticks)/b.Elapsed().Seconds(), "ticks/s")
+}
+
+// benchProtocolRun compares the per-run cost of each protocol on the same
+// workload (the overhead ordering is itself a result: PCP-DA's richer grant
+// rules cost more per decision than RW-PCP's single ceiling test).
+func benchProtocolRun(b *testing.B, protocol string) {
+	set, err := workload.Generate(workload.Config{
+		N: 8, Items: 6, Utilization: 0.6,
+		PeriodMin: 40, PeriodMax: 400,
+		OpsMin: 2, OpsMax: 4, WriteProb: 0.5, Seed: 77,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	horizon := sim.DefaultHorizon(set)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(set, protocol, sim.Options{Horizon: horizon}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunPCPDA(b *testing.B) { benchProtocolRun(b, "pcpda") }
+func BenchmarkRunRWPCP(b *testing.B) { benchProtocolRun(b, "rwpcp") }
+func BenchmarkRunCCP(b *testing.B)   { benchProtocolRun(b, "ccp") }
+func BenchmarkRunOPCP(b *testing.B)  { benchProtocolRun(b, "pcp") }
+func BenchmarkRun2PLHP(b *testing.B) { benchProtocolRun(b, "2plhp") }
+
+// BenchmarkHistoryCheck measures the serializability checker on a realistic
+// committed history.
+func BenchmarkHistoryCheck(b *testing.B) {
+	set, err := workload.Generate(workload.Config{
+		N: 8, Items: 6, Utilization: 0.6,
+		PeriodMin: 40, PeriodMax: 400,
+		OpsMin: 2, OpsMax: 4, WriteProb: 0.5, Seed: 77,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sim.Run(set, "pcpda", sim.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := res.History.Check()
+		if !rep.Serializable {
+			b.Fatal("history must be serializable")
+		}
+	}
+}
+
+// BenchmarkRMAnalysis measures the Section 9 analysis on a generated set.
+func BenchmarkRMAnalysis(b *testing.B) {
+	set, err := workload.Generate(workload.Config{
+		N: 12, Items: 10, Utilization: 0.6,
+		PeriodMin: 40, PeriodMax: 800,
+		OpsMin: 1, OpsMax: 5, WriteProb: 0.4, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := root.RMTest(set, root.AnalysisPCPDA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadGenerate measures the seeded generator.
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := workload.Generate(workload.Config{
+			N: 10, Items: 12, Utilization: 0.7,
+			PeriodMin: 20, PeriodMax: 1000,
+			OpsMin: 1, OpsMax: 5, WriteProb: 0.4, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPaperCaseEndToEnd measures a complete Figure-4 style run with
+// tracing and checking, through the public API.
+func BenchmarkPaperCaseEndToEnd(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		set := papercases.Example4()
+		res, err := root.Run(set, "pcpda", root.Options{
+			Horizon: papercases.Example4Horizon, Trace: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum := root.Summarize(res); !sum.Serializable {
+			b.Fatal("not serializable")
+		}
+	}
+}

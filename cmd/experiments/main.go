@@ -1,0 +1,58 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation plus the extension experiments (see DESIGN.md §2 for the
+// index). With no arguments it runs everything; pass -run with a
+// comma-separated list to select specific experiments, -list to enumerate.
+//
+//	experiments -list
+//	experiments -run fig3,fig4
+//	experiments > experiments.out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pcpda/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	run := flag.String("run", "", "comma-separated experiment names (default: all)")
+	svgdir := flag.String("svgdir", "", "also write the reproduced figures as SVG files into this directory")
+	flag.Parse()
+	if *svgdir != "" {
+		if err := os.MkdirAll(*svgdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		experiments.SetFigureDir(*svgdir)
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+	if *run == "" {
+		if err := experiments.RunAll(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, name := range strings.Split(*run, ",") {
+		name = strings.TrimSpace(name)
+		e, ok := experiments.ByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", name)
+			os.Exit(1)
+		}
+		if err := experiments.RunOne(os.Stdout, e); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Command pcpsim simulates a workload file under one concurrency-control
+// protocol and prints the paper-style timeline plus statistics.
+//
+//	pcpsim -workload example3.json -protocol pcpda
+//	pcpsim -workload set.json -protocol rwpcp -horizon 200 -firm
+//	pcpsim -protocols            # list available protocols
+//
+// Workload files are JSON (see internal/workload): transactions with
+// periods, offsets and step lists over named items. The -paper flag loads
+// one of the built-in paper examples (example1, example3, example4,
+// example5) instead of a file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pcpda/internal/metrics"
+	"pcpda/internal/papercases"
+	"pcpda/internal/rt"
+	"pcpda/internal/sim"
+	"pcpda/internal/trace"
+	"pcpda/internal/txn"
+	"pcpda/internal/workload"
+)
+
+func main() {
+	var (
+		workloadPath = flag.String("workload", "", "workload JSON file")
+		paper        = flag.String("paper", "", "built-in paper example: example1, example3, example4, example5")
+		protocol     = flag.String("protocol", "pcpda", "concurrency-control protocol")
+		horizon      = flag.Int64("horizon", 0, "simulation length in ticks (0 = derive from the set)")
+		firm         = flag.Bool("firm", false, "abort jobs at their deadlines (firm real-time)")
+		list         = flag.Bool("protocols", false, "list protocols and exit")
+		perTxn       = flag.Bool("pertxn", false, "print per-transaction statistics")
+		csvPath      = flag.String("csv", "", "write the timeline as CSV to this file")
+		dotPath      = flag.String("dot", "", "write the serialization graph as Graphviz dot to this file")
+		svgPath      = flag.String("svg", "", "write the timeline as a paper-style SVG figure to this file")
+		jitter       = flag.Float64("jitter", 0, "sporadic arrival jitter J (inter-arrival in [Pd, Pd*(1+J)])")
+		seed         = flag.Int64("seed", 0, "sporadic-arrival RNG seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range sim.Protocols() {
+			fmt.Println(p)
+		}
+		return
+	}
+
+	set, err := loadSet(*workloadPath, *paper)
+	if err != nil {
+		fail(err)
+	}
+
+	res, err := sim.Run(set, *protocol, sim.Options{
+		Horizon:        rt.Ticks(*horizon),
+		FirmDeadlines:  *firm,
+		Trace:          true,
+		StopOnDeadlock: true,
+		SporadicJitter: *jitter,
+		Seed:           *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(res.Timeline.CSV(set)), 0o644); err != nil {
+			fail(err)
+		}
+	}
+	if *dotPath != "" {
+		if err := os.WriteFile(*dotPath, []byte(res.History.DOT(set)), 0o644); err != nil {
+			fail(err)
+		}
+	}
+	if *svgPath != "" {
+		if err := os.WriteFile(*svgPath, []byte(res.Timeline.SVG(set)), 0o644); err != nil {
+			fail(err)
+		}
+	}
+
+	fmt.Printf("workload %q under %s (horizon %d)\n\n", set.Name, res.Protocol, res.Horizon)
+	for _, t := range set.Templates {
+		fmt.Printf("  %-6s pri=%-3d period=%-5d offset=%-4d C=%-4d %s\n",
+			t.Name, t.Priority, t.Period, t.Offset, t.Exec(), t.Signature(set.Catalog))
+	}
+	fmt.Println()
+	fmt.Println(res.Timeline.Render(set))
+	fmt.Println(trace.Legend())
+	fmt.Println()
+
+	sum := metrics.Summarize(res)
+	fmt.Print(metrics.Table([]metrics.Summary{sum}))
+	if res.Deadlocked {
+		fmt.Printf("\nDEADLOCK at t=%d involving jobs %v\n", res.DeadlockAt, res.DeadlockCycle)
+	}
+	if len(res.GrantCounts) > 0 {
+		fmt.Printf("\ngrants by rule: %v\n", res.GrantCounts)
+	}
+	if len(res.BlockCounts) > 0 {
+		fmt.Printf("blockings by rule: %v\n", res.BlockCounts)
+	}
+
+	if len(res.ItemBlocked) > 0 {
+		fmt.Println("\ncontended items (blocked ticks attributed to the awaited item):")
+		type pair struct {
+			name  string
+			ticks rt.Ticks
+		}
+		var items []pair
+		for it, n := range res.ItemBlocked {
+			items = append(items, pair{set.Catalog.Name(it), n})
+		}
+		sort.Slice(items, func(i, j int) bool { return items[i].ticks > items[j].ticks })
+		for _, p := range items {
+			fmt.Printf("  %-10s %d\n", p.name, p.ticks)
+		}
+	}
+
+	if *perTxn {
+		fmt.Println("\nper-transaction statistics:")
+		for _, s := range metrics.PerTxn(res) {
+			fmt.Printf("  %-6s jobs=%-3d done=%-3d miss=%-3d blocked=%-4d maxblk=%-4d inv=%-4d avgresp=%.2f\n",
+				s.Name, s.Jobs, s.Completed, s.Misses, s.TotalBlocked, s.MaxBlocked, s.TotalInv, s.AvgResponse())
+		}
+	}
+	if !sum.Serializable {
+		fmt.Fprintln(os.Stderr, "\nWARNING: history is not serializable")
+		os.Exit(2)
+	}
+}
+
+func loadSet(path, paper string) (*txn.Set, error) {
+	switch {
+	case paper != "":
+		switch paper {
+		case "example1":
+			return papercases.Example1(), nil
+		case "example3":
+			return papercases.Example3(), nil
+		case "example4":
+			return papercases.Example4(), nil
+		case "example5":
+			return papercases.Example5(), nil
+		}
+		return nil, fmt.Errorf("unknown paper example %q", paper)
+	case path != "":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return workload.Unmarshal(data)
+	}
+	return nil, fmt.Errorf("need -workload FILE or -paper NAME")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pcpsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+// Avionics models the kind of hard real-time database the paper's
+// introduction motivates ("avionics systems, aerospace systems, robotics
+// and defence systems"): a memory-resident store of aircraft state shared
+// by periodic flight-control transactions.
+//
+//	go run ./examples/avionics
+//
+// The workload (one tick = 0.1 ms):
+//
+//	attitude    (2 ms): reads gyro+accel, writes the fused attitude estimate
+//	control     (5 ms): reads attitude+airdata, writes actuator commands
+//	airdata    (10 ms): reads pitot sensors, writes calibrated airdata
+//	nav        (40 ms): reads attitude+airdata, writes the nav solution
+//	telemetry  (80 ms): read-only scan of the state for the downlink frame
+//	calibration(160 ms): slow background job that WRITES the raw sensor
+//	                     cells (gyro, accel) — it reads nothing
+//
+// The calibration job is the paper's headline case: it only write-locks
+// items the 2 ms attitude loop reads. Under RW-PCP those write locks raise
+// Aceil(gyro) to the attitude loop's own priority, so B(attitude) includes
+// calibration's whole 2.5 ms body and the rate-monotonic test FAILS. Under
+// PCP-DA write locks raise no ceiling at all: the attitude loop reads the
+// committed sensor values straight through the locks, B(attitude) shrinks
+// to the longest lower-priority READER of the attitude estimate, and the
+// same transaction set becomes provably schedulable.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pcpda"
+)
+
+func buildWorkload() *pcpda.Set {
+	set := pcpda.NewSet("avionics")
+	gyro := set.Catalog.Intern("gyro")
+	accel := set.Catalog.Intern("accel")
+	attitude := set.Catalog.Intern("attitude")
+	pitot := set.Catalog.Intern("pitot")
+	airdata := set.Catalog.Intern("airdata")
+	actuators := set.Catalog.Intern("actuators")
+	navsol := set.Catalog.Intern("navsol")
+
+	set.Add(&pcpda.Template{ // 2 ms loop, C = 0.4 ms
+		Name: "attitude", Period: 20,
+		Steps: []pcpda.Step{pcpda.Read(gyro), pcpda.Read(accel), pcpda.Comp(1), pcpda.Write(attitude)},
+	})
+	set.Add(&pcpda.Template{ // 5 ms loop, C = 0.5 ms
+		Name: "control", Period: 50,
+		Steps: []pcpda.Step{pcpda.Read(attitude), pcpda.Read(airdata), pcpda.Comp(2), pcpda.Write(actuators)},
+	})
+	set.Add(&pcpda.Template{ // 10 ms loop, C = 0.6 ms
+		Name: "airdata", Period: 100,
+		Steps: []pcpda.Step{pcpda.Read(pitot), pcpda.Comp(4), pcpda.Write(airdata)},
+	})
+	set.Add(&pcpda.Template{ // 40 ms loop, C = 1.2 ms
+		Name: "nav", Period: 400,
+		Steps: []pcpda.Step{pcpda.Read(attitude), pcpda.Read(airdata), pcpda.Comp(9), pcpda.Write(navsol)},
+	})
+	set.Add(&pcpda.Template{ // 80 ms downlink, C = 1.0 ms
+		Name: "telemetry", Period: 800,
+		Steps: []pcpda.Step{
+			pcpda.Read(attitude), pcpda.Comp(2), pcpda.Read(airdata), pcpda.Comp(2),
+			pcpda.Read(navsol), pcpda.Comp(2), pcpda.Read(actuators), pcpda.Comp(1),
+		},
+	})
+	set.Add(&pcpda.Template{ // 160 ms sensor recalibration, C = 2.5 ms
+		Name: "calibration", Period: 1600, Offset: 2,
+		Steps: []pcpda.Step{pcpda.Comp(10), pcpda.Write(gyro), pcpda.Comp(4), pcpda.Write(accel), pcpda.Comp(9)},
+	})
+	set.AssignRateMonotonic()
+	return set
+}
+
+func main() {
+	set := buildWorkload()
+	fmt.Printf("avionics workload: %d transactions, utilization %.3f\n\n",
+		len(set.Templates), set.Utilization())
+	ceil := pcpda.ComputeCeilings(set)
+	for _, t := range set.Templates {
+		fmt.Printf("  %-11s Pd=%-5d C=%-3d %s\n", t.Name, t.Period, t.Exec(), t.Signature(set.Catalog))
+	}
+
+	fmt.Println("\n--- worst-case analysis (paper Section 9) ---")
+	for _, kind := range []pcpda.AnalysisKind{pcpda.AnalysisPCPDA, pcpda.AnalysisRWPCP} {
+		rep, err := pcpda.RMTest(set, kind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s schedulable=%v\n", kind, rep.Schedulable)
+		for _, v := range rep.Verdicts {
+			bts := pcpda.BlockingSet(set, ceil, kind, v.Txn)
+			var who string
+			for i, b := range bts {
+				if i > 0 {
+					who += ","
+				}
+				who += b.Name
+			}
+			if who == "" {
+				who = "-"
+			}
+			fmt.Printf("  %-11s B=%-3d blockers={%s} util+block=%.3f bound=%.3f ok=%v\n",
+				v.Txn.Name, v.B, who, v.Utilization, v.Bound, v.OK)
+		}
+	}
+	fmt.Println("\nthe calibration writer sits in the attitude loop's blocking set only")
+	fmt.Println("under RW-PCP: its write locks raise Aceil(gyro)=P1 there, while under")
+	fmt.Println("PCP-DA write locks raise nothing (the paper's Section 9 comparison).")
+
+	fmt.Println("\n--- simulation: one 160 ms cycle ---")
+	comps, err := pcpda.Compare(set, []string{"pcpda", "rwpcp", "ccp"}, pcpda.Options{
+		Horizon: 1602, StopOnDeadlock: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sums []pcpda.Summary
+	for _, c := range comps {
+		sums = append(sums, c.Summary)
+	}
+	fmt.Print(pcpda.SummaryTable(sums))
+
+	fmt.Println("\nnote: hard real-time is about guarantees over EVERY phasing. This")
+	fmt.Println("particular offset assignment happens not to line calibration's write")
+	fmt.Println("locks up with an attitude arrival, so the simulated runs look alike —")
+	fmt.Println("but only PCP-DA can PROVE the attitude loop safe (see the analysis")
+	fmt.Println("above, and the quickstart example for a worst-case phasing trace).")
+
+	fmt.Println("\nattitude-loop behaviour under each protocol:")
+	for _, c := range comps {
+		for _, s := range pcpda.PerTxn(c.Result) {
+			if s.Name != "attitude" {
+				continue
+			}
+			fmt.Printf("  %-8s jobs=%-3d blocked=%-4d inversion=%-4d worst-response=%d misses=%d\n",
+				c.Result.Protocol, s.Jobs, s.TotalBlocked, s.TotalInv, s.MaxResponse, s.Misses)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Missratio sweeps total utilization and reports the firm-deadline miss
+// ratio of every protocol over seeded random workloads — the classic RTDBS
+// evaluation plot, here as a text table.
+//
+//	go run ./examples/missratio
+//	go run ./examples/missratio -seeds 30 -n 10 -wp 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"pcpda"
+	"pcpda/internal/stats"
+)
+
+func main() {
+	var (
+		seeds = flag.Int64("seeds", 15, "random workloads per point")
+		n     = flag.Int("n", 8, "transactions per workload")
+		items = flag.Int("items", 10, "shared data items")
+		wp    = flag.Float64("wp", 0.4, "write probability")
+	)
+	flag.Parse()
+
+	protocols := []string{"pcpda", "rwpcp", "ccp", "pcp", "2plhp", "occ"}
+	utils := []float64{0.4, 0.6, 0.8, 1.0, 1.2}
+
+	fmt.Printf("firm-deadline miss ratio, %d workloads/point, N=%d, wp=%.2f\n\n", *seeds, *n, *wp)
+	fmt.Printf("%-6s", "U")
+	for _, p := range protocols {
+		fmt.Printf("  %13s", p)
+	}
+	fmt.Println()
+
+	for _, u := range utils {
+		fmt.Printf("%-6.2f", u)
+		for _, p := range protocols {
+			var st stats.Stream
+			for seed := int64(0); seed < *seeds; seed++ {
+				set, err := pcpda.Generate(pcpda.WorkloadConfig{
+					N: *n, Items: *items, Utilization: u,
+					PeriodMin: 40, PeriodMax: 800,
+					OpsMin: 1, OpsMax: 4,
+					WriteProb: *wp, Seed: 31000 + seed,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				res, err := pcpda.Run(set, p, pcpda.Options{
+					FirmDeadlines: true, StopOnDeadlock: true,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				jobs := 0
+				for _, j := range res.Jobs {
+					if j.AbsDeadline > 0 {
+						jobs++
+					}
+				}
+				if jobs > 0 {
+					st.Add(float64(res.Misses) / float64(jobs))
+				}
+			}
+			// mean ± 95% CI over the per-workload ratios
+			fmt.Printf("  %6.4f±%.4f", st.Mean(), st.CI95())
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nvalues are mean ± 95% CI over per-workload miss ratios.")
+	fmt.Println("expected shape: pcpda ≤ rwpcp ≈ ccp ≤ pcp ≤ 2plhp ≈ occ at every")
+	fmt.Println("load, with the gap widening as contention grows.")
+}

@@ -1,0 +1,52 @@
+// Quickstart: build a two-transaction workload, run it under PCP-DA and
+// RW-PCP, and print both timelines side by side.
+//
+// This is the paper's Example 3 in miniature: a high-priority reader
+// periodically touching items a low-priority writer holds write locks on.
+// Under RW-PCP the reader blocks behind the writer's Aceil ceiling; under
+// PCP-DA it reads the committed values right through the write locks and
+// never blocks.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pcpda"
+)
+
+func main() {
+	set := pcpda.NewSet("quickstart")
+	x := set.Catalog.Intern("x")
+	y := set.Catalog.Intern("y")
+
+	// A fast sensor-reading transaction: two reads every 5 ticks.
+	set.Add(&pcpda.Template{
+		Name:   "reader",
+		Period: 5,
+		Offset: 1,
+		Steps:  []pcpda.Step{pcpda.Read(x), pcpda.Read(y)},
+	})
+	// A slow updater writing both items with some computation in between.
+	set.Add(&pcpda.Template{
+		Name:  "updater",
+		Steps: []pcpda.Step{pcpda.Write(x), pcpda.Comp(2), pcpda.Write(y), pcpda.Comp(1)},
+	})
+	set.AssignByIndex() // reader gets the higher priority
+
+	for _, protocol := range []string{"pcpda", "rwpcp"} {
+		res, err := pcpda.Run(set, protocol, pcpda.Options{Horizon: 10, Trace: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum := pcpda.Summarize(res)
+		fmt.Printf("=== %s ===\n", res.Protocol)
+		fmt.Println(res.Timeline.Render(set))
+		fmt.Printf("misses=%d  blocked ticks=%d  serializable=%v\n\n",
+			sum.Misses, sum.TotalBlocked, sum.Serializable)
+	}
+	fmt.Println("PCP-DA meets the reader's deadlines by dynamically serializing")
+	fmt.Println("it BEFORE the uncommitted updater; RW-PCP blocks it and misses.")
+}

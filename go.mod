@@ -1,0 +1,3 @@
+module pcpda
+
+go 1.22

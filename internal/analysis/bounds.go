@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+)
+
+// HyperbolicTest runs Bini & Buttazzo's hyperbolic bound with the blocking
+// term folded in per transaction:
+//
+//	∀i:  (C_i + B_i)/Pd_i + 1) · Π_{j<i} (C_j/Pd_j + 1)  ≤  2
+//
+// The hyperbolic bound strictly dominates the Liu-Layland utilization bound
+// (it admits every set the LL test admits, and more), while remaining a
+// sufficient O(n²) test. It post-dates the paper — included as an extension
+// so the breakdown experiment can show how much of PCP-DA's advantage
+// persists under a sharper admission test.
+func HyperbolicTest(set *txn.Set, kind Kind) (*Report, error) {
+	if err := requirePeriodic(set); err != nil {
+		return nil, err
+	}
+	ceil := txn.ComputeCeilings(set)
+	ordered := set.ByPriorityDesc()
+	rep := &Report{Kind: kind, Set: set, Schedulable: true}
+	prod := 1.0
+	for _, tmpl := range ordered {
+		b := WorstCaseBlocking(set, ceil, kind, tmpl)
+		ui := float64(tmpl.Exec()) / float64(tmpl.Period)
+		withBlock := (float64(tmpl.Exec()+b)/float64(tmpl.Period) + 1) * prod
+		v := TxnVerdict{
+			Txn:         tmpl,
+			B:           b,
+			Utilization: withBlock, // the product being compared
+			Bound:       2,
+			OK:          withBlock <= 2+1e-12,
+		}
+		if !v.OK {
+			rep.Schedulable = false
+		}
+		rep.Verdicts = append(rep.Verdicts, v)
+		prod *= ui + 1
+	}
+	return rep, nil
+}
+
+// AssignDeadlineMonotonic assigns priorities by relative deadline (shorter
+// deadline = higher priority), the optimal fixed-priority order when
+// deadlines differ from periods (D ≤ T). Ties break by declaration order.
+func AssignDeadlineMonotonic(set *txn.Set) {
+	n := len(set.Templates)
+	order := make([]*txn.Template, n)
+	copy(order, set.Templates)
+	key := func(t *txn.Template) rt.Ticks {
+		if d := t.RelativeDeadline(); d > 0 {
+			return d
+		}
+		return 1 << 40
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && key(order[j]) < key(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for rank, t := range order {
+		t.Priority = rt.Priority(n - rank)
+	}
+}

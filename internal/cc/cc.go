@@ -1,0 +1,234 @@
+// Package cc defines the contract between the scheduling kernel (package
+// sched) and the concurrency-control protocols (pcpda, rwpcp, ccp, opcp,
+// pip, tplhp, naiveda).
+//
+// The kernel owns jobs, the CPU, the lock table, the database and the
+// history; a Protocol owns only the admission policy: given a lock request
+// it answers "granted" (possibly after aborting victims) or "blocked by
+// these jobs". Priority inheritance, blocking bookkeeping, deadlock
+// detection and data movement are kernel concerns, identical across
+// protocols, which keeps every protocol comparison apples-to-apples.
+package cc
+
+import (
+	"pcpda/internal/db"
+	"pcpda/internal/lock"
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+)
+
+// Status is a job's lifecycle state.
+type Status uint8
+
+const (
+	// Ready: released, not blocked, competing for the CPU.
+	Ready Status = iota
+	// Blocked: waiting for a lock grant.
+	Blocked
+	// Done: committed.
+	Done
+	// Aborted: terminated without restart (firm deadline policy).
+	Aborted
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Blocked:
+		return "blocked"
+	case Done:
+		return "done"
+	case Aborted:
+		return "aborted"
+	}
+	return "?"
+}
+
+// Job is one released instance of a periodic transaction, including its
+// runtime execution state. All fields are managed by the kernel; protocols
+// read them (notably Tmpl's declared write set and DataRead) but must not
+// mutate them.
+type Job struct {
+	ID          rt.JobID
+	Run         db.RunID // current attempt; changes on restart
+	Tmpl        *txn.Template
+	Release     rt.Ticks
+	AbsDeadline rt.Ticks // 0 = no deadline
+
+	// Execution progress.
+	StepIdx  int      // index into Tmpl.Steps
+	StepDone rt.Ticks // ticks executed within the current step
+	HasLock  bool     // current lock step's lock already acquired
+	Status   Status
+
+	// Scheduling.
+	RunPri rt.Priority // current (possibly inherited) priority
+
+	// Data state.
+	DataRead *rt.ItemSet   // the paper's DataRead(T_i): items read so far
+	WS       *db.Workspace // non-nil under deferred-update protocols
+
+	// Blocking state (valid while Status == Blocked).
+	BlockedOn   rt.Item
+	BlockedMode rt.Mode
+	Blockers    []rt.JobID
+	// EverBlockedBy accumulates every distinct job that ever appeared in
+	// Blockers — the evidence the single-blocking property tests examine.
+	EverBlockedBy []rt.JobID
+
+	// Statistics.
+	FinishTick    rt.Ticks // commit boundary; -1 until done
+	BlockedTicks  rt.Ticks // ticks spent Status == Blocked
+	InvBlockTicks rt.Ticks // blocked ticks while a lower-base-priority job ran
+	Restarts      int
+	MissedAt      rt.Ticks // first tick the deadline was observed missed; -1 otherwise
+}
+
+// BasePri returns the job's original (uninherited) priority.
+func (j *Job) BasePri() rt.Priority { return j.Tmpl.Priority }
+
+// CurStep returns the step the job is currently executing and false when
+// the job has exhausted its body.
+func (j *Job) CurStep() (txn.Step, bool) {
+	if j.StepIdx >= len(j.Tmpl.Steps) {
+		return txn.Step{}, false
+	}
+	return j.Tmpl.Steps[j.StepIdx], true
+}
+
+// NeedsLock reports whether the job is at the start of a lock step whose
+// lock it has not yet acquired, and returns the item and mode.
+func (j *Job) NeedsLock() (rt.Item, rt.Mode, bool) {
+	step, ok := j.CurStep()
+	if !ok || j.HasLock || step.Kind == txn.Compute {
+		return rt.NoItem, rt.Read, false
+	}
+	m := rt.Read
+	if step.Kind == txn.WriteStep {
+		m = rt.Write
+	}
+	return step.Item, m, true
+}
+
+// Finished reports whether every step has fully executed.
+func (j *Job) Finished() bool { return j.StepIdx >= len(j.Tmpl.Steps) }
+
+// ResponseTime returns FinishTick-Release, or -1 if not finished.
+func (j *Job) ResponseTime() rt.Ticks {
+	if j.Status != Done {
+		return -1
+	}
+	return j.FinishTick - j.Release
+}
+
+// Missed reports whether the job's deadline was missed.
+func (j *Job) Missed() bool { return j.MissedAt >= 0 }
+
+// Decision is a protocol's answer to a lock request.
+type Decision struct {
+	// Granted: the lock may be taken now.
+	Granted bool
+	// Rule names the clause that fired, e.g. "LC1".."LC4" for PCP-DA,
+	// "ceiling" for RW-PCP grants, "conflict"/"ceiling-block" for denials.
+	// Rules are aggregated into per-run counters.
+	Rule string
+	// Blockers: on denial, the jobs responsible; they inherit the
+	// requester's priority (transitively) until the request is granted.
+	Blockers []rt.JobID
+	// AbortVictims: jobs the protocol sacrifices for the requester (2PL-HP).
+	// The kernel aborts and restarts them before acting on Granted, so a
+	// decision may abort the lower-priority holders and still block on the
+	// higher-priority ones.
+	AbortVictims []rt.JobID
+}
+
+// Grant is shorthand for a granted decision under rule.
+func Grant(rule string) Decision { return Decision{Granted: true, Rule: rule} }
+
+// Block is shorthand for a denial under rule, blocked by the given jobs.
+func Block(rule string, blockers ...rt.JobID) Decision {
+	return Decision{Granted: false, Rule: rule, Blockers: blockers}
+}
+
+// Env is the kernel-side state a protocol may inspect while deciding.
+type Env interface {
+	// Now returns the current tick.
+	Now() rt.Ticks
+	// Locks returns the shared lock table (read-only use by protocols).
+	Locks() *lock.Table
+	// Job resolves a job id; nil when the job has left the system.
+	Job(id rt.JobID) *Job
+	// ActiveJobs returns the live (Ready/Blocked) jobs in id order.
+	ActiveJobs() []*Job
+}
+
+// Protocol is a pluggable concurrency-control policy.
+type Protocol interface {
+	// Name returns the short protocol name used in reports ("PCP-DA").
+	Name() string
+	// Deferred reports whether the protocol uses the update-in-workspace
+	// model (writes buffered, installed at commit) rather than
+	// update-in-place.
+	Deferred() bool
+	// Init receives the static transaction set and its priority ceilings
+	// before the simulation starts.
+	Init(set *txn.Set, ceil *txn.Ceilings)
+	// Begin is called when a job is released (and again after a restart).
+	Begin(env Env, j *Job)
+	// Request decides a lock request by j for x in mode m.
+	Request(env Env, j *Job, x rt.Item, m rt.Mode) Decision
+	// Granted is called after the kernel records the lock in the table.
+	Granted(env Env, j *Job, x rt.Item, m rt.Mode)
+	// Committed is called after the kernel installed j's effects and
+	// released its locks.
+	Committed(env Env, j *Job)
+	// Aborted is called after the kernel rolled back j and released its
+	// locks.
+	Aborted(env Env, j *Job)
+	// EarlyRelease is called after j completes a step; the returned items
+	// are unlocked immediately (CCP's pre-commit unlocking). Most protocols
+	// return nil (strict 2PL).
+	EarlyRelease(env Env, j *Job) []rt.Item
+}
+
+// CeilingReporter is implemented by ceiling-based protocols so the kernel
+// can record the paper's Max_Sysceil track: the highest priority ceiling
+// currently in effect across all held locks.
+type CeilingReporter interface {
+	SystemCeiling(env Env) rt.Priority
+}
+
+// Auditor lets a protocol export internal counters (PCP-DA uses it to prove
+// the Table-1 side condition never fires on the LC2/LC3 paths).
+type Auditor interface {
+	Audit() map[string]int
+}
+
+// CommitArbiter is implemented by optimistic protocols that resolve
+// conflicts at commit time: just before j's effects install, the kernel
+// asks which active jobs must be restarted (forward validation / broadcast
+// commit). The returned jobs are aborted and re-released after j commits.
+type CommitArbiter interface {
+	CommitVictims(env Env, j *Job) []rt.JobID
+}
+
+// Base provides no-op implementations of the optional Protocol callbacks;
+// protocols embed it and override what they need.
+type Base struct{}
+
+// Begin is a no-op.
+func (Base) Begin(Env, *Job) {}
+
+// Granted is a no-op.
+func (Base) Granted(Env, *Job, rt.Item, rt.Mode) {}
+
+// Committed is a no-op.
+func (Base) Committed(Env, *Job) {}
+
+// Aborted is a no-op.
+func (Base) Aborted(Env, *Job) {}
+
+// EarlyRelease keeps strict two-phase locking: nothing unlocks early.
+func (Base) EarlyRelease(Env, *Job) []rt.Item { return nil }

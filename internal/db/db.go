@@ -1,0 +1,209 @@
+// Package db implements the memory-resident database underneath the
+// concurrency-control protocols.
+//
+// Two write models coexist, matching the paper's Section 4:
+//
+//   - update-in-place: a write takes effect immediately (RW-PCP, CCP, the
+//     original PCP, PIP and 2PL-HP). Each in-place write is journaled so an
+//     abort-based protocol (2PL-HP) can roll it back.
+//   - update-in-workspace: writes are buffered in the writing job's private
+//     Workspace and installed atomically at commit (PCP-DA's deferred
+//     updates). Readers always see committed/installed state; a job sees its
+//     own workspace writes.
+//
+// Every installed value carries a monotonically increasing per-item version
+// and the run that produced it, which is exactly what the serializability
+// checker in package history consumes.
+package db
+
+import (
+	"fmt"
+
+	"pcpda/internal/rt"
+)
+
+// Value is the content of a data item. Simulations write synthetic values
+// derived from the writing run so that reads-from relationships are
+// observable in final states.
+type Value int64
+
+// RunID identifies one execution attempt of a job. A job that is aborted
+// and restarted gets a fresh RunID for the retry, so the history can tell
+// the attempts apart. Run 0 ("the initializer") denotes the initial database
+// state.
+type RunID int32
+
+// InitRun is the pseudo-run that wrote every item's initial version.
+const InitRun RunID = 0
+
+// NoRun is the sentinel for "no run".
+const NoRun RunID = -1
+
+// Version numbers the successive installed states of one item, starting at
+// 0 for the initial state.
+type Version int32
+
+// cell is the stored state of one item.
+type cell struct {
+	val     Value
+	version Version
+	writer  RunID
+}
+
+// undoRecord remembers the state an in-place write replaced.
+type undoRecord struct {
+	item rt.Item
+	prev cell
+}
+
+// Store is the memory-resident database.
+type Store struct {
+	cells map[rt.Item]cell
+	undo  map[RunID][]undoRecord
+}
+
+// NewStore returns a store where every item implicitly holds Value(0) at
+// Version 0, written by InitRun.
+func NewStore() *Store {
+	return &Store{
+		cells: make(map[rt.Item]cell),
+		undo:  make(map[RunID][]undoRecord),
+	}
+}
+
+// Read returns the current value of x together with its version and the run
+// that installed it. Unwritten items read as the initial state.
+func (s *Store) Read(x rt.Item) (Value, Version, RunID) {
+	c := s.cells[x] // zero cell: Value 0, Version 0, InitRun
+	return c.val, c.version, c.writer
+}
+
+// Install writes v into x on behalf of run, bumping the version. It is used
+// both for commit-time installation of a workspace and (via WriteInPlace)
+// for immediate updates.
+func (s *Store) Install(run RunID, x rt.Item, v Value) Version {
+	c := s.cells[x]
+	c.val = v
+	c.version++
+	c.writer = run
+	s.cells[x] = c
+	return c.version
+}
+
+// WriteInPlace applies an immediate (update-in-place) write and journals the
+// previous state so Rollback(run) can undo it.
+func (s *Store) WriteInPlace(run RunID, x rt.Item, v Value) Version {
+	prev := s.cells[x]
+	s.undo[run] = append(s.undo[run], undoRecord{item: x, prev: prev})
+	return s.Install(run, x, v)
+}
+
+// Rollback undoes every in-place write made by run, in reverse order, and
+// discards its journal. Rolling back a run with no journal is a no-op.
+// Under strict two-phase locking no other run can have overwritten the
+// journaled items in the meantime, so restoration is exact; the checker in
+// package history would flag any dirty read regardless.
+func (s *Store) Rollback(run RunID) {
+	recs := s.undo[run]
+	for i := len(recs) - 1; i >= 0; i-- {
+		s.cells[recs[i].item] = recs[i].prev
+	}
+	delete(s.undo, run)
+}
+
+// Forget discards run's undo journal (called on successful commit of an
+// in-place run).
+func (s *Store) Forget(run RunID) { delete(s.undo, run) }
+
+// PendingUndo returns the number of journaled writes for run (for tests and
+// invariant checks).
+func (s *Store) PendingUndo(run RunID) int { return len(s.undo[run]) }
+
+// Snapshot returns a copy of the current values of the given items.
+func (s *Store) Snapshot(items []rt.Item) map[rt.Item]Value {
+	out := make(map[rt.Item]Value, len(items))
+	for _, x := range items {
+		c := s.cells[x]
+		out[x] = c.val
+	}
+	return out
+}
+
+// VersionOf returns the current version of x.
+func (s *Store) VersionOf(x rt.Item) Version {
+	return s.cells[x].version
+}
+
+// Workspace is a job's private update buffer under the update-in-workspace
+// model: "before a transaction commits, it reads and updates data items only
+// in its private workspace, and then data items are written into the
+// database only upon successful commit."
+type Workspace struct {
+	writes map[rt.Item]Value
+	order  []rt.Item
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace {
+	return &Workspace{writes: make(map[rt.Item]Value)}
+}
+
+// Write buffers v as the pending update of x.
+func (w *Workspace) Write(x rt.Item, v Value) {
+	if _, ok := w.writes[x]; !ok {
+		w.order = append(w.order, x)
+	}
+	w.writes[x] = v
+}
+
+// Get returns the buffered value of x, if any (a job reads its own writes).
+func (w *Workspace) Get(x rt.Item) (Value, bool) {
+	v, ok := w.writes[x]
+	return v, ok
+}
+
+// Len returns the number of distinct buffered items.
+func (w *Workspace) Len() int { return len(w.writes) }
+
+// Items returns the buffered items in first-write order.
+func (w *Workspace) Items() []rt.Item {
+	out := make([]rt.Item, len(w.order))
+	copy(out, w.order)
+	return out
+}
+
+// InstallInto atomically applies the workspace to the store on behalf of
+// run, returning the installed (item, version) pairs in first-write order.
+func (w *Workspace) InstallInto(s *Store, run RunID) []Installed {
+	out := make([]Installed, 0, len(w.order))
+	for _, x := range w.order {
+		ver := s.Install(run, x, w.writes[x])
+		out = append(out, Installed{Item: x, Version: ver})
+	}
+	return out
+}
+
+// Discard empties the workspace (abort path).
+func (w *Workspace) Discard() {
+	for k := range w.writes {
+		delete(w.writes, k)
+	}
+	w.order = w.order[:0]
+}
+
+// Installed records one commit-time installation.
+type Installed struct {
+	Item    rt.Item
+	Version Version
+}
+
+// SyntheticValue derives the value a run writes into an item: unique per
+// (run, item) so final-state checks can identify the last writer.
+func SyntheticValue(run RunID, x rt.Item) Value {
+	return Value(int64(run)<<20 | int64(x)&0xfffff)
+}
+
+// String renders an Installed pair for diagnostics.
+func (i Installed) String() string {
+	return fmt.Sprintf("%d@v%d", int(i.Item), int(i.Version))
+}

@@ -1,0 +1,118 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation, plus the extension experiments catalogued in DESIGN.md §2.
+// cmd/experiments is a thin CLI over this package and the repository-root
+// benchmarks drive the same entry points, so the numbers in EXPERIMENTS.md
+// always come from this code.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Experiment is one reproducible unit: it writes its report to w and
+// returns an error only on infrastructure failure (a mismatch against the
+// paper is reported in the output, not as an error).
+type Experiment struct {
+	Name  string // CLI name, e.g. "fig1"
+	Title string // human title
+	Run   func(w io.Writer) error
+}
+
+// registry is populated by the files of this package.
+var registry []Experiment
+
+func register(name, title string, run func(io.Writer) error) {
+	registry = append(registry, Experiment{Name: name, Title: title, Run: run})
+}
+
+// All returns every experiment in registration (paper) order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Names returns the experiment names, sorted.
+func Names() []string {
+	var out []string
+	for _, e := range registry {
+		out = append(out, e.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName finds an experiment.
+func ByName(name string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment in order, with section headers.
+func RunAll(w io.Writer) error {
+	for _, e := range All() {
+		if err := RunOne(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunOne executes one experiment with its header.
+func RunOne(w io.Writer, e Experiment) error {
+	fmt.Fprintf(w, "\n================================================================================\n")
+	fmt.Fprintf(w, "%s — %s\n", e.Name, e.Title)
+	fmt.Fprintf(w, "================================================================================\n")
+	return e.Run(w)
+}
+
+// check prints a PASS/FAIL line for an expectation derived from the paper.
+func check(w io.Writer, ok bool, format string, args ...any) {
+	status := "PASS"
+	if !ok {
+		status = "FAIL"
+	}
+	fmt.Fprintf(w, "  [%s] %s\n", status, fmt.Sprintf(format, args...))
+}
+
+// runSeeds evaluates fn for every seed in [0, n) on a worker pool and
+// returns the results in seed order (so aggregation stays deterministic
+// regardless of scheduling). The first error aborts the sweep.
+func runSeeds[T any](n int64, fn func(seed int64) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	workers := runtime.GOMAXPROCS(0)
+	if int64(workers) > n {
+		workers = int(n)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int64)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range next {
+				out[seed], errs[seed] = fn(seed)
+			}
+		}()
+	}
+	for seed := int64(0); seed < n; seed++ {
+		next <- seed
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

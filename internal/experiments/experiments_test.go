@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPaperArtifactsAllPass runs every paper-artifact experiment and
+// asserts that not a single [FAIL] expectation appears: the reproduction
+// must match the prose exactly.
+func TestPaperArtifactsAllPass(t *testing.T) {
+	for _, name := range []string{"fig1", "table1", "fig2", "fig3", "fig4", "fig5", "ex5", "sched"} {
+		e, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing experiment %s", name)
+		}
+		var buf bytes.Buffer
+		if err := e.Run(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := buf.String()
+		if strings.Contains(out, "[FAIL]") {
+			t.Errorf("%s has failing expectations:\n%s", name, out)
+		}
+		if !strings.Contains(out, "[PASS]") {
+			t.Errorf("%s asserted nothing:\n%s", name, out)
+		}
+	}
+}
+
+// TestSweepsAllPass runs the extension sweeps; slower, so guarded by
+// -short.
+func TestSweepsAllPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps skipped in -short mode")
+	}
+	for _, name := range []string{"breakdown", "missratio", "blocking", "restarts", "ablation", "cslength", "hotspot", "tightness"} {
+		e, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing experiment %s", name)
+		}
+		var buf bytes.Buffer
+		if err := e.Run(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if strings.Contains(buf.String(), "[FAIL]") {
+			t.Errorf("%s has failing expectations:\n%s", name, buf.String())
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	want := []string{"ablation", "blocking", "breakdown", "cslength", "ex5", "fig1", "fig2", "fig3", "fig4", "fig5", "hotspot", "missratio", "restarts", "sched", "table1", "tightness"}
+	if len(names) != len(want) {
+		t.Fatalf("registry = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("registry = %v, want %v", names, want)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	for _, e := range All() {
+		if e.Title == "" {
+			t.Errorf("%s has no title", e.Name)
+		}
+	}
+}
+
+func TestRunOneHasHeader(t *testing.T) {
+	e, _ := ByName("table1")
+	var buf bytes.Buffer
+	if err := RunOne(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "table1 —") {
+		t.Fatalf("missing header:\n%s", buf.String())
+	}
+}

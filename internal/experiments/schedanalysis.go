@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pcpda/internal/analysis"
+	"pcpda/internal/txn"
+	"pcpda/internal/workload"
+)
+
+func init() {
+	register("sched", "Section 9: blocking sets, worst-case blocking and the RM condition", schedAnalysis)
+}
+
+// section9Set is the worked analysis example from DESIGN.md: a low-priority
+// transaction that only WRITES the item the top transaction reads. Under
+// RW-PCP the write raises Aceil(x) ≥ P1 and T3 lands in BTS_1; under PCP-DA
+// write locks raise no ceiling and T3 reads only a writer-less item, so
+// BTS_1 is empty and B_1 drops from C_3 to zero.
+func section9Set() *txn.Set {
+	s := txn.NewSet("section9")
+	x := s.Catalog.Intern("x")
+	y := s.Catalog.Intern("y")
+	s.Add(&txn.Template{Name: "T1", Period: 10, Steps: []txn.Step{txn.Read(x), txn.Comp(1)}})
+	s.Add(&txn.Template{Name: "T2", Period: 20, Steps: []txn.Step{txn.Read(y), txn.Comp(2)}})
+	s.Add(&txn.Template{Name: "T3", Period: 40, Steps: []txn.Step{txn.Write(x), txn.Read(y), txn.Comp(2)}})
+	s.AssignRateMonotonic()
+	return s
+}
+
+func schedAnalysis(w io.Writer) error {
+	set := section9Set()
+	ceil := txn.ComputeCeilings(set)
+	fmt.Fprintln(w, "transaction set (rate-monotonic priorities):")
+	for _, t := range set.Templates {
+		fmt.Fprintf(w, "  %-3s Pd=%-3d C=%-2d %s\n", t.Name, t.Period, t.Exec(), t.Signature(set.Catalog))
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "%-5s | %-22s %-4s | %-22s %-4s\n", "txn", "BTS (PCP-DA)", "B_i", "BTS (RW-PCP)", "B_i")
+	for _, t := range set.ByPriorityDesc() {
+		da := analysis.BTS(set, ceil, analysis.PCPDA, t)
+		rw := analysis.BTS(set, ceil, analysis.RWPCP, t)
+		fmt.Fprintf(w, "%-5s | %-22s %-4d | %-22s %-4d\n",
+			t.Name, nameList(da), analysis.WorstCaseBlocking(set, ceil, analysis.PCPDA, t),
+			nameList(rw), analysis.WorstCaseBlocking(set, ceil, analysis.RWPCP, t))
+	}
+	fmt.Fprintln(w)
+
+	t1 := set.ByName("T1")
+	check(w, len(analysis.BTS(set, ceil, analysis.PCPDA, t1)) == 0,
+		"BTS_1(PCP-DA) is empty: T3's write of x raises no ceiling")
+	check(w, analysis.WorstCaseBlocking(set, ceil, analysis.RWPCP, t1) == 4,
+		"B_1(RW-PCP) = C_3 = 4 via Aceil(x) ≥ P1")
+
+	for _, kind := range []analysis.Kind{analysis.PCPDA, analysis.RWPCP, analysis.OPCP, analysis.PIP} {
+		rep, err := analysis.RMTest(set, kind)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "RM condition under %-8s: schedulable=%v\n", kind, rep.Schedulable)
+		for i, v := range rep.Verdicts {
+			fmt.Fprintf(w, "  i=%d %-3s B=%-3d util-with-blocking=%.3f bound=%.3f ok=%v\n",
+				i+1, v.Txn.Name, v.B, v.Utilization, v.Bound, v.OK)
+		}
+	}
+	fmt.Fprintln(w)
+
+	// Containment across random sets.
+	violations := 0
+	sets := 0
+	for seed := int64(0); seed < 200; seed++ {
+		s, err := workload.Generate(workload.Config{
+			N: 6, Items: 8, Utilization: 0.6, PeriodMin: 20, PeriodMax: 400,
+			OpsMin: 1, OpsMax: 4, WriteProb: 0.4, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		sets++
+		c := txn.ComputeCeilings(s)
+		for _, t := range s.Templates {
+			da := analysis.BTS(s, c, analysis.PCPDA, t)
+			rw := analysis.BTS(s, c, analysis.RWPCP, t)
+			op := analysis.BTS(s, c, analysis.OPCP, t)
+			if !analysis.SubsetOf(da, rw) || !analysis.SubsetOf(rw, op) {
+				violations++
+			}
+		}
+	}
+	check(w, violations == 0,
+		"BTS(PCP-DA) ⊆ BTS(RW-PCP) ⊆ BTS(PCP) on %d random sets (%d violations)", sets, violations)
+	return nil
+}
+
+func nameList(ts []*txn.Template) string {
+	if len(ts) == 0 {
+		return "∅"
+	}
+	out := ""
+	for i, t := range ts {
+		if i > 0 {
+			out += ","
+		}
+		out += t.Name
+	}
+	return out
+}

@@ -1,0 +1,435 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pcpda/internal/analysis"
+	"pcpda/internal/rt"
+	"pcpda/internal/sim"
+	"pcpda/internal/workload"
+)
+
+func init() {
+	register("breakdown", "X1: fraction of random sets schedulable vs utilization (RM analysis)", breakdown)
+	register("missratio", "X2: simulated deadline-miss ratio vs utilization (firm deadlines)", missRatio)
+	register("blocking", "X3: blocking profile vs write probability", blockingProfile)
+	register("restarts", "X4: restart overhead of the abort-based protocols (2PL-HP, OCC-BC)", restarts)
+	register("ablation", "X5: LC3/LC4 ablation — what dynamic adjustment buys", ablation)
+	register("cslength", "X6: blocking vs data-operation (critical-section) length", csLength)
+	register("hotspot", "X7: blocking vs hot-spot access skew", hotspot)
+}
+
+// sweepConfig builds the workload config shared by the sweeps.
+func sweepConfig(u float64, writeProb float64, seed int64) workload.Config {
+	return workload.Config{
+		N: 8, Items: 10, Utilization: u,
+		PeriodMin: 40, PeriodMax: 800,
+		OpsMin: 1, OpsMax: 4,
+		WriteProb: writeProb, Seed: seed,
+	}
+}
+
+const sweepReps = 40
+
+// simPoint is the per-seed sample the blocking-style sweeps aggregate.
+type simPoint struct {
+	blocked   rt.Ticks
+	committed int
+	misses    int
+	deadlined int
+	restarts  int
+	maxCeil   float64
+	ceilCap   float64
+}
+
+// samplePoint runs one seeded workload under one protocol and extracts the
+// aggregate sample. mutate customizes the workload config before
+// generation.
+func samplePoint(protocol string, opts sim.Options, base workload.Config) (simPoint, error) {
+	var pt simPoint
+	set, err := workload.Generate(base)
+	if err != nil {
+		return pt, err
+	}
+	res, err := sim.Run(set, protocol, opts)
+	if err != nil {
+		return pt, err
+	}
+	for _, j := range res.Jobs {
+		pt.blocked += j.BlockedTicks
+		if j.AbsDeadline > 0 {
+			pt.deadlined++
+		}
+	}
+	pt.committed = res.Committed
+	pt.misses = res.Misses
+	pt.restarts = res.Restarts
+	pt.maxCeil = float64(res.MaxSysceil)
+	pt.ceilCap = float64(len(set.Templates))
+	return pt, nil
+}
+
+func breakdown(w io.Writer) error {
+	kinds := []analysis.Kind{analysis.PCPDA, analysis.RWPCP, analysis.CCP, analysis.OPCP, analysis.PIP}
+	fmt.Fprintln(w, "fraction of random transaction sets passing the RM condition")
+	fmt.Fprintf(w, "(N=8, %d sets per point, write probability 0.4)\n\n", sweepReps)
+	fmt.Fprintf(w, "%-6s", "U")
+	for _, k := range kinds {
+		fmt.Fprintf(w, " %8s", k)
+	}
+	fmt.Fprintln(w)
+
+	// Remember fractions at a mid utilization for the shape check.
+	var fracAt50 = map[analysis.Kind]float64{}
+	for _, u := range []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7} {
+		fmt.Fprintf(w, "%-6.2f", u)
+		for _, k := range kinds {
+			verdicts, err := runSeeds(sweepReps, func(seed int64) (bool, error) {
+				set, err := workload.Generate(sweepConfig(u, 0.4, 7000+seed))
+				if err != nil {
+					return false, err
+				}
+				rep, err := analysis.RMTest(set, k)
+				if err != nil {
+					return false, err
+				}
+				return rep.Schedulable, nil
+			})
+			if err != nil {
+				return err
+			}
+			pass := 0
+			for _, ok := range verdicts {
+				if ok {
+					pass++
+				}
+			}
+			frac := float64(pass) / sweepReps
+			if u == 0.5 {
+				fracAt50[k] = frac
+			}
+			fmt.Fprintf(w, " %8.2f", frac)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	check(w, fracAt50[analysis.PCPDA] >= fracAt50[analysis.RWPCP],
+		"PCP-DA admits at least as many sets as RW-PCP at U=0.5 (%.2f vs %.2f)",
+		fracAt50[analysis.PCPDA], fracAt50[analysis.RWPCP])
+	check(w, fracAt50[analysis.RWPCP] >= fracAt50[analysis.OPCP],
+		"RW-PCP admits at least as many sets as exclusive PCP at U=0.5 (%.2f vs %.2f)",
+		fracAt50[analysis.RWPCP], fracAt50[analysis.OPCP])
+	check(w, fracAt50[analysis.PCPDA] >= fracAt50[analysis.PIP],
+		"PCP-DA admits at least as many sets as PIP at U=0.5 (%.2f vs %.2f)",
+		fracAt50[analysis.PCPDA], fracAt50[analysis.PIP])
+	return nil
+}
+
+func missRatio(w io.Writer) error {
+	protocols := []string{"pcpda", "rwpcp", "ccp", "pcp", "2plhp", "occ"}
+	fmt.Fprintln(w, "simulated deadline-miss ratio under firm deadlines")
+	fmt.Fprintf(w, "(N=8, %d seeds per point, write probability 0.4, horizon 50×max period)\n\n", sweepReps/2)
+	fmt.Fprintf(w, "%-6s", "U")
+	for _, p := range protocols {
+		fmt.Fprintf(w, " %8s", p)
+	}
+	fmt.Fprintln(w)
+
+	ratioAt := map[string]map[float64]float64{}
+	for _, p := range protocols {
+		ratioAt[p] = map[float64]float64{}
+	}
+	for _, u := range []float64{0.4, 0.6, 0.8, 1.0, 1.2} {
+		fmt.Fprintf(w, "%-6.2f", u)
+		for _, p := range protocols {
+			pts, err := runSeeds(sweepReps/2, func(seed int64) (simPoint, error) {
+				return samplePoint(p,
+					sim.Options{FirmDeadlines: true, StopOnDeadlock: true},
+					sweepConfig(u, 0.4, 9000+seed))
+			})
+			if err != nil {
+				return err
+			}
+			var misses, jobs int
+			for _, pt := range pts {
+				misses += pt.misses
+				jobs += pt.deadlined
+			}
+			r := 0.0
+			if jobs > 0 {
+				r = float64(misses) / float64(jobs)
+			}
+			ratioAt[p][u] = r
+			fmt.Fprintf(w, " %8.4f", r)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	check(w, ratioAt["pcpda"][0.8] <= ratioAt["rwpcp"][0.8],
+		"PCP-DA misses no more than RW-PCP at U=0.8 (%.4f vs %.4f)",
+		ratioAt["pcpda"][0.8], ratioAt["rwpcp"][0.8])
+	check(w, ratioAt["pcpda"][1.0] <= ratioAt["pcp"][1.0],
+		"PCP-DA misses no more than exclusive PCP at U=1.0 (%.4f vs %.4f)",
+		ratioAt["pcpda"][1.0], ratioAt["pcp"][1.0])
+	return nil
+}
+
+func blockingProfile(w io.Writer) error {
+	protocols := []string{"pcpda", "rwpcp", "ccp", "pcp"}
+	fmt.Fprintln(w, "mean blocked ticks per committed job, and Max_Sysceil height, vs write probability")
+	fmt.Fprintf(w, "(N=8, U=0.55, %d seeds per point; ceiling height is the fraction of the priority range)\n\n", sweepReps/2)
+	fmt.Fprintf(w, "%-6s", "wp")
+	for _, p := range protocols {
+		fmt.Fprintf(w, " %14s", p+" blk/ceil")
+	}
+	fmt.Fprintln(w)
+
+	blockAt := map[string]map[float64]float64{}
+	for _, p := range protocols {
+		blockAt[p] = map[float64]float64{}
+	}
+	for _, wp := range []float64{0.0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		fmt.Fprintf(w, "%-6.2f", wp)
+		for _, p := range protocols {
+			pts, err := runSeeds(sweepReps/2, func(seed int64) (simPoint, error) {
+				return samplePoint(p,
+					sim.Options{Trace: true, StopOnDeadlock: true},
+					sweepConfig(0.55, wp, 11000+seed))
+			})
+			if err != nil {
+				return err
+			}
+			var blocked rt.Ticks
+			var committed int
+			var ceilSum, ceilMax float64
+			for _, pt := range pts {
+				blocked += pt.blocked
+				committed += pt.committed
+				ceilSum += pt.maxCeil
+				ceilMax += pt.ceilCap
+			}
+			mean := 0.0
+			if committed > 0 {
+				mean = float64(blocked) / float64(committed)
+			}
+			blockAt[p][wp] = mean
+			fmt.Fprintf(w, "   %6.3f/%.2f", mean, ceilSum/ceilMax)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	check(w, blockAt["pcpda"][0.4] <= blockAt["rwpcp"][0.4],
+		"PCP-DA blocks less than RW-PCP at wp=0.4 (%.3f vs %.3f)",
+		blockAt["pcpda"][0.4], blockAt["rwpcp"][0.4])
+	check(w, blockAt["pcpda"][1.0] <= blockAt["rwpcp"][1.0],
+		"with only blind writes PCP-DA blocking collapses (%.3f vs %.3f)",
+		blockAt["pcpda"][1.0], blockAt["rwpcp"][1.0])
+	check(w, blockAt["ccp"][0.4] <= blockAt["rwpcp"][0.4],
+		"CCP blocks no more than RW-PCP at wp=0.4 (%.3f vs %.3f)",
+		blockAt["ccp"][0.4], blockAt["rwpcp"][0.4])
+	return nil
+}
+
+func restarts(w io.Writer) error {
+	fmt.Fprintln(w, "restart counts of the abort-based protocols (2PL-HP, OCC-BC) vs the")
+	fmt.Fprintln(w, "no-restart guarantee of PCP-DA")
+	fmt.Fprintf(w, "(N=8, write probability 0.6, %d seeds per point)\n\n", sweepReps/2)
+	fmt.Fprintf(w, "%-6s %10s %10s %10s %10s %12s %12s\n",
+		"U", "hp-restart", "hp-miss", "occ-rsts", "occ-miss", "pcpda-rsts", "pcpda-miss")
+	totalHP, totalOCC, totalDA := 0, 0, 0
+	for _, u := range []float64{0.4, 0.6, 0.8} {
+		type triple struct{ hp, oc, da simPoint }
+		pts, err := runSeeds(sweepReps/2, func(seed int64) (triple, error) {
+			var tr triple
+			var err error
+			opts := sim.Options{StopOnDeadlock: true}
+			cfg := sweepConfig(u, 0.6, 13000+seed)
+			if tr.hp, err = samplePoint("2plhp", opts, cfg); err != nil {
+				return tr, err
+			}
+			if tr.oc, err = samplePoint("occ", opts, cfg); err != nil {
+				return tr, err
+			}
+			tr.da, err = samplePoint("pcpda", opts, cfg)
+			return tr, err
+		})
+		if err != nil {
+			return err
+		}
+		var hpR, hpM, ocR, ocM, daR, daM int
+		for _, tr := range pts {
+			hpR += tr.hp.restarts
+			hpM += tr.hp.misses
+			ocR += tr.oc.restarts
+			ocM += tr.oc.misses
+			daR += tr.da.restarts
+			daM += tr.da.misses
+		}
+		totalHP += hpR
+		totalOCC += ocR
+		totalDA += daR
+		fmt.Fprintf(w, "%-6.2f %10d %10d %10d %10d %12d %12d\n", u, hpR, hpM, ocR, ocM, daR, daM)
+	}
+	fmt.Fprintln(w)
+	check(w, totalDA == 0, "PCP-DA never restarts a transaction (got %d)", totalDA)
+	check(w, totalHP > 0, "2PL-HP pays restart overhead on contended workloads (got %d)", totalHP)
+	check(w, totalOCC > 0, "OCC-BC pays restart overhead on contended workloads (got %d)", totalOCC)
+	return nil
+}
+
+func ablation(w io.Writer) error {
+	fmt.Fprintln(w, "LC3/LC4 ablation: PCP-DA vs PCP-DA restricted to LC1+LC2")
+	fmt.Fprintf(w, "(N=8, U=0.55, write probability 0.5, %d seeds)\n\n", sweepReps)
+	type pair struct {
+		fullBlocked, lc2Blocked rt.Ticks
+		grants34                int
+		fullMiss, lc2Miss       int
+	}
+	pts, err := runSeeds(sweepReps, func(seed int64) (pair, error) {
+		var pr pair
+		set, err := workload.Generate(sweepConfig(0.55, 0.5, 15000+seed))
+		if err != nil {
+			return pr, err
+		}
+		full, err := sim.Run(set, "pcpda", sim.Options{StopOnDeadlock: true})
+		if err != nil {
+			return pr, err
+		}
+		lc2, err := sim.Run(set, "pcpda-lc2", sim.Options{StopOnDeadlock: true})
+		if err != nil {
+			return pr, err
+		}
+		for _, j := range full.Jobs {
+			pr.fullBlocked += j.BlockedTicks
+		}
+		for _, j := range lc2.Jobs {
+			pr.lc2Blocked += j.BlockedTicks
+		}
+		pr.grants34 = full.GrantCounts["LC3"] + full.GrantCounts["LC4"]
+		pr.fullMiss = full.Misses
+		pr.lc2Miss = lc2.Misses
+		return pr, nil
+	})
+	if err != nil {
+		return err
+	}
+	var agg pair
+	for _, pr := range pts {
+		agg.fullBlocked += pr.fullBlocked
+		agg.lc2Blocked += pr.lc2Blocked
+		agg.grants34 += pr.grants34
+		agg.fullMiss += pr.fullMiss
+		agg.lc2Miss += pr.lc2Miss
+	}
+	fmt.Fprintf(w, "  total blocked ticks: full=%d lc2-only=%d\n", agg.fullBlocked, agg.lc2Blocked)
+	fmt.Fprintf(w, "  LC3+LC4 grants under full PCP-DA: %d\n", agg.grants34)
+	fmt.Fprintf(w, "  deadline misses: full=%d lc2-only=%d\n\n", agg.fullMiss, agg.lc2Miss)
+	check(w, agg.fullBlocked <= agg.lc2Blocked,
+		"LC3/LC4 reduce aggregate blocking (%d vs %d)", agg.fullBlocked, agg.lc2Blocked)
+	check(w, agg.grants34 > 0, "LC3/LC4 actually fire on contended workloads (%d grants)", agg.grants34)
+	return nil
+}
+
+func csLength(w io.Writer) error {
+	protocols := []string{"pcpda", "rwpcp", "pcp"}
+	fmt.Fprintln(w, "mean blocked ticks per committed job vs maximum data-operation length")
+	fmt.Fprintln(w, "(longer accesses = longer critical sections = larger blocking terms;")
+	fmt.Fprintf(w, " N=8, U=0.55, write probability 0.4, %d seeds per point)\n\n", sweepReps/2)
+	fmt.Fprintf(w, "%-8s", "opdur")
+	for _, p := range protocols {
+		fmt.Fprintf(w, " %9s", p)
+	}
+	fmt.Fprintln(w)
+
+	blockAt := map[string]map[rt.Ticks]float64{}
+	for _, p := range protocols {
+		blockAt[p] = map[rt.Ticks]float64{}
+	}
+	for _, dur := range []rt.Ticks{1, 2, 4, 8} {
+		fmt.Fprintf(w, "%-8d", dur)
+		for _, p := range protocols {
+			pts, err := runSeeds(sweepReps/2, func(seed int64) (simPoint, error) {
+				cfg := sweepConfig(0.55, 0.4, 17000+seed)
+				cfg.OpDurMax = dur
+				return samplePoint(p, sim.Options{StopOnDeadlock: true}, cfg)
+			})
+			if err != nil {
+				return err
+			}
+			var blocked rt.Ticks
+			var committed int
+			for _, pt := range pts {
+				blocked += pt.blocked
+				committed += pt.committed
+			}
+			mean := 0.0
+			if committed > 0 {
+				mean = float64(blocked) / float64(committed)
+			}
+			blockAt[p][dur] = mean
+			fmt.Fprintf(w, " %9.3f", mean)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	check(w, blockAt["pcpda"][8] <= blockAt["rwpcp"][8],
+		"PCP-DA's advantage survives long critical sections (%.3f vs %.3f at opdur=8)",
+		blockAt["pcpda"][8], blockAt["rwpcp"][8])
+	check(w, blockAt["rwpcp"][8] >= blockAt["rwpcp"][1],
+		"longer accesses mean more blocking under RW-PCP (%.3f vs %.3f)",
+		blockAt["rwpcp"][8], blockAt["rwpcp"][1])
+	return nil
+}
+
+func hotspot(w io.Writer) error {
+	protocols := []string{"pcpda", "rwpcp", "ccp", "pcp"}
+	fmt.Fprintln(w, "mean blocked ticks per committed job vs hot-spot skew")
+	fmt.Fprintln(w, "(2 of 10 items are 'hot'; each access targets the hot region with the")
+	fmt.Fprintf(w, " given probability; N=8, U=0.55, wp=0.4, %d seeds per point)\n\n", sweepReps/2)
+	fmt.Fprintf(w, "%-8s", "hotprob")
+	for _, p := range protocols {
+		fmt.Fprintf(w, " %9s", p)
+	}
+	fmt.Fprintln(w)
+
+	blockAt := map[string]map[float64]float64{}
+	for _, p := range protocols {
+		blockAt[p] = map[float64]float64{}
+	}
+	for _, hp := range []float64{0.0, 0.3, 0.6, 0.9} {
+		fmt.Fprintf(w, "%-8.2f", hp)
+		for _, p := range protocols {
+			pts, err := runSeeds(sweepReps/2, func(seed int64) (simPoint, error) {
+				cfg := sweepConfig(0.55, 0.4, 19000+seed)
+				cfg.HotItems = 2
+				cfg.HotProb = hp
+				return samplePoint(p, sim.Options{StopOnDeadlock: true}, cfg)
+			})
+			if err != nil {
+				return err
+			}
+			var blocked rt.Ticks
+			var committed int
+			for _, pt := range pts {
+				blocked += pt.blocked
+				committed += pt.committed
+			}
+			mean := 0.0
+			if committed > 0 {
+				mean = float64(blocked) / float64(committed)
+			}
+			blockAt[p][hp] = mean
+			fmt.Fprintf(w, " %9.3f", mean)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	check(w, blockAt["rwpcp"][0.9] > blockAt["rwpcp"][0.0],
+		"hot-spot contention drives RW-PCP blocking up (%.3f vs %.3f)",
+		blockAt["rwpcp"][0.9], blockAt["rwpcp"][0.0])
+	check(w, blockAt["pcpda"][0.9] <= blockAt["rwpcp"][0.9],
+		"PCP-DA absorbs the skew better (%.3f vs %.3f at hotprob=0.9)",
+		blockAt["pcpda"][0.9], blockAt["rwpcp"][0.9])
+	return nil
+}

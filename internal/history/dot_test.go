@@ -1,0 +1,59 @@
+package history
+
+import (
+	"strings"
+	"testing"
+
+	"pcpda/internal/txn"
+)
+
+func TestDOTRendering(t *testing.T) {
+	s := txn.NewSet("dot")
+	x := s.Catalog.Intern("x")
+	_ = x
+	s.Add(&txn.Template{Name: "W", Steps: []txn.Step{txn.Write(0)}})
+	s.Add(&txn.Template{Name: "R", Steps: []txn.Step{txn.Read(0)}})
+	s.AssignByIndex()
+
+	h := serialHistory() // runs 1 (txn 0) and 2 (txn 1)
+	out := h.DOT(s)
+	for _, frag := range []string{
+		"digraph serialization",
+		`"W/r1"`,
+		`"R/r2"`,
+		`label="wr"`,
+		"commit@2",
+		"commit@5",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestDOTWithoutSet(t *testing.T) {
+	out := serialHistory().DOT(nil)
+	if !strings.Contains(out, "run1") || !strings.Contains(out, "run2") {
+		t.Fatalf("nil-set DOT must fall back to run ids:\n%s", out)
+	}
+}
+
+func TestDOTEdgeKinds(t *testing.T) {
+	// A history with all three edge kinds: ww (two writers), wr, rw.
+	h := New()
+	h.Begin(0, 1, 0)
+	h.Write(1, 1, 0, 0, 1)
+	h.Commit(1, 1, 0)
+	h.Begin(2, 2, 1)
+	h.Read(2, 2, 1, 0, 1, 1) // wr edge 1->2
+	h.Commit(3, 2, 1)
+	h.Begin(4, 3, 2)
+	h.Write(5, 3, 2, 0, 2) // ww edge 1->3, rw edge 2->3
+	h.Commit(5, 3, 2)
+	out := h.DOT(nil)
+	for _, kind := range []string{`label="ww"`, `label="wr"`, `label="rw"`} {
+		if !strings.Contains(out, kind) {
+			t.Errorf("DOT missing %s:\n%s", kind, out)
+		}
+	}
+}

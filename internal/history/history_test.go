@@ -1,0 +1,255 @@
+package history
+
+import (
+	"strings"
+	"testing"
+
+	"pcpda/internal/db"
+	"pcpda/internal/rt"
+)
+
+const (
+	x = rt.Item(0)
+	y = rt.Item(1)
+)
+
+// serialHistory: R1 reads x(init), writes x v1, commits; R2 reads x v1,
+// writes y v1, commits. Plainly serializable, commit-order consistent.
+func serialHistory() *History {
+	h := New()
+	h.Begin(0, 1, 0)
+	h.Read(0, 1, 0, x, 0, db.InitRun)
+	h.Write(2, 1, 0, x, 1)
+	h.Commit(2, 1, 0)
+	h.Begin(3, 2, 1)
+	h.Read(3, 2, 1, x, 1, 1)
+	h.Write(5, 2, 1, y, 1)
+	h.Commit(5, 2, 1)
+	return h
+}
+
+func TestSerialHistoryClean(t *testing.T) {
+	rep := serialHistory().Check()
+	if !rep.Serializable {
+		t.Fatalf("serial history flagged: %+v", rep.Violations)
+	}
+	if !rep.CommitOrderOK {
+		t.Fatal("serial history violates commit order?")
+	}
+	if rep.CommittedRuns != 2 || rep.AbortedRuns != 0 {
+		t.Fatalf("counts wrong: %+v", rep)
+	}
+	if rep.EdgeCount == 0 {
+		t.Fatal("expected at least the wr edge 1->2")
+	}
+}
+
+// cyclicHistory encodes the classic non-serializable interleaving:
+// run 1 reads x v0 then installs y v1 at commit t=10;
+// run 2 reads y v0 then installs x v1 at commit t=11.
+// rw edges both ways: 1->2 (read x v0, 2 wrote x v1) and 2->1.
+func cyclicHistory() *History {
+	h := New()
+	h.Begin(0, 1, 0)
+	h.Begin(0, 2, 1)
+	h.Read(1, 1, 0, x, 0, db.InitRun)
+	h.Read(2, 2, 1, y, 0, db.InitRun)
+	h.Write(10, 1, 0, y, 1)
+	h.Commit(10, 1, 0)
+	h.Write(11, 2, 1, x, 1)
+	h.Commit(11, 2, 1)
+	return h
+}
+
+func TestCycleDetected(t *testing.T) {
+	rep := cyclicHistory().Check()
+	if rep.Serializable {
+		t.Fatal("cyclic history accepted")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == "cycle" {
+			found = true
+			if len(v.Cycle) < 2 {
+				t.Errorf("cycle too short: %v", v.Cycle)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no cycle violation reported: %+v", rep.Violations)
+	}
+}
+
+func TestDirtyReadDetected(t *testing.T) {
+	h := New()
+	// Run 1 writes x in place, run 2 reads it and commits, run 1 aborts.
+	h.Begin(0, 1, 0)
+	h.Write(1, 1, 0, x, 1)
+	h.Begin(2, 2, 1)
+	h.Read(2, 2, 1, x, 1, 1)
+	h.Commit(3, 2, 1)
+	h.Abort(4, 1, 0)
+	rep := h.Check()
+	if rep.Serializable {
+		t.Fatal("dirty read accepted")
+	}
+	if rep.AbortedRuns != 1 {
+		t.Fatalf("aborted runs = %d", rep.AbortedRuns)
+	}
+	var kinds []string
+	for _, v := range rep.Violations {
+		kinds = append(kinds, v.Kind)
+	}
+	if !strings.Contains(strings.Join(kinds, ","), "dirty-read") {
+		t.Fatalf("violations = %v", kinds)
+	}
+}
+
+func TestAbortedWritesExcluded(t *testing.T) {
+	h := New()
+	// Run 1 writes x then aborts (rolled back). Run 2 reads the INITIAL x
+	// (version 0, as the store would serve after rollback) and commits.
+	h.Begin(0, 1, 0)
+	h.Write(1, 1, 0, x, 1)
+	h.Abort(2, 1, 0)
+	h.Begin(3, 2, 1)
+	h.Read(3, 2, 1, x, 0, db.InitRun)
+	h.Commit(4, 2, 1)
+	rep := h.Check()
+	if !rep.Serializable {
+		t.Fatalf("aborted writes must not pollute the graph: %+v", rep.Violations)
+	}
+}
+
+// staleCommitHistory: deferred-update scenario the PCP-DA paper forbids.
+// Reader run 2 reads x v0; writer run 1 installs x v1 and commits at t=5;
+// reader commits later at t=9. Serializable (2 before 1) but the commit
+// order is violated — Lemma 9 would have been broken.
+func staleCommitHistory() *History {
+	h := New()
+	h.Begin(0, 1, 0)
+	h.Begin(0, 2, 1)
+	h.Read(1, 2, 1, x, 0, db.InitRun)
+	h.Write(5, 1, 0, x, 1)
+	h.Commit(5, 1, 0)
+	h.Commit(9, 2, 1)
+	return h
+}
+
+func TestCommitOrderViolationDetected(t *testing.T) {
+	rep := staleCommitHistory().Check()
+	if !rep.Serializable {
+		t.Fatal("history is serializable (T2 before T1)")
+	}
+	if rep.CommitOrderOK {
+		t.Fatal("commit-order violation missed")
+	}
+}
+
+func TestReadOwnWriteNoEdge(t *testing.T) {
+	h := New()
+	h.Begin(0, 1, 0)
+	h.Read(1, 1, 0, x, 0, 1) // From == Run: own workspace read
+	h.Write(2, 1, 0, x, 1)
+	h.Commit(2, 1, 0)
+	rep := h.Check()
+	if !rep.Serializable || rep.EdgeCount != 0 {
+		t.Fatalf("own-write read must not create edges: %+v", rep)
+	}
+}
+
+func TestUncommittedRunsProjectedOut(t *testing.T) {
+	h := New()
+	h.Begin(0, 1, 0)
+	h.Read(1, 1, 0, x, 0, db.InitRun)
+	// Run 1 never commits (still running at horizon). Its ops vanish.
+	h.Begin(2, 2, 1)
+	h.Write(3, 2, 1, x, 1)
+	h.Commit(3, 2, 1)
+	rep := h.Check()
+	if !rep.Serializable || rep.CommittedRuns != 1 {
+		t.Fatalf("projection wrong: %+v", rep)
+	}
+}
+
+func TestWWChainOrdering(t *testing.T) {
+	// Three blind writers installing versions 1,2,3 of x in commit order:
+	// acyclic, commit-order consistent.
+	h := New()
+	for i := 1; i <= 3; i++ {
+		run := db.RunID(i)
+		h.Begin(rt.Ticks(i), run, 0)
+		h.Write(rt.Ticks(10+i), run, 0, x, db.Version(i))
+		h.Commit(rt.Ticks(10+i), run, 0)
+	}
+	rep := h.Check()
+	if !rep.Serializable || !rep.CommitOrderOK {
+		t.Fatalf("blind-writer chain flagged: %+v", rep.Violations)
+	}
+	if rep.EdgeCount != 2 {
+		t.Fatalf("expected 2 ww edges, got %d", rep.EdgeCount)
+	}
+}
+
+func TestLastWriters(t *testing.T) {
+	h := serialHistory()
+	lw := h.LastWriters()
+	if lw[x] != 1 || lw[y] != 2 {
+		t.Fatalf("LastWriters = %v", lw)
+	}
+	// Aborted runs never count.
+	h.Write(6, 3, 2, x, 2)
+	h.Abort(7, 3, 2)
+	if lw := h.LastWriters(); lw[x] != 1 {
+		t.Fatalf("aborted writer counted: %v", lw)
+	}
+}
+
+func TestCommittedAndTxnOf(t *testing.T) {
+	h := serialHistory()
+	c := h.Committed()
+	if c[1] != 2 || c[2] != 5 {
+		t.Fatalf("Committed = %v", c)
+	}
+	m := h.TxnOf()
+	if m[1] != 0 || m[2] != 1 {
+		t.Fatalf("TxnOf = %v", m)
+	}
+}
+
+func TestHistoryString(t *testing.T) {
+	s := serialHistory().String()
+	for _, frag := range []string{"B1", "R1(0,v0)", "W1(0,v1)", "C1", "R2(0,v1)", "C2"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("history string %q missing %q", s, frag)
+		}
+	}
+	if OpKind(99).String() != "?" {
+		t.Error("unknown op kind must render as ?")
+	}
+	v := Violation{Kind: "cycle", Detail: "d"}
+	if v.String() != "cycle: d" {
+		t.Errorf("violation string = %q", v.String())
+	}
+}
+
+func TestRWEdgeSkipsGapVersions(t *testing.T) {
+	// Reader observed v1; the next COMMITTED version is v3 (v2's writer
+	// never committed). The rw edge must target v3's installer.
+	h := New()
+	h.Begin(0, 1, 0)
+	h.Write(1, 1, 0, x, 1)
+	h.Commit(1, 1, 0)
+	h.Begin(2, 2, 1)
+	h.Read(2, 2, 1, x, 1, 1)
+	h.Commit(3, 2, 1)
+	h.Begin(4, 3, 2)
+	h.Write(5, 3, 2, x, 2) // run 3 never commits
+	h.Begin(6, 4, 3)
+	h.Write(7, 4, 3, x, 3)
+	h.Commit(7, 4, 3)
+	rep := h.Check()
+	if !rep.Serializable || !rep.CommitOrderOK {
+		t.Fatalf("gap-version history flagged: %+v", rep.Violations)
+	}
+}

@@ -1,0 +1,350 @@
+// Package lock implements the lock table shared by every concurrency-control
+// protocol in this repository.
+//
+// The table is deliberately policy-free: it records which job holds which
+// item in which mode and answers the structural queries the protocols'
+// ceiling rules are phrased in (No_Rlock(x), "items read-locked by
+// transactions other than T_i", holder enumeration). Whether a lock may be
+// GRANTED is decided by the protocol packages; the table only stores the
+// outcome. In particular it permits states classical 2PL would forbid, such
+// as several concurrent write locks on one item (PCP-DA's non-conflicting
+// blind writes) or a read lock coexisting with another job's write lock
+// (PCP-DA's dynamic adjustment of serialization order).
+//
+// All enumeration orders are deterministic (acquisition order) so that
+// simulations are exactly reproducible.
+package lock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pcpda/internal/rt"
+)
+
+// entry is the per-item lock record.
+type entry struct {
+	readers []rt.JobID // in acquisition order
+	writers []rt.JobID // in acquisition order
+}
+
+func (e *entry) empty() bool { return len(e.readers) == 0 && len(e.writers) == 0 }
+
+// heldSet tracks the items one job holds, per mode, in acquisition order.
+type heldSet struct {
+	read  []rt.Item
+	write []rt.Item
+}
+
+// Table is the lock table. The zero value is not usable; call NewTable.
+type Table struct {
+	items map[rt.Item]*entry
+	held  map[rt.JobID]*heldSet
+}
+
+// NewTable returns an empty lock table.
+func NewTable() *Table {
+	return &Table{
+		items: make(map[rt.Item]*entry),
+		held:  make(map[rt.JobID]*heldSet),
+	}
+}
+
+func (t *Table) entryFor(x rt.Item) *entry {
+	e, ok := t.items[x]
+	if !ok {
+		e = &entry{}
+		t.items[x] = e
+	}
+	return e
+}
+
+func (t *Table) heldFor(o rt.JobID) *heldSet {
+	h, ok := t.held[o]
+	if !ok {
+		h = &heldSet{}
+		t.held[o] = h
+	}
+	return h
+}
+
+func contains(ids []rt.JobID, o rt.JobID) bool {
+	for _, id := range ids {
+		if id == o {
+			return true
+		}
+	}
+	return false
+}
+
+func remove(ids []rt.JobID, o rt.JobID) []rt.JobID {
+	for i, id := range ids {
+		if id == o {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+func removeItem(items []rt.Item, x rt.Item) []rt.Item {
+	for i, it := range items {
+		if it == x {
+			return append(items[:i], items[i+1:]...)
+		}
+	}
+	return items
+}
+
+// Acquire records that o now holds x in mode m. Acquiring a mode already
+// held is idempotent. It is the caller's (protocol's) responsibility to have
+// decided the grant is legal.
+func (t *Table) Acquire(o rt.JobID, x rt.Item, m rt.Mode) {
+	e := t.entryFor(x)
+	h := t.heldFor(o)
+	if m == rt.Read {
+		if contains(e.readers, o) {
+			return
+		}
+		e.readers = append(e.readers, o)
+		h.read = append(h.read, x)
+		return
+	}
+	if contains(e.writers, o) {
+		return
+	}
+	e.writers = append(e.writers, o)
+	h.write = append(h.write, x)
+}
+
+// Release drops o's lock on x in mode m. Releasing a lock not held is a
+// no-op.
+func (t *Table) Release(o rt.JobID, x rt.Item, m rt.Mode) {
+	e, ok := t.items[x]
+	if !ok {
+		return
+	}
+	h := t.heldFor(o)
+	if m == rt.Read {
+		e.readers = remove(e.readers, o)
+		h.read = removeItem(h.read, x)
+	} else {
+		e.writers = remove(e.writers, o)
+		h.write = removeItem(h.write, x)
+	}
+	if e.empty() {
+		delete(t.items, x)
+	}
+}
+
+// ReleaseItem drops every lock o holds on x (both modes).
+func (t *Table) ReleaseItem(o rt.JobID, x rt.Item) {
+	t.Release(o, x, rt.Read)
+	t.Release(o, x, rt.Write)
+}
+
+// ReleaseAll drops every lock held by o and returns the affected items
+// (deduplicated, in first-acquisition order).
+func (t *Table) ReleaseAll(o rt.JobID) []rt.Item {
+	h, ok := t.held[o]
+	if !ok {
+		return nil
+	}
+	seen := rt.NewItemSet()
+	for _, x := range h.read {
+		seen.Add(x)
+	}
+	for _, x := range h.write {
+		seen.Add(x)
+	}
+	items := seen.Items()
+	for _, x := range items {
+		if e, ok := t.items[x]; ok {
+			e.readers = remove(e.readers, o)
+			e.writers = remove(e.writers, o)
+			if e.empty() {
+				delete(t.items, x)
+			}
+		}
+	}
+	delete(t.held, o)
+	return items
+}
+
+// HoldsRead reports whether o holds a read lock on x.
+func (t *Table) HoldsRead(o rt.JobID, x rt.Item) bool {
+	e, ok := t.items[x]
+	return ok && contains(e.readers, o)
+}
+
+// HoldsWrite reports whether o holds a write lock on x.
+func (t *Table) HoldsWrite(o rt.JobID, x rt.Item) bool {
+	e, ok := t.items[x]
+	return ok && contains(e.writers, o)
+}
+
+// Holds reports whether o holds any lock on x.
+func (t *Table) Holds(o rt.JobID, x rt.Item) bool {
+	return t.HoldsRead(o, x) || t.HoldsWrite(o, x)
+}
+
+// Readers returns the jobs holding read locks on x, in acquisition order.
+// The returned slice is a copy.
+func (t *Table) Readers(x rt.Item) []rt.JobID {
+	e, ok := t.items[x]
+	if !ok {
+		return nil
+	}
+	out := make([]rt.JobID, len(e.readers))
+	copy(out, e.readers)
+	return out
+}
+
+// Writers returns the jobs holding write locks on x, in acquisition order.
+// The returned slice is a copy.
+func (t *Table) Writers(x rt.Item) []rt.JobID {
+	e, ok := t.items[x]
+	if !ok {
+		return nil
+	}
+	out := make([]rt.JobID, len(e.writers))
+	copy(out, e.writers)
+	return out
+}
+
+// ReadersOther returns the jobs other than o holding read locks on x.
+func (t *Table) ReadersOther(x rt.Item, o rt.JobID) []rt.JobID {
+	var out []rt.JobID
+	for _, id := range t.Readers(x) {
+		if id != o {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// WritersOther returns the jobs other than o holding write locks on x.
+func (t *Table) WritersOther(x rt.Item, o rt.JobID) []rt.JobID {
+	var out []rt.JobID
+	for _, id := range t.Writers(x) {
+		if id != o {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// NoRlockByOthers implements the paper's No_Rlock_i(x) predicate: x is not
+// read-locked by any transaction other than o.
+func (t *Table) NoRlockByOthers(x rt.Item, o rt.JobID) bool {
+	e, ok := t.items[x]
+	if !ok {
+		return true
+	}
+	for _, id := range e.readers {
+		if id != o {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadHeldBy returns the items o holds read locks on, in acquisition order.
+// The returned slice is a copy.
+func (t *Table) ReadHeldBy(o rt.JobID) []rt.Item {
+	h, ok := t.held[o]
+	if !ok {
+		return nil
+	}
+	out := make([]rt.Item, len(h.read))
+	copy(out, h.read)
+	return out
+}
+
+// WriteHeldBy returns the items o holds write locks on, in acquisition
+// order. The returned slice is a copy.
+func (t *Table) WriteHeldBy(o rt.JobID) []rt.Item {
+	h, ok := t.held[o]
+	if !ok {
+		return nil
+	}
+	out := make([]rt.Item, len(h.write))
+	copy(out, h.write)
+	return out
+}
+
+// HeldBy returns every item o holds any lock on (deduplicated).
+func (t *Table) HeldBy(o rt.JobID) []rt.Item {
+	h, ok := t.held[o]
+	if !ok {
+		return nil
+	}
+	seen := rt.NewItemSet()
+	for _, x := range h.read {
+		seen.Add(x)
+	}
+	for _, x := range h.write {
+		seen.Add(x)
+	}
+	return seen.Items()
+}
+
+// EachReadLock calls fn for every (item, holder) read-lock pair in the
+// table, in deterministic (item id, acquisition) order. This is the
+// enumeration behind Sysceil_i ("the highest Wceil(x) among all data items
+// read-locked by transactions other than T_i").
+func (t *Table) EachReadLock(fn func(x rt.Item, holder rt.JobID)) {
+	items := make([]rt.Item, 0, len(t.items))
+	for x, e := range t.items {
+		if len(e.readers) > 0 {
+			items = append(items, x)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	for _, x := range items {
+		for _, o := range t.items[x].readers {
+			fn(x, o)
+		}
+	}
+}
+
+// EachWriteLock calls fn for every (item, holder) write-lock pair, in
+// deterministic order.
+func (t *Table) EachWriteLock(fn func(x rt.Item, holder rt.JobID)) {
+	items := make([]rt.Item, 0, len(t.items))
+	for x, e := range t.items {
+		if len(e.writers) > 0 {
+			items = append(items, x)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	for _, x := range items {
+		for _, o := range t.items[x].writers {
+			fn(x, o)
+		}
+	}
+}
+
+// LockCount returns the total number of (job, item, mode) locks held.
+func (t *Table) LockCount() int {
+	n := 0
+	for _, e := range t.items {
+		n += len(e.readers) + len(e.writers)
+	}
+	return n
+}
+
+// Dump renders the table for debugging, one line per locked item.
+func (t *Table) Dump(cat *rt.Catalog) string {
+	items := make([]rt.Item, 0, len(t.items))
+	for x := range t.items {
+		items = append(items, x)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	var b strings.Builder
+	for _, x := range items {
+		e := t.items[x]
+		fmt.Fprintf(&b, "%s: R%v W%v\n", cat.Name(x), e.readers, e.writers)
+	}
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package lock
+
+import (
+	"math/rand"
+	"testing"
+)
+
+import "pcpda/internal/rt"
+
+// TestRandomOpSequencesPreserveInvariants drives the table with random
+// acquire/release sequences and checks, after every operation, that the
+// per-item view (Readers/Writers) and the per-job view (ReadHeldBy/
+// WriteHeldBy) agree with a naive reference model.
+func TestRandomOpSequencesPreserveInvariants(t *testing.T) {
+	type key struct {
+		o rt.JobID
+		x rt.Item
+		m rt.Mode
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tb := NewTable()
+		ref := map[key]bool{}
+		for step := 0; step < 400; step++ {
+			o := rt.JobID(rng.Intn(5))
+			x := rt.Item(rng.Intn(4))
+			m := rt.Mode(rng.Intn(2))
+			switch rng.Intn(4) {
+			case 0, 1:
+				tb.Acquire(o, x, m)
+				ref[key{o, x, m}] = true
+			case 2:
+				tb.Release(o, x, m)
+				delete(ref, key{o, x, m})
+			case 3:
+				tb.ReleaseAll(o)
+				for k := range ref {
+					if k.o == o {
+						delete(ref, k)
+					}
+				}
+			}
+
+			// Cross-check every (job, item, mode) triple both ways.
+			for o := rt.JobID(0); o < 5; o++ {
+				for x := rt.Item(0); x < 4; x++ {
+					if got, want := tb.HoldsRead(o, x), ref[key{o, x, rt.Read}]; got != want {
+						t.Fatalf("seed %d step %d: HoldsRead(%d,%d)=%v want %v", seed, step, o, x, got, want)
+					}
+					if got, want := tb.HoldsWrite(o, x), ref[key{o, x, rt.Write}]; got != want {
+						t.Fatalf("seed %d step %d: HoldsWrite(%d,%d)=%v want %v", seed, step, o, x, got, want)
+					}
+				}
+			}
+			// Count agreement.
+			want := len(ref)
+			if got := tb.LockCount(); got != want {
+				t.Fatalf("seed %d step %d: LockCount=%d want %d", seed, step, got, want)
+			}
+			// Per-job enumeration matches the reference.
+			for o := rt.JobID(0); o < 5; o++ {
+				reads := map[rt.Item]bool{}
+				for _, it := range tb.ReadHeldBy(o) {
+					if reads[it] {
+						t.Fatalf("seed %d: duplicate in ReadHeldBy", seed)
+					}
+					reads[it] = true
+				}
+				for x := rt.Item(0); x < 4; x++ {
+					if reads[x] != ref[key{o, x, rt.Read}] {
+						t.Fatalf("seed %d step %d: ReadHeldBy disagrees for (%d,%d)", seed, step, o, x)
+					}
+				}
+			}
+			// Per-item enumeration matches.
+			for x := rt.Item(0); x < 4; x++ {
+				readers := map[rt.JobID]bool{}
+				for _, o := range tb.Readers(x) {
+					readers[o] = true
+				}
+				for o := rt.JobID(0); o < 5; o++ {
+					if readers[o] != ref[key{o, x, rt.Read}] {
+						t.Fatalf("seed %d step %d: Readers disagrees for (%d,%d)", seed, step, o, x)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEnumerationOrderStableAcrossNoops: releasing unheld locks must not
+// perturb acquisition order.
+func TestEnumerationOrderStableAcrossNoops(t *testing.T) {
+	tb := NewTable()
+	tb.Acquire(1, 3, rt.Read)
+	tb.Acquire(1, 1, rt.Read)
+	tb.Acquire(1, 2, rt.Read)
+	before := tb.ReadHeldBy(1)
+	tb.Release(2, 3, rt.Read) // foreign: no-op
+	tb.Release(1, 9, rt.Read) // unheld item: no-op
+	after := tb.ReadHeldBy(1)
+	if len(before) != len(after) {
+		t.Fatal("no-op releases changed holdings")
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("no-op releases reordered holdings")
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package lock
+
+import (
+	"strings"
+	"testing"
+
+	"pcpda/internal/rt"
+)
+
+const (
+	j1 = rt.JobID(1)
+	j2 = rt.JobID(2)
+	j3 = rt.JobID(3)
+)
+
+const (
+	x = rt.Item(0)
+	y = rt.Item(1)
+	z = rt.Item(2)
+)
+
+func TestAcquireHoldRelease(t *testing.T) {
+	tb := NewTable()
+	tb.Acquire(j1, x, rt.Read)
+	if !tb.HoldsRead(j1, x) || tb.HoldsWrite(j1, x) {
+		t.Fatal("read lock recorded wrongly")
+	}
+	if !tb.Holds(j1, x) || tb.Holds(j2, x) {
+		t.Fatal("Holds wrong")
+	}
+	tb.Release(j1, x, rt.Read)
+	if tb.Holds(j1, x) || tb.LockCount() != 0 {
+		t.Fatal("release failed")
+	}
+}
+
+func TestAcquireIdempotent(t *testing.T) {
+	tb := NewTable()
+	tb.Acquire(j1, x, rt.Read)
+	tb.Acquire(j1, x, rt.Read)
+	if tb.LockCount() != 1 {
+		t.Fatalf("duplicate acquire created %d locks", tb.LockCount())
+	}
+	if got := tb.ReadHeldBy(j1); len(got) != 1 {
+		t.Fatalf("held list duplicated: %v", got)
+	}
+}
+
+func TestMixedModesSameJob(t *testing.T) {
+	tb := NewTable()
+	tb.Acquire(j1, x, rt.Read)
+	tb.Acquire(j1, x, rt.Write) // upgrade: both recorded
+	if !tb.HoldsRead(j1, x) || !tb.HoldsWrite(j1, x) {
+		t.Fatal("upgrade must keep both modes")
+	}
+	tb.ReleaseItem(j1, x)
+	if tb.Holds(j1, x) {
+		t.Fatal("ReleaseItem must clear both modes")
+	}
+}
+
+func TestConcurrentWritersAllowed(t *testing.T) {
+	// PCP-DA's blind writes: the table must be able to represent several
+	// simultaneous write locks on one item.
+	tb := NewTable()
+	tb.Acquire(j1, x, rt.Write)
+	tb.Acquire(j2, x, rt.Write)
+	w := tb.Writers(x)
+	if len(w) != 2 || w[0] != j1 || w[1] != j2 {
+		t.Fatalf("writers = %v, want [1 2] in acquisition order", w)
+	}
+}
+
+func TestReaderWithForeignWriter(t *testing.T) {
+	// PCP-DA's dynamic adjustment: a read lock may coexist with another
+	// job's write lock.
+	tb := NewTable()
+	tb.Acquire(j1, x, rt.Write)
+	tb.Acquire(j2, x, rt.Read)
+	if !tb.HoldsWrite(j1, x) || !tb.HoldsRead(j2, x) {
+		t.Fatal("coexisting R/W locks must be representable")
+	}
+}
+
+func TestNoRlockByOthers(t *testing.T) {
+	tb := NewTable()
+	if !tb.NoRlockByOthers(x, j1) {
+		t.Fatal("unlocked item: No_Rlock true")
+	}
+	tb.Acquire(j1, x, rt.Read)
+	if !tb.NoRlockByOthers(x, j1) {
+		t.Fatal("own read lock does not violate No_Rlock")
+	}
+	if tb.NoRlockByOthers(x, j2) {
+		t.Fatal("foreign read lock violates No_Rlock")
+	}
+	tb.Acquire(j1, y, rt.Write)
+	if !tb.NoRlockByOthers(y, j2) {
+		t.Fatal("a write lock never violates No_Rlock")
+	}
+}
+
+func TestReadersWritersOther(t *testing.T) {
+	tb := NewTable()
+	tb.Acquire(j1, x, rt.Read)
+	tb.Acquire(j2, x, rt.Read)
+	tb.Acquire(j3, x, rt.Write)
+	if got := tb.ReadersOther(x, j1); len(got) != 1 || got[0] != j2 {
+		t.Fatalf("ReadersOther = %v", got)
+	}
+	if got := tb.WritersOther(x, j3); got != nil {
+		t.Fatalf("WritersOther = %v, want nil", got)
+	}
+	if got := tb.WritersOther(x, j1); len(got) != 1 || got[0] != j3 {
+		t.Fatalf("WritersOther = %v", got)
+	}
+}
+
+func TestReleaseAll(t *testing.T) {
+	tb := NewTable()
+	tb.Acquire(j1, x, rt.Read)
+	tb.Acquire(j1, y, rt.Write)
+	tb.Acquire(j1, y, rt.Read) // also read y: dedup in returned items
+	tb.Acquire(j2, x, rt.Read)
+	items := tb.ReleaseAll(j1)
+	if len(items) != 2 {
+		t.Fatalf("released items = %v, want 2 distinct", items)
+	}
+	if tb.Holds(j1, x) || tb.Holds(j1, y) {
+		t.Fatal("j1 must hold nothing")
+	}
+	if !tb.HoldsRead(j2, x) {
+		t.Fatal("other jobs' locks must survive")
+	}
+	if got := tb.ReleaseAll(j3); got != nil {
+		t.Fatalf("releasing lock-less job returned %v", got)
+	}
+}
+
+func TestHeldByEnumeration(t *testing.T) {
+	tb := NewTable()
+	tb.Acquire(j1, y, rt.Write)
+	tb.Acquire(j1, x, rt.Read)
+	tb.Acquire(j1, z, rt.Read)
+	r := tb.ReadHeldBy(j1)
+	if len(r) != 2 || r[0] != x || r[1] != z {
+		t.Fatalf("ReadHeldBy order = %v, want acquisition order [x z]", r)
+	}
+	w := tb.WriteHeldBy(j1)
+	if len(w) != 1 || w[0] != y {
+		t.Fatalf("WriteHeldBy = %v", w)
+	}
+	all := tb.HeldBy(j1)
+	if len(all) != 3 {
+		t.Fatalf("HeldBy = %v", all)
+	}
+	if tb.HeldBy(j2) != nil {
+		t.Fatal("job without locks holds nothing")
+	}
+	// Returned slices are copies.
+	r[0] = z
+	if got := tb.ReadHeldBy(j1); got[0] != x {
+		t.Fatal("ReadHeldBy must return a copy")
+	}
+}
+
+func TestEachReadLockDeterministic(t *testing.T) {
+	tb := NewTable()
+	tb.Acquire(j2, z, rt.Read)
+	tb.Acquire(j1, x, rt.Read)
+	tb.Acquire(j3, x, rt.Read)
+	tb.Acquire(j1, y, rt.Write) // not a read lock: must not appear
+	type pair struct {
+		x rt.Item
+		o rt.JobID
+	}
+	var got []pair
+	tb.EachReadLock(func(x rt.Item, o rt.JobID) { got = append(got, pair{x, o}) })
+	want := []pair{{x, j1}, {x, j3}, {z, j2}}
+	if len(got) != len(want) {
+		t.Fatalf("pairs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pairs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEachWriteLock(t *testing.T) {
+	tb := NewTable()
+	tb.Acquire(j1, y, rt.Write)
+	tb.Acquire(j2, x, rt.Write)
+	tb.Acquire(j3, x, rt.Read)
+	type pair struct {
+		x rt.Item
+		o rt.JobID
+	}
+	var got []pair
+	tb.EachWriteLock(func(x rt.Item, o rt.JobID) { got = append(got, pair{x, o}) })
+	want := []pair{{x, j2}, {y, j1}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("pairs = %v, want %v", got, want)
+	}
+}
+
+func TestReleaseUnheldIsNoop(t *testing.T) {
+	tb := NewTable()
+	tb.Release(j1, x, rt.Read) // nothing held at all
+	tb.Acquire(j1, x, rt.Write)
+	tb.Release(j2, x, rt.Write) // held, but not by j2
+	if !tb.HoldsWrite(j1, x) {
+		t.Fatal("foreign release must not drop the lock")
+	}
+	tb.Release(j1, x, rt.Read) // wrong mode
+	if !tb.HoldsWrite(j1, x) {
+		t.Fatal("wrong-mode release must not drop the lock")
+	}
+}
+
+func TestLockCount(t *testing.T) {
+	tb := NewTable()
+	tb.Acquire(j1, x, rt.Read)
+	tb.Acquire(j2, x, rt.Read)
+	tb.Acquire(j1, y, rt.Write)
+	if tb.LockCount() != 3 {
+		t.Fatalf("LockCount = %d, want 3", tb.LockCount())
+	}
+}
+
+func TestDump(t *testing.T) {
+	cat := rt.NewCatalog()
+	a := cat.Intern("alpha")
+	tb := NewTable()
+	tb.Acquire(j1, a, rt.Read)
+	out := tb.Dump(cat)
+	if !strings.Contains(out, "alpha") {
+		t.Fatalf("dump missing item name: %q", out)
+	}
+}

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"pcpda/internal/papercases"
+	"pcpda/internal/pcpda"
+	"pcpda/internal/rwpcp"
+	"pcpda/internal/sched"
+)
+
+func run(t *testing.T, proto string) *sched.Result {
+	t.Helper()
+	set := papercases.Example3()
+	var k *sched.Kernel
+	var err error
+	switch proto {
+	case "pcpda":
+		k, err = sched.New(set, pcpda.New(), sched.Config{Horizon: papercases.Example3Horizon})
+	case "rwpcp":
+		k, err = sched.New(set, rwpcp.New(), sched.Config{Horizon: papercases.Example3Horizon})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k.Run()
+}
+
+func TestPerTxnExample3(t *testing.T) {
+	res := run(t, "rwpcp")
+	per := PerTxn(res)
+	if len(per) != 2 {
+		t.Fatalf("rows = %d", len(per))
+	}
+	t1 := per[0]
+	if t1.Name != "T1" || t1.Jobs != 2 {
+		t.Fatalf("t1 = %+v", t1)
+	}
+	if t1.Misses != 1 {
+		t.Fatalf("T1 misses = %d, want 1", t1.Misses)
+	}
+	if t1.TotalBlocked != 4 || t1.MaxBlocked != 4 {
+		t.Fatalf("T1 blocking = %d/%d, want 4/4", t1.TotalBlocked, t1.MaxBlocked)
+	}
+	// First instance responds in 6 ticks (1→7), second in 3 (6→9).
+	if t1.Completed != 2 || t1.TotalResponse != 9 || t1.MaxResponse != 6 {
+		t.Fatalf("T1 responses = %+v", t1)
+	}
+	if got := t1.AvgResponse(); got != 4.5 {
+		t.Fatalf("avg = %v", got)
+	}
+}
+
+func TestAvgResponseZeroWhenNothingCompleted(t *testing.T) {
+	s := TxnStats{}
+	if s.AvgResponse() != 0 {
+		t.Fatal("empty stats must average 0")
+	}
+}
+
+func TestSummarizeExample3(t *testing.T) {
+	da := Summarize(run(t, "pcpda"))
+	rw := Summarize(run(t, "rwpcp"))
+	if da.Protocol != "PCP-DA" || rw.Protocol != "RW-PCP" {
+		t.Fatalf("protocols: %s %s", da.Protocol, rw.Protocol)
+	}
+	if da.Misses != 0 || rw.Misses != 1 {
+		t.Fatalf("misses: %d %d", da.Misses, rw.Misses)
+	}
+	if da.TotalBlocked != 0 || rw.TotalBlocked != 4 {
+		t.Fatalf("blocked: %d %d", da.TotalBlocked, rw.TotalBlocked)
+	}
+	// Miss ratio: T1 releases 2 deadlined jobs; T2 is one-shot with no
+	// deadline. RW-PCP misses one of two.
+	if rw.MissRatio != 0.5 {
+		t.Fatalf("miss ratio = %v", rw.MissRatio)
+	}
+	if !da.Serializable || !da.CommitOrderOK {
+		t.Fatalf("da history flags: %+v", da)
+	}
+	if !rw.Serializable {
+		t.Fatalf("rw history flags: %+v", rw)
+	}
+	if da.Deadlocked || rw.Deadlocked {
+		t.Fatal("no deadlocks expected")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	sums := []Summary{Summarize(run(t, "pcpda")), Summarize(run(t, "rwpcp"))}
+	tbl := Table(sums)
+	for _, frag := range []string{"protocol", "PCP-DA", "RW-PCP", "ok"} {
+		if !strings.Contains(tbl, frag) {
+			t.Errorf("table missing %q:\n%s", frag, tbl)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(tbl), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table has %d lines, want header+2", len(lines))
+	}
+	bad := Summary{Protocol: "X", Serializable: false, Deadlocked: true}
+	tbl = Table([]Summary{bad})
+	if !strings.Contains(tbl, "VIOLATED") || !strings.Contains(tbl, "YES") {
+		t.Errorf("violation markers missing:\n%s", tbl)
+	}
+}
+
+func TestTopContended(t *testing.T) {
+	res := run(t, "rwpcp") // Example 3: T1 blocked on x for 4 ticks
+	top := TopContended(res, 0)
+	if len(top) == 0 {
+		t.Fatal("no contention recorded")
+	}
+	if top[0].Name != "x" || top[0].Blocked != 4 {
+		t.Fatalf("top = %+v, want x with 4 ticks", top[0])
+	}
+	// Truncation.
+	if got := TopContended(res, 1); len(got) != 1 {
+		t.Fatalf("truncated = %d entries", len(got))
+	}
+	// PCP-DA run has no blocking at all on Example 3.
+	if got := TopContended(run(t, "pcpda"), 0); len(got) != 0 {
+		t.Fatalf("PCP-DA contention = %+v, want none", got)
+	}
+}

@@ -1,0 +1,87 @@
+// Package naiveda implements the strawman protocol of the paper's Section 7
+// (Example 5): PCP-DA's write rule (LC1) combined with the two "sufficient
+// for single-blocking" read conditions
+//
+//	(1) P_i > Sysceil_i
+//	(2) P_i ≥ HPW(x)
+//
+// without LC3/LC4's "x ∉ WriteSet(T*)" and No_Rlock safeguards. The paper
+// shows condition (2) alone cannot avoid deadlocks: on Example 5 the two
+// transactions read-lock each other's write targets and then block each
+// other. This package exists so the experiments and tests can demonstrate
+// the deadlock and thereby justify the derivation of LC3 and LC4.
+package naiveda
+
+import (
+	"pcpda/internal/cc"
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+)
+
+// Protocol is the condition-(2) strawman.
+type Protocol struct {
+	cc.Base
+	set  *txn.Set
+	ceil *txn.Ceilings
+}
+
+var _ cc.Protocol = (*Protocol)(nil)
+
+// New returns a naive-DA instance.
+func New() *Protocol { return &Protocol{} }
+
+// Name identifies the protocol in reports.
+func (p *Protocol) Name() string { return "naive-DA" }
+
+// Deferred is true: same update-in-workspace model as PCP-DA.
+func (p *Protocol) Deferred() bool { return true }
+
+// Init captures the static set and ceilings.
+func (p *Protocol) Init(set *txn.Set, ceil *txn.Ceilings) {
+	p.set = set
+	p.ceil = ceil
+}
+
+// Request implements LC1 for writes and conditions (1)/(2) for reads.
+func (p *Protocol) Request(env cc.Env, j *cc.Job, x rt.Item, m rt.Mode) cc.Decision {
+	locks := env.Locks()
+	if m == rt.Write {
+		if locks.NoRlockByOthers(x, j.ID) {
+			return cc.Grant("LC1")
+		}
+		return cc.Block("rw-conflict", locks.ReadersOther(x, j.ID)...)
+	}
+
+	pri := j.BasePri()
+	sys := rt.Dummy
+	var holders []rt.JobID
+	locks.EachReadLock(func(it rt.Item, holder rt.JobID) {
+		if holder == j.ID {
+			return
+		}
+		w := p.ceil.Wceil(it)
+		if w > sys {
+			sys = w
+			holders = holders[:0]
+		}
+		if w == sys && !sys.IsDummy() {
+			holders = appendUnique(holders, holder)
+		}
+	})
+	if pri > sys {
+		return cc.Grant("cond1")
+	}
+	if pri >= p.ceil.Wceil(x) {
+		return cc.Grant("cond2")
+	}
+	return cc.Block("ceiling", holders...)
+}
+
+func appendUnique(ids []rt.JobID, id rt.JobID) []rt.JobID {
+	for _, have := range ids {
+		if have == id {
+			return ids
+		}
+	}
+	return append(ids, id)
+}

@@ -1,0 +1,137 @@
+package naiveda
+
+import (
+	"testing"
+
+	"pcpda/internal/cctest"
+	"pcpda/internal/papercases"
+	"pcpda/internal/pcpda"
+	"pcpda/internal/rt"
+	"pcpda/internal/sched"
+	"pcpda/internal/txn"
+)
+
+func TestCond2GrantsWhatPCPDARefuses(t *testing.T) {
+	// Example 5's fatal grant: TH read-locks y (P_H ≥ Wceil(y) = P_L) even
+	// though T* = TL will write y.
+	s := papercases.Example5()
+	th, tl := s.ByName("TH"), s.ByName("TL")
+	x, _ := s.Catalog.Lookup("x")
+	y, _ := s.Catalog.Lookup("y")
+
+	p := New()
+	p.Init(s, txn.ComputeCeilings(s))
+	env := cctest.NewEnv()
+	jh := env.AddJob(0, th)
+	jl := env.AddJob(1, tl)
+	env.ReadLock(jl.ID, x)
+
+	dec := p.Request(env, jh, y, rt.Read)
+	if !dec.Granted || dec.Rule != "cond2" {
+		t.Fatalf("naive cond2 should grant: %+v", dec)
+	}
+
+	// PCP-DA refuses the same request (LC3's WriteSet(T*) safeguard).
+	da := pcpda.New()
+	da.Init(s, txn.ComputeCeilings(s))
+	if dec := da.Request(env, jh, y, rt.Read); dec.Granted {
+		t.Fatalf("PCP-DA must refuse: %+v", dec)
+	}
+}
+
+func TestCond1Grant(t *testing.T) {
+	s := papercases.Example5()
+	p := New()
+	p.Init(s, txn.ComputeCeilings(s))
+	env := cctest.NewEnv()
+	jl := env.AddJob(1, s.ByName("TL"))
+	x, _ := s.Catalog.Lookup("x")
+	if dec := p.Request(env, jl, x, rt.Read); !dec.Granted || dec.Rule != "cond1" {
+		t.Fatalf("empty-table read denied: %+v", dec)
+	}
+}
+
+func TestCeilingBlockWhenBothCondsFail(t *testing.T) {
+	// A third, lowest-priority reader of a high-Wceil item is refused.
+	s := txn.NewSet("3way")
+	a := s.Catalog.Intern("a")
+	b := s.Catalog.Intern("b")
+	s.Add(&txn.Template{Name: "H", Steps: []txn.Step{txn.Write(a), txn.Write(b)}})
+	s.Add(&txn.Template{Name: "M", Steps: []txn.Step{txn.Read(a)}})
+	s.Add(&txn.Template{Name: "L", Steps: []txn.Step{txn.Read(b)}})
+	s.AssignByIndex()
+	p := New()
+	p.Init(s, txn.ComputeCeilings(s))
+	env := cctest.NewEnv()
+	env.AddJob(0, s.ByName("H"))
+	jm := env.AddJob(1, s.ByName("M"))
+	jl := env.AddJob(2, s.ByName("L"))
+	env.ReadLock(jm.ID, a) // Sysceil = Wceil(a) = P_H
+	dec := p.Request(env, jl, b, rt.Read)
+	if dec.Granted {
+		t.Fatalf("cond1 fails (P_L < P_H), cond2 fails (P_L < Wceil(b)=P_H): %+v", dec)
+	}
+	if dec.Rule != "ceiling" || len(dec.Blockers) != 1 || dec.Blockers[0] != jm.ID {
+		t.Fatalf("decision = %+v", dec)
+	}
+}
+
+func TestDeadlockOnExample5(t *testing.T) {
+	// The paper's Example 5: the naive protocol deadlocks...
+	k, err := sched.New(papercases.Example5(), New(), sched.Config{
+		Horizon:        papercases.Example5Horizon,
+		StopOnDeadlock: true,
+		RecordTrace:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := k.Run()
+	if !res.Deadlocked {
+		t.Fatalf("naive-DA must deadlock on Example 5:\n%s", res.Timeline.Render(res.Set))
+	}
+	if res.DeadlockAt != 3 {
+		t.Errorf("deadlock at t=%d, want 3 (TH blocks at 2, TL at 3)", res.DeadlockAt)
+	}
+	if len(res.DeadlockCycle) != 2 {
+		t.Errorf("cycle = %v, want the two jobs", res.DeadlockCycle)
+	}
+}
+
+func TestPCPDASurvivesExample5(t *testing.T) {
+	// ...and PCP-DA does not (golden trace from DESIGN.md §4).
+	k, err := sched.New(papercases.Example5(), pcpda.New(), sched.Config{
+		Horizon:        papercases.Example5Horizon,
+		StopOnDeadlock: true,
+		RecordTrace:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := k.Run()
+	if res.Deadlocked {
+		t.Fatal("PCP-DA deadlocked on Example 5")
+	}
+	if res.Committed != 2 {
+		t.Fatalf("committed = %d", res.Committed)
+	}
+	th := res.Set.ByName("TH")
+	tl := res.Set.ByName("TL")
+	if got := res.Timeline.RowString(th.ID); got != papercases.Ex5PCPDARowTH {
+		t.Errorf("TH row %q, want %q", got, papercases.Ex5PCPDARowTH)
+	}
+	if got := res.Timeline.RowString(tl.ID); got != papercases.Ex5PCPDARowTL {
+		t.Errorf("TL row %q, want %q", got, papercases.Ex5PCPDARowTL)
+	}
+	rep := res.History.Check()
+	if !rep.Serializable || !rep.CommitOrderOK {
+		t.Errorf("history: %v", rep.Violations)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	p := New()
+	if p.Name() != "naive-DA" || !p.Deferred() {
+		t.Fatal("identity wrong")
+	}
+}

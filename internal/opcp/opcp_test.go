@@ -1,0 +1,85 @@
+package opcp
+
+import (
+	"testing"
+
+	"pcpda/internal/cctest"
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+)
+
+func fixture(t *testing.T) (*txn.Set, *Protocol, *cctest.Env, rt.Item, rt.Item) {
+	t.Helper()
+	s := txn.NewSet("fix")
+	x := s.Catalog.Intern("x")
+	y := s.Catalog.Intern("y")
+	s.Add(&txn.Template{Name: "T1", Steps: []txn.Step{txn.Read(x)}})
+	s.Add(&txn.Template{Name: "T2", Steps: []txn.Step{txn.Read(x), txn.Write(y)}})
+	s.Add(&txn.Template{Name: "T3", Steps: []txn.Step{txn.Read(y)}})
+	s.AssignByIndex()
+	p := New()
+	p.Init(s, txn.ComputeCeilings(s))
+	env := cctest.NewEnv()
+	for i, name := range []string{"T1", "T2", "T3"} {
+		env.AddJob(rt.JobID(i), s.ByName(name))
+	}
+	return s, p, env, x, y
+}
+
+func TestExclusiveEvenForReaders(t *testing.T) {
+	// Original PCP has no read sharing: T2's read lock on x (Aceil(x)=P1)
+	// denies even T1's read.
+	s, p, env, x, _ := fixture(t)
+	env.ReadLock(1, x)
+	dec := p.Request(env, env.Job(0), x, rt.Read)
+	if dec.Granted {
+		t.Fatalf("read sharing must not exist under original PCP: %+v", dec)
+	}
+	if len(dec.Blockers) != 1 || dec.Blockers[0] != 1 {
+		t.Fatalf("blockers = %v", dec.Blockers)
+	}
+	_ = s
+}
+
+func TestGrantAboveCeiling(t *testing.T) {
+	// T3 read-locks y: ceiling = Aceil(y) = P2. T1 (P1) clears it.
+	_, p, env, x, y := fixture(t)
+	env.ReadLock(2, y)
+	if dec := p.Request(env, env.Job(0), x, rt.Read); !dec.Granted {
+		t.Fatalf("T1 denied above ceiling: %+v", dec)
+	}
+	// T2 (P2) does not clear its own item's ceiling held by T3.
+	if dec := p.Request(env, env.Job(1), x, rt.Read); dec.Granted {
+		t.Fatalf("T2 granted at ceiling: %+v", dec)
+	}
+}
+
+func TestOwnLocksExcluded(t *testing.T) {
+	_, p, env, x, y := fixture(t)
+	env.ReadLock(1, x)
+	if dec := p.Request(env, env.Job(1), y, rt.Write); !dec.Granted {
+		t.Fatalf("own lock denied own progress: %+v", dec)
+	}
+}
+
+func TestSystemCeiling(t *testing.T) {
+	_, p, env, x, y := fixture(t)
+	if !p.SystemCeiling(env).IsDummy() {
+		t.Fatal("empty ceiling not dummy")
+	}
+	env.ReadLock(2, y) // Aceil(y)=P2=2
+	if c := p.SystemCeiling(env); c != 2 {
+		t.Fatalf("ceiling = %v, want 2", c)
+	}
+	env.WriteLock(1, x) // Aceil(x)=P1=3
+	if c := p.SystemCeiling(env); c != 3 {
+		t.Fatalf("ceiling = %v, want 3", c)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	p := New()
+	if p.Name() != "PCP" || p.Deferred() {
+		t.Fatalf("identity wrong: %s %v", p.Name(), p.Deferred())
+	}
+}

@@ -1,0 +1,249 @@
+// Package pcpda implements the paper's contribution: the Priority Ceiling
+// Protocol with Dynamic Adjustment of serialization order (PCP-DA).
+//
+// PCP-DA schedules hard real-time transactions under the update-in-workspace
+// model. Writes buffer in the writing transaction's private workspace and
+// install at commit, so two write operations never conflict (their order is
+// resolved by commit order), and a higher-priority transaction may read an
+// item that a lower-priority transaction has write-locked — it simply
+// serializes, and must commit, before the writer. Read operations remain
+// non-preemptable: they are the only operations that raise ceilings.
+//
+// Each data item x carries one static ceiling, Wceil(x) (the paper's
+// HPW(x)): the priority of the highest-priority transaction that may write
+// x. Wceil(x) takes effect only while x is read-locked. Sysceil_i is the
+// highest Wceil(x) over items read-locked by transactions other than T_i,
+// and T* is the transaction holding the read lock that realizes Sysceil_i.
+//
+// A request by T_i for a lock on x is granted iff one of the paper's
+// locking conditions holds:
+//
+//	LC1 (write): no other transaction holds a read lock on x.
+//	LC2 (read):  P_i > Sysceil_i.
+//	LC3 (read):  P_i > Wceil(x) and x ∉ WriteSet(T*).
+//	LC4 (read):  P_i = Wceil(x), no other transaction read-locks x,
+//	             and x ∉ WriteSet(T*).
+//
+// Priority comparisons follow the paper's Section 7 convention ("the
+// priority of a transaction ... always refers to ... its running
+// priority"): LC2's ceiling test uses the RUNNING (possibly inherited)
+// priority — without that, T* could be ceiling-blocked by a read lock its
+// own blocked benefactor's grantee raised, deadlocking exactly where Lemma
+// 8 promises progress. LC3 and LC4 compare against HPW(x), which is defined
+// over assigned priorities and identifies writer identity, so they use the
+// ORIGINAL priority (Lemma 4's "P_i > HPW(x) implies T_i will not
+// write-lock x" is only sound for assigned priorities).
+//
+// In addition, a read request on an item currently write-locked by some T_L
+// must satisfy Table 1's side condition DataRead(T_L) ∩ WriteSet(T_i) = ∅,
+// which guarantees T_i is never blocked by T_L later and therefore commits
+// first (no-restart guarantee, Lemma 9). The paper proves the condition is
+// implied whenever LC2 or LC3 grants; this implementation still evaluates it
+// on every path and counts (via cc.Auditor) how often it would have fired on
+// LC2/LC3 — the property tests assert those counters stay zero, mechanically
+// validating the paper's claim.
+package pcpda
+
+import (
+	"pcpda/internal/cc"
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+)
+
+// Options tune the protocol for ablation experiments.
+type Options struct {
+	// LC2Only disables the LC3 and LC4 grant paths, leaving the ceiling
+	// test alone (used by the ablation experiment X5 to measure how much
+	// preemptability the extra conditions buy).
+	LC2Only bool
+}
+
+// Protocol is the PCP-DA policy. Create with New; one instance drives one
+// simulation run.
+type Protocol struct {
+	cc.Base
+	opts  Options
+	set   *txn.Set
+	ceil  *txn.Ceilings
+	audit map[string]int
+}
+
+var _ cc.Protocol = (*Protocol)(nil)
+var _ cc.CeilingReporter = (*Protocol)(nil)
+var _ cc.Auditor = (*Protocol)(nil)
+
+// New returns a PCP-DA instance with default options.
+func New() *Protocol { return NewWithOptions(Options{}) }
+
+// NewWithOptions returns a PCP-DA instance with the given options.
+func NewWithOptions(o Options) *Protocol {
+	return &Protocol{opts: o, audit: make(map[string]int)}
+}
+
+// Name identifies the protocol in reports.
+func (p *Protocol) Name() string {
+	if p.opts.LC2Only {
+		return "PCP-DA/LC2"
+	}
+	return "PCP-DA"
+}
+
+// Deferred is true: PCP-DA uses the update-in-workspace model.
+func (p *Protocol) Deferred() bool { return true }
+
+// Init captures the static transaction set and ceilings.
+func (p *Protocol) Init(set *txn.Set, ceil *txn.Ceilings) {
+	p.set = set
+	p.ceil = ceil
+}
+
+// Audit exports the Table-1 validation counters.
+func (p *Protocol) Audit() map[string]int {
+	out := make(map[string]int, len(p.audit))
+	for k, v := range p.audit {
+		out[k] = v
+	}
+	return out
+}
+
+// sysinfo is the runtime ceiling state relevant to one requester.
+type sysinfo struct {
+	sysceil rt.Priority // Sysceil_i
+	tstar   []rt.JobID  // holder(s) of the read lock(s) realizing Sysceil_i
+}
+
+// sysceilFor computes Sysceil_i and T* with respect to requester j: the
+// highest Wceil over items read-locked by other jobs, and who holds them.
+func (p *Protocol) sysceilFor(env cc.Env, j *cc.Job) sysinfo {
+	info := sysinfo{sysceil: rt.Dummy}
+	env.Locks().EachReadLock(func(x rt.Item, holder rt.JobID) {
+		if holder == j.ID {
+			return
+		}
+		w := p.ceil.Wceil(x)
+		if w > info.sysceil {
+			info.sysceil = w
+			info.tstar = info.tstar[:0]
+		}
+		if w == info.sysceil && !info.sysceil.IsDummy() {
+			info.tstar = appendUnique(info.tstar, holder)
+		}
+	})
+	return info
+}
+
+func appendUnique(ids []rt.JobID, id rt.JobID) []rt.JobID {
+	for _, have := range ids {
+		if have == id {
+			return ids
+		}
+	}
+	return append(ids, id)
+}
+
+// tstarWrites reports whether x is in the declared write set of any T*
+// holder (the "x ∉ WriteSet(T*)" clause of LC3/LC4, applied to every holder
+// when the read lock realizing Sysceil_i is shared).
+func tstarWrites(env cc.Env, tstar []rt.JobID, x rt.Item) bool {
+	for _, id := range tstar {
+		if h := env.Job(id); h != nil && h.Tmpl.WriteSet().Has(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// table1Offenders returns the write-lock holders T_L of x for which
+// DataRead(T_L) ∩ WriteSet(T_i) ≠ ∅ — the holders that would later block
+// T_i's own write and so must not be preempted by T_i's read (Case 1).
+func table1Offenders(env cc.Env, j *cc.Job, x rt.Item) []rt.JobID {
+	var out []rt.JobID
+	for _, id := range env.Locks().WritersOther(x, j.ID) {
+		h := env.Job(id)
+		if h == nil {
+			continue
+		}
+		if h.DataRead.Intersects(j.Tmpl.WriteSet()) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Request implements the PCP-DA locking conditions.
+func (p *Protocol) Request(env cc.Env, j *cc.Job, x rt.Item, m rt.Mode) cc.Decision {
+	locks := env.Locks()
+	if m == rt.Write {
+		// LC1: a write lock needs only the absence of foreign read locks.
+		// Foreign WRITE locks do not conflict: both writes are buffered and
+		// commit order serializes them (the paper's Case 3, blind writes).
+		if locks.NoRlockByOthers(x, j.ID) {
+			return cc.Grant("LC1")
+		}
+		return cc.Block("rw-conflict", locks.ReadersOther(x, j.ID)...)
+	}
+
+	// Read request.
+	pri := j.BasePri()
+	info := p.sysceilFor(env, j)
+	// LC2 compares against the RUNNING priority (paper §7: "the priority of
+	// a transaction ... always refers to ... its running priority"). This
+	// is load-bearing for deadlock freedom: when T* executes with an
+	// inherited priority above the ceiling its blocked benefactor raised,
+	// LC2 must let T* through — Lemma 8's "T_i cannot block T* even if T*
+	// has inherited a higher priority". LC3/LC4 identify writer identity
+	// via HPW(x) and therefore keep using the original priority.
+	runPri := j.RunPri
+	if runPri < pri {
+		runPri = pri
+	}
+	offenders := table1Offenders(env, j, x)
+
+	grantIfSafe := func(rule string) cc.Decision {
+		if len(offenders) == 0 {
+			return cc.Grant(rule)
+		}
+		// The paper proves this cannot happen for LC2/LC3; count it so the
+		// tests can verify, and stay safe by denying.
+		if rule == "LC2" || rule == "LC3" {
+			p.audit["table1-fired-on-"+rule]++
+		}
+		return cc.Block("wr-conflict", offenders...)
+	}
+
+	// LC2: P_i > Sysceil_i (running priority, see above).
+	if runPri > info.sysceil {
+		return grantIfSafe("LC2")
+	}
+	if !p.opts.LC2Only {
+		wx := p.ceil.Wceil(x) // the paper's HPW(x)
+		// LC3: P_i > HPW(x) and x not in WriteSet(T*).
+		if pri > wx && !tstarWrites(env, info.tstar, x) {
+			return grantIfSafe("LC3")
+		}
+		// LC4: P_i = HPW(x), No_Rlock(x), x not in WriteSet(T*).
+		if pri == wx && locks.NoRlockByOthers(x, j.ID) && !tstarWrites(env, info.tstar, x) {
+			return grantIfSafe("LC4")
+		}
+	}
+
+	// Ceiling blocking: T* inherits. Readers of x itself are included —
+	// when they are lower-priority they coincide with T* (Lemma 5), and
+	// inheritance is a no-op for higher-priority holders.
+	blockers := append([]rt.JobID(nil), info.tstar...)
+	for _, id := range locks.ReadersOther(x, j.ID) {
+		blockers = appendUnique(blockers, id)
+	}
+	return cc.Block("ceiling", blockers...)
+}
+
+// SystemCeiling reports the highest Wceil in force over all read-locked
+// items — the quantity the paper plots as Max_Sysceil (dotted line in
+// Figures 4 and 5). Write locks raise nothing under PCP-DA.
+func (p *Protocol) SystemCeiling(env cc.Env) rt.Priority {
+	c := rt.Dummy
+	env.Locks().EachReadLock(func(x rt.Item, _ rt.JobID) {
+		c = c.Max(p.ceil.Wceil(x))
+	})
+	return c
+}

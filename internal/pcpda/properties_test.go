@@ -1,0 +1,171 @@
+package pcpda
+
+import (
+	"math/rand"
+	"testing"
+
+	"pcpda/internal/cctest"
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+)
+
+// randomState builds a random but protocol-plausible environment: a set of
+// templates with random read/write declarations, some of which hold random
+// locks consistent with their declarations.
+func randomState(rng *rand.Rand) (*txn.Set, *Protocol, *cctest.Env) {
+	nTxn := 3 + rng.Intn(4)
+	nItems := 2 + rng.Intn(4)
+	s := txn.NewSet("prop")
+	items := make([]rt.Item, nItems)
+	for i := range items {
+		items[i] = s.Catalog.Intern(string(rune('a' + i)))
+	}
+	for i := 0; i < nTxn; i++ {
+		var steps []txn.Step
+		for _, it := range items {
+			switch rng.Intn(3) {
+			case 0:
+				steps = append(steps, txn.Read(it))
+			case 1:
+				steps = append(steps, txn.Write(it))
+			}
+		}
+		if len(steps) == 0 {
+			steps = append(steps, txn.Read(items[0]))
+		}
+		s.Add(&txn.Template{Name: "T" + string(rune('A'+i)), Steps: steps})
+	}
+	s.AssignByIndex()
+	p := New()
+	p.Init(s, txn.ComputeCeilings(s))
+	env := cctest.NewEnv()
+	for i, tmpl := range s.Templates {
+		j := env.AddJob(rt.JobID(i), tmpl)
+		// Randomly take some declared locks.
+		for _, it := range tmpl.ReadSet().Items() {
+			if rng.Intn(3) == 0 {
+				env.ReadLock(j.ID, it)
+			}
+		}
+		for _, it := range tmpl.WriteSet().Items() {
+			if rng.Intn(3) == 0 {
+				env.WriteLock(j.ID, it)
+			}
+		}
+	}
+	return s, p, env
+}
+
+// TestRequestIsPure: deciding the same request twice against unchanged
+// state yields the identical decision — the kernel and the live manager
+// both rely on re-issuing requests freely.
+func TestRequestIsPure(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 400; trial++ {
+		s, p, env := randomState(rng)
+		j := env.Job(rt.JobID(rng.Intn(len(s.Templates))))
+		var x rt.Item
+		var m rt.Mode
+		if rng.Intn(2) == 0 && j.Tmpl.ReadSet().Len() > 0 {
+			x = j.Tmpl.ReadSet().Items()[0]
+			m = rt.Read
+		} else if j.Tmpl.WriteSet().Len() > 0 {
+			x = j.Tmpl.WriteSet().Items()[0]
+			m = rt.Write
+		} else {
+			continue
+		}
+		d1 := p.Request(env, j, x, m)
+		d2 := p.Request(env, j, x, m)
+		if d1.Granted != d2.Granted || d1.Rule != d2.Rule || len(d1.Blockers) != len(d2.Blockers) {
+			t.Fatalf("trial %d: decisions diverge: %+v vs %+v", trial, d1, d2)
+		}
+		for i := range d1.Blockers {
+			if d1.Blockers[i] != d2.Blockers[i] {
+				t.Fatalf("trial %d: blockers diverge", trial)
+			}
+		}
+	}
+}
+
+// TestReadGrantMonotoneInPriority: in any fixed state, if a read request by
+// a requester of priority p is granted, the same request issued by a
+// requester of higher priority (same declared sets otherwise irrelevant —
+// we raise the job's priority directly) is granted too. LC2 and LC3 are
+// monotone by construction; LC4's equality case is absorbed by LC3 at
+// higher priorities. This is what makes "higher priority = more access"
+// sound under PCP-DA.
+func TestReadGrantMonotoneInPriority(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	checked := 0
+	for trial := 0; trial < 600; trial++ {
+		s, p, env := randomState(rng)
+		j := env.Job(rt.JobID(rng.Intn(len(s.Templates))))
+		reads := j.Tmpl.ReadSet().Items()
+		if len(reads) == 0 {
+			continue
+		}
+		x := reads[rng.Intn(len(reads))]
+		low := p.Request(env, j, x, rt.Read)
+		if !low.Granted {
+			continue
+		}
+		// Raise the requester's priorities above everyone and re-ask.
+		origBase, origRun := j.Tmpl.Priority, j.RunPri
+		j.Tmpl.Priority = rt.Priority(100)
+		j.RunPri = rt.Priority(100)
+		high := p.Request(env, j, x, rt.Read)
+		j.Tmpl.Priority, j.RunPri = origBase, origRun
+		if !high.Granted {
+			t.Fatalf("trial %d: granted at low priority but denied at high (low=%+v high=%+v)",
+				trial, low, high)
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Fatalf("too few monotonicity checks exercised: %d", checked)
+	}
+}
+
+// TestWriteRuleIgnoresPriority: LC1 depends only on foreign read locks,
+// never on priorities — write admission is priority-blind under PCP-DA
+// (the protocol's whole point: writes raise and respect no ceilings).
+func TestWriteRuleIgnoresPriority(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 400; trial++ {
+		s, p, env := randomState(rng)
+		j := env.Job(rt.JobID(rng.Intn(len(s.Templates))))
+		writes := j.Tmpl.WriteSet().Items()
+		if len(writes) == 0 {
+			continue
+		}
+		x := writes[rng.Intn(len(writes))]
+		dec := p.Request(env, j, x, rt.Write)
+		want := env.Locks().NoRlockByOthers(x, j.ID)
+		if dec.Granted != want {
+			t.Fatalf("trial %d: LC1 = %v, want NoRlockByOthers = %v", trial, dec.Granted, want)
+		}
+	}
+}
+
+// TestDecisionNeverNamesSelf: a requester is never its own blocker.
+func TestDecisionNeverNamesSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 400; trial++ {
+		s, p, env := randomState(rng)
+		j := env.Job(rt.JobID(rng.Intn(len(s.Templates))))
+		for _, it := range j.Tmpl.AccessSet().Items() {
+			for _, m := range []rt.Mode{rt.Read, rt.Write} {
+				if m == rt.Write && !j.Tmpl.WriteSet().Has(it) {
+					continue
+				}
+				dec := p.Request(env, j, it, m)
+				for _, b := range dec.Blockers {
+					if b == j.ID {
+						t.Fatalf("trial %d: self-blocking decision %+v", trial, dec)
+					}
+				}
+			}
+		}
+	}
+}

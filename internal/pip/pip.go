@@ -1,0 +1,69 @@
+// Package pip implements plain two-phase locking with the basic priority
+// inheritance protocol ([14] in the paper): read/write locks with classical
+// compatibility, a blocked transaction's priority inherited by the lock
+// holders, and no priority ceilings at all.
+//
+// PIP bounds each individual inversion but suffers the two problems that
+// motivated the ceiling protocols (paper Section 1): chained blocking (a
+// high-priority transaction can be blocked once per lower-priority lock
+// holder) and deadlock (the kernel's waits-for detector fires on it, which
+// the tests and experiments rely on).
+package pip
+
+import (
+	"pcpda/internal/cc"
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+)
+
+// Protocol is the 2PL + priority inheritance policy.
+type Protocol struct {
+	cc.Base
+}
+
+var _ cc.Protocol = (*Protocol)(nil)
+
+// New returns a PIP instance.
+func New() *Protocol { return &Protocol{} }
+
+// Name identifies the protocol in reports.
+func (p *Protocol) Name() string { return "2PL-PIP" }
+
+// Deferred is false: update-in-place, strict 2PL.
+func (p *Protocol) Deferred() bool { return false }
+
+// Init is a no-op: PIP needs no static preparation.
+func (p *Protocol) Init(*txn.Set, *txn.Ceilings) {}
+
+// Request applies classical lock compatibility: a read conflicts with
+// foreign write locks, a write with any foreign lock.
+func (p *Protocol) Request(env cc.Env, j *cc.Job, x rt.Item, m rt.Mode) cc.Decision {
+	locks := env.Locks()
+	var conflicting []rt.JobID
+	if m == rt.Read {
+		conflicting = locks.WritersOther(x, j.ID)
+	} else {
+		conflicting = append(locks.WritersOther(x, j.ID), locks.ReadersOther(x, j.ID)...)
+	}
+	if len(conflicting) == 0 {
+		return cc.Grant("2pl-ok")
+	}
+	return cc.Block("2pl-conflict", dedup(conflicting)...)
+}
+
+func dedup(ids []rt.JobID) []rt.JobID {
+	var out []rt.JobID
+	for _, id := range ids {
+		seen := false
+		for _, have := range out {
+			if have == id {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, id)
+		}
+	}
+	return out
+}

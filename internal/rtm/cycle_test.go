@@ -1,0 +1,214 @@
+package rtm
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pcpda/internal/cc"
+	"pcpda/internal/db"
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+)
+
+// cycleSet is the adversarial two-transaction shape that COULD close a
+// commit-wait/lock-wait cycle if the locking conditions were weaker:
+//
+//	TH (high): Read(x), Write(y)
+//	TL (low):  Write(x), Read(y)
+//
+// The tests below demonstrate that PCP-DA's own guards make the cycle
+// unreachable in both interleavings — live, under free threading:
+//
+//   - If TH reads x (through TL's write lock) FIRST, then TL's read of y is
+//     ceiling-blocked: TH's read lock on x raises Wceil(x) = P_TL into
+//     TL's Sysceil, and LC3 fails because Wceil(y) = P_TH > P_TL. TL
+//     simply waits until TH commits.
+//   - If TL read-locks y FIRST, then TH's read of x is denied by Table 1:
+//     DataRead(TL) ∩ WriteSet(TH) = {y} ≠ ∅. TH waits until TL commits.
+//
+// Either way one transaction finishes and unblocks the other; the
+// cycle-breaking abort machinery stays cold (Aborts() == 0).
+func cycleSet() (*txn.Set, rt.Item, rt.Item) {
+	s := txn.NewSet("cycle")
+	x := s.Catalog.Intern("x")
+	y := s.Catalog.Intern("y")
+	s.Add(&txn.Template{Name: "TH", Steps: []txn.Step{txn.Read(x), txn.Write(y)}})
+	s.Add(&txn.Template{Name: "TL", Steps: []txn.Step{txn.Write(x), txn.Read(y)}})
+	s.AssignByIndex()
+	return s, x, y
+}
+
+func TestCycleGuardCeilingOrder(t *testing.T) {
+	// TH's stale read first: TL's subsequent Read(y) must WAIT (ceiling),
+	// not deadlock, and proceed after TH commits.
+	s, x, y := cycleSet()
+	m, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	tl, _ := m.Begin(c, "TL")
+	if err := tl.Write(c, x, 1); err != nil {
+		t.Fatal(err)
+	}
+	th, _ := m.Begin(c, "TH")
+	if v, err := th.Read(c, x); err != nil || v != 0 {
+		t.Fatalf("stale read: v=%v err=%v", v, err)
+	}
+
+	tlRead := make(chan error, 1)
+	go func() {
+		_, err := tl.Read(c, y)
+		tlRead <- err
+	}()
+	waitBlocked(t, m, tl)
+	select {
+	case err := <-tlRead:
+		t.Fatalf("TL's read must be ceiling-blocked, got %v", err)
+	default:
+	}
+
+	// TH runs to completion; TL then proceeds and commits.
+	if err := th.Write(c, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Commit(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-tlRead; err != nil {
+		t.Fatalf("TL read after TH commit: %v", err)
+	}
+	if err := tl.Commit(c); err != nil {
+		t.Fatal(err)
+	}
+	if m.Aborts() != 0 {
+		t.Fatalf("cycle breaker fired %d times; the guards should prevent that", m.Aborts())
+	}
+	rep := m.History().Check()
+	if !rep.Serializable || !rep.CommitOrderOK {
+		t.Fatalf("history: %v", rep.Violations)
+	}
+	// TL read y AFTER TH's commit: it must see TH's value.
+	if v := m.ReadCommitted(y); v != 2 {
+		t.Fatalf("y = %v", v)
+	}
+}
+
+func TestCycleGuardTable1Order(t *testing.T) {
+	// TL read-locks y first: TH's read of the write-locked x must WAIT
+	// (Table 1), not slip through into a cycle.
+	s, x, y := cycleSet()
+	m, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	tl, _ := m.Begin(c, "TL")
+	if err := tl.Write(c, x, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tl.Read(c, y); err != nil {
+		t.Fatal(err)
+	}
+	th, _ := m.Begin(c, "TH")
+
+	thRead := make(chan error, 1)
+	var got db.Value
+	go func() {
+		v, err := th.Read(c, x)
+		got = v
+		thRead <- err
+	}()
+	waitBlocked(t, m, th)
+	select {
+	case err := <-thRead:
+		t.Fatalf("TH's read must be blocked by Table 1, got %v", err)
+	default:
+	}
+
+	if err := tl.Commit(c); err != nil {
+		t.Fatalf("TL has no stale readers (TH never got the lock): %v", err)
+	}
+	if err := <-thRead; err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("TH read %v, want TL's committed 1", got)
+	}
+	if err := th.Write(c, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Commit(c); err != nil {
+		t.Fatal(err)
+	}
+	if m.Aborts() != 0 {
+		t.Fatalf("cycle breaker fired %d times", m.Aborts())
+	}
+	rep := m.History().Check()
+	if !rep.Serializable || !rep.CommitOrderOK {
+		t.Fatalf("history: %v", rep.Violations)
+	}
+}
+
+// TestResolveCycleUnit exercises the defensive cycle breaker directly by
+// fabricating a wait cycle in manager state — unreachable through the
+// public API (the tests above show the guards prevent it), but kept as
+// defense-in-depth for the free-threading deviation documented in the
+// package comment.
+func TestResolveCycleUnit(t *testing.T) {
+	s, _, _ := cycleSet()
+	m, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := context.Background()
+	a, _ := m.Begin(c, "TH")
+	b, _ := m.Begin(c, "TL")
+
+	m.mu.Lock()
+	a.job.Status = cc.Blocked
+	a.job.Blockers = []rt.JobID{b.job.ID}
+	b.job.Status = cc.Blocked
+	b.job.Blockers = []rt.JobID{a.job.ID}
+	victim := m.resolveCycle(a)
+	m.mu.Unlock()
+	if victim != b {
+		t.Fatalf("victim = %v, want the lower-priority TL", victim)
+	}
+
+	// No cycle: blocker chain ends at a running transaction.
+	m.mu.Lock()
+	b.job.Status = cc.Ready
+	b.job.Blockers = nil
+	if v := m.resolveCycle(a); v != nil {
+		m.mu.Unlock()
+		t.Fatalf("no cycle but victim %v", v)
+	}
+	a.job.Status = cc.Ready
+	a.job.Blockers = nil
+	m.mu.Unlock()
+	a.Abort()
+	b.Abort()
+}
+
+// waitBlocked polls until tx's job is observed Blocked (under the manager
+// lock), failing the test after a deadline.
+func waitBlocked(t *testing.T, m *Manager, tx *Txn) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		m.mu.Lock()
+		blocked := tx.job.Status == cc.Blocked
+		m.mu.Unlock()
+		if blocked {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("transaction never blocked")
+}

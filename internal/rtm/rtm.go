@@ -1,0 +1,581 @@
+// Package rtm is a live, goroutine-based transaction manager running the
+// PCP-DA protocol — the paper's contribution as an adoptable concurrency
+// control component rather than a simulation policy.
+//
+// Transaction types are registered up front (a txn.Set, as the ceiling
+// protocols require: static read/write sets and a total priority order).
+// Each running transaction is a handle used by one goroutine:
+//
+//	mgr, _ := rtm.New(set)
+//	tx, _ := mgr.Begin(ctx, "sensor-update")
+//	v, _ := tx.Read(ctx, gyro)
+//	_ = tx.Write(ctx, attitude, fuse(v))
+//	_ = tx.Commit(ctx)
+//
+// Admission decisions are made by the very same code that drives the
+// simulator (pcpda.Protocol.Request over the cc.Env interface), so the
+// library and the reproduction cannot drift apart.
+//
+// # Deviation from the paper's execution model
+//
+// The paper assumes a single processor with priority-driven scheduling;
+// several of its guarantees (notably "T_H commits before the write-locked
+// items it read are installed", Lemma 9) fall out of that scheduling model
+// rather than the locking conditions alone. A free-threaded Go program has
+// no priority scheduler, so the manager adds one explicit guard: Commit
+// WAITS until no active transaction holds a stale read of the committer's
+// write set (every such reader must serialize, and therefore commit,
+// first). With that guard every history is serializable in commit order by
+// construction — reads only ever observe committed state, and a version is
+// never installed while a reader of its predecessor is still live.
+//
+// Under the paper's assumptions the combined wait graph (lock waits +
+// commit waits) is acyclic, and the simulator sweep machine-checks that.
+// Under free threading the obvious two-transaction cycles turn out to be
+// unreachable too: PCP-DA's own guards close both interleavings (the
+// Table-1 side condition in one order, the Wceil ceiling raised by the
+// stale reader in the other — see the cycle_test.go walkthrough). The
+// manager still carries a defensive cycle breaker: if a wait cycle is ever
+// detected it aborts the lowest-priority transaction in the cycle
+// (discarding its private workspace — deferred updates make this safe and
+// invisible), returning ErrAborted so the caller can retry. The hammer
+// tests count these aborts and observe zero.
+package rtm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"pcpda/internal/cc"
+	"pcpda/internal/db"
+	"pcpda/internal/history"
+	"pcpda/internal/lock"
+	"pcpda/internal/pcpda"
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+)
+
+// ErrAborted is returned when the manager sacrifices a transaction to break
+// a wait cycle. The transaction's effects are fully discarded; the caller
+// may Begin again.
+var ErrAborted = errors.New("rtm: transaction aborted to break a wait cycle")
+
+// ErrClosed is returned for operations on a finished transaction handle.
+var ErrClosed = errors.New("rtm: transaction already committed or aborted")
+
+// Manager is a live PCP-DA transaction manager. All methods are safe for
+// concurrent use.
+type Manager struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	set   *txn.Set
+	ceil  *txn.Ceilings
+	proto *pcpda.Protocol
+	locks *lock.Table
+	store *db.Store
+	hist  *history.History
+
+	active  map[rt.JobID]*Txn
+	byTmpl  map[txn.ID]*Txn // one live instance per template
+	nextJob rt.JobID
+	nextRun db.RunID
+	clock   rt.Ticks // logical time: one tick per manager operation
+
+	aborts int   // cycle-breaking aborts, for introspection
+	stats  Stats // lifetime counters (CycleAborts/Live filled on read)
+}
+
+// Txn is a live transaction handle, owned by a single goroutine.
+type Txn struct {
+	mgr  *Manager
+	job  *cc.Job
+	done bool
+	// aborted is set by the manager (under mgr.mu) when this transaction
+	// is chosen as a cycle victim; the owning goroutine observes it at its
+	// next (or current) blocking operation.
+	aborted bool
+	// waitingCommit marks a transaction blocked in Commit (its Blockers
+	// then carry commit-wait edges rather than lock-wait edges).
+	waitingCommit bool
+}
+
+// New validates the transaction set and returns a manager for it.
+func New(set *txn.Set) (*Manager, error) {
+	if err := set.Validate(); err != nil {
+		return nil, fmt.Errorf("rtm: %w", err)
+	}
+	ceil := txn.ComputeCeilings(set)
+	p := pcpda.New()
+	p.Init(set, ceil)
+	m := &Manager{
+		set:     set,
+		ceil:    ceil,
+		proto:   p,
+		locks:   lock.NewTable(),
+		store:   db.NewStore(),
+		hist:    history.New(),
+		active:  make(map[rt.JobID]*Txn),
+		byTmpl:  make(map[txn.ID]*Txn),
+		nextRun: db.InitRun + 1,
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m, nil
+}
+
+// --- cc.Env over the live state ---------------------------------------------
+
+// Now returns the logical clock (one tick per manager operation).
+func (m *Manager) Now() rt.Ticks { return m.clock }
+
+// Locks returns the shared lock table.
+func (m *Manager) Locks() *lock.Table { return m.locks }
+
+// Job resolves a live job id.
+func (m *Manager) Job(id rt.JobID) *cc.Job {
+	if t, ok := m.active[id]; ok {
+		return t.job
+	}
+	return nil
+}
+
+// ActiveJobs returns the live jobs in id order.
+func (m *Manager) ActiveJobs() []*cc.Job {
+	out := make([]*cc.Job, 0, len(m.active))
+	for _, t := range m.active {
+		out = append(out, t.job)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+var _ cc.Env = (*Manager)(nil)
+
+// --- public API ---------------------------------------------------------------
+
+// Begin starts an instance of the named transaction type. It blocks while
+// another instance of the same type is live (periodic transactions are
+// non-reentrant; the ceiling analysis assumes a total priority order among
+// live transactions).
+func (m *Manager) Begin(ctx context.Context, name string) (*Txn, error) {
+	tmpl := m.set.ByName(name)
+	if tmpl == nil {
+		return nil, fmt.Errorf("rtm: unknown transaction type %q", name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.byTmpl[tmpl.ID] != nil {
+		if err := m.wait(ctx, nil); err != nil {
+			return nil, err
+		}
+	}
+	m.clock++
+	j := &cc.Job{
+		ID:         m.nextJob,
+		Run:        m.nextRun,
+		Tmpl:       tmpl,
+		Release:    m.clock,
+		Status:     cc.Ready,
+		RunPri:     tmpl.Priority,
+		DataRead:   rt.NewItemSet(),
+		WS:         db.NewWorkspace(),
+		FinishTick: -1,
+		MissedAt:   -1,
+	}
+	m.nextJob++
+	m.nextRun++
+	t := &Txn{mgr: m, job: j}
+	m.active[j.ID] = t
+	m.byTmpl[tmpl.ID] = t
+	m.hist.Begin(m.clock, j.Run, tmpl.ID)
+	m.stats.Begins++
+	return t, nil
+}
+
+// Read acquires a PCP-DA read lock on item (blocking while the locking
+// conditions deny it) and returns the visible value: the transaction's own
+// pending write if present, the last committed value otherwise.
+func (t *Txn) Read(ctx context.Context, item rt.Item) (db.Value, error) {
+	m := t.mgr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := t.usable(); err != nil {
+		return 0, err
+	}
+	if !t.job.Tmpl.ReadSet().Has(item) && !t.job.Tmpl.WriteSet().Has(item) {
+		return 0, fmt.Errorf("rtm: %s reads undeclared item %d", t.job.Tmpl.Name, item)
+	}
+	for {
+		dec := m.proto.Request(m, t.job, item, rt.Read)
+		if dec.Granted {
+			break
+		}
+		t.job.Status = cc.Blocked
+		t.job.BlockedOn = item
+		t.job.BlockedMode = rt.Read
+		t.job.Blockers = dec.Blockers
+		m.stats.LockWaits++
+		if err := m.blockAndWait(ctx, t); err != nil {
+			return 0, err
+		}
+	}
+	t.job.Status = cc.Ready
+	t.job.Blockers = nil
+	m.clock++
+	m.locks.Acquire(t.job.ID, item, rt.Read)
+	t.job.DataRead.Add(item)
+	m.recomputePriorities()
+	if v, own := t.job.WS.Get(item); own {
+		m.hist.Read(m.clock, t.job.Run, t.job.Tmpl.ID, item, -1, t.job.Run)
+		return v, nil
+	}
+	v, ver, from := m.store.Read(item)
+	m.hist.Read(m.clock, t.job.Run, t.job.Tmpl.ID, item, ver, from)
+	return v, nil
+}
+
+// Write acquires a PCP-DA write lock on item (LC1: blocking while a foreign
+// read lock exists) and buffers v in the private workspace.
+func (t *Txn) Write(ctx context.Context, item rt.Item, v db.Value) error {
+	m := t.mgr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := t.usable(); err != nil {
+		return err
+	}
+	if !t.job.Tmpl.WriteSet().Has(item) {
+		return fmt.Errorf("rtm: %s writes undeclared item %d", t.job.Tmpl.Name, item)
+	}
+	for {
+		dec := m.proto.Request(m, t.job, item, rt.Write)
+		if dec.Granted {
+			break
+		}
+		t.job.Status = cc.Blocked
+		t.job.BlockedOn = item
+		t.job.BlockedMode = rt.Write
+		t.job.Blockers = dec.Blockers
+		m.stats.LockWaits++
+		if err := m.blockAndWait(ctx, t); err != nil {
+			return err
+		}
+	}
+	t.job.Status = cc.Ready
+	t.job.Blockers = nil
+	m.clock++
+	m.locks.Acquire(t.job.ID, item, rt.Write)
+	t.job.WS.Write(item, v)
+	m.recomputePriorities()
+	return nil
+}
+
+// Commit installs the workspace and releases every lock. It blocks until no
+// live transaction still depends on the pre-commit versions of the items
+// being written (see the package comment).
+func (t *Txn) Commit(ctx context.Context) error {
+	m := t.mgr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := t.usable(); err != nil {
+		return err
+	}
+	for {
+		stale := m.staleReaders(t)
+		if len(stale) == 0 {
+			break
+		}
+		t.job.Status = cc.Blocked
+		t.job.BlockedOn = rt.NoItem
+		t.job.Blockers = stale
+		t.waitingCommit = true
+		m.stats.CommitWaits++
+		err := m.blockAndWait(ctx, t)
+		t.waitingCommit = false
+		if err != nil {
+			return err
+		}
+	}
+	t.job.Status = cc.Ready
+	t.job.Blockers = nil
+	m.clock++
+	for _, ins := range t.job.WS.InstallInto(m.store, t.job.Run) {
+		m.hist.Write(m.clock, t.job.Run, t.job.Tmpl.ID, ins.Item, ins.Version)
+	}
+	m.hist.Commit(m.clock, t.job.Run, t.job.Tmpl.ID)
+	t.job.FinishTick = m.clock
+	t.job.Status = cc.Done
+	m.stats.Commits++
+	m.finish(t)
+	return nil
+}
+
+// Abort discards the transaction's workspace and releases its locks. Safe
+// to call at any point before Commit returns nil; idempotent.
+func (t *Txn) Abort() {
+	m := t.mgr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t.done {
+		return
+	}
+	m.clock++
+	m.hist.Abort(m.clock, t.job.Run, t.job.Tmpl.ID)
+	t.job.Status = cc.Aborted
+	m.stats.Aborts++
+	m.finish(t)
+}
+
+// Aborts returns the number of cycle-breaking aborts the manager has
+// performed (zero under the paper's execution assumptions).
+func (m *Manager) Aborts() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.aborts
+}
+
+// Stats is a snapshot of the manager's lifetime counters.
+type Stats struct {
+	Begins      int // transactions started
+	Commits     int // successful commits
+	Aborts      int // explicit Abort() calls + cancellations
+	CycleAborts int // cycle-breaking victim aborts
+	Live        int // currently active transactions
+	LockWaits   int // blocking episodes on lock requests
+	CommitWaits int // blocking episodes waiting out stale readers
+}
+
+// Stats returns the current counter snapshot.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.CycleAborts = m.aborts
+	s.Live = len(m.active)
+	return s
+}
+
+// History returns the recorded execution history (for validation; the
+// returned pointer must only be inspected once no transactions are live).
+func (m *Manager) History() *history.History { return m.hist }
+
+// ReadCommitted returns the last committed value of item without starting a
+// transaction (a dirty-read-free peek, usable for monitoring).
+func (m *Manager) ReadCommitted(item rt.Item) db.Value {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, _, _ := m.store.Read(item)
+	return v
+}
+
+// --- internals ----------------------------------------------------------------
+
+func (t *Txn) usable() error {
+	if t.done {
+		return ErrClosed
+	}
+	if t.aborted {
+		m := t.mgr
+		m.clock++
+		m.hist.Abort(m.clock, t.job.Run, t.job.Tmpl.ID)
+		t.job.Status = cc.Aborted
+		m.finish(t)
+		return ErrAborted
+	}
+	return nil
+}
+
+// finish removes t from the live structures and wakes everyone. Caller
+// holds m.mu; t.job.Status must already be Done or Aborted.
+func (m *Manager) finish(t *Txn) {
+	if t.done {
+		return
+	}
+	t.done = true
+	if t.job.Status == cc.Aborted {
+		t.job.WS.Discard()
+	}
+	m.locks.ReleaseAll(t.job.ID)
+	delete(m.active, t.job.ID)
+	if m.byTmpl[t.job.Tmpl.ID] == t {
+		delete(m.byTmpl, t.job.Tmpl.ID)
+	}
+	m.recomputePriorities()
+	m.cond.Broadcast()
+}
+
+// staleReaders lists live transactions (other than t) that have read an
+// item in t's pending write set: they observed the pre-commit version and
+// must commit first.
+func (m *Manager) staleReaders(t *Txn) []rt.JobID {
+	var out []rt.JobID
+	for _, o := range m.active {
+		if o == t {
+			continue
+		}
+		for _, x := range t.job.WS.Items() {
+			if o.job.DataRead.Has(x) {
+				out = append(out, o.job.ID)
+				break
+			}
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// blockAndWait parks t until the manager state changes, handling priority
+// inheritance, cycle detection and cancellation. Caller holds m.mu and has
+// filled t.job.Blockers; on return t must re-evaluate its condition.
+func (m *Manager) blockAndWait(ctx context.Context, t *Txn) error {
+	m.recomputePriorities()
+	if victim := m.resolveCycle(t); victim != nil {
+		victim.aborted = true
+		m.aborts++
+		m.cond.Broadcast()
+		if victim == t {
+			t.job.Status = cc.Aborted
+			m.hist.Abort(m.clock, t.job.Run, t.job.Tmpl.ID)
+			m.finish(t)
+			return ErrAborted
+		}
+	}
+	return m.wait(ctx, t)
+}
+
+// wait sleeps on the manager condition with context cancellation. If t is
+// non-nil its abort flag is honoured on wakeup.
+func (m *Manager) wait(ctx context.Context, t *Txn) error {
+	if err := ctx.Err(); err != nil {
+		m.cleanupOnErr(t)
+		return err
+	}
+	stop := context.AfterFunc(ctx, func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		m.cond.Broadcast()
+	})
+	m.cond.Wait()
+	stop()
+	if t != nil && t.aborted && !t.done {
+		t.job.Status = cc.Aborted
+		m.hist.Abort(m.clock, t.job.Run, t.job.Tmpl.ID)
+		m.finish(t)
+		return ErrAborted
+	}
+	if err := ctx.Err(); err != nil {
+		m.cleanupOnErr(t)
+		return err
+	}
+	return nil
+}
+
+// cleanupOnErr tears a transaction down when its blocking call is
+// cancelled: holding locks while the owner has given up would wedge the
+// system.
+func (m *Manager) cleanupOnErr(t *Txn) {
+	if t == nil || t.done {
+		return
+	}
+	m.clock++
+	m.hist.Abort(m.clock, t.job.Run, t.job.Tmpl.ID)
+	t.job.Status = cc.Aborted
+	m.finish(t)
+}
+
+// recomputePriorities runs the priority-inheritance fixpoint over the live
+// transactions (same rule as the kernel's): a blocker executes, for
+// admission purposes, at the highest priority among the transactions it
+// (transitively) blocks.
+func (m *Manager) recomputePriorities() {
+	for _, t := range m.active {
+		t.job.RunPri = t.job.BasePri()
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, t := range m.active {
+			if t.job.Status != cc.Blocked {
+				continue
+			}
+			for _, bid := range t.job.Blockers {
+				b, ok := m.active[bid]
+				if !ok {
+					continue
+				}
+				if b.job.RunPri < t.job.RunPri {
+					b.job.RunPri = t.job.RunPri
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// resolveCycle looks for a wait cycle reachable from start (lock waits and
+// commit waits combined) and returns the lowest-base-priority member as the
+// victim, or nil when no cycle exists.
+func (m *Manager) resolveCycle(start *Txn) *Txn {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[rt.JobID]int)
+	var stack []rt.JobID
+	var cycle []rt.JobID
+
+	var dfs func(t *Txn) bool
+	dfs = func(t *Txn) bool {
+		color[t.job.ID] = grey
+		stack = append(stack, t.job.ID)
+		if t.job.Status == cc.Blocked {
+			for _, bid := range t.job.Blockers {
+				b, ok := m.active[bid]
+				if !ok || b.job.Status != cc.Blocked {
+					continue
+				}
+				switch color[b.job.ID] {
+				case grey:
+					for i := len(stack) - 1; i >= 0; i-- {
+						if stack[i] == b.job.ID {
+							cycle = append(cycle, stack[i:]...)
+							return true
+						}
+					}
+					cycle = append(cycle, b.job.ID, t.job.ID)
+					return true
+				case white:
+					if dfs(b) {
+						return true
+					}
+				}
+			}
+		}
+		color[t.job.ID] = black
+		stack = stack[:len(stack)-1]
+		return false
+	}
+	if !dfs(start) {
+		return nil
+	}
+	var victim *Txn
+	for _, id := range cycle {
+		t, ok := m.active[id]
+		if !ok {
+			continue
+		}
+		if victim == nil || t.job.BasePri() < victim.job.BasePri() {
+			victim = t
+		}
+	}
+	return victim
+}

@@ -1,0 +1,143 @@
+// Package rwpcp implements the Read/Write Priority Ceiling Protocol of Sha,
+// Rajkumar and Lehoczky (the paper's [17]) — the baseline PCP-DA is measured
+// against.
+//
+// RW-PCP combines strict two-phase locking with priority ceilings under the
+// update-in-place model. Each item x carries two static ceilings:
+//
+//	Wceil(x): priority of the highest-priority transaction that may write x.
+//	Aceil(x): priority of the highest-priority transaction that may read or
+//	          write x.
+//
+// At runtime the r/w ceiling RWceil(x) is Aceil(x) while x is write-locked
+// and Wceil(x) while x is (only) read-locked. A transaction T_i may lock x
+// (in either mode) iff its priority is strictly higher than Sysceil_i, the
+// highest RWceil over all items locked by transactions other than T_i.
+// This single test subsumes explicit read/write conflict checking (paper
+// Section 3) at the price of the ceiling and conflict blockings PCP-DA
+// eliminates.
+package rwpcp
+
+import (
+	"pcpda/internal/cc"
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+)
+
+// Protocol is the RW-PCP policy.
+type Protocol struct {
+	cc.Base
+	set  *txn.Set
+	ceil *txn.Ceilings
+}
+
+var _ cc.Protocol = (*Protocol)(nil)
+var _ cc.CeilingReporter = (*Protocol)(nil)
+
+// New returns an RW-PCP instance.
+func New() *Protocol { return &Protocol{} }
+
+// Name identifies the protocol in reports.
+func (p *Protocol) Name() string { return "RW-PCP" }
+
+// Deferred is false: RW-PCP uses the update-in-place model.
+func (p *Protocol) Deferred() bool { return false }
+
+// Init captures the static transaction set and ceilings.
+func (p *Protocol) Init(set *txn.Set, ceil *txn.Ceilings) {
+	p.set = set
+	p.ceil = ceil
+}
+
+// rwceilOfLocked returns the runtime RWceil of x given who currently holds
+// it: Aceil when write-locked, Wceil when only read-locked, dummy when
+// unlocked. The onlyOthers filter excludes the requester's own locks, per
+// the Sysceil_i definition.
+func (p *Protocol) rwceilFor(env cc.Env, x rt.Item, exclude rt.JobID) rt.Priority {
+	locks := env.Locks()
+	if len(locks.WritersOther(x, exclude)) > 0 {
+		return p.ceil.Aceil(x)
+	}
+	if len(locks.ReadersOther(x, exclude)) > 0 {
+		return p.ceil.Wceil(x)
+	}
+	return rt.Dummy
+}
+
+// sysceilFor computes Sysceil_i for requester j and the jobs holding the
+// lock(s) that realize it.
+func (p *Protocol) sysceilFor(env cc.Env, j *cc.Job) (rt.Priority, []rt.JobID) {
+	locks := env.Locks()
+	sys := rt.Dummy
+	var holders []rt.JobID
+
+	consider := func(x rt.Item) {
+		c := p.rwceilFor(env, x, j.ID)
+		if c.IsDummy() {
+			return
+		}
+		if c > sys {
+			sys = c
+			holders = holders[:0]
+		}
+		if c == sys {
+			for _, id := range locks.WritersOther(x, j.ID) {
+				holders = appendUnique(holders, id)
+			}
+			for _, id := range locks.ReadersOther(x, j.ID) {
+				holders = appendUnique(holders, id)
+			}
+		}
+	}
+
+	seen := rt.NewItemSet()
+	locks.EachReadLock(func(x rt.Item, holder rt.JobID) {
+		if holder != j.ID && !seen.Has(x) {
+			seen.Add(x)
+			consider(x)
+		}
+	})
+	locks.EachWriteLock(func(x rt.Item, holder rt.JobID) {
+		if holder != j.ID && !seen.Has(x) {
+			seen.Add(x)
+			consider(x)
+		}
+	})
+	return sys, holders
+}
+
+func appendUnique(ids []rt.JobID, id rt.JobID) []rt.JobID {
+	for _, have := range ids {
+		if have == id {
+			return ids
+		}
+	}
+	return append(ids, id)
+}
+
+// Request implements RW-PCP's single locking condition P_i > Sysceil_i.
+// Original priorities are used, consistent with the static ceiling
+// definitions (inheritance only affects dispatch).
+func (p *Protocol) Request(env cc.Env, j *cc.Job, x rt.Item, m rt.Mode) cc.Decision {
+	sys, holders := p.sysceilFor(env, j)
+	if j.BasePri() > sys {
+		return cc.Grant("ceiling-ok")
+	}
+	return cc.Block("ceiling", holders...)
+}
+
+// SystemCeiling reports the highest RWceil in force over all locked items
+// (the Max_Sysceil track of Figures 3 and 5).
+func (p *Protocol) SystemCeiling(env cc.Env) rt.Priority {
+	locks := env.Locks()
+	c := rt.Dummy
+	locks.EachWriteLock(func(x rt.Item, _ rt.JobID) {
+		c = c.Max(p.ceil.Aceil(x))
+	})
+	locks.EachReadLock(func(x rt.Item, _ rt.JobID) {
+		if len(locks.Writers(x)) == 0 {
+			c = c.Max(p.ceil.Wceil(x))
+		}
+	})
+	return c
+}

@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"pcpda/internal/cc"
+	"pcpda/internal/rt"
+)
+
+// fastForward advances time in bulk across spans where nothing observable
+// can happen, preserving exact tick-by-tick semantics:
+//
+//   - j (the job that just executed a tick) is mid-segment: until the
+//     segment ends no lock request, commit, early release or priority
+//     change occurs — provided no job release and no deadline boundary
+//     falls inside the span, every tick is identical to the one just
+//     accounted.
+//   - the system is empty: idle until the next release.
+//
+// Spans never cross a release time, a deadline boundary or the horizon, so
+// the main loop's per-tick work (release, deadline check, dispatch) happens
+// at exactly the same instants as in tick-by-tick mode. Fast-forwarding is
+// disabled while tracing (the timeline needs every tick) and by
+// Config.DisableFastForward.
+func (k *Kernel) fastForward(j *cc.Job) {
+	if k.cfg.DisableFastForward || k.cfg.RecordTrace || k.cfg.TrackCeiling {
+		return
+	}
+	if j == nil {
+		k.fastIdle()
+		return
+	}
+	step, ok := j.CurStep()
+	if !ok || j.StepDone == 0 {
+		// Segment boundary: the next tick needs a full dispatch (lock
+		// request, possible preemption re-evaluation).
+		return
+	}
+	span := step.Dur - j.StepDone // remaining ticks in the segment
+	span = k.clampSpan(span)
+	if span <= 0 {
+		return
+	}
+	j.StepDone += span
+	k.accountSpan(j, span)
+	k.now += span
+	if j.StepDone >= step.Dur {
+		j.StepIdx++
+		j.StepDone = 0
+		j.HasLock = false
+		for _, x := range k.proto.EarlyRelease(k, j) {
+			k.locks.ReleaseItem(j.ID, x)
+		}
+	}
+}
+
+// fastIdle jumps an empty system to the next release (or the horizon).
+func (k *Kernel) fastIdle() {
+	if len(k.active) > 0 {
+		// Active-but-all-blocked means a deadlock is in progress; keep
+		// per-tick accounting so blocked-time statistics stay exact.
+		return
+	}
+	next := rt.Ticks(-1)
+	for _, rel := range k.nextRel {
+		if rel >= 0 && (next < 0 || rel < next) {
+			next = rel
+		}
+	}
+	span := k.cfg.Horizon - k.now
+	if next >= 0 {
+		if next <= k.now {
+			return
+		}
+		if gap := next - k.now; gap < span {
+			span = gap
+		}
+	}
+	if span <= 0 {
+		return
+	}
+	k.res.IdleTicks += span
+	k.now += span
+}
+
+// clampSpan bounds a candidate span so it ends no later than the next
+// release, the next unmissed deadline, or the horizon.
+func (k *Kernel) clampSpan(span rt.Ticks) rt.Ticks {
+	if lim := k.cfg.Horizon - k.now; span > lim {
+		span = lim
+	}
+	for _, rel := range k.nextRel {
+		if rel < 0 {
+			continue
+		}
+		if lim := rel - k.now; lim < span {
+			span = lim
+		}
+	}
+	for _, o := range k.active {
+		if o.AbsDeadline <= 0 || o.MissedAt >= 0 {
+			continue
+		}
+		if lim := o.AbsDeadline - k.now; lim < span {
+			span = lim
+		}
+	}
+	return span
+}
+
+// accountSpan bulk-applies accountTick's per-tick statistics for a span in
+// which exec executed every tick and every other active job kept its state.
+func (k *Kernel) accountSpan(exec *cc.Job, span rt.Ticks) {
+	for _, o := range k.active {
+		if o == exec {
+			continue
+		}
+		if o.Status == cc.Blocked {
+			o.BlockedTicks += span
+			if o.BlockedOn >= 0 {
+				k.res.ItemBlocked[o.BlockedOn] += span
+			}
+			if exec.BasePri() < o.BasePri() {
+				o.InvBlockTicks += span
+			}
+		}
+	}
+}

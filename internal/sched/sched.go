@@ -1,0 +1,730 @@
+// Package sched is the discrete-time scheduling kernel underneath every
+// protocol comparison in this repository.
+//
+// It models the paper's system assumptions (Section 5): a single processor,
+// a memory-resident database, periodic transactions with statically assigned
+// priorities, priority-driven preemptive scheduling, and the priority
+// inheritance mechanism ("if a transaction blocks a higher priority
+// transaction, its running priority will inherit that of the higher priority
+// transaction").
+//
+// Time advances in integer ticks. Each tick the kernel:
+//
+//  1. releases the jobs whose arrival time has come (periodic, sporadic
+//     with jitter, or one-shot),
+//  2. records deadline misses (and, under the firm policy, aborts the late
+//     job),
+//  3. dispatches: candidates are the Ready jobs plus the Blocked ones, in
+//     descending current priority. A blocked candidate re-issues its
+//     pending lock request exactly when it would otherwise run — which is
+//     when the real system would hand it the lock; a denial (re-)blocks it
+//     (with priority inheritance applied to the blockers) and the next
+//     candidate is considered, until one job executes for one tick or the
+//     tick idles.
+//
+// A job that finishes its last tick commits at the following tick boundary:
+// deferred workspaces install atomically, locks release, and waiting jobs
+// re-request at the top of the next tick. The kernel also maintains a
+// waits-for graph; protocols that can deadlock (PIP, the naive strawman of
+// the paper's Example 5) are caught and reported rather than hanging the
+// simulation.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pcpda/internal/cc"
+	"pcpda/internal/db"
+	"pcpda/internal/history"
+	"pcpda/internal/lock"
+	"pcpda/internal/rt"
+	"pcpda/internal/trace"
+	"pcpda/internal/txn"
+)
+
+// DeadlinePolicy says what happens when a job is still live at its deadline.
+type DeadlinePolicy uint8
+
+const (
+	// HardRecord records the miss and lets the job run to completion (the
+	// paper's hard-RT analysis setting: a miss is a system failure we want
+	// to observe, not mask).
+	HardRecord DeadlinePolicy = iota
+	// FirmAbort aborts the job at its deadline (firm real-time semantics,
+	// used by the miss-ratio experiments).
+	FirmAbort
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Horizon is the number of ticks to simulate.
+	Horizon rt.Ticks
+	// Deadline selects the deadline policy.
+	Deadline DeadlinePolicy
+	// RecordTrace enables the per-tick Gantt timeline (costs memory
+	// proportional to rows × horizon).
+	RecordTrace bool
+	// TrackCeiling records the protocol's system ceiling every tick
+	// (requires the protocol to implement cc.CeilingReporter).
+	TrackCeiling bool
+	// StopOnDeadlock halts the run when the waits-for graph develops a
+	// cycle; the result carries the cycle. When false the kernel still
+	// detects the cycle but idles through it (every involved job is
+	// blocked forever).
+	StopOnDeadlock bool
+	// SporadicJitter stretches the inter-arrival of templates marked
+	// Sporadic: each gap is drawn uniformly from
+	// [Period, Period·(1+SporadicJitter)], seeded by Seed so runs are
+	// reproducible. Zero keeps sporadic templates strictly periodic.
+	SporadicJitter float64
+	// Seed drives the sporadic-arrival RNG (and nothing else).
+	Seed int64
+	// DisableFastForward forces tick-by-tick execution. By default, when
+	// neither the trace nor the ceiling track is recorded, the kernel
+	// fast-forwards across inert spans (a job mid-segment with no release,
+	// deadline or scheduling event before the segment ends, or a fully
+	// idle gap); the differential tests assert the two modes produce
+	// identical results.
+	DisableFastForward bool
+	// Paranoid validates the kernel's structural invariants every tick
+	// (see checkInvariants) and halts the run on the first violation,
+	// which is then reported in Result.Invariant. Used by the randomized
+	// test sweeps; costs O(jobs × locks) per tick.
+	Paranoid bool
+}
+
+// Result is everything a run produced.
+type Result struct {
+	Protocol string
+	Set      *txn.Set
+	Horizon  rt.Ticks
+
+	Jobs     []*cc.Job
+	History  *history.History
+	Timeline *trace.Timeline // nil unless Config.RecordTrace
+	Store    *db.Store
+
+	Committed int
+	Misses    int
+	Aborts    int // firm-deadline terminations
+	Restarts  int // 2PL-HP style restarts
+	IdleTicks rt.Ticks
+
+	Deadlocked    bool
+	DeadlockAt    rt.Ticks
+	DeadlockCycle []rt.JobID
+
+	// GrantCounts aggregates Decision.Rule for granted requests;
+	// BlockCounts for fresh denials (retries of an already blocked job do
+	// not re-count).
+	GrantCounts map[string]int
+	BlockCounts map[string]int
+	// Audit carries protocol-internal counters (cc.Auditor).
+	Audit map[string]int
+	// MaxSysceil is the highest ceiling observed (dummy when untracked).
+	MaxSysceil rt.Priority
+	// ItemBlocked attributes blocked ticks to the item being waited for —
+	// the per-item contention profile (ceiling blockings attribute to the
+	// requested item). Items never waited for are absent.
+	ItemBlocked map[rt.Item]rt.Ticks
+	// Invariant carries the first violated kernel invariant under
+	// Config.Paranoid (nil on healthy runs).
+	Invariant *InvariantError
+}
+
+// Kernel drives one simulation run. Create with New, call Run once.
+type Kernel struct {
+	set   *txn.Set
+	ceil  *txn.Ceilings
+	proto cc.Protocol
+	cfg   Config
+
+	locks *lock.Table
+	store *db.Store
+	hist  *history.History
+	tl    *trace.Timeline
+
+	now     rt.Ticks
+	jobs    []*cc.Job  // every job ever released, by id
+	active  []*cc.Job  // live jobs (Ready or Blocked), id order
+	nextRel []rt.Ticks // per template: next release time (-1 done)
+	nextRun db.RunID
+	rng     *rand.Rand // sporadic arrivals only
+
+	res Result
+}
+
+// New builds a kernel for one run of proto over set. The set must validate.
+func New(set *txn.Set, proto cc.Protocol, cfg Config) (*Kernel, error) {
+	if err := set.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: invalid transaction set: %w", err)
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("sched: non-positive horizon %d", cfg.Horizon)
+	}
+	ceil := txn.ComputeCeilings(set)
+	proto.Init(set, ceil)
+	k := &Kernel{
+		set:     set,
+		ceil:    ceil,
+		proto:   proto,
+		cfg:     cfg,
+		locks:   lock.NewTable(),
+		store:   db.NewStore(),
+		hist:    history.New(),
+		nextRel: make([]rt.Ticks, len(set.Templates)),
+		nextRun: db.InitRun + 1,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i, t := range set.Templates {
+		k.nextRel[i] = t.Offset
+	}
+	if cfg.RecordTrace {
+		k.tl = trace.New(len(set.Templates), cfg.Horizon)
+	}
+	k.res = Result{
+		Protocol:    proto.Name(),
+		Set:         set,
+		Horizon:     cfg.Horizon,
+		GrantCounts: make(map[string]int),
+		BlockCounts: make(map[string]int),
+		ItemBlocked: make(map[rt.Item]rt.Ticks),
+		MaxSysceil:  rt.Dummy,
+	}
+	return k, nil
+}
+
+// --- cc.Env implementation -------------------------------------------------
+
+// Now returns the current tick.
+func (k *Kernel) Now() rt.Ticks { return k.now }
+
+// Locks returns the shared lock table.
+func (k *Kernel) Locks() *lock.Table { return k.locks }
+
+// Job resolves a job id.
+func (k *Kernel) Job(id rt.JobID) *cc.Job {
+	if id < 0 || int(id) >= len(k.jobs) {
+		return nil
+	}
+	return k.jobs[id]
+}
+
+// ActiveJobs returns the live jobs in id order.
+func (k *Kernel) ActiveJobs() []*cc.Job { return k.active }
+
+// --- main loop --------------------------------------------------------------
+
+// Run executes the simulation and returns the result. It must be called at
+// most once per Kernel.
+func (k *Kernel) Run() *Result {
+	for k.now < k.cfg.Horizon {
+		k.release()
+		k.checkDeadlines()
+		j := k.dispatch()
+		if k.res.Deadlocked && k.cfg.StopOnDeadlock {
+			break
+		}
+		k.accountTick(j)
+		k.now++
+		k.fastForward(j)
+		if j != nil && j.Finished() {
+			k.commit(j)
+		}
+		if k.cfg.Paranoid {
+			if err := k.checkInvariants(); err != nil {
+				k.res.Invariant = err
+				break
+			}
+		}
+	}
+	k.res.Jobs = k.jobs
+	k.res.History = k.hist
+	k.res.Timeline = k.tl
+	k.res.Store = k.store
+	if a, ok := k.proto.(cc.Auditor); ok {
+		k.res.Audit = a.Audit()
+	}
+	return &k.res
+}
+
+// release creates jobs whose release time has arrived.
+func (k *Kernel) release() {
+	for i, tmpl := range k.set.Templates {
+		for k.nextRel[i] >= 0 && k.nextRel[i] <= k.now {
+			rel := k.nextRel[i]
+			switch {
+			case tmpl.OneShot():
+				k.nextRel[i] = -1
+			case tmpl.Sporadic && k.cfg.SporadicJitter > 0:
+				gap := tmpl.Period
+				extra := float64(tmpl.Period) * k.cfg.SporadicJitter * k.rng.Float64()
+				gap += rt.Ticks(extra)
+				k.nextRel[i] = rel + gap
+			default:
+				k.nextRel[i] = rel + tmpl.Period
+			}
+			k.spawn(tmpl, rel)
+		}
+	}
+}
+
+func (k *Kernel) spawn(tmpl *txn.Template, rel rt.Ticks) {
+	j := &cc.Job{
+		ID:         rt.JobID(len(k.jobs)),
+		Run:        k.nextRun,
+		Tmpl:       tmpl,
+		Release:    rel,
+		Status:     cc.Ready,
+		RunPri:     tmpl.Priority,
+		DataRead:   rt.NewItemSet(),
+		FinishTick: -1,
+		MissedAt:   -1,
+	}
+	k.nextRun++
+	if d := tmpl.RelativeDeadline(); d > 0 {
+		j.AbsDeadline = rel + d
+	}
+	if k.proto.Deferred() {
+		j.WS = db.NewWorkspace()
+	}
+	k.jobs = append(k.jobs, j)
+	k.active = append(k.active, j)
+	k.hist.Begin(k.now, j.Run, tmpl.ID)
+	k.annotate(j, "arr")
+	k.proto.Begin(k, j)
+}
+
+// higherPriority is the kernel's total dispatch order.
+func higherPriority(a, b *cc.Job) bool {
+	if a.RunPri != b.RunPri {
+		return a.RunPri > b.RunPri
+	}
+	if a.BasePri() != b.BasePri() {
+		return a.BasePri() > b.BasePri()
+	}
+	if a.Release != b.Release {
+		return a.Release < b.Release
+	}
+	return a.ID < b.ID
+}
+
+func equalBlockers(a, b []rt.JobID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkDeadlines records misses at the deadline boundary; under FirmAbort
+// the late job is terminated.
+func (k *Kernel) checkDeadlines() {
+	// Iterate over a copy: FirmAbort mutates k.active.
+	live := append([]*cc.Job(nil), k.active...)
+	for _, j := range live {
+		if j.AbsDeadline <= 0 || j.MissedAt >= 0 || k.now < j.AbsDeadline {
+			continue
+		}
+		j.MissedAt = k.now
+		k.res.Misses++
+		k.annotate(j, "MISS")
+		if k.cfg.Deadline == FirmAbort {
+			k.abort(j, false)
+			k.res.Aborts++
+		}
+	}
+}
+
+// dispatch runs one tick of the highest-priority runnable job.
+//
+// Candidates are the Ready jobs plus the Blocked jobs — a blocked job
+// re-issues its pending lock request exactly when it would otherwise be the
+// one dispatched, which is when the real system would hand it the lock. A
+// denial (re-)blocks the candidate, inheritance kicks in, and the next
+// candidate is considered; a grant unblocks the job and it executes this
+// tick. Returns the job that executed, or nil for an idle tick.
+func (k *Kernel) dispatch() *cc.Job {
+	tried := make(map[rt.JobID]bool)
+	for {
+		k.recomputePriorities()
+		j := k.bestCandidate(tried)
+		if j == nil {
+			return nil
+		}
+		if x, m, need := j.NeedsLock(); need {
+			wasBlocked := j.Status == cc.Blocked
+			dec := k.proto.Request(k, j, x, m)
+			k.applyDecision(j, dec)
+			if !dec.Granted {
+				if !wasBlocked {
+					k.res.BlockCounts[dec.Rule]++
+				}
+				k.block(j, x, m, dec.Blockers, !wasBlocked)
+				tried[j.ID] = true
+				if k.res.Deadlocked && k.cfg.StopOnDeadlock {
+					return nil
+				}
+				continue
+			}
+			k.res.GrantCounts[dec.Rule]++
+			if wasBlocked {
+				k.unblock(j)
+				k.recomputePriorities()
+			}
+			k.grant(j)
+		}
+		k.exec(j)
+		return j
+	}
+}
+
+// bestCandidate returns the highest-priority Ready or Blocked job that has
+// not been tried this tick.
+func (k *Kernel) bestCandidate(tried map[rt.JobID]bool) *cc.Job {
+	var best *cc.Job
+	for _, j := range k.active {
+		if tried[j.ID] {
+			continue
+		}
+		if j.Status != cc.Ready && j.Status != cc.Blocked {
+			continue
+		}
+		if best == nil || higherPriority(j, best) {
+			best = j
+		}
+	}
+	return best
+}
+
+// applyDecision aborts 2PL-HP victims before a grant takes effect.
+func (k *Kernel) applyDecision(j *cc.Job, dec cc.Decision) {
+	for _, vid := range dec.AbortVictims {
+		v := k.Job(vid)
+		if v == nil || v == j || (v.Status != cc.Ready && v.Status != cc.Blocked) {
+			continue
+		}
+		k.abort(v, true)
+		k.res.Restarts++
+	}
+}
+
+// grant records the lock in the table, performs the data access, and
+// notifies the protocol. The job must be at an unacquired lock step.
+func (k *Kernel) grant(j *cc.Job) {
+	step, ok := j.CurStep()
+	if !ok || step.Kind == txn.Compute {
+		return
+	}
+	x := step.Item
+	id := j.Tmpl.ID
+	switch step.Kind {
+	case txn.ReadStep:
+		k.locks.Acquire(j.ID, x, rt.Read)
+		j.DataRead.Add(x)
+		if j.WS != nil {
+			if _, own := j.WS.Get(x); own {
+				// Reading its own pending write: no inter-transaction edge.
+				k.hist.Read(k.now, j.Run, id, x, -1, j.Run)
+			} else {
+				_, ver, from := k.store.Read(x)
+				k.hist.Read(k.now, j.Run, id, x, ver, from)
+			}
+		} else {
+			_, ver, from := k.store.Read(x)
+			k.hist.Read(k.now, j.Run, id, x, ver, from)
+		}
+		k.annotate(j, "RL("+k.set.Catalog.Name(x)+")")
+	case txn.WriteStep:
+		k.locks.Acquire(j.ID, x, rt.Write)
+		val := db.SyntheticValue(j.Run, x)
+		if j.WS != nil {
+			j.WS.Write(x, val)
+		} else {
+			ver := k.store.WriteInPlace(j.Run, x, val)
+			k.hist.Write(k.now, j.Run, id, x, ver)
+		}
+		k.annotate(j, "WL("+k.set.Catalog.Name(x)+")")
+	}
+	j.HasLock = true
+	mode := rt.Read
+	if step.Kind == txn.WriteStep {
+		mode = rt.Write
+	}
+	k.proto.Granted(k, j, x, mode)
+}
+
+// exec burns one tick of j's current step and advances the step machine.
+func (k *Kernel) exec(j *cc.Job) {
+	step, ok := j.CurStep()
+	if !ok {
+		return
+	}
+	j.StepDone++
+	if j.StepDone >= step.Dur {
+		j.StepIdx++
+		j.StepDone = 0
+		j.HasLock = false
+		for _, x := range k.proto.EarlyRelease(k, j) {
+			k.locks.ReleaseItem(j.ID, x)
+			k.annotate(j, "UL("+k.set.Catalog.Name(x)+")")
+		}
+	}
+}
+
+// block transitions j to Blocked (or refreshes a standing block) and applies
+// inheritance plus the deadlock check. fresh marks a Ready→Blocked
+// transition; re-blocks only re-annotate when the blocker set changed.
+func (k *Kernel) block(j *cc.Job, x rt.Item, m rt.Mode, blockers []rt.JobID, fresh bool) {
+	changed := fresh || !equalBlockers(j.Blockers, blockers)
+	j.Status = cc.Blocked
+	j.BlockedOn = x
+	j.BlockedMode = m
+	j.Blockers = blockers
+	for _, b := range blockers {
+		seen := false
+		for _, have := range j.EverBlockedBy {
+			if have == b {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			j.EverBlockedBy = append(j.EverBlockedBy, b)
+		}
+	}
+	if fresh {
+		k.annotate(j, fmt.Sprintf("blocked %s(%s)", m, k.set.Catalog.Name(x)))
+	}
+	if !changed {
+		return
+	}
+	k.recomputePriorities()
+	if cyc := k.findWaitCycle(j); cyc != nil && !k.res.Deadlocked {
+		k.res.Deadlocked = true
+		k.res.DeadlockAt = k.now
+		k.res.DeadlockCycle = cyc
+		k.annotate(j, "DEADLOCK")
+	}
+}
+
+func (k *Kernel) unblock(j *cc.Job) {
+	j.Status = cc.Ready
+	j.BlockedOn = rt.NoItem
+	j.Blockers = nil
+}
+
+// recomputePriorities runs priority inheritance to a fixpoint: every
+// blocker executes at least at the priority of every job it (transitively)
+// blocks.
+func (k *Kernel) recomputePriorities() {
+	for _, j := range k.active {
+		j.RunPri = j.BasePri()
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, j := range k.active {
+			if j.Status != cc.Blocked {
+				continue
+			}
+			for _, bid := range j.Blockers {
+				b := k.Job(bid)
+				if b == nil || (b.Status != cc.Ready && b.Status != cc.Blocked) {
+					continue
+				}
+				if b.RunPri < j.RunPri {
+					b.RunPri = j.RunPri
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// findWaitCycle looks for a waits-for cycle reachable from start.
+func (k *Kernel) findWaitCycle(start *cc.Job) []rt.JobID {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[rt.JobID]int)
+	var stack []rt.JobID
+	var cycle []rt.JobID
+
+	var dfs func(j *cc.Job) bool
+	dfs = func(j *cc.Job) bool {
+		color[j.ID] = grey
+		stack = append(stack, j.ID)
+		if j.Status == cc.Blocked {
+			for _, bid := range j.Blockers {
+				b := k.Job(bid)
+				if b == nil || (b.Status != cc.Blocked && b.Status != cc.Ready) {
+					continue
+				}
+				// Only blocked blockers propagate waiting; a Ready blocker
+				// can run and eventually release.
+				if b.Status != cc.Blocked {
+					continue
+				}
+				switch color[b.ID] {
+				case grey:
+					for i := len(stack) - 1; i >= 0; i-- {
+						if stack[i] == b.ID {
+							cycle = append(cycle, stack[i:]...)
+							return true
+						}
+					}
+					cycle = append(cycle, b.ID, j.ID)
+					return true
+				case white:
+					if dfs(b) {
+						return true
+					}
+				}
+			}
+		}
+		color[j.ID] = black
+		stack = stack[:len(stack)-1]
+		return false
+	}
+	if dfs(start) {
+		return cycle
+	}
+	return nil
+}
+
+// commit finalizes a finished job at the current tick boundary.
+func (k *Kernel) commit(j *cc.Job) {
+	id := j.Tmpl.ID
+	// Optimistic protocols name their restart victims before the install
+	// (forward validation); the aborts land after the commit completes so
+	// the victims observe the new state on their re-run.
+	var victims []rt.JobID
+	if arb, ok := k.proto.(cc.CommitArbiter); ok {
+		victims = arb.CommitVictims(k, j)
+	}
+	if j.WS != nil {
+		for _, ins := range j.WS.InstallInto(k.store, j.Run) {
+			k.hist.Write(k.now, j.Run, id, ins.Item, ins.Version)
+		}
+	} else {
+		k.store.Forget(j.Run)
+	}
+	k.hist.Commit(k.now, j.Run, id)
+	k.locks.ReleaseAll(j.ID)
+	j.Status = cc.Done
+	j.FinishTick = k.now
+	k.removeActive(j)
+	k.res.Committed++
+	k.annotate(j, "commit")
+	k.proto.Committed(k, j)
+	k.recomputePriorities()
+	for _, vid := range victims {
+		v := k.Job(vid)
+		if v == nil || v == j || (v.Status != cc.Ready && v.Status != cc.Blocked) {
+			continue
+		}
+		k.abort(v, true)
+		k.res.Restarts++
+	}
+}
+
+// abort rolls back j; restart=true re-arms it from its first step (2PL-HP),
+// restart=false removes it (firm deadline).
+func (k *Kernel) abort(j *cc.Job, restart bool) {
+	if j.WS != nil {
+		j.WS.Discard()
+	} else {
+		k.store.Rollback(j.Run)
+	}
+	k.locks.ReleaseAll(j.ID)
+	k.hist.Abort(k.now, j.Run, j.Tmpl.ID)
+	k.annotate(j, "abort")
+	k.proto.Aborted(k, j)
+	if restart {
+		j.Run = k.nextRun
+		k.nextRun++
+		j.StepIdx = 0
+		j.StepDone = 0
+		j.HasLock = false
+		j.DataRead.Clear()
+		j.Status = cc.Ready
+		j.BlockedOn = rt.NoItem
+		j.Blockers = nil
+		j.Restarts++
+		k.hist.Begin(k.now, j.Run, j.Tmpl.ID)
+		k.proto.Begin(k, j)
+		return
+	}
+	j.Status = cc.Aborted
+	k.removeActive(j)
+	k.recomputePriorities()
+}
+
+func (k *Kernel) removeActive(j *cc.Job) {
+	for i, a := range k.active {
+		if a == j {
+			k.active = append(k.active[:i], k.active[i+1:]...)
+			return
+		}
+	}
+}
+
+// accountTick updates traces and statistics for the tick that just ran.
+func (k *Kernel) accountTick(executed *cc.Job) {
+	if executed == nil {
+		k.res.IdleTicks++
+	}
+	for _, j := range k.active {
+		if j == executed {
+			continue
+		}
+		switch j.Status {
+		case cc.Blocked:
+			j.BlockedTicks++
+			if j.BlockedOn >= 0 {
+				k.res.ItemBlocked[j.BlockedOn]++
+			}
+			if executed != nil && executed.BasePri() < j.BasePri() {
+				j.InvBlockTicks++
+			}
+		}
+	}
+	if k.tl != nil {
+		if executed != nil {
+			k.tl.Set(executed.Tmpl.ID, k.now, trace.Exec)
+		}
+		for _, j := range k.active {
+			if j == executed {
+				continue
+			}
+			switch j.Status {
+			case cc.Blocked:
+				k.tl.Set(j.Tmpl.ID, k.now, trace.BlockedMark)
+			case cc.Ready:
+				k.tl.Set(j.Tmpl.ID, k.now, trace.Preempted)
+			}
+		}
+	}
+	if k.cfg.TrackCeiling {
+		if cr, ok := k.proto.(cc.CeilingReporter); ok {
+			c := cr.SystemCeiling(k)
+			k.res.MaxSysceil = k.res.MaxSysceil.Max(c)
+			if k.tl != nil {
+				k.tl.SetCeiling(k.now, c)
+			}
+		}
+	}
+}
+
+func (k *Kernel) annotate(j *cc.Job, text string) {
+	if k.tl != nil {
+		k.tl.Annotate(j.Tmpl.ID, k.now, text)
+	}
+}

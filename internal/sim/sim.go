@@ -1,0 +1,160 @@
+// Package sim is the high-level simulation facade: it names the available
+// protocols, runs one transaction set under one or many of them, and ties
+// the kernel's result to the metrics layer. The command-line tools, the
+// examples and the benchmarks all drive simulations through this package.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"pcpda/internal/cc"
+	"pcpda/internal/ccp"
+	"pcpda/internal/metrics"
+	"pcpda/internal/naiveda"
+	"pcpda/internal/occ"
+	"pcpda/internal/opcp"
+	"pcpda/internal/pcpda"
+	"pcpda/internal/pip"
+	"pcpda/internal/rt"
+	"pcpda/internal/rwpcp"
+	"pcpda/internal/sched"
+	"pcpda/internal/tplhp"
+	"pcpda/internal/txn"
+)
+
+// factories maps CLI names to protocol constructors. A fresh protocol
+// instance is built per run (protocols carry run-local state).
+var factories = map[string]func() cc.Protocol{
+	"pcpda":     func() cc.Protocol { return pcpda.New() },
+	"pcpda-lc2": func() cc.Protocol { return pcpda.NewWithOptions(pcpda.Options{LC2Only: true}) },
+	"rwpcp":     func() cc.Protocol { return rwpcp.New() },
+	"ccp":       func() cc.Protocol { return ccp.New() },
+	"pcp":       func() cc.Protocol { return opcp.New() },
+	"pip":       func() cc.Protocol { return pip.New() },
+	"2plhp":     func() cc.Protocol { return tplhp.New() },
+	"occ":       func() cc.Protocol { return occ.New() },
+	"naiveda":   func() cc.Protocol { return naiveda.New() },
+}
+
+// Protocols returns the available protocol names, sorted.
+func Protocols() []string {
+	names := make([]string, 0, len(factories))
+	for n := range factories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewProtocol builds a fresh protocol instance by CLI name.
+func NewProtocol(name string) (cc.Protocol, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown protocol %q (have %v)", name, Protocols())
+	}
+	return f(), nil
+}
+
+// Options configures a facade run.
+type Options struct {
+	// Horizon is the tick count; 0 derives it from the set (hyperperiod +
+	// max offset, or 64 ticks for pure one-shot sets).
+	Horizon rt.Ticks
+	// FirmDeadlines aborts jobs at their deadlines instead of recording
+	// the miss and letting them finish.
+	FirmDeadlines bool
+	// Trace records the Gantt timeline and the ceiling track.
+	Trace bool
+	// StopOnDeadlock halts a deadlocked run (always safe to leave on; a
+	// deadlock-free protocol never triggers it).
+	StopOnDeadlock bool
+	// SporadicJitter stretches inter-arrivals of Sporadic templates
+	// (uniform in [Period, Period·(1+J)]), seeded by Seed.
+	SporadicJitter float64
+	// Seed drives the sporadic-arrival RNG.
+	Seed int64
+}
+
+// DefaultHorizon derives a sensible horizon for set: one hyperperiod past
+// the largest offset for periodic sets, or a small constant for one-shot
+// demos. Random period sets can have astronomically large hyperperiods, so
+// the horizon is capped at 50 times the longest period — long enough for
+// the blocking statistics to stabilize, short enough to simulate quickly.
+func DefaultHorizon(set *txn.Set) rt.Ticks {
+	h := set.Hyperperiod()
+	var maxOff, maxPeriod rt.Ticks
+	var oneShotDemand rt.Ticks
+	for _, t := range set.Templates {
+		if t.Offset > maxOff {
+			maxOff = t.Offset
+		}
+		if t.Period > maxPeriod {
+			maxPeriod = t.Period
+		}
+		if t.OneShot() {
+			oneShotDemand += t.Exec()
+		}
+	}
+	if h == 0 {
+		return maxOff + 4*oneShotDemand + 16
+	}
+	if cap := 50 * maxPeriod; h > cap {
+		h = cap
+	}
+	return maxOff + h
+}
+
+// Run simulates set under the named protocol.
+func Run(set *txn.Set, protocol string, opts Options) (*sched.Result, error) {
+	p, err := NewProtocol(protocol)
+	if err != nil {
+		return nil, err
+	}
+	return RunProtocol(set, p, opts)
+}
+
+// RunProtocol simulates set under an already-constructed protocol instance.
+// The instance must be fresh (one instance per run).
+func RunProtocol(set *txn.Set, p cc.Protocol, opts Options) (*sched.Result, error) {
+	horizon := opts.Horizon
+	if horizon <= 0 {
+		horizon = DefaultHorizon(set)
+	}
+	cfg := sched.Config{
+		Horizon:        horizon,
+		RecordTrace:    opts.Trace,
+		TrackCeiling:   opts.Trace,
+		StopOnDeadlock: opts.StopOnDeadlock,
+		SporadicJitter: opts.SporadicJitter,
+		Seed:           opts.Seed,
+	}
+	if opts.FirmDeadlines {
+		cfg.Deadline = sched.FirmAbort
+	}
+	k, err := sched.New(set, p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return k.Run(), nil
+}
+
+// Comparison holds one protocol's run and summary in a side-by-side study.
+type Comparison struct {
+	Name    string
+	Result  *sched.Result
+	Summary metrics.Summary
+}
+
+// Compare runs set under each named protocol and summarizes.
+func Compare(set *txn.Set, protocols []string, opts Options) ([]Comparison, error) {
+	var out []Comparison
+	for _, name := range protocols {
+		res, err := Run(set, name, opts)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s: %w", name, err)
+		}
+		out = append(out, Comparison{Name: name, Result: res, Summary: metrics.Summarize(res)})
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+// Package stats provides the small statistical toolkit the experiments use:
+// streaming mean/variance (Welford's algorithm) and normal-approximation
+// confidence intervals, so sweep tables can report how stable their numbers
+// are across seeds without external dependencies.
+package stats
+
+import "math"
+
+// Stream accumulates observations with Welford's online algorithm.
+type Stream struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Stream) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Stream) N() int { return s.n }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Min and Max return the observed extremes (0 when empty).
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the largest observation.
+func (s *Stream) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (s *Stream) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Stream) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// CI95 returns the half-width of the 95% confidence interval for the mean
+// under the normal approximation (1.96·s/√n; 0 for n < 2).
+func (s *Stream) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return 1.96 * s.Stddev() / math.Sqrt(float64(s.n))
+}
+
+// Summary collects the headline numbers.
+type Summary struct {
+	N            int
+	Mean, Stddev float64
+	Min, Max     float64
+	CI95         float64
+}
+
+// Summarize snapshots the stream.
+func (s *Stream) Summarize() Summary {
+	return Summary{
+		N: s.n, Mean: s.Mean(), Stddev: s.Stddev(),
+		Min: s.min, Max: s.max, CI95: s.CI95(),
+	}
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyStream(t *testing.T) {
+	var s Stream
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 || s.CI95() != 0 {
+		t.Fatal("empty stream must read zero everywhere")
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	var s Stream
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 || s.Mean() != 5 {
+		t.Fatalf("n=%d mean=%v", s.N(), s.Mean())
+	}
+	// Population variance is 4; sample variance = 32/7.
+	if math.Abs(s.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("variance = %v", s.Variance())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	sum := s.Summarize()
+	if sum.N != 8 || sum.Mean != 5 || sum.CI95 <= 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var s Stream
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.Variance() != 0 || s.CI95() != 0 {
+		t.Fatal("single observation stats wrong")
+	}
+	if s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Fatal("extremes wrong")
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		rng := rand.New(rand.NewSource(seed))
+		var s Stream
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 5
+			s.Add(xs[i])
+		}
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		var v float64
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		v /= float64(n - 1)
+		return math.Abs(s.Mean()-mean) < 1e-9 && math.Abs(s.Variance()-v) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCIShrinksWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var small, large Stream
+	for i := 0; i < 10; i++ {
+		small.Add(rng.NormFloat64())
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(rng.NormFloat64())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI did not shrink: %v vs %v", large.CI95(), small.CI95())
+	}
+}

@@ -1,0 +1,89 @@
+// Package tplhp implements High-Priority two-phase locking (2PL-HP, Abbott
+// and Garcia-Molina), the representative of the abortion-based strategies
+// the paper cites as [18,19,21]: data conflicts are resolved in favour of
+// the higher-priority transaction by restarting lower-priority lock holders.
+//
+// On a conflicting request, every conflicting holder with lower (original)
+// priority is aborted and restarted; if conflicting holders with higher
+// priority remain, the requester waits for them. Because every wait is for
+// a strictly higher-priority transaction, the waits-for graph cannot cycle,
+// so 2PL-HP is deadlock-free — but, as the paper argues in Section 2, the
+// number of restarts a lower-priority transaction suffers is unbounded,
+// which is why the abort-based family cannot provide a worst-case
+// schedulability analysis. The restart-count experiments (X4) quantify it.
+package tplhp
+
+import (
+	"pcpda/internal/cc"
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+)
+
+// Protocol is the 2PL-HP policy.
+type Protocol struct {
+	cc.Base
+}
+
+var _ cc.Protocol = (*Protocol)(nil)
+
+// New returns a 2PL-HP instance.
+func New() *Protocol { return &Protocol{} }
+
+// Name identifies the protocol in reports.
+func (p *Protocol) Name() string { return "2PL-HP" }
+
+// Deferred is false: update-in-place (aborts roll back via the store's undo
+// journal).
+func (p *Protocol) Deferred() bool { return false }
+
+// Init is a no-op.
+func (p *Protocol) Init(*txn.Set, *txn.Ceilings) {}
+
+// Request resolves conflicts by priority: lower-priority conflicting
+// holders become abort victims; higher-priority ones make the requester
+// wait.
+func (p *Protocol) Request(env cc.Env, j *cc.Job, x rt.Item, m rt.Mode) cc.Decision {
+	locks := env.Locks()
+	var conflicting []rt.JobID
+	if m == rt.Read {
+		conflicting = locks.WritersOther(x, j.ID)
+	} else {
+		conflicting = append(locks.WritersOther(x, j.ID), locks.ReadersOther(x, j.ID)...)
+	}
+	if len(conflicting) == 0 {
+		return cc.Grant("2pl-ok")
+	}
+	var victims, waits []rt.JobID
+	for _, id := range dedup(conflicting) {
+		h := env.Job(id)
+		if h == nil {
+			continue
+		}
+		if h.BasePri() < j.BasePri() {
+			victims = appendUnique(victims, id)
+		} else {
+			waits = appendUnique(waits, id)
+		}
+	}
+	if len(waits) == 0 {
+		return cc.Decision{Granted: true, Rule: "hp-restart", AbortVictims: victims}
+	}
+	return cc.Decision{Granted: false, Rule: "hp-wait", Blockers: waits, AbortVictims: victims}
+}
+
+func dedup(ids []rt.JobID) []rt.JobID {
+	var out []rt.JobID
+	for _, id := range ids {
+		out = appendUnique(out, id)
+	}
+	return out
+}
+
+func appendUnique(ids []rt.JobID, id rt.JobID) []rt.JobID {
+	for _, have := range ids {
+		if have == id {
+			return ids
+		}
+	}
+	return append(ids, id)
+}

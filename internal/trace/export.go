@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+)
+
+// stateName maps marks to CSV cell values.
+func stateName(m Mark) string {
+	switch m {
+	case Exec:
+		return "exec"
+	case Preempted:
+		return "ready"
+	case BlockedMark:
+		return "blocked"
+	}
+	return ""
+}
+
+// CSV renders the timeline as comma-separated values for external plotting:
+// a header row, one row per tick with each transaction's state, plus the
+// ceiling column when tracked. Events are appended as comment lines
+// prefixed with '#'.
+func (tl *Timeline) CSV(set *txn.Set) string {
+	var b strings.Builder
+	b.WriteString("tick")
+	for _, t := range set.Templates {
+		b.WriteByte(',')
+		b.WriteString(t.Name)
+	}
+	if tl.ceiling != nil {
+		b.WriteString(",ceiling")
+	}
+	b.WriteByte('\n')
+	namer := PriorityNamer(set)
+	for tick := rt.Ticks(0); tick < tl.horizon; tick++ {
+		fmt.Fprintf(&b, "%d", tick)
+		for row := range set.Templates {
+			b.WriteByte(',')
+			b.WriteString(stateName(tl.At(txn.ID(row), tick)))
+		}
+		if tl.ceiling != nil {
+			b.WriteByte(',')
+			b.WriteString(namer(tl.ceiling[tick]))
+		}
+		b.WriteByte('\n')
+	}
+	for _, e := range tl.events {
+		name := "?"
+		if int(e.Row) >= 0 && int(e.Row) < len(set.Templates) {
+			name = set.Templates[e.Row].Name
+		}
+		fmt.Fprintf(&b, "# t=%d %s %s\n", e.Tick, name, e.Text)
+	}
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"pcpda/internal/rt"
+)
+
+func TestCSVExport(t *testing.T) {
+	s := smallSet()
+	tl := New(2, 4)
+	tl.Set(0, 0, Exec)
+	tl.Set(1, 0, Preempted)
+	tl.Set(1, 1, BlockedMark)
+	tl.Set(1, 2, Exec)
+	tl.SetCeiling(0, s.ByName("T2").Priority)
+	tl.SetCeiling(1, rt.Dummy)
+	tl.Annotate(0, 0, "RL(x)")
+	out := tl.CSV(s)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "tick,T1,T2,ceiling" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "0,exec,ready,P2" {
+		t.Fatalf("row 0 = %q", lines[1])
+	}
+	if lines[2] != "1,,blocked,dummy" {
+		t.Fatalf("row 1 = %q", lines[2])
+	}
+	if lines[3] != "2,,exec,dummy" {
+		t.Fatalf("row 2 = %q", lines[3])
+	}
+	if !strings.Contains(out, "# t=0 T1 RL(x)") {
+		t.Fatalf("event comment missing:\n%s", out)
+	}
+}
+
+func TestCSVWithoutCeiling(t *testing.T) {
+	s := smallSet()
+	tl := New(2, 2)
+	tl.Set(0, 0, Exec)
+	out := tl.CSV(s)
+	if strings.Contains(out, "ceiling") {
+		t.Fatalf("untracked ceiling column present:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "tick,T1,T2\n0,exec,\n") {
+		t.Fatalf("csv = %q", out)
+	}
+}

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+)
+
+// SVG geometry constants (pixels).
+const (
+	svgCell    = 14 // width of one tick
+	svgRowH    = 22 // height of one transaction row
+	svgRowGap  = 8
+	svgLabelW  = 90
+	svgTopPad  = 28
+	svgCeilH   = 40 // height of the ceiling track
+	svgPadding = 12
+)
+
+// svgColors per mark; chosen to survive grayscale printing (the paper's
+// figures are monochrome, so fills differ in lightness, not only hue).
+var svgColors = map[Mark]string{
+	Exec:        "#2f6f4f", // executing: dark green
+	Preempted:   "#d9c36a", // ready but preempted: sand
+	BlockedMark: "#b23b3b", // blocked: brick red
+}
+
+// SVG renders the timeline as a self-contained SVG document in the style
+// of the paper's figures: one row per transaction with colored per-tick
+// cells (executing / preempted / blocked), a tick ruler, event markers
+// (arrivals, lock operations, commits, deadline misses), and — when the
+// ceiling was tracked — a step line for the system priority ceiling
+// (Max_Sysceil, the figures' dotted line).
+func (tl *Timeline) SVG(set *txn.Set) string {
+	rows := len(set.Templates)
+	width := svgLabelW + int(tl.horizon)*svgCell + 2*svgPadding
+	chartH := rows * (svgRowH + svgRowGap)
+	height := svgTopPad + chartH + svgCeilH + 3*svgPadding
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`, width, height)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, `<rect x="0" y="0" width="%d" height="%d" fill="white"/>`, width, height)
+	b.WriteByte('\n')
+
+	xOf := func(tick rt.Ticks) int { return svgPadding + svgLabelW + int(tick)*svgCell }
+	yOf := func(row int) int { return svgTopPad + row*(svgRowH+svgRowGap) }
+
+	// Ruler: a label every 5 ticks plus a light grid line.
+	for t := rt.Ticks(0); t <= tl.horizon; t += 5 {
+		x := xOf(t)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`,
+			x, svgTopPad-6, x, svgTopPad+chartH)
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#555">%d</text>`, x-3, svgTopPad-10, t)
+		b.WriteByte('\n')
+	}
+
+	// Rows.
+	for row, tmpl := range set.Templates {
+		y := yOf(row)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#000">%s</text>`,
+			svgPadding, y+svgRowH-7, xmlEscape(tmpl.Name))
+		b.WriteByte('\n')
+		// Merge consecutive ticks of equal mark into one rect.
+		start := rt.Ticks(0)
+		for t := rt.Ticks(1); t <= tl.horizon; t++ {
+			cur := tl.At(txn.ID(row), start)
+			if t < tl.horizon && tl.At(txn.ID(row), t) == cur {
+				continue
+			}
+			if cur != Absent {
+				fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#333" stroke-width="0.5"/>`,
+					xOf(start), y, int(t-start)*svgCell, svgRowH, svgColors[cur])
+				b.WriteByte('\n')
+			}
+			start = t
+		}
+	}
+
+	// Event markers: small triangles for arrivals, diamonds for commits,
+	// an X for misses; lock annotations as tooltips on invisible anchors.
+	for _, e := range tl.events {
+		if int(e.Row) < 0 || int(e.Row) >= rows {
+			continue
+		}
+		x := xOf(e.Tick)
+		y := yOf(int(e.Row))
+		switch {
+		case e.Text == "arr":
+			fmt.Fprintf(&b, `<path d="M %d %d l 4 -7 l -8 0 z" fill="#000"><title>t=%d arrival</title></path>`,
+				x, y+svgRowH+7, e.Tick)
+		case e.Text == "commit":
+			fmt.Fprintf(&b, `<path d="M %d %d l 4 4 l -4 4 l -4 -4 z" fill="#2a4b8d"><title>t=%d commit</title></path>`,
+				x, y-9, e.Tick)
+		case e.Text == "MISS":
+			fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#b20000" font-weight="bold">✗<title>t=%d deadline miss</title></text>`,
+				x-3, y-2, e.Tick)
+		default:
+			fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="2" fill="#666"><title>t=%d %s</title></circle>`,
+				x, y-4, e.Tick, xmlEscape(e.Text))
+		}
+		b.WriteByte('\n')
+	}
+
+	// Ceiling track as a step line.
+	if tl.ceiling != nil && tl.horizon > 0 {
+		maxPri := rt.Priority(len(set.Templates))
+		base := svgTopPad + chartH + svgPadding + svgCeilH
+		yFor := func(p rt.Priority) int {
+			if p.IsDummy() || maxPri <= 0 {
+				return base
+			}
+			return base - int(float64(svgCeilH)*float64(p)/float64(maxPri))
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#555">ceiling</text>`, svgPadding, base-svgCeilH/2)
+		b.WriteByte('\n')
+		var pts []string
+		for t := rt.Ticks(0); t < tl.horizon; t++ {
+			y := yFor(tl.ceiling[t])
+			pts = append(pts, fmt.Sprintf("%d,%d %d,%d", xOf(t), y, xOf(t+1), y))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="#2a4b8d" stroke-dasharray="4 2"/>`,
+			strings.Join(pts, " "))
+		b.WriteByte('\n')
+	}
+
+	// Legend.
+	legendY := svgTopPad + chartH + svgPadding
+	lx := svgPadding + svgLabelW
+	for _, item := range []struct {
+		mark Mark
+		name string
+	}{{Exec, "executing"}, {Preempted, "preempted"}, {BlockedMark, "blocked"}} {
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s" stroke="#333" stroke-width="0.5"/>`,
+			lx, legendY, svgColors[item.mark])
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#000">%s</text>`, lx+14, legendY+9, item.name)
+		b.WriteByte('\n')
+		lx += 100
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"pcpda/internal/rt"
+)
+
+func renderedTimeline() *Timeline {
+	tl := New(2, 10)
+	tl.Set(0, 1, Exec)
+	tl.Set(0, 2, Exec)
+	tl.Set(0, 3, BlockedMark)
+	tl.Set(1, 0, Exec)
+	tl.Set(1, 1, Preempted)
+	tl.Set(1, 2, Preempted)
+	tl.Annotate(0, 1, "arr")
+	tl.Annotate(0, 2, "RL(x)")
+	tl.Annotate(0, 4, "commit")
+	tl.Annotate(1, 5, "MISS")
+	for t := rt.Ticks(0); t < 10; t++ {
+		tl.SetCeiling(t, rt.Priority(int(t)%3))
+	}
+	return tl
+}
+
+func TestSVGWellFormedXML(t *testing.T) {
+	s := smallSet()
+	tl := renderedTimeline()
+	out := tl.SVG(s)
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, out)
+		}
+	}
+}
+
+func TestSVGContainsExpectedElements(t *testing.T) {
+	s := smallSet()
+	tl := renderedTimeline()
+	out := tl.SVG(s)
+	for _, frag := range []string{
+		"<svg", "</svg>",
+		">T1<", ">T2<", // row labels
+		svgColors[Exec], svgColors[Preempted], svgColors[BlockedMark],
+		"arrival", "commit", "deadline miss",
+		"RL(x)",
+		"polyline",                          // ceiling track
+		"executing", "preempted", "blocked", // legend
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("SVG missing %q", frag)
+		}
+	}
+}
+
+func TestSVGMergesRuns(t *testing.T) {
+	// Two consecutive Exec ticks must render as ONE rect (width 2 cells).
+	s := smallSet()
+	tl := New(2, 6)
+	tl.Set(0, 1, Exec)
+	tl.Set(0, 2, Exec)
+	out := tl.SVG(s)
+	if !strings.Contains(out, `width="28"`) { // 2 × svgCell
+		t.Fatalf("adjacent ticks not merged:\n%s", out)
+	}
+}
+
+func TestSVGWithoutCeilingHasNoPolyline(t *testing.T) {
+	s := smallSet()
+	tl := New(2, 4)
+	tl.Set(0, 0, Exec)
+	if strings.Contains(tl.SVG(s), "polyline") {
+		t.Fatal("untracked ceiling rendered")
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	if got := xmlEscape(`a<b>&"c`); got != "a&lt;b&gt;&amp;&quot;c" {
+		t.Fatalf("escape = %q", got)
+	}
+}

@@ -1,0 +1,237 @@
+// Package trace renders transaction schedules as ASCII Gantt charts in the
+// style of the paper's Figures 1-5: one row per transaction, one column per
+// tick, with lock acquisitions, arrivals, commits and deadline misses
+// annotated, plus an optional track for the system priority ceiling
+// (the figures' dotted Max_Sysceil line).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+)
+
+// Mark is the per-tick state of one transaction row.
+type Mark uint8
+
+const (
+	// Absent: no live job of this transaction.
+	Absent Mark = iota
+	// Exec: a job of this transaction executed this tick.
+	Exec
+	// Preempted: ready but a higher-priority job held the CPU.
+	Preempted
+	// BlockedMark: waiting for a lock.
+	BlockedMark
+)
+
+// glyphs per mark, chosen to stay readable in a terminal.
+var glyphs = [...]byte{Absent: ' ', Exec: '#', Preempted: '-', BlockedMark: '.'}
+
+// Event is a point annotation on a row.
+type Event struct {
+	Tick rt.Ticks
+	Row  txn.ID
+	Text string // e.g. "arr", "RL(x)", "WL(y)", "commit", "MISS"
+}
+
+// Timeline accumulates marks and events over a fixed horizon.
+type Timeline struct {
+	horizon rt.Ticks
+	rows    int
+	marks   [][]Mark // [row][tick]
+	events  []Event
+	ceiling []rt.Priority // per tick; nil until first SetCeiling
+}
+
+// New returns a timeline with the given number of rows and horizon.
+func New(rows int, horizon rt.Ticks) *Timeline {
+	if horizon < 0 {
+		horizon = 0
+	}
+	m := make([][]Mark, rows)
+	for i := range m {
+		m[i] = make([]Mark, horizon)
+	}
+	return &Timeline{horizon: horizon, rows: rows, marks: m}
+}
+
+// Horizon returns the timeline length in ticks.
+func (tl *Timeline) Horizon() rt.Ticks { return tl.horizon }
+
+// Set records the mark of row at tick. Out-of-range coordinates are
+// ignored; Exec wins over other marks already present for the tick.
+func (tl *Timeline) Set(row txn.ID, tick rt.Ticks, m Mark) {
+	if row < 0 || int(row) >= tl.rows || tick < 0 || tick >= tl.horizon {
+		return
+	}
+	cur := tl.marks[row][tick]
+	if cur == Exec {
+		return
+	}
+	tl.marks[row][tick] = m
+}
+
+// At returns the recorded mark.
+func (tl *Timeline) At(row txn.ID, tick rt.Ticks) Mark {
+	if row < 0 || int(row) >= tl.rows || tick < 0 || tick >= tl.horizon {
+		return Absent
+	}
+	return tl.marks[row][tick]
+}
+
+// Annotate attaches a textual event at (row, tick).
+func (tl *Timeline) Annotate(row txn.ID, tick rt.Ticks, text string) {
+	tl.events = append(tl.events, Event{Tick: tick, Row: row, Text: text})
+}
+
+// Events returns the annotations in insertion order (a copy).
+func (tl *Timeline) Events() []Event {
+	out := make([]Event, len(tl.events))
+	copy(out, tl.events)
+	return out
+}
+
+// SetCeiling records the system priority ceiling in force during tick.
+func (tl *Timeline) SetCeiling(tick rt.Ticks, p rt.Priority) {
+	if tick < 0 || tick >= tl.horizon {
+		return
+	}
+	if tl.ceiling == nil {
+		tl.ceiling = make([]rt.Priority, tl.horizon)
+	}
+	tl.ceiling[tick] = p
+}
+
+// Ceiling returns the recorded ceiling at tick (dummy when untracked).
+func (tl *Timeline) Ceiling(tick rt.Ticks) rt.Priority {
+	if tl.ceiling == nil || tick < 0 || tick >= tl.horizon {
+		return rt.Dummy
+	}
+	return tl.ceiling[tick]
+}
+
+// MaxCeiling returns the highest ceiling level recorded on the timeline —
+// the paper's Max_Sysceil.
+func (tl *Timeline) MaxCeiling() rt.Priority {
+	m := rt.Dummy
+	for _, p := range tl.ceiling {
+		m = m.Max(p)
+	}
+	return m
+}
+
+// RowString renders one row's marks as a glyph string (for golden tests).
+func (tl *Timeline) RowString(row txn.ID) string {
+	if row < 0 || int(row) >= tl.rows {
+		return ""
+	}
+	b := make([]byte, tl.horizon)
+	for t := rt.Ticks(0); t < tl.horizon; t++ {
+		b[t] = glyphs[tl.marks[row][t]]
+	}
+	return string(b)
+}
+
+// PriorityNamer maps a priority level to the paper's "P1".."Pn" notation
+// for a given transaction set (P1 = highest).
+func PriorityNamer(set *txn.Set) func(rt.Priority) string {
+	type pr struct {
+		p    rt.Priority
+		name string
+	}
+	var prs []pr
+	for _, t := range set.Templates {
+		prs = append(prs, pr{t.Priority, t.Name})
+	}
+	sort.Slice(prs, func(i, j int) bool { return prs[i].p > prs[j].p })
+	names := make(map[rt.Priority]string, len(prs))
+	for i, e := range prs {
+		names[e.p] = fmt.Sprintf("P%d", i+1)
+	}
+	return func(p rt.Priority) string {
+		if p.IsDummy() {
+			return "dummy"
+		}
+		if n, ok := names[p]; ok {
+			return n
+		}
+		return p.String()
+	}
+}
+
+// Render produces the full chart. Row labels come from the set's template
+// names; events are listed below the chart, and the ceiling track (when
+// recorded) is rendered as a labelled line.
+func (tl *Timeline) Render(set *txn.Set) string {
+	var b strings.Builder
+
+	labelW := 4
+	for _, t := range set.Templates {
+		if len(t.Name) > labelW {
+			labelW = len(t.Name)
+		}
+	}
+
+	// Time ruler, ticks every 5.
+	fmt.Fprintf(&b, "%-*s ", labelW, "time")
+	for t := rt.Ticks(0); t < tl.horizon; t++ {
+		if t%5 == 0 {
+			mark := fmt.Sprintf("%d", t)
+			b.WriteString(mark)
+			skip := rt.Ticks(len(mark) - 1)
+			t += skip
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	b.WriteByte('\n')
+
+	for row, tmpl := range set.Templates {
+		fmt.Fprintf(&b, "%-*s %s\n", labelW, tmpl.Name, tl.RowString(txn.ID(row)))
+	}
+
+	if tl.ceiling != nil {
+		namer := PriorityNamer(set)
+		fmt.Fprintf(&b, "%-*s ", labelW, "ceil")
+		// Compress the ceiling track into runs.
+		var runs []string
+		start := rt.Ticks(0)
+		for t := rt.Ticks(1); t <= tl.horizon; t++ {
+			if t == tl.horizon || tl.ceiling[t] != tl.ceiling[start] {
+				runs = append(runs, fmt.Sprintf("[%d,%d)=%s", start, t, namer(tl.ceiling[start])))
+				start = t
+			}
+		}
+		b.WriteString(strings.Join(runs, " "))
+		b.WriteByte('\n')
+	}
+
+	if len(tl.events) > 0 {
+		b.WriteString("events:\n")
+		evs := make([]Event, len(tl.events))
+		copy(evs, tl.events)
+		sort.SliceStable(evs, func(i, j int) bool {
+			if evs[i].Tick != evs[j].Tick {
+				return evs[i].Tick < evs[j].Tick
+			}
+			return evs[i].Row < evs[j].Row
+		})
+		for _, e := range evs {
+			name := "?"
+			if int(e.Row) >= 0 && int(e.Row) < len(set.Templates) {
+				name = set.Templates[e.Row].Name
+			}
+			fmt.Fprintf(&b, "  t=%-4d %-6s %s\n", e.Tick, name, e.Text)
+		}
+	}
+	return b.String()
+}
+
+// Legend explains the glyphs.
+func Legend() string {
+	return "legend: '#' executing  '-' preempted  '.' blocked  ' ' not released"
+}

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+)
+
+func smallSet() *txn.Set {
+	s := txn.NewSet("tl")
+	x := s.Catalog.Intern("x")
+	s.Add(&txn.Template{Name: "T1", Steps: []txn.Step{txn.Read(x)}})
+	s.Add(&txn.Template{Name: "T2", Steps: []txn.Step{txn.Write(x)}})
+	s.AssignByIndex()
+	return s
+}
+
+func TestMarksAndRowString(t *testing.T) {
+	tl := New(2, 6)
+	tl.Set(0, 0, Exec)
+	tl.Set(0, 1, BlockedMark)
+	tl.Set(0, 2, Preempted)
+	tl.Set(1, 3, Exec)
+	if got := tl.RowString(0); got != "#.-   " {
+		t.Fatalf("row 0 = %q", got)
+	}
+	if got := tl.RowString(1); got != "   #  " {
+		t.Fatalf("row 1 = %q", got)
+	}
+	if tl.At(0, 1) != BlockedMark || tl.At(1, 3) != Exec {
+		t.Fatal("At readback wrong")
+	}
+}
+
+func TestExecWinsOverLaterMarks(t *testing.T) {
+	tl := New(1, 3)
+	tl.Set(0, 0, Exec)
+	tl.Set(0, 0, BlockedMark) // must not downgrade
+	if tl.At(0, 0) != Exec {
+		t.Fatal("Exec mark must be sticky")
+	}
+}
+
+func TestOutOfRangeIgnored(t *testing.T) {
+	tl := New(1, 3)
+	tl.Set(-1, 0, Exec)
+	tl.Set(5, 0, Exec)
+	tl.Set(0, -1, Exec)
+	tl.Set(0, 99, Exec)
+	if tl.At(5, 0) != Absent || tl.At(0, 99) != Absent {
+		t.Fatal("out-of-range must read Absent")
+	}
+	if tl.RowString(7) != "" {
+		t.Fatal("bad row renders empty")
+	}
+}
+
+func TestCeilingTrack(t *testing.T) {
+	tl := New(1, 5)
+	if tl.Ceiling(2) != rt.Dummy {
+		t.Fatal("untracked ceiling reads dummy")
+	}
+	tl.SetCeiling(0, 2)
+	tl.SetCeiling(1, 2)
+	tl.SetCeiling(2, 3)
+	if tl.Ceiling(1) != 2 || tl.Ceiling(2) != 3 || tl.Ceiling(4) != rt.Dummy {
+		t.Fatal("ceiling readback wrong")
+	}
+	if tl.MaxCeiling() != 3 {
+		t.Fatalf("MaxCeiling = %v", tl.MaxCeiling())
+	}
+	tl.SetCeiling(-1, 9)
+	tl.SetCeiling(99, 9)
+	if tl.MaxCeiling() != 3 {
+		t.Fatal("out-of-range ceiling must be ignored")
+	}
+}
+
+func TestEventsCopy(t *testing.T) {
+	tl := New(1, 3)
+	tl.Annotate(0, 1, "RL(x)")
+	evs := tl.Events()
+	if len(evs) != 1 || evs[0].Text != "RL(x)" {
+		t.Fatalf("events = %v", evs)
+	}
+	evs[0].Text = "mutated"
+	if tl.Events()[0].Text != "RL(x)" {
+		t.Fatal("Events must return a copy")
+	}
+}
+
+func TestRenderContainsEverything(t *testing.T) {
+	s := smallSet()
+	tl := New(2, 12)
+	tl.Set(0, 0, Exec)
+	tl.Set(1, 1, BlockedMark)
+	tl.Annotate(0, 0, "arr")
+	tl.Annotate(1, 1, "blocked on x")
+	for i := rt.Ticks(0); i < 12; i++ {
+		tl.SetCeiling(i, 1)
+	}
+	out := tl.Render(s)
+	for _, frag := range []string{"time", "T1", "T2", "events:", "arr", "blocked on x", "ceil", "[0,12)="} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q in:\n%s", frag, out)
+		}
+	}
+	// The ruler must show tick labels 0, 5, 10.
+	first := strings.SplitN(out, "\n", 2)[0]
+	for _, lbl := range []string{"0", "5", "10"} {
+		if !strings.Contains(first, lbl) {
+			t.Errorf("ruler %q missing %q", first, lbl)
+		}
+	}
+}
+
+func TestRenderEventOrderStable(t *testing.T) {
+	s := smallSet()
+	tl := New(2, 4)
+	tl.Annotate(1, 2, "later")
+	tl.Annotate(0, 1, "earlier")
+	tl.Annotate(1, 1, "earlier-row2")
+	out := tl.Render(s)
+	i1 := strings.Index(out, "earlier")
+	i2 := strings.Index(out, "earlier-row2")
+	i3 := strings.Index(out, "later")
+	if !(i1 < i2 && i2 < i3) {
+		t.Fatalf("events not time-then-row ordered:\n%s", out)
+	}
+}
+
+func TestPriorityNamer(t *testing.T) {
+	s := smallSet() // T1 higher than T2
+	namer := PriorityNamer(s)
+	if got := namer(s.ByName("T1").Priority); got != "P1" {
+		t.Errorf("T1 priority renders %q, want P1", got)
+	}
+	if got := namer(s.ByName("T2").Priority); got != "P2" {
+		t.Errorf("T2 priority renders %q, want P2", got)
+	}
+	if got := namer(rt.Dummy); got != "dummy" {
+		t.Errorf("dummy renders %q", got)
+	}
+	if got := namer(rt.Priority(99)); got == "" {
+		t.Error("unknown priority must render non-empty")
+	}
+}
+
+func TestLegendMentionsAllGlyphs(t *testing.T) {
+	l := Legend()
+	for _, g := range []string{"#", "-", "."} {
+		if !strings.Contains(l, g) {
+			t.Errorf("legend missing %q", g)
+		}
+	}
+}
+
+func TestZeroAndNegativeHorizon(t *testing.T) {
+	tl := New(1, 0)
+	if tl.Horizon() != 0 {
+		t.Fatal("zero horizon")
+	}
+	tl2 := New(1, -5)
+	if tl2.Horizon() != 0 {
+		t.Fatal("negative horizon clamps to 0")
+	}
+	tl2.Set(0, 0, Exec) // must not panic
+}

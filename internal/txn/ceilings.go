@@ -1,0 +1,46 @@
+package txn
+
+import "pcpda/internal/rt"
+
+// Ceilings holds the statically computed priority ceilings of every data
+// item for a transaction set. Both PCP-DA and the baselines derive their
+// runtime rules from these two maps:
+//
+//   - Wceil(x) (= the paper's HPW(x)): the priority of the highest-priority
+//     transaction that may WRITE x. PCP-DA's only ceiling.
+//   - Aceil(x): the priority of the highest-priority transaction that may
+//     read OR write x. RW-PCP raises RWceil(x) to Aceil(x) when x is
+//     write-locked; the original PCP uses Aceil as its single ceiling.
+//
+// Items nobody writes (or accesses) have the dummy ceiling.
+type Ceilings struct {
+	wceil map[rt.Item]rt.Priority
+	aceil map[rt.Item]rt.Priority
+}
+
+// ComputeCeilings derives the static ceilings from the declared read/write
+// sets of every template in the set.
+func ComputeCeilings(s *Set) *Ceilings {
+	c := &Ceilings{
+		wceil: make(map[rt.Item]rt.Priority),
+		aceil: make(map[rt.Item]rt.Priority),
+	}
+	for _, t := range s.Templates {
+		for _, it := range t.WriteSet().Items() {
+			c.wceil[it] = c.wceil[it].Max(t.Priority)
+			c.aceil[it] = c.aceil[it].Max(t.Priority)
+		}
+		for _, it := range t.ReadSet().Items() {
+			c.aceil[it] = c.aceil[it].Max(t.Priority)
+		}
+	}
+	return c
+}
+
+// Wceil returns the write priority ceiling of x (the paper's Wceil(x) /
+// HPW(x)); dummy when no transaction writes x.
+func (c *Ceilings) Wceil(x rt.Item) rt.Priority { return c.wceil[x] }
+
+// Aceil returns the absolute priority ceiling of x; dummy when no
+// transaction accesses x.
+func (c *Ceilings) Aceil(x rt.Item) rt.Priority { return c.aceil[x] }

@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"testing"
+)
+
+// FuzzUnmarshal exercises the workload-file parser: arbitrary input must
+// never panic, and any input it accepts must round-trip through Marshal and
+// parse again to an equivalent set (same names, priorities and demands).
+func FuzzUnmarshal(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"name":"t","transactions":[]}`,
+		`{"name":"t","priority":"index","transactions":[
+		  {"name":"A","period":5,"steps":[{"op":"r","item":"x"}]}]}`,
+		`{"name":"t","priority":"rm","transactions":[
+		  {"name":"A","period":5,"steps":[{"op":"r","item":"x"},{"op":"c","dur":2}]},
+		  {"name":"B","period":9,"sporadic":true,"steps":[{"op":"w","item":"x"}]}]}`,
+		`{"name":"t","priority":"explicit","transactions":[
+		  {"name":"A","priority":3,"deadline":4,"steps":[{"op":"w","item":"y","dur":2}]}]}`,
+		`{"name":"bad","transactions":[{"name":"A","steps":[{"op":"q"}]}]}`,
+		`[1,2,3]`,
+		`{"transactions":[{"name":"","steps":[]}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set, err := Unmarshal(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		out, err := Marshal(set)
+		if err != nil {
+			t.Fatalf("accepted set failed to marshal: %v", err)
+		}
+		back, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, out)
+		}
+		if len(back.Templates) != len(set.Templates) {
+			t.Fatalf("round trip changed template count: %d vs %d",
+				len(back.Templates), len(set.Templates))
+		}
+		for i := range set.Templates {
+			a, b := set.Templates[i], back.Templates[i]
+			if a.Name != b.Name || a.Priority != b.Priority || a.Exec() != b.Exec() ||
+				a.Period != b.Period || a.Sporadic != b.Sporadic {
+				t.Fatalf("template %d mutated: %+v vs %+v", i, a, b)
+			}
+		}
+	})
+}

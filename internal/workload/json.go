@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+)
+
+// File is the JSON schema for a workload file consumed by the CLIs.
+//
+// Example:
+//
+//	{
+//	  "name": "example3",
+//	  "priority": "index",
+//	  "transactions": [
+//	    {"name": "T1", "period": 5, "offset": 1,
+//	     "steps": [{"op": "r", "item": "x"}, {"op": "r", "item": "y"}]},
+//	    {"name": "T2",
+//	     "steps": [{"op": "w", "item": "x"}, {"op": "c", "dur": 2},
+//	               {"op": "w", "item": "y"}, {"op": "c", "dur": 1}]}
+//	  ]
+//	}
+type File struct {
+	Name string `json:"name"`
+	// Priority selects the assignment rule: "rm" (rate-monotonic, default),
+	// "index" (declaration order, first = highest — the paper's examples),
+	// or "explicit" (use each transaction's priority field).
+	Priority     string            `json:"priority,omitempty"`
+	Transactions []TransactionJSON `json:"transactions"`
+}
+
+// TransactionJSON is one transaction in a workload file.
+type TransactionJSON struct {
+	Name     string     `json:"name"`
+	Period   rt.Ticks   `json:"period,omitempty"`
+	Sporadic bool       `json:"sporadic,omitempty"`
+	Offset   rt.Ticks   `json:"offset,omitempty"`
+	Deadline rt.Ticks   `json:"deadline,omitempty"`
+	Priority int        `json:"priority,omitempty"`
+	Steps    []StepJSON `json:"steps"`
+}
+
+// StepJSON is one step: op "r"/"w" with an item, or "c" with a duration.
+type StepJSON struct {
+	Op   string   `json:"op"`
+	Item string   `json:"item,omitempty"`
+	Dur  rt.Ticks `json:"dur,omitempty"`
+}
+
+// Marshal renders a set as a workload file (explicit priorities).
+func Marshal(set *txn.Set) ([]byte, error) {
+	f := File{Name: set.Name, Priority: "explicit"}
+	for _, t := range set.Templates {
+		tj := TransactionJSON{
+			Name:     t.Name,
+			Period:   t.Period,
+			Sporadic: t.Sporadic,
+			Offset:   t.Offset,
+			Deadline: t.Deadline,
+			Priority: int(t.Priority),
+		}
+		for _, s := range t.Steps {
+			switch s.Kind {
+			case txn.Compute:
+				tj.Steps = append(tj.Steps, StepJSON{Op: "c", Dur: s.Dur})
+			case txn.ReadStep:
+				tj.Steps = append(tj.Steps, stepWithDur("r", set.Catalog.Name(s.Item), s.Dur))
+			case txn.WriteStep:
+				tj.Steps = append(tj.Steps, stepWithDur("w", set.Catalog.Name(s.Item), s.Dur))
+			}
+		}
+		f.Transactions = append(f.Transactions, tj)
+	}
+	return json.MarshalIndent(f, "", "  ")
+}
+
+func stepWithDur(op, item string, d rt.Ticks) StepJSON {
+	s := StepJSON{Op: op, Item: item}
+	if d != 1 {
+		s.Dur = d
+	}
+	return s
+}
+
+// Unmarshal parses a workload file into a validated transaction set.
+func Unmarshal(data []byte) (*txn.Set, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("workload: bad JSON: %w", err)
+	}
+	set := txn.NewSet(f.Name)
+	for _, tj := range f.Transactions {
+		tmpl := &txn.Template{
+			Name:     tj.Name,
+			Period:   tj.Period,
+			Sporadic: tj.Sporadic,
+			Offset:   tj.Offset,
+			Deadline: tj.Deadline,
+			Priority: rt.Priority(tj.Priority),
+		}
+		for i, sj := range tj.Steps {
+			switch sj.Op {
+			case "c":
+				d := sj.Dur
+				if d == 0 {
+					d = 1
+				}
+				tmpl.Steps = append(tmpl.Steps, txn.Comp(d))
+			case "r", "w":
+				if sj.Item == "" {
+					return nil, fmt.Errorf("workload: %s step %d: missing item", tj.Name, i)
+				}
+				d := sj.Dur
+				if d == 0 {
+					d = 1
+				}
+				it := set.Catalog.Intern(sj.Item)
+				kind := txn.ReadStep
+				if sj.Op == "w" {
+					kind = txn.WriteStep
+				}
+				tmpl.Steps = append(tmpl.Steps, txn.Step{Kind: kind, Item: it, Dur: d})
+			default:
+				return nil, fmt.Errorf("workload: %s step %d: unknown op %q", tj.Name, i, sj.Op)
+			}
+		}
+		set.Add(tmpl)
+	}
+	switch f.Priority {
+	case "", "rm":
+		set.AssignRateMonotonic()
+	case "index":
+		set.AssignByIndex()
+	case "explicit":
+		// keep as parsed
+	default:
+		return nil, fmt.Errorf("workload: unknown priority rule %q", f.Priority)
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}

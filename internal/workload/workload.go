@@ -1,0 +1,265 @@
+// Package workload generates synthetic periodic transaction sets and
+// (de)serializes workloads to JSON for the command-line tools.
+//
+// The generator follows the conventions of the real-time database
+// literature contemporary with the paper: total utilization split across
+// transactions with the UUniFast algorithm, log-uniform periods, and data
+// access patterns drawn from a shared item pool with a tunable write
+// probability. Everything is driven by an explicit seed, so every
+// experiment in EXPERIMENTS.md is exactly reproducible.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+)
+
+// Config parameterizes the generator.
+type Config struct {
+	// Name labels the generated set.
+	Name string
+	// N is the number of transactions (≥ 1).
+	N int
+	// Items is the size of the shared data-item pool (≥ 1).
+	Items int
+	// Utilization is the total CPU demand ΣC_i/Pd_i to target (0 < U).
+	Utilization float64
+	// PeriodMin/PeriodMax bound the log-uniformly drawn periods.
+	PeriodMin, PeriodMax rt.Ticks
+	// OpsMin/OpsMax bound the number of data operations per transaction.
+	// The count is reduced when a transaction's utilization share yields
+	// fewer execution ticks than OpsMin.
+	OpsMin, OpsMax int
+	// WriteProb is the probability that a data operation is a write.
+	WriteProb float64
+	// OpDurMax, when > 1, draws each data operation's duration uniformly
+	// from [1, OpDurMax] ticks — longer critical sections mean longer
+	// worst-case blocking terms (the X6 experiment sweeps this). Zero
+	// means 1 (the paper's unit-time accesses).
+	OpDurMax rt.Ticks
+	// HotItems/HotProb model a skewed ("hot spot") access pattern, the
+	// classic contention knob of the RTDBS literature: each data operation
+	// targets one of the first HotItems items with probability HotProb,
+	// and the remaining (cold) pool otherwise. HotItems == 0 disables the
+	// skew (uniform selection over the whole pool).
+	HotItems int
+	HotProb  float64
+	// Seed drives the RNG; equal configs with equal seeds generate equal
+	// sets.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.N < 1:
+		return fmt.Errorf("workload: N = %d, want ≥ 1", c.N)
+	case c.Items < 1:
+		return fmt.Errorf("workload: Items = %d, want ≥ 1", c.Items)
+	case c.Utilization <= 0 || c.Utilization > float64(c.N):
+		// U may exceed 1 for overload (miss-ratio) experiments; per-
+		// transaction demand is clamped to the period during generation.
+		return fmt.Errorf("workload: utilization %v out of (0,N]", c.Utilization)
+	case c.PeriodMin < 2 || c.PeriodMax < c.PeriodMin:
+		return fmt.Errorf("workload: period range [%d,%d] invalid", c.PeriodMin, c.PeriodMax)
+	case c.OpsMin < 1 || c.OpsMax < c.OpsMin:
+		return fmt.Errorf("workload: ops range [%d,%d] invalid", c.OpsMin, c.OpsMax)
+	case c.WriteProb < 0 || c.WriteProb > 1:
+		return fmt.Errorf("workload: write probability %v out of [0,1]", c.WriteProb)
+	case c.OpDurMax < 0:
+		return fmt.Errorf("workload: negative OpDurMax %d", c.OpDurMax)
+	case c.HotItems < 0 || c.HotItems > c.Items:
+		return fmt.Errorf("workload: HotItems %d out of [0,Items]", c.HotItems)
+	case c.HotProb < 0 || c.HotProb > 1:
+		return fmt.Errorf("workload: HotProb %v out of [0,1]", c.HotProb)
+	case c.HotItems > 0 && c.HotItems == c.Items:
+		return fmt.Errorf("workload: HotItems must leave a cold pool (have %d of %d)", c.HotItems, c.Items)
+	}
+	return nil
+}
+
+// UUniFast splits total utilization u across n transactions uniformly at
+// random (Bini & Buttazzo's algorithm). The returned slice sums to u.
+func UUniFast(rng *rand.Rand, n int, u float64) []float64 {
+	out := make([]float64, n)
+	sum := u
+	for i := 0; i < n-1; i++ {
+		next := sum * math.Pow(rng.Float64(), 1/float64(n-i-1))
+		out[i] = sum - next
+		sum = next
+	}
+	out[n-1] = sum
+	return out
+}
+
+// Generate builds a random transaction set from cfg.
+func Generate(cfg Config) (*txn.Set, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	set := txn.NewSet(cfg.Name)
+	if set.Name == "" {
+		set.Name = fmt.Sprintf("synthetic-%d", cfg.Seed)
+	}
+	items := make([]rt.Item, cfg.Items)
+	for i := range items {
+		items[i] = set.Catalog.Intern(fmt.Sprintf("d%d", i))
+	}
+	utils := UUniFast(rng, cfg.N, cfg.Utilization)
+
+	logMin, logMax := math.Log(float64(cfg.PeriodMin)), math.Log(float64(cfg.PeriodMax))
+	for i := 0; i < cfg.N; i++ {
+		period := rt.Ticks(math.Round(math.Exp(logMin + rng.Float64()*(logMax-logMin))))
+		if period < cfg.PeriodMin {
+			period = cfg.PeriodMin
+		}
+		if period > cfg.PeriodMax {
+			period = cfg.PeriodMax
+		}
+		// Demand follows the utilization share; the op count shrinks to fit
+		// so the realized utilization tracks the target faithfully.
+		c := rt.Ticks(math.Round(utils[i] * float64(period)))
+		if c > period {
+			c = period
+		}
+		if c < 1 {
+			c = 1
+		}
+		nops := cfg.OpsMin + rng.Intn(cfg.OpsMax-cfg.OpsMin+1)
+		if rt.Ticks(nops) > c {
+			nops = int(c)
+		}
+		durs := opDurations(rng, nops, c, cfg.OpDurMax)
+		chosen := chooseItems(rng, cfg, len(durs))
+		steps := buildSteps(rng, items, chosen, durs, c, cfg.WriteProb)
+		set.Add(&txn.Template{
+			Name:   fmt.Sprintf("T%d", i+1),
+			Period: period,
+			Offset: rt.Ticks(rng.Int63n(int64(period))),
+			Steps:  steps,
+		})
+	}
+	set.AssignRateMonotonic()
+	if err := set.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid set: %w", err)
+	}
+	return set, nil
+}
+
+// opDurations draws a duration for each of nops data operations: 1 tick
+// each when maxDur ≤ 1, otherwise uniform over [1, maxDur], shrunk (and if
+// necessary dropped from the tail) so the total fits within c.
+func opDurations(rng *rand.Rand, nops int, c rt.Ticks, maxDur rt.Ticks) []rt.Ticks {
+	durs := make([]rt.Ticks, nops)
+	var total rt.Ticks
+	for i := range durs {
+		d := rt.Ticks(1)
+		if maxDur > 1 {
+			d = 1 + rt.Ticks(rng.Int63n(int64(maxDur)))
+		}
+		durs[i] = d
+		total += d
+	}
+	// Shrink round-robin until the ops fit in the demand budget.
+	for total > c {
+		shrunk := false
+		for i := range durs {
+			if durs[i] > 1 && total > c {
+				durs[i]--
+				total--
+				shrunk = true
+			}
+		}
+		if !shrunk {
+			durs = durs[:len(durs)-1]
+			total--
+		}
+	}
+	return durs
+}
+
+// chooseItems picks distinct item indexes for the data operations,
+// honouring the hot-spot skew when configured.
+func chooseItems(rng *rand.Rand, cfg Config, nops int) []int {
+	if cfg.HotItems <= 0 || cfg.HotProb <= 0 {
+		return choose(rng, cfg.Items, nops)
+	}
+	hot := rng.Perm(cfg.HotItems)
+	cold := make([]int, cfg.Items-cfg.HotItems)
+	for i := range cold {
+		cold[i] = cfg.HotItems + i
+	}
+	rng.Shuffle(len(cold), func(i, j int) { cold[i], cold[j] = cold[j], cold[i] })
+	if nops > cfg.Items {
+		nops = cfg.Items
+	}
+	var out []int
+	for len(out) < nops {
+		useHot := rng.Float64() < cfg.HotProb
+		switch {
+		case useHot && len(hot) > 0:
+			out = append(out, hot[0])
+			hot = hot[1:]
+		case !useHot && len(cold) > 0:
+			out = append(out, cold[0])
+			cold = cold[1:]
+		case len(hot) > 0:
+			out = append(out, hot[0])
+			hot = hot[1:]
+		default:
+			out = append(out, cold[0])
+			cold = cold[1:]
+		}
+	}
+	return out
+}
+
+// buildSteps assembles the data operations (one per duration, over distinct
+// items) padded with compute segments to a total demand of c ticks. Compute
+// pad is spread across the gaps so lock steps do not all cluster at the
+// front.
+func buildSteps(rng *rand.Rand, pool []rt.Item, chosen []int, durs []rt.Ticks, c rt.Ticks, writeProb float64) []txn.Step {
+	var opTotal rt.Ticks
+	for _, d := range durs[:len(chosen)] {
+		opTotal += d
+	}
+	pad := c - opTotal
+	gaps := len(chosen) + 1
+	padPer := make([]rt.Ticks, gaps)
+	for pad > 0 {
+		padPer[rng.Intn(gaps)]++
+		pad--
+	}
+	var steps []txn.Step
+	appendPad := func(d rt.Ticks) {
+		if d > 0 {
+			steps = append(steps, txn.Comp(d))
+		}
+	}
+	appendPad(padPer[0])
+	for i, idx := range chosen {
+		it := pool[idx]
+		kind := txn.ReadStep
+		if rng.Float64() < writeProb {
+			kind = txn.WriteStep
+		}
+		steps = append(steps, txn.Step{Kind: kind, Item: it, Dur: durs[i]})
+		appendPad(padPer[i+1])
+	}
+	return steps
+}
+
+// choose picks k distinct indices out of n (k ≤ n enforced by clamping),
+// in random order.
+func choose(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)
+	return perm[:k]
+}

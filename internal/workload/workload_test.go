@@ -1,0 +1,425 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+)
+
+func baseConfig(seed int64) Config {
+	return Config{
+		N: 8, Items: 10, Utilization: 0.7,
+		PeriodMin: 20, PeriodMax: 500,
+		OpsMin: 1, OpsMax: 5, WriteProb: 0.3, Seed: seed,
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		set, err := Generate(baseConfig(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := set.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid set: %v", seed, err)
+		}
+		if len(set.Templates) != 8 {
+			t.Fatalf("seed %d: %d templates", seed, len(set.Templates))
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(baseConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(baseConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := Marshal(a)
+	jb, _ := Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatal("same seed produced different workloads")
+	}
+	c, err := Generate(baseConfig(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, _ := Marshal(c)
+	if string(ja) == string(jc) {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestGenerateUtilizationNearTarget(t *testing.T) {
+	// Rounding and clamping move individual terms, but across seeds the
+	// realized utilization must track the target.
+	var total float64
+	const runs = 30
+	for seed := int64(0); seed < runs; seed++ {
+		set, err := Generate(baseConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += set.Utilization()
+	}
+	avg := total / runs
+	if math.Abs(avg-0.7) > 0.1 {
+		t.Errorf("average realized utilization %v, want ≈ 0.7", avg)
+	}
+}
+
+func TestGeneratePeriodsInRange(t *testing.T) {
+	set, err := Generate(baseConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range set.Templates {
+		if tm.Period < 20 || tm.Period > 500 {
+			t.Errorf("%s period %d out of [20,500]", tm.Name, tm.Period)
+		}
+		if tm.Offset < 0 || tm.Offset >= tm.Period {
+			t.Errorf("%s offset %d out of [0,period)", tm.Name, tm.Offset)
+		}
+		ops := 0
+		for _, s := range tm.Steps {
+			if s.Kind != txn.Compute {
+				ops++
+			}
+		}
+		if ops < 1 || ops > 5 {
+			t.Errorf("%s has %d ops", tm.Name, ops)
+		}
+	}
+}
+
+func TestGenerateDistinctItemsPerTxn(t *testing.T) {
+	set, err := Generate(baseConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range set.Templates {
+		seen := map[rt.Item]bool{}
+		for _, s := range tm.Steps {
+			if s.Kind == txn.Compute {
+				continue
+			}
+			if seen[s.Item] {
+				t.Errorf("%s accesses item %d twice", tm.Name, s.Item)
+			}
+			seen[s.Item] = true
+		}
+	}
+}
+
+func TestWriteProbExtremes(t *testing.T) {
+	cfg := baseConfig(1)
+	cfg.WriteProb = 0
+	set, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range set.Templates {
+		if tm.WriteSet().Len() != 0 {
+			t.Errorf("%s writes with WriteProb=0", tm.Name)
+		}
+	}
+	cfg.WriteProb = 1
+	set, err = Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range set.Templates {
+		if tm.ReadSet().Len() != 0 {
+			t.Errorf("%s reads with WriteProb=1", tm.Name)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.N = 0 },
+		func(c *Config) { c.Items = 0 },
+		func(c *Config) { c.Utilization = 0 },
+		func(c *Config) { c.Utilization = 100 },
+		func(c *Config) { c.PeriodMin = 1 },
+		func(c *Config) { c.PeriodMax = 10; c.PeriodMin = 20 },
+		func(c *Config) { c.OpsMin = 0 },
+		func(c *Config) { c.OpsMax = 0 },
+		func(c *Config) { c.WriteProb = -0.1 },
+		func(c *Config) { c.WriteProb = 1.1 },
+	}
+	for i, mut := range bad {
+		cfg := baseConfig(0)
+		mut(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestOpDurMaxProducesLongOps(t *testing.T) {
+	cfg := baseConfig(21)
+	cfg.OpDurMax = 6
+	set, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawLong := false
+	for _, tm := range set.Templates {
+		var opTicks rt.Ticks
+		for _, s := range tm.Steps {
+			if s.Kind == txn.Compute {
+				continue
+			}
+			if s.Dur < 1 || s.Dur > 6 {
+				t.Fatalf("%s op duration %d out of [1,6]", tm.Name, s.Dur)
+			}
+			if s.Dur > 1 {
+				sawLong = true
+			}
+			opTicks += s.Dur
+		}
+		if opTicks > tm.Exec() {
+			t.Fatalf("%s op ticks %d exceed C %d", tm.Name, opTicks, tm.Exec())
+		}
+	}
+	if !sawLong {
+		t.Fatal("OpDurMax=6 never produced a multi-tick operation")
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpDurMaxZeroMeansUnit(t *testing.T) {
+	set, err := Generate(baseConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range set.Templates {
+		for _, s := range tm.Steps {
+			if s.Kind != txn.Compute && s.Dur != 1 {
+				t.Fatalf("%s has %d-tick op without OpDurMax", tm.Name, s.Dur)
+			}
+		}
+	}
+}
+
+func TestNegativeOpDurMaxRejected(t *testing.T) {
+	cfg := baseConfig(0)
+	cfg.OpDurMax = -1
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("negative OpDurMax accepted")
+	}
+}
+
+func TestHotSpotSkewsAccesses(t *testing.T) {
+	cfg := baseConfig(0)
+	cfg.Items = 20
+	cfg.HotItems = 2
+	cfg.HotProb = 0.9
+	hotHits, total := 0, 0
+	for seed := int64(0); seed < 30; seed++ {
+		cfg.Seed = seed
+		set, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tm := range set.Templates {
+			for _, s := range tm.Steps {
+				if s.Kind == txn.Compute {
+					continue
+				}
+				total++
+				if s.Item < 2 { // d0, d1 are the hot region
+					hotHits++
+				}
+			}
+		}
+	}
+	frac := float64(hotHits) / float64(total)
+	// With HotProb=0.9 and only 2 hot items per transaction the realized
+	// fraction is diluted by the no-replacement rule, but must still be
+	// far above the uniform 2/20 = 0.10.
+	if frac < 0.3 {
+		t.Fatalf("hot fraction %.2f, want ≥ 0.3 (uniform would be 0.10)", frac)
+	}
+}
+
+func TestHotSpotValidation(t *testing.T) {
+	for _, mut := range []func(*Config){
+		func(c *Config) { c.HotItems = -1 },
+		func(c *Config) { c.HotItems = c.Items + 1 },
+		func(c *Config) { c.HotItems = c.Items; c.HotProb = 0.5 },
+		func(c *Config) { c.HotItems = 2; c.HotProb = 1.5 },
+		func(c *Config) { c.HotItems = 2; c.HotProb = -0.5 },
+	} {
+		cfg := baseConfig(0)
+		mut(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("bad hotspot config accepted: %+v", cfg)
+		}
+	}
+}
+
+func TestHotSpotStillDistinctItems(t *testing.T) {
+	cfg := baseConfig(9)
+	cfg.Items = 6
+	cfg.HotItems = 2
+	cfg.HotProb = 0.8
+	cfg.OpsMin, cfg.OpsMax = 3, 5
+	set, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range set.Templates {
+		seen := map[rt.Item]bool{}
+		for _, s := range tm.Steps {
+			if s.Kind == txn.Compute {
+				continue
+			}
+			if seen[s.Item] {
+				t.Fatalf("%s accesses item %d twice", tm.Name, s.Item)
+			}
+			seen[s.Item] = true
+		}
+	}
+}
+
+func TestUUniFastSumsToTarget(t *testing.T) {
+	f := func(seed int64, nRaw uint8, uRaw uint8) bool {
+		n := int(nRaw%16) + 1
+		u := float64(uRaw%90+5) / 100
+		rng := rand.New(rand.NewSource(seed))
+		parts := UUniFast(rng, n, u)
+		if len(parts) != n {
+			return false
+		}
+		sum := 0.0
+		for _, p := range parts {
+			if p < -1e-12 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-u) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	set, err := Generate(baseConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Marshal(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, data)
+	}
+	if len(back.Templates) != len(set.Templates) {
+		t.Fatal("template count changed")
+	}
+	for i, orig := range set.Templates {
+		got := back.Templates[i]
+		if got.Name != orig.Name || got.Period != orig.Period ||
+			got.Offset != orig.Offset || got.Priority != orig.Priority ||
+			got.Exec() != orig.Exec() {
+			t.Errorf("template %s mutated in round trip", orig.Name)
+		}
+		if got.Signature(back.Catalog) != orig.Signature(set.Catalog) {
+			t.Errorf("%s signature changed: %q vs %q", orig.Name,
+				got.Signature(back.Catalog), orig.Signature(set.Catalog))
+		}
+	}
+}
+
+func TestUnmarshalPriorityRules(t *testing.T) {
+	base := `{"name":"t","priority":%q,"transactions":[
+	  {"name":"A","period":50,"priority":1,"steps":[{"op":"r","item":"x"}]},
+	  {"name":"B","period":10,"priority":2,"steps":[{"op":"w","item":"x"}]}]}`
+	// rm: B (shorter period) outranks A.
+	set, err := Unmarshal([]byte(strings.ReplaceAll(base, "%q", `"rm"`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(set.ByName("B").Priority > set.ByName("A").Priority) {
+		t.Error("rm rule ignored")
+	}
+	// index: A (declared first) outranks B.
+	set, err = Unmarshal([]byte(strings.ReplaceAll(base, "%q", `"index"`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(set.ByName("A").Priority > set.ByName("B").Priority) {
+		t.Error("index rule ignored")
+	}
+	// explicit: B has priority 2 > A's 1.
+	set, err = Unmarshal([]byte(strings.ReplaceAll(base, "%q", `"explicit"`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.ByName("A").Priority != 1 || set.ByName("B").Priority != 2 {
+		t.Error("explicit priorities ignored")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"name":"t","priority":"bogus","transactions":[{"name":"A","period":5,"steps":[{"op":"r","item":"x"}]}]}`,
+		`{"name":"t","transactions":[{"name":"A","period":5,"steps":[{"op":"q","item":"x"}]}]}`,
+		`{"name":"t","transactions":[{"name":"A","period":5,"steps":[{"op":"r"}]}]}`,
+		`{"name":"t","transactions":[]}`,
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal([]byte(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestUnmarshalDefaultsDurations(t *testing.T) {
+	data := `{"name":"t","priority":"index","transactions":[
+	  {"name":"A","steps":[{"op":"r","item":"x"},{"op":"c"},{"op":"w","item":"y","dur":3}]}]}`
+	set, err := Unmarshal([]byte(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := set.Templates[0].Steps
+	if steps[0].Dur != 1 || steps[1].Dur != 1 || steps[2].Dur != 3 {
+		t.Errorf("durations = %d,%d,%d", steps[0].Dur, steps[1].Dur, steps[2].Dur)
+	}
+	if set.Templates[0].Exec() != 5 {
+		t.Errorf("exec = %d, want 5", set.Templates[0].Exec())
+	}
+}
+
+func TestMarshalPaperExampleShape(t *testing.T) {
+	s := txn.NewSet("ex")
+	x := s.Catalog.Intern("x")
+	s.Add(&txn.Template{Name: "T1", Period: 5, Offset: 1, Steps: []txn.Step{txn.Read(x)}})
+	s.AssignByIndex()
+	data, err := Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"name": "ex"`, `"op": "r"`, `"item": "x"`, `"period": 5`, `"offset": 1`} {
+		if !strings.Contains(string(data), frag) {
+			t.Errorf("marshalled JSON missing %s:\n%s", frag, data)
+		}
+	}
+}

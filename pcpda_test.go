@@ -1,0 +1,144 @@
+package pcpda_test
+
+import (
+	"strings"
+	"testing"
+
+	"pcpda"
+)
+
+// buildDemo constructs the quickstart workload through the public API only.
+func buildDemo(t *testing.T) *pcpda.Set {
+	t.Helper()
+	set := pcpda.NewSet("demo")
+	x := set.Catalog.Intern("x")
+	y := set.Catalog.Intern("y")
+	set.Add(&pcpda.Template{
+		Name: "reader", Period: 5, Offset: 1,
+		Steps: []pcpda.Step{pcpda.Read(x), pcpda.Read(y)},
+	})
+	set.Add(&pcpda.Template{
+		Name:  "updater",
+		Steps: []pcpda.Step{pcpda.Write(x), pcpda.Comp(2), pcpda.Write(y), pcpda.Comp(1)},
+	})
+	set.AssignByIndex()
+	return set
+}
+
+func TestPublicRunAndSummary(t *testing.T) {
+	set := buildDemo(t)
+	res, err := pcpda.Run(set, "pcpda", pcpda.Options{Horizon: 10, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := pcpda.Summarize(res)
+	if !sum.Serializable || sum.Misses != 0 || sum.TotalBlocked != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if !strings.Contains(res.Timeline.Render(set), "reader") {
+		t.Fatal("timeline missing row label")
+	}
+	per := pcpda.PerTxn(res)
+	if len(per) != 2 || per[0].Name != "reader" {
+		t.Fatalf("per-txn = %+v", per)
+	}
+	if tbl := pcpda.SummaryTable([]pcpda.Summary{sum}); !strings.Contains(tbl, "PCP-DA") {
+		t.Fatalf("table = %q", tbl)
+	}
+}
+
+func TestPublicCompareShowsContrast(t *testing.T) {
+	set := buildDemo(t)
+	comps, err := pcpda.Compare(set, []string{"pcpda", "rwpcp"}, pcpda.Options{Horizon: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comps[0].Summary.Misses != 0 {
+		t.Fatal("PCP-DA must meet the reader's deadlines")
+	}
+	if comps[1].Summary.Misses == 0 {
+		t.Fatal("RW-PCP must miss on this phasing (the Example 3 effect)")
+	}
+}
+
+func TestPublicProtocolRegistry(t *testing.T) {
+	names := pcpda.Protocols()
+	if len(names) != 9 {
+		t.Fatalf("protocols = %v", names)
+	}
+	p, err := pcpda.NewProtocol("pcpda")
+	if err != nil || p.Name() != "PCP-DA" || !p.Deferred() {
+		t.Fatalf("NewProtocol: %v %v", p, err)
+	}
+	set := buildDemo(t)
+	res, err := pcpda.RunProtocol(set, p, pcpda.Options{Horizon: 10})
+	if err != nil || res.Committed == 0 {
+		t.Fatalf("RunProtocol: %v", err)
+	}
+}
+
+func TestPublicAnalysis(t *testing.T) {
+	set := pcpda.NewSet("an")
+	x := set.Catalog.Intern("x")
+	y := set.Catalog.Intern("y")
+	set.Add(&pcpda.Template{Name: "T1", Period: 10, Steps: []pcpda.Step{pcpda.Read(x), pcpda.Comp(1)}})
+	set.Add(&pcpda.Template{Name: "T2", Period: 40, Steps: []pcpda.Step{pcpda.Write(x), pcpda.Read(y), pcpda.Comp(2)}})
+	set.AssignRateMonotonic()
+
+	ceil := pcpda.ComputeCeilings(set)
+	t1 := set.ByName("T1")
+	if b := pcpda.WorstCaseBlocking(set, ceil, pcpda.AnalysisPCPDA, t1); b != 0 {
+		t.Fatalf("B(PCP-DA) = %d", b)
+	}
+	if b := pcpda.WorstCaseBlocking(set, ceil, pcpda.AnalysisRWPCP, t1); b != 4 {
+		t.Fatalf("B(RW-PCP) = %d", b)
+	}
+	if bts := pcpda.BlockingSet(set, ceil, pcpda.AnalysisRWPCP, t1); len(bts) != 1 {
+		t.Fatalf("BTS = %v", bts)
+	}
+	rm, err := pcpda.RMTest(set, pcpda.AnalysisPCPDA)
+	if err != nil || !rm.Schedulable {
+		t.Fatalf("RMTest: %v %+v", err, rm)
+	}
+	rta, err := pcpda.ResponseTimeTest(set, pcpda.AnalysisRWPCP)
+	if err != nil || !rta.Schedulable {
+		t.Fatalf("ResponseTimeTest: %v %+v", err, rta)
+	}
+}
+
+func TestPublicWorkloadRoundTrip(t *testing.T) {
+	set, err := pcpda.Generate(pcpda.WorkloadConfig{
+		N: 5, Items: 6, Utilization: 0.5,
+		PeriodMin: 20, PeriodMax: 200,
+		OpsMin: 1, OpsMax: 3, WriteProb: 0.4, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := pcpda.MarshalWorkload(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := pcpda.UnmarshalWorkload(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Templates) != 5 {
+		t.Fatalf("round trip lost templates: %d", len(back.Templates))
+	}
+	if h := pcpda.DefaultHorizon(back); h <= 0 {
+		t.Fatalf("horizon = %d", h)
+	}
+}
+
+func TestPublicHistoryCheck(t *testing.T) {
+	set := buildDemo(t)
+	res, err := pcpda.Run(set, "pcpda", pcpda.Options{Horizon: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.History.Check()
+	if !rep.Serializable || !rep.CommitOrderOK {
+		t.Fatalf("report = %+v", rep)
+	}
+}
