@@ -10,6 +10,7 @@
 package pcpda_test
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -168,6 +169,40 @@ func BenchmarkWorkloadGenerate(b *testing.B) {
 			OpsMin: 1, OpsMax: 5, WriteProb: 0.4, Seed: int64(i),
 		})
 		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveManagerTxn measures the live manager's per-transaction cost
+// (Begin / two writes / Commit) with fault injection disabled — the
+// nil-injector fast path that must stay free of overhead.
+func BenchmarkLiveManagerTxn(b *testing.B) {
+	set := root.NewSet("live-bench")
+	x := set.Catalog.Intern("x")
+	y := set.Catalog.Intern("y")
+	set.Add(&root.Template{Name: "upd",
+		Steps: []root.Step{root.Write(x), root.Write(y)}})
+	set.AssignByIndex()
+	mgr, err := root.NewManager(set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, err := mgr.Begin(ctx, "upd")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Write(ctx, x, root.Value(i)); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Write(ctx, y, root.Value(i)); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(ctx); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,408 @@
+package rtm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pcpda/internal/fault"
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+)
+
+// assertClean asserts the manager has exactly `live` live transactions and
+// no leaked internal state.
+func assertClean(t *testing.T, m *Manager, live int) {
+	t.Helper()
+	if st := m.Stats(); st.Live != live {
+		t.Fatalf("live = %d, want %d (stats %+v)", st.Live, live, st)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelledBlockedWriteLeavesNoState(t *testing.T) {
+	s, x, _ := demoSet(t)
+	m, _ := New(s)
+	c := ctx(t)
+
+	rd, _ := m.Begin(c, "reader")
+	if _, err := rd.Read(c, x); err != nil {
+		t.Fatal(err)
+	}
+	up, _ := m.Begin(c, "updater")
+	cshort, cancel := context.WithCancel(c)
+	wrote := make(chan error, 1)
+	go func() { wrote <- up.Write(cshort, x, 1) }()
+	waitBlocked(t, m, up)
+	cancel()
+	err := <-wrote
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("cancelled write = %v, want ErrCancelled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled write %v must also match context.Canceled", err)
+	}
+
+	// The cancelled transaction left nothing behind: no locks, no live
+	// entry, no template slot — exactly as if Abort() had been called.
+	m.mu.Lock()
+	held := m.locks.HeldBy(up.job.ID)
+	m.mu.Unlock()
+	if len(held) != 0 {
+		t.Fatalf("cancelled transaction still holds locks on %v", held)
+	}
+	assertClean(t, m, 1) // only the reader remains
+	st := m.Stats()
+	if st.Cancellations != 1 {
+		t.Fatalf("Cancellations = %d, want 1 (stats %+v)", st.Cancellations, st)
+	}
+
+	// A later explicit Abort is an idempotent no-op.
+	up.Abort()
+	if st2 := m.Stats(); st2.Aborts != st.Aborts {
+		t.Fatalf("Abort after cancellation double-counted: %+v", st2)
+	}
+
+	// The template slot is free: a fresh updater can run to completion.
+	if err := rd.Commit(c); err != nil {
+		t.Fatal(err)
+	}
+	up2, err := m.Begin(c, "updater")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := up2.Write(c, x, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := up2.Commit(c); err != nil {
+		t.Fatal(err)
+	}
+	assertClean(t, m, 0)
+}
+
+func TestCancelledBeforeOperation(t *testing.T) {
+	s, x, _ := demoSet(t)
+	m, _ := New(s)
+	c := ctx(t)
+	tx, _ := m.Begin(c, "reader")
+	dead, cancel := context.WithCancel(c)
+	cancel()
+	if _, err := tx.Read(dead, x); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("read on dead context = %v", err)
+	}
+	assertClean(t, m, 0)
+	// The handle is gone; further use reports ErrClosed.
+	if _, err := tx.Read(c, x); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after cancellation cleanup = %v", err)
+	}
+}
+
+func TestBeginOnDeadContextRefuses(t *testing.T) {
+	s, _, _ := demoSet(t)
+	m, _ := New(s)
+	dead, cancel := context.WithCancel(ctx(t))
+	cancel()
+	tx, err := m.Begin(dead, "reader")
+	if tx != nil || !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Begin on dead context = %v, %v", tx, err)
+	}
+	// Nothing was registered: no live transaction, slot still free.
+	assertClean(t, m, 0)
+	if tx, err := m.Begin(ctx(t), "reader"); err != nil || tx == nil {
+		t.Fatalf("slot should be free after refused Begin: %v", err)
+	}
+}
+
+func TestContextDeadlineMapsToCancelled(t *testing.T) {
+	s, x, _ := demoSet(t)
+	m, _ := New(s)
+	c := ctx(t)
+	rd, _ := m.Begin(c, "reader")
+	if _, err := rd.Read(c, x); err != nil {
+		t.Fatal(err)
+	}
+	up, _ := m.Begin(c, "updater")
+	cshort, cancel := context.WithTimeout(c, 10*time.Millisecond)
+	defer cancel()
+	err := up.Write(cshort, x, 1)
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired write = %v, want ErrCancelled wrapping DeadlineExceeded", err)
+	}
+	rd.Abort()
+	assertClean(t, m, 0)
+}
+
+func TestFirmDeadlineMissed(t *testing.T) {
+	s, x, y := demoSet(t)
+	m, err := NewWithOptions(s, Options{
+		FirmDeadlines: true,
+		DeadlineOf:    func(*txn.Template) rt.Ticks { return 2 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ctx(t)
+	up, _ := m.Begin(c, "updater")
+	if err := up.Write(c, x, 1); err != nil {
+		t.Fatal(err) // first write lands inside the deadline
+	}
+	// Begin ticked the clock to 1 (deadline 3), the write to 2; the next
+	// operation's entry check sees the clock at the deadline... not yet.
+	// One more write advances to 3; the commit entry check then fires.
+	if err := up.Write(c, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	err = up.Commit(c)
+	if !errors.Is(err, ErrDeadlineMissed) {
+		t.Fatalf("commit past firm deadline = %v, want ErrDeadlineMissed", err)
+	}
+	if v := m.ReadCommitted(x); v != 0 {
+		t.Fatalf("deadline-aborted write leaked: %v", v)
+	}
+	assertClean(t, m, 0)
+	if st := m.Stats(); st.DeadlineAborts != 1 {
+		t.Fatalf("DeadlineAborts = %d (stats %+v)", st.DeadlineAborts, st)
+	}
+	up.Abort() // idempotent after the self-cleaning failure
+	assertClean(t, m, 0)
+}
+
+func TestFirmDeadlineOffByDefaultTemplateDeadline(t *testing.T) {
+	// FirmDeadlines with one-shot templates (no period, no explicit
+	// deadline) must not fabricate an instant deadline.
+	s, x, _ := demoSet(t)
+	m, err := NewWithOptions(s, Options{FirmDeadlines: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ctx(t)
+	up, _ := m.Begin(c, "updater")
+	if err := up.Write(c, x, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := up.Commit(c); err != nil {
+		t.Fatal(err)
+	}
+	assertClean(t, m, 0)
+}
+
+func TestInjectedForceAbortSelfCleans(t *testing.T) {
+	s, x, _ := demoSet(t)
+	m, err := NewWithOptions(s, Options{
+		Injector: fault.Func(func(p fault.Point, _ string) fault.Action {
+			if p == fault.LockRequest {
+				return fault.ForceAbort
+			}
+			return fault.Proceed
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ctx(t)
+	tx, err := m.Begin(c, "reader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Read(c, x); !errors.Is(err, ErrAborted) {
+		t.Fatalf("injected abort = %v, want ErrAborted", err)
+	}
+	assertClean(t, m, 0)
+	st := m.Stats()
+	if st.InjectedFaults != 1 || st.Aborts != 1 {
+		t.Fatalf("stats after injected abort: %+v", st)
+	}
+	tx.Abort() // idempotent
+	if st2 := m.Stats(); st2.Aborts != st.Aborts {
+		t.Fatalf("double-counted abort: %+v", st2)
+	}
+}
+
+func TestInjectedCancelAtCommitInstall(t *testing.T) {
+	s, x, _ := demoSet(t)
+	m, err := NewWithOptions(s, Options{
+		Injector: fault.Func(func(p fault.Point, _ string) fault.Action {
+			if p == fault.CommitInstall {
+				return fault.ForceCancel
+			}
+			return fault.Proceed
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ctx(t)
+	tx, _ := m.Begin(c, "updater")
+	if err := tx.Write(c, x, 42); err != nil {
+		t.Fatal(err)
+	}
+	err = tx.Commit(c)
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("injected cancel = %v, want ErrCancelled wrapping fault.ErrInjected", err)
+	}
+	if v := m.ReadCommitted(x); v != 0 {
+		t.Fatalf("cancelled commit installed data: %v", v)
+	}
+	assertClean(t, m, 0)
+}
+
+func TestInjectedWakeupAndDelayAreHarmless(t *testing.T) {
+	s, x, y := demoSet(t)
+	m, err := NewWithOptions(s, Options{
+		Injector: fault.Func(func(p fault.Point, _ string) fault.Action {
+			switch p {
+			case fault.BlockWait, fault.CommitWait:
+				return fault.Wakeup
+			case fault.LockRequest, fault.LockGrant, fault.CommitEntry:
+				return fault.Delay
+			}
+			return fault.Proceed
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ctx(t)
+	tx, _ := m.Begin(c, "updater")
+	if err := tx.Write(c, x, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(c, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(c); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.ReadCommitted(x); v != 1 {
+		t.Fatalf("committed value = %v", v)
+	}
+	assertClean(t, m, 0)
+	if st := m.Stats(); st.InjectedFaults == 0 {
+		t.Fatalf("no faults recorded: %+v", st)
+	}
+}
+
+func TestExecRetriesInjectedAborts(t *testing.T) {
+	s, x, _ := demoSet(t)
+	fails := 3
+	m, err := NewWithOptions(s, Options{
+		Injector: fault.Func(func(p fault.Point, _ string) fault.Action {
+			if p == fault.BeginTxn && fails > 0 {
+				fails--
+				return fault.ForceAbort
+			}
+			return fault.Proceed
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ctx(t)
+	err = m.Exec(c, "updater", func(tx *Txn) error {
+		return tx.Write(c, x, 7)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := m.ReadCommitted(x); v != 7 {
+		t.Fatalf("Exec result = %v", v)
+	}
+	st := m.Stats()
+	if st.Retries != 3 {
+		t.Fatalf("Retries = %d, want 3 (stats %+v)", st.Retries, st)
+	}
+	assertClean(t, m, 0)
+}
+
+func TestExecGivesUpAfterBoundedAttempts(t *testing.T) {
+	s, _, _ := demoSet(t)
+	m, err := NewWithOptions(s, Options{
+		Injector: fault.Func(func(p fault.Point, _ string) fault.Action {
+			if p == fault.BeginTxn {
+				return fault.ForceAbort
+			}
+			return fault.Proceed
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ctx(t)
+	err = m.Exec(c, "updater", func(tx *Txn) error { return nil })
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("Exec under permanent sacrifice = %v, want wrapped ErrAborted", err)
+	}
+	if st := m.Stats(); st.Retries != execMaxAttempts-1 {
+		t.Fatalf("Retries = %d, want %d", st.Retries, execMaxAttempts-1)
+	}
+	assertClean(t, m, 0)
+}
+
+func TestExecPropagatesCallerErrors(t *testing.T) {
+	s, x, _ := demoSet(t)
+	m, _ := New(s)
+	c := ctx(t)
+	boom := errors.New("boom")
+	if err := m.Exec(c, "updater", func(tx *Txn) error {
+		if err := tx.Write(c, x, 1); err != nil {
+			return err
+		}
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("Exec = %v, want the caller's error", err)
+	}
+	if v := m.ReadCommitted(x); v != 0 {
+		t.Fatalf("failed Exec leaked a write: %v", v)
+	}
+	if st := m.Stats(); st.Retries != 0 {
+		t.Fatalf("caller error must not be retried: %+v", st)
+	}
+	assertClean(t, m, 0)
+}
+
+func TestExecHonoursContext(t *testing.T) {
+	s, _, _ := demoSet(t)
+	m, _ := New(s)
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m.Exec(dead, "updater", func(tx *Txn) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Exec on dead context = %v", err)
+	}
+	assertClean(t, m, 0)
+}
+
+func TestCheckInvariantsDetectsLeakedLock(t *testing.T) {
+	s, x, _ := demoSet(t)
+	m, _ := New(s)
+	// Corrupt the table directly: a lock held by a job that does not exist.
+	m.mu.Lock()
+	m.locks.Acquire(999, x, rt.Read)
+	m.mu.Unlock()
+	if err := m.CheckInvariants(); err == nil {
+		t.Fatal("auditor missed a leaked lock")
+	}
+	m.mu.Lock()
+	m.locks.Release(999, x, rt.Read)
+	m.mu.Unlock()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckInvariantsDetectsOrphanedSlot(t *testing.T) {
+	s, _, _ := demoSet(t)
+	m, _ := New(s)
+	c := ctx(t)
+	tx, _ := m.Begin(c, "reader")
+	// Corrupt the live maps: drop the active entry but keep the template
+	// slot, the exact leak shape the self-cleaning paths must prevent.
+	m.mu.Lock()
+	delete(m.active, tx.job.ID)
+	m.mu.Unlock()
+	if err := m.CheckInvariants(); err == nil {
+		t.Fatal("auditor missed an orphaned per-template slot")
+	}
+}

@@ -16,6 +16,30 @@
 // simulator (pcpda.Protocol.Request over the cc.Env interface), so the
 // library and the reproduction cannot drift apart.
 //
+// # Failure model
+//
+// Every error exit is self-cleaning: when an operation fails, the manager
+// has already aborted the transaction — workspace discarded, locks
+// released, ceilings restored, template slot freed — before the error is
+// returned. Callers never need to pair an error with Abort() (though a
+// later Abort() is a harmless no-op). The sentinel tells the caller what
+// happened and what to do:
+//
+//   - ErrAborted: sacrificed (cycle victim or injected fault); retry.
+//   - ErrCancelled: the caller's context was cancelled or expired (the
+//     concrete context error is wrapped and still matches errors.Is);
+//     don't retry on the same context.
+//   - ErrDeadlineMissed: firm-deadline enforcement (Options.FirmDeadlines)
+//     aborted the transaction at its deadline; retry iff a fresh instance
+//     can still be useful.
+//   - ErrClosed: handle already finished (programming error).
+//
+// Exec wraps Begin/op/Commit in a bounded retry loop with jittered backoff
+// for the retryable sentinels. Options.Injector plugs seeded fault
+// injection (package fault) into every blocking/grant/commit boundary, and
+// Manager.CheckInvariants audits the lock table, live maps, ceilings and
+// history after any schedule, faulty or not.
+//
 // # Deviation from the paper's execution model
 //
 // The paper assumes a single processor with priority-driven scheduling;
@@ -46,10 +70,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
 	"sync"
 
 	"pcpda/internal/cc"
 	"pcpda/internal/db"
+	"pcpda/internal/fault"
 	"pcpda/internal/history"
 	"pcpda/internal/lock"
 	"pcpda/internal/pcpda"
@@ -57,13 +86,56 @@ import (
 	"pcpda/internal/txn"
 )
 
-// ErrAborted is returned when the manager sacrifices a transaction to break
-// a wait cycle. The transaction's effects are fully discarded; the caller
-// may Begin again.
+// ErrAborted is returned when the manager sacrifices a transaction — to
+// break a wait cycle, or because an injected fault forced the same path.
+// The transaction's effects are fully discarded; the caller may Begin (or
+// Exec will) again.
 var ErrAborted = errors.New("rtm: transaction aborted to break a wait cycle")
 
 // ErrClosed is returned for operations on a finished transaction handle.
 var ErrClosed = errors.New("rtm: transaction already committed or aborted")
+
+// ErrCancelled is returned when a transaction was torn down because its
+// caller's context was cancelled or expired (or an injected fault emulated
+// that). The returned error also matches the concrete context error
+// (context.Canceled / context.DeadlineExceeded) via errors.Is.
+var ErrCancelled = errors.New("rtm: transaction cancelled; workspace discarded and locks released")
+
+// ErrDeadlineMissed is returned when firm-deadline enforcement
+// (Options.FirmDeadlines) aborted the transaction at its deadline — the
+// live counterpart of sched.FirmAbort.
+var ErrDeadlineMissed = errors.New("rtm: firm deadline missed; transaction aborted")
+
+// cancelledError couples ErrCancelled with the concrete cause (a context
+// error, or fault.ErrInjected) so both match under errors.Is.
+type cancelledError struct{ cause error }
+
+func (e *cancelledError) Error() string {
+	return ErrCancelled.Error() + " (" + e.cause.Error() + ")"
+}
+func (e *cancelledError) Is(target error) bool { return target == ErrCancelled }
+func (e *cancelledError) Unwrap() error        { return e.cause }
+
+// Options configures optional manager behaviour. The zero value is the
+// plain manager: no firm deadlines, no fault injection.
+type Options struct {
+	// FirmDeadlines aborts a live transaction with ErrDeadlineMissed once
+	// the manager's logical clock passes its absolute deadline — the live
+	// counterpart of sched.FirmAbort. Deadlines are measured in manager
+	// ticks (one tick per manager operation), not wall time, so fault
+	// schedules stay deterministic and unit-testable.
+	FirmDeadlines bool
+	// DeadlineOf overrides the relative deadline (in ticks) applied to a
+	// template under FirmDeadlines. Nil, or a non-positive return value,
+	// falls back to Template.RelativeDeadline().
+	DeadlineOf func(tmpl *txn.Template) rt.Ticks
+	// Injector, when non-nil, is consulted at every blocking, grant and
+	// commit boundary (see package fault). Nil costs one branch per
+	// boundary.
+	Injector fault.Injector
+	// Seed drives Exec's retry jitter (any value is fine; zero included).
+	Seed int64
+}
 
 // Manager is a live PCP-DA transaction manager. All methods are safe for
 // concurrent use.
@@ -78,11 +150,16 @@ type Manager struct {
 	store *db.Store
 	hist  *history.History
 
+	opts Options
+	inj  fault.Injector // copy of opts.Injector; nil ⇒ injection disabled
+
 	active  map[rt.JobID]*Txn
 	byTmpl  map[txn.ID]*Txn // one live instance per template
 	nextJob rt.JobID
 	nextRun db.RunID
 	clock   rt.Ticks // logical time: one tick per manager operation
+
+	rng *rand.Rand // Exec backoff jitter; guarded by mu
 
 	aborts int   // cycle-breaking aborts, for introspection
 	stats  Stats // lifetime counters (CycleAborts/Live filled on read)
@@ -102,8 +179,13 @@ type Txn struct {
 	waitingCommit bool
 }
 
-// New validates the transaction set and returns a manager for it.
-func New(set *txn.Set) (*Manager, error) {
+// New validates the transaction set and returns a manager for it with
+// default options.
+func New(set *txn.Set) (*Manager, error) { return NewWithOptions(set, Options{}) }
+
+// NewWithOptions validates the transaction set and returns a manager
+// configured by opts.
+func NewWithOptions(set *txn.Set, opts Options) (*Manager, error) {
 	if err := set.Validate(); err != nil {
 		return nil, fmt.Errorf("rtm: %w", err)
 	}
@@ -117,9 +199,12 @@ func New(set *txn.Set) (*Manager, error) {
 		locks:   lock.NewTable(),
 		store:   db.NewStore(),
 		hist:    history.New(),
+		opts:    opts,
+		inj:     opts.Injector,
 		active:  make(map[rt.JobID]*Txn),
 		byTmpl:  make(map[txn.ID]*Txn),
 		nextRun: db.InitRun + 1,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	return m, nil
@@ -168,6 +253,9 @@ func (m *Manager) Begin(ctx context.Context, name string) (*Txn, error) {
 	if tmpl == nil {
 		return nil, fmt.Errorf("rtm: unknown transaction type %q", name)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, &cancelledError{cause: err}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for m.byTmpl[tmpl.ID] != nil {
@@ -188,6 +276,11 @@ func (m *Manager) Begin(ctx context.Context, name string) (*Txn, error) {
 		FinishTick: -1,
 		MissedAt:   -1,
 	}
+	if m.opts.FirmDeadlines {
+		if d := m.relDeadline(tmpl); d > 0 {
+			j.AbsDeadline = j.Release + d
+		}
+	}
 	m.nextJob++
 	m.nextRun++
 	t := &Txn{mgr: m, job: j}
@@ -195,7 +288,20 @@ func (m *Manager) Begin(ctx context.Context, name string) (*Txn, error) {
 	m.byTmpl[tmpl.ID] = t
 	m.hist.Begin(m.clock, j.Run, tmpl.ID)
 	m.stats.Begins++
+	if err := m.inject(fault.BeginTxn, t, true); err != nil {
+		return nil, err
+	}
 	return t, nil
+}
+
+// relDeadline resolves the relative firm deadline (in ticks) for tmpl.
+func (m *Manager) relDeadline(tmpl *txn.Template) rt.Ticks {
+	if m.opts.DeadlineOf != nil {
+		if d := m.opts.DeadlineOf(tmpl); d > 0 {
+			return d
+		}
+	}
+	return tmpl.RelativeDeadline()
 }
 
 // Read acquires a PCP-DA read lock on item (blocking while the locking
@@ -205,13 +311,16 @@ func (t *Txn) Read(ctx context.Context, item rt.Item) (db.Value, error) {
 	m := t.mgr
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if err := t.usable(); err != nil {
+	if err := m.entry(ctx, t); err != nil {
 		return 0, err
 	}
 	if !t.job.Tmpl.ReadSet().Has(item) && !t.job.Tmpl.WriteSet().Has(item) {
 		return 0, fmt.Errorf("rtm: %s reads undeclared item %d", t.job.Tmpl.Name, item)
 	}
 	for {
+		if err := m.inject(fault.LockRequest, t, true); err != nil {
+			return 0, err
+		}
 		dec := m.proto.Request(m, t.job, item, rt.Read)
 		if dec.Granted {
 			break
@@ -221,6 +330,11 @@ func (t *Txn) Read(ctx context.Context, item rt.Item) (db.Value, error) {
 		t.job.BlockedMode = rt.Read
 		t.job.Blockers = dec.Blockers
 		m.stats.LockWaits++
+		// No unlock-delay here: the deny decision must stay atomic with the
+		// park, or the blocker's wakeup broadcast can be lost.
+		if err := m.inject(fault.BlockWait, t, false); err != nil {
+			return 0, err
+		}
 		if err := m.blockAndWait(ctx, t); err != nil {
 			return 0, err
 		}
@@ -231,6 +345,9 @@ func (t *Txn) Read(ctx context.Context, item rt.Item) (db.Value, error) {
 	m.locks.Acquire(t.job.ID, item, rt.Read)
 	t.job.DataRead.Add(item)
 	m.recomputePriorities()
+	if err := m.inject(fault.LockGrant, t, false); err != nil {
+		return 0, err
+	}
 	if v, own := t.job.WS.Get(item); own {
 		m.hist.Read(m.clock, t.job.Run, t.job.Tmpl.ID, item, -1, t.job.Run)
 		return v, nil
@@ -246,13 +363,16 @@ func (t *Txn) Write(ctx context.Context, item rt.Item, v db.Value) error {
 	m := t.mgr
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if err := t.usable(); err != nil {
+	if err := m.entry(ctx, t); err != nil {
 		return err
 	}
 	if !t.job.Tmpl.WriteSet().Has(item) {
 		return fmt.Errorf("rtm: %s writes undeclared item %d", t.job.Tmpl.Name, item)
 	}
 	for {
+		if err := m.inject(fault.LockRequest, t, true); err != nil {
+			return err
+		}
 		dec := m.proto.Request(m, t.job, item, rt.Write)
 		if dec.Granted {
 			break
@@ -262,6 +382,10 @@ func (t *Txn) Write(ctx context.Context, item rt.Item, v db.Value) error {
 		t.job.BlockedMode = rt.Write
 		t.job.Blockers = dec.Blockers
 		m.stats.LockWaits++
+		// See Read: no unlock-delay between the deny decision and the park.
+		if err := m.inject(fault.BlockWait, t, false); err != nil {
+			return err
+		}
 		if err := m.blockAndWait(ctx, t); err != nil {
 			return err
 		}
@@ -272,6 +396,9 @@ func (t *Txn) Write(ctx context.Context, item rt.Item, v db.Value) error {
 	m.locks.Acquire(t.job.ID, item, rt.Write)
 	t.job.WS.Write(item, v)
 	m.recomputePriorities()
+	if err := m.inject(fault.LockGrant, t, false); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -282,7 +409,10 @@ func (t *Txn) Commit(ctx context.Context) error {
 	m := t.mgr
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if err := t.usable(); err != nil {
+	if err := m.entry(ctx, t); err != nil {
+		return err
+	}
+	if err := m.inject(fault.CommitEntry, t, true); err != nil {
 		return err
 	}
 	for {
@@ -295,6 +425,12 @@ func (t *Txn) Commit(ctx context.Context) error {
 		t.job.Blockers = stale
 		t.waitingCommit = true
 		m.stats.CommitWaits++
+		// See Read: no unlock-delay between the stale-reader decision and
+		// the park.
+		if err := m.inject(fault.CommitWait, t, false); err != nil {
+			t.waitingCommit = false
+			return err
+		}
 		err := m.blockAndWait(ctx, t)
 		t.waitingCommit = false
 		if err != nil {
@@ -303,6 +439,11 @@ func (t *Txn) Commit(ctx context.Context) error {
 	}
 	t.job.Status = cc.Ready
 	t.job.Blockers = nil
+	// No unlock between the stale-reader decision and installation: a new
+	// reader admitted in between could otherwise observe a torn state.
+	if err := m.inject(fault.CommitInstall, t, false); err != nil {
+		return err
+	}
 	m.clock++
 	for _, ins := range t.job.WS.InstallInto(m.store, t.job.Run) {
 		m.hist.Write(m.clock, t.job.Run, t.job.Tmpl.ID, ins.Item, ins.Version)
@@ -316,7 +457,8 @@ func (t *Txn) Commit(ctx context.Context) error {
 }
 
 // Abort discards the transaction's workspace and releases its locks. Safe
-// to call at any point before Commit returns nil; idempotent.
+// to call at any point before Commit returns nil; idempotent, including
+// after a failure that already cleaned the transaction up.
 func (t *Txn) Abort() {
 	m := t.mgr
 	m.mu.Lock()
@@ -341,13 +483,17 @@ func (m *Manager) Aborts() int {
 
 // Stats is a snapshot of the manager's lifetime counters.
 type Stats struct {
-	Begins      int // transactions started
-	Commits     int // successful commits
-	Aborts      int // explicit Abort() calls + cancellations
-	CycleAborts int // cycle-breaking victim aborts
-	Live        int // currently active transactions
-	LockWaits   int // blocking episodes on lock requests
-	CommitWaits int // blocking episodes waiting out stale readers
+	Begins         int // transactions started
+	Commits        int // successful commits
+	Aborts         int // explicit Abort() calls + injected forced aborts
+	CycleAborts    int // cycle-breaking victim aborts
+	Cancellations  int // transactions torn down by context cancellation/expiry
+	DeadlineAborts int // firm-deadline aborts (ErrDeadlineMissed)
+	Retries        int // Exec retry attempts after a retryable failure
+	InjectedFaults int // injector actions applied (delays, wakeups, aborts, cancels)
+	Live           int // currently active transactions
+	LockWaits      int // blocking episodes on lock requests
+	CommitWaits    int // blocking episodes waiting out stale readers
 }
 
 // Stats returns the current counter snapshot.
@@ -373,7 +519,110 @@ func (m *Manager) ReadCommitted(item rt.Item) db.Value {
 	return v
 }
 
+// CheckInvariants audits the manager's internal consistency: every lock in
+// the table belongs to a live transaction and lies inside its declared
+// sets, every read/buffered-write is backed by the matching lock (so the
+// dynamic ceilings derived from the table agree with what transactions
+// actually did), the per-template live map matches the active map exactly,
+// and the recorded history is serializable with commit-order intact.
+//
+// It is safe to call at any time; after a quiescent point (no live
+// transactions) it additionally proves that no failure path leaked state.
+// The chaos harness calls it after every fault schedule.
+func (m *Manager) CheckInvariants() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var probs []string
+	badf := func(format string, args ...any) {
+		probs = append(probs, fmt.Sprintf(format, args...))
+	}
+
+	m.locks.EachReadLock(func(x rt.Item, o rt.JobID) {
+		if _, ok := m.active[o]; !ok {
+			badf("leaked read lock on item %d held by finished job %d", x, o)
+		}
+	})
+	m.locks.EachWriteLock(func(x rt.Item, o rt.JobID) {
+		if _, ok := m.active[o]; !ok {
+			badf("leaked write lock on item %d held by finished job %d", x, o)
+		}
+	})
+
+	ids := make([]rt.JobID, 0, len(m.active))
+	for id := range m.active {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		t := m.active[id]
+		if t.done {
+			badf("job %d is finished but still in the active map", id)
+		}
+		if t.job.ID != id {
+			badf("active map key %d holds job %d", id, t.job.ID)
+		}
+		if t.job.Status != cc.Ready && t.job.Status != cc.Blocked {
+			badf("live job %d has terminal status %v", id, t.job.Status)
+		}
+		for _, x := range t.job.DataRead.Items() {
+			if !m.locks.HoldsRead(id, x) {
+				badf("job %d read item %d without a surviving read lock", id, x)
+			}
+		}
+		for _, x := range t.job.WS.Items() {
+			if !m.locks.HoldsWrite(id, x) {
+				badf("job %d buffered a write of item %d without a write lock", id, x)
+			}
+		}
+		for _, x := range m.locks.HeldBy(id) {
+			if !t.job.Tmpl.ReadSet().Has(x) && !t.job.Tmpl.WriteSet().Has(x) {
+				badf("job %d holds a lock on undeclared item %d", id, x)
+			}
+		}
+		if m.byTmpl[t.job.Tmpl.ID] != t {
+			badf("active job %d missing from the per-template map", id)
+		}
+	}
+	for tid, t := range m.byTmpl {
+		if t.job.Tmpl.ID != tid {
+			badf("per-template map key %d holds template %d", tid, t.job.Tmpl.ID)
+		}
+		if m.active[t.job.ID] != t {
+			badf("orphaned per-template entry for template %d (job %d not active)", tid, t.job.ID)
+		}
+	}
+	if len(m.byTmpl) != len(m.active) {
+		badf("map cardinality mismatch: %d active vs %d per-template entries", len(m.active), len(m.byTmpl))
+	}
+
+	rep := m.hist.Check()
+	if !rep.Serializable {
+		badf("history not serializable: %v", rep.Violations)
+	}
+	if !rep.CommitOrderOK {
+		badf("history violates commit order: %v", rep.Violations)
+	}
+
+	if len(probs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("rtm: invariant violations: %s", strings.Join(probs, "; "))
+}
+
 // --- internals ----------------------------------------------------------------
+
+// entry performs the common checks at the top of every Txn operation:
+// handle still open, pending cycle-victim abort, caller context alive, firm
+// deadline not passed. Any failure is self-cleaning. Caller holds m.mu.
+func (m *Manager) entry(ctx context.Context, t *Txn) error {
+	if err := t.usable(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return m.cancel(t, err)
+	}
+	return m.checkDeadline(t)
+}
 
 func (t *Txn) usable() error {
 	if t.done {
@@ -386,6 +635,74 @@ func (t *Txn) usable() error {
 		t.job.Status = cc.Aborted
 		m.finish(t)
 		return ErrAborted
+	}
+	return nil
+}
+
+// cancel tears t down exactly as Abort would (workspace discarded, locks
+// released, slot freed) and returns ErrCancelled wrapping cause. Caller
+// holds m.mu.
+func (m *Manager) cancel(t *Txn, cause error) error {
+	if !t.done {
+		m.clock++
+		m.hist.Abort(m.clock, t.job.Run, t.job.Tmpl.ID)
+		t.job.Status = cc.Aborted
+		m.stats.Cancellations++
+		m.finish(t)
+	}
+	return &cancelledError{cause: cause}
+}
+
+// checkDeadline aborts t with ErrDeadlineMissed once firm deadlines are on
+// and the logical clock has reached t's absolute deadline. Caller holds
+// m.mu.
+func (m *Manager) checkDeadline(t *Txn) error {
+	if !m.opts.FirmDeadlines || t.done || t.job.AbsDeadline <= 0 || m.clock < t.job.AbsDeadline {
+		return nil
+	}
+	m.clock++
+	t.job.MissedAt = m.clock
+	m.hist.Abort(m.clock, t.job.Run, t.job.Tmpl.ID)
+	t.job.Status = cc.Aborted
+	m.stats.DeadlineAborts++
+	m.finish(t)
+	return ErrDeadlineMissed
+}
+
+// inject consults the configured injector at point p on behalf of t and
+// applies the chosen action through the regular failure paths. Caller holds
+// m.mu. mayUnlock permits the Delay action to release the manager lock
+// while yielding; pass false at points where the preceding decision must
+// stay atomic with the following state change (post-grant bookkeeping,
+// commit installation).
+func (m *Manager) inject(p fault.Point, t *Txn, mayUnlock bool) error {
+	if m.inj == nil {
+		return nil
+	}
+	switch m.inj.At(p, t.job.Tmpl.Name) {
+	case fault.Delay:
+		m.stats.InjectedFaults++
+		if mayUnlock {
+			m.mu.Unlock()
+			runtime.Gosched()
+			m.mu.Lock()
+		}
+		return t.usable() // the world may have moved while we yielded
+	case fault.Wakeup:
+		m.stats.InjectedFaults++
+		m.cond.Broadcast()
+		return nil
+	case fault.ForceAbort:
+		m.stats.InjectedFaults++
+		m.stats.Aborts++
+		m.clock++
+		m.hist.Abort(m.clock, t.job.Run, t.job.Tmpl.ID)
+		t.job.Status = cc.Aborted
+		m.finish(t)
+		return ErrAborted
+	case fault.ForceCancel:
+		m.stats.InjectedFaults++
+		return m.cancel(t, fault.ErrInjected)
 	}
 	return nil
 }
@@ -453,11 +770,14 @@ func (m *Manager) blockAndWait(ctx context.Context, t *Txn) error {
 }
 
 // wait sleeps on the manager condition with context cancellation. If t is
-// non-nil its abort flag is honoured on wakeup.
+// non-nil its abort flag and firm deadline are honoured on wakeup, and any
+// failure tears t down before returning.
 func (m *Manager) wait(ctx context.Context, t *Txn) error {
 	if err := ctx.Err(); err != nil {
-		m.cleanupOnErr(t)
-		return err
+		if t == nil {
+			return &cancelledError{cause: err}
+		}
+		return m.cancel(t, err)
 	}
 	stop := context.AfterFunc(ctx, func() {
 		m.mu.Lock()
@@ -466,30 +786,24 @@ func (m *Manager) wait(ctx context.Context, t *Txn) error {
 	})
 	m.cond.Wait()
 	stop()
-	if t != nil && t.aborted && !t.done {
-		t.job.Status = cc.Aborted
-		m.hist.Abort(m.clock, t.job.Run, t.job.Tmpl.ID)
-		m.finish(t)
-		return ErrAborted
+	if t != nil {
+		if t.aborted && !t.done {
+			t.job.Status = cc.Aborted
+			m.hist.Abort(m.clock, t.job.Run, t.job.Tmpl.ID)
+			m.finish(t)
+			return ErrAborted
+		}
+		if err := m.checkDeadline(t); err != nil {
+			return err
+		}
 	}
 	if err := ctx.Err(); err != nil {
-		m.cleanupOnErr(t)
-		return err
+		if t == nil {
+			return &cancelledError{cause: err}
+		}
+		return m.cancel(t, err)
 	}
 	return nil
-}
-
-// cleanupOnErr tears a transaction down when its blocking call is
-// cancelled: holding locks while the owner has given up would wedge the
-// system.
-func (m *Manager) cleanupOnErr(t *Txn) {
-	if t == nil || t.done {
-		return
-	}
-	m.clock++
-	m.hist.Abort(m.clock, t.job.Run, t.job.Tmpl.ID)
-	t.job.Status = cc.Aborted
-	m.finish(t)
 }
 
 // recomputePriorities runs the priority-inheritance fixpoint over the live

@@ -111,21 +111,44 @@ type (
 	Manager = rtm.Manager
 	// LiveTxn is a running transaction handle owned by one goroutine.
 	LiveTxn = rtm.Txn
+	// ManagerOptions configures firm deadlines, fault injection and retry
+	// jitter for a live manager.
+	ManagerOptions = rtm.Options
+	// ManagerStats is the manager's lifetime counter snapshot, including
+	// the failure-path counters (Cancellations, DeadlineAborts, Retries,
+	// InjectedFaults).
+	ManagerStats = rtm.Stats
 	// Value is a data-item value in the store.
 	Value = db.Value
 )
 
-// Live-manager sentinel errors.
+// Live-manager sentinel errors. Every error exit from the manager is
+// self-cleaning: by the time one of these is returned the transaction's
+// workspace is discarded, its locks released and its template slot freed
+// (a later Abort() is a harmless no-op).
 var (
-	// ErrAborted reports a cycle-breaking abort (workspace discarded; retry).
+	// ErrAborted reports a sacrifice — cycle-breaking or injected fault
+	// (workspace discarded; retry, or let Manager.Exec retry for you).
 	ErrAborted = rtm.ErrAborted
 	// ErrClosed reports use of a finished transaction handle.
 	ErrClosed = rtm.ErrClosed
+	// ErrCancelled reports a transaction torn down because its context was
+	// cancelled or expired; the concrete context error is wrapped.
+	ErrCancelled = rtm.ErrCancelled
+	// ErrDeadlineMissed reports a firm-deadline abort
+	// (ManagerOptions.FirmDeadlines).
+	ErrDeadlineMissed = rtm.ErrDeadlineMissed
 )
 
 // NewManager returns a live PCP-DA transaction manager over the registered
 // transaction set.
 func NewManager(set *Set) (*Manager, error) { return rtm.New(set) }
+
+// NewManagerWithOptions returns a live manager configured by opts (firm
+// deadlines, fault injection, Exec jitter seed).
+func NewManagerWithOptions(set *Set, opts ManagerOptions) (*Manager, error) {
+	return rtm.NewWithOptions(set, opts)
+}
 
 // Analysis kind constants.
 const (
