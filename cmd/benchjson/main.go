@@ -1,0 +1,156 @@
+// Command benchjson converts `go test -bench` output (read from stdin) into
+// a JSON document suitable for committing alongside a PR as a performance
+// record (BENCH_<n>.json). The text format stays benchstat-compatible; this
+// tool only adds a machine-readable mirror plus optional baseline deltas.
+//
+//	go test -run '^$' -bench . -benchmem ./internal/rtm | benchjson -label current
+//	benchjson -label current -baseline old.json < bench.txt > BENCH_2.json
+//
+// With -baseline, the baseline file's "results" are embedded under
+// "baseline" and a "delta" section reports, per benchmark present in both
+// runs, the speedup (baseline ns/op ÷ current ns/op) and the allocation
+// ratio (current allocs/op ÷ baseline allocs/op).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Iters       int64              `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	Label    string   `json:"label"`
+	Date     string   `json:"date"`
+	Go       string   `json:"go"`
+	Maxprocs int      `json:"gomaxprocs"`
+	Results  []Result `json:"results"`
+	Baseline *Doc     `json:"baseline,omitempty"`
+	Delta    []Delta  `json:"delta,omitempty"`
+	Notes    []string `json:"notes,omitempty"`
+}
+
+// Delta compares one benchmark across the two runs.
+type Delta struct {
+	Name       string  `json:"name"`
+	Speedup    float64 `json:"speedup"`     // baseline ns/op ÷ current ns/op
+	AllocRatio float64 `json:"alloc_ratio"` // current allocs/op ÷ baseline allocs/op
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+func parse(r *bufio.Scanner) ([]Result, error) {
+	var out []Result
+	for r.Scan() {
+		mm := benchLine.FindStringSubmatch(strings.TrimSpace(r.Text()))
+		if mm == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(mm[2], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		res := Result{Name: mm[1], Iters: iters}
+		fields := strings.Fields(mm[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			val := v
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = val
+			case "B/op":
+				res.BytesPerOp = &val
+			case "allocs/op":
+				res.AllocsPerOp = &val
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[fields[i+1]] = val
+			}
+		}
+		out = append(out, res)
+	}
+	return out, r.Err()
+}
+
+func main() {
+	label := flag.String("label", "current", "label for this run")
+	baselinePath := flag.String("baseline", "", "previously emitted JSON to embed and diff against")
+	note := flag.String("note", "", "free-form note to record")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	results, err := parse(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	doc := Doc{
+		Label:    *label,
+		Date:     time.Now().UTC().Format(time.RFC3339),
+		Go:       runtime.Version(),
+		Maxprocs: runtime.GOMAXPROCS(0),
+		Results:  results,
+	}
+	if *note != "" {
+		doc.Notes = append(doc.Notes, *note)
+	}
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var base Doc
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+			os.Exit(1)
+		}
+		base.Baseline = nil // never nest more than one level
+		base.Delta = nil
+		doc.Baseline = &base
+		byName := make(map[string]Result, len(base.Results))
+		for _, r := range base.Results {
+			byName[r.Name] = r
+		}
+		for _, cur := range results {
+			old, ok := byName[cur.Name]
+			if !ok || cur.NsPerOp == 0 {
+				continue
+			}
+			d := Delta{Name: cur.Name, Speedup: old.NsPerOp / cur.NsPerOp}
+			if cur.AllocsPerOp != nil && old.AllocsPerOp != nil && *old.AllocsPerOp > 0 {
+				d.AllocRatio = *cur.AllocsPerOp / *old.AllocsPerOp
+			}
+			doc.Delta = append(doc.Delta, d)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -164,6 +164,24 @@ type Env interface {
 	ActiveJobs() []*Job
 }
 
+// CeilingIndex is an optional capability an Env may provide (discovered by
+// type assertion) when the kernel maintains read-lock ceilings incrementally.
+// Protocols use it to answer the paper's Sysceil_i query in O(priority
+// domain) instead of scanning every read lock in the table, and to enumerate
+// the transactions realizing that ceiling (the T* set of rules LC3/LC4)
+// without allocating. Envs without the capability fall back to the lock-table
+// scan; the two paths must compute identical values.
+type CeilingIndex interface {
+	// SysceilExcluding returns Sysceil_o: the highest write-priority ceiling
+	// Wceil(x) over all items x read-locked by transactions other than o
+	// (rt.Dummy when there are none).
+	SysceilExcluding(o rt.JobID) rt.Priority
+	// EachCeilingHolder calls fn for every live transaction other than o
+	// that holds a read lock on some item with Wceil(x) == c. Enumeration
+	// order is ascending job id.
+	EachCeilingHolder(c rt.Priority, o rt.JobID, fn func(holder rt.JobID))
+}
+
 // Protocol is a pluggable concurrency-control policy.
 type Protocol interface {
 	// Name returns the short protocol name used in reports ("PCP-DA").

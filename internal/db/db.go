@@ -172,6 +172,14 @@ func (w *Workspace) Items() []rt.Item {
 	return out
 }
 
+// EachItem calls fn for every buffered item in first-write order, without
+// copying the item list. fn must not mutate the workspace.
+func (w *Workspace) EachItem(fn func(x rt.Item)) {
+	for _, x := range w.order {
+		fn(x)
+	}
+}
+
 // InstallInto atomically applies the workspace to the store on behalf of
 // run, returning the installed (item, version) pairs in first-write order.
 func (w *Workspace) InstallInto(s *Store, run RunID) []Installed {

@@ -76,10 +76,30 @@ type Op struct {
 // History is an append-only op log.
 type History struct {
 	Ops []Op
+
+	// base is the low-water run id set by Reset: runs below it belong to
+	// already-validated windows, so reads observing their versions are not
+	// dirty reads even though their commit records were discarded.
+	base db.RunID
 }
 
 // New returns an empty history.
 func New() *History { return &History{} }
+
+// Reset discards all recorded operations, keeping the backing allocation.
+// Long-running deployments call this between audit windows so the op log —
+// which otherwise grows without bound — stays a bounded tax. Check afterwards
+// validates only operations recorded since the reset; runs from discarded
+// windows are assumed committed (each window was validated before being
+// dropped), so a read observing a pre-reset version is accepted.
+func (h *History) Reset() {
+	for _, op := range h.Ops {
+		if op.Run >= h.base {
+			h.base = op.Run + 1
+		}
+	}
+	h.Ops = h.Ops[:0]
+}
 
 // Begin records the start of a run.
 func (h *History) Begin(t rt.Ticks, run db.RunID, id txn.ID) {
@@ -169,7 +189,7 @@ func (h *History) buildGraph() ([]graphEdge, []Violation) {
 	var violations []Violation
 	isLive := func(r db.RunID) bool {
 		_, ok := committed[r]
-		return ok || r == db.InitRun
+		return ok || r == db.InitRun || r < h.base
 	}
 
 	// versions[x] = installer of each version, keyed by version number.

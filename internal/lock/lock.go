@@ -38,9 +38,16 @@ type heldSet struct {
 }
 
 // Table is the lock table. The zero value is not usable; call NewTable.
+//
+// Emptied entry and held-set records are kept on internal free lists and
+// reused by later acquisitions, so a steady-state workload (jobs arriving,
+// locking, releasing) performs no per-lock allocations once warm.
 type Table struct {
 	items map[rt.Item]*entry
 	held  map[rt.JobID]*heldSet
+
+	freeEntries []*entry
+	freeHeld    []*heldSet
 }
 
 // NewTable returns an empty lock table.
@@ -54,19 +61,45 @@ func NewTable() *Table {
 func (t *Table) entryFor(x rt.Item) *entry {
 	e, ok := t.items[x]
 	if !ok {
-		e = &entry{}
+		if n := len(t.freeEntries); n > 0 {
+			e = t.freeEntries[n-1]
+			t.freeEntries = t.freeEntries[:n-1]
+		} else {
+			e = &entry{}
+		}
 		t.items[x] = e
 	}
 	return e
 }
 
+// dropEntry retires the (empty) entry of x onto the free list.
+func (t *Table) dropEntry(x rt.Item, e *entry) {
+	e.readers = e.readers[:0]
+	e.writers = e.writers[:0]
+	delete(t.items, x)
+	t.freeEntries = append(t.freeEntries, e)
+}
+
 func (t *Table) heldFor(o rt.JobID) *heldSet {
 	h, ok := t.held[o]
 	if !ok {
-		h = &heldSet{}
+		if n := len(t.freeHeld); n > 0 {
+			h = t.freeHeld[n-1]
+			t.freeHeld = t.freeHeld[:n-1]
+		} else {
+			h = &heldSet{}
+		}
 		t.held[o] = h
 	}
 	return h
+}
+
+// dropHeld retires o's held-set record onto the free list.
+func (t *Table) dropHeld(o rt.JobID, h *heldSet) {
+	h.read = h.read[:0]
+	h.write = h.write[:0]
+	delete(t.held, o)
+	t.freeHeld = append(t.freeHeld, h)
 }
 
 func contains(ids []rt.JobID, o rt.JobID) bool {
@@ -96,25 +129,26 @@ func removeItem(items []rt.Item, x rt.Item) []rt.Item {
 	return items
 }
 
-// Acquire records that o now holds x in mode m. Acquiring a mode already
-// held is idempotent. It is the caller's (protocol's) responsibility to have
-// decided the grant is legal.
-func (t *Table) Acquire(o rt.JobID, x rt.Item, m rt.Mode) {
+// Acquire records that o now holds x in mode m and reports whether the lock
+// was newly taken (false: this mode was already held, a no-op). It is the
+// caller's (protocol's) responsibility to have decided the grant is legal.
+func (t *Table) Acquire(o rt.JobID, x rt.Item, m rt.Mode) bool {
 	e := t.entryFor(x)
 	h := t.heldFor(o)
 	if m == rt.Read {
 		if contains(e.readers, o) {
-			return
+			return false
 		}
 		e.readers = append(e.readers, o)
 		h.read = append(h.read, x)
-		return
+		return true
 	}
 	if contains(e.writers, o) {
-		return
+		return false
 	}
 	e.writers = append(e.writers, o)
 	h.write = append(h.write, x)
+	return true
 }
 
 // Release drops o's lock on x in mode m. Releasing a lock not held is a
@@ -124,7 +158,10 @@ func (t *Table) Release(o rt.JobID, x rt.Item, m rt.Mode) {
 	if !ok {
 		return
 	}
-	h := t.heldFor(o)
+	h, ok := t.held[o]
+	if !ok {
+		return
+	}
 	if m == rt.Read {
 		e.readers = remove(e.readers, o)
 		h.read = removeItem(h.read, x)
@@ -133,7 +170,10 @@ func (t *Table) Release(o rt.JobID, x rt.Item, m rt.Mode) {
 		h.write = removeItem(h.write, x)
 	}
 	if e.empty() {
-		delete(t.items, x)
+		t.dropEntry(x, e)
+	}
+	if len(h.read) == 0 && len(h.write) == 0 {
+		t.dropHeld(o, h)
 	}
 }
 
@@ -163,12 +203,39 @@ func (t *Table) ReleaseAll(o rt.JobID) []rt.Item {
 			e.readers = remove(e.readers, o)
 			e.writers = remove(e.writers, o)
 			if e.empty() {
-				delete(t.items, x)
+				t.dropEntry(x, e)
 			}
 		}
 	}
-	delete(t.held, o)
+	t.dropHeld(o, h)
 	return items
+}
+
+// ReleaseAllUnordered drops every lock held by o without materializing the
+// affected item list; it allocates nothing. Callers that need the released
+// items (for history records) use ReleaseAll instead.
+func (t *Table) ReleaseAllUnordered(o rt.JobID) {
+	h, ok := t.held[o]
+	if !ok {
+		return
+	}
+	for _, x := range h.read {
+		if e, ok := t.items[x]; ok {
+			e.readers = remove(e.readers, o)
+			if e.empty() {
+				t.dropEntry(x, e)
+			}
+		}
+	}
+	for _, x := range h.write {
+		if e, ok := t.items[x]; ok {
+			e.writers = remove(e.writers, o)
+			if e.empty() {
+				t.dropEntry(x, e)
+			}
+		}
+	}
+	t.dropHeld(o, h)
 }
 
 // HoldsRead reports whether o holds a read lock on x.
@@ -232,6 +299,36 @@ func (t *Table) WritersOther(x rt.Item, o rt.JobID) []rt.JobID {
 		}
 	}
 	return out
+}
+
+// EachReader calls fn for every job holding a read lock on x, in acquisition
+// order, stopping early when fn returns false. Unlike Readers it performs no
+// allocation; fn must not mutate the table.
+func (t *Table) EachReader(x rt.Item, fn func(o rt.JobID) bool) {
+	e, ok := t.items[x]
+	if !ok {
+		return
+	}
+	for _, o := range e.readers {
+		if !fn(o) {
+			return
+		}
+	}
+}
+
+// EachWriter calls fn for every job holding a write lock on x, in
+// acquisition order, stopping early when fn returns false. Allocation-free;
+// fn must not mutate the table.
+func (t *Table) EachWriter(x rt.Item, fn func(o rt.JobID) bool) {
+	e, ok := t.items[x]
+	if !ok {
+		return
+	}
+	for _, o := range e.writers {
+		if !fn(o) {
+			return
+		}
+	}
 }
 
 // NoRlockByOthers implements the paper's No_Rlock_i(x) predicate: x is not

@@ -238,3 +238,89 @@ func TestDump(t *testing.T) {
 		t.Fatalf("dump missing item name: %q", out)
 	}
 }
+
+func TestAcquireReportsFreshness(t *testing.T) {
+	tb := NewTable()
+	if !tb.Acquire(j1, x, rt.Read) {
+		t.Fatal("first acquisition must report fresh")
+	}
+	if tb.Acquire(j1, x, rt.Read) {
+		t.Fatal("idempotent re-acquisition must not report fresh")
+	}
+	if !tb.Acquire(j1, x, rt.Write) {
+		t.Fatal("same item, new mode is a fresh acquisition")
+	}
+	if !tb.Acquire(j2, x, rt.Read) {
+		t.Fatal("same item, new holder is a fresh acquisition")
+	}
+	tb.Release(j1, x, rt.Read)
+	if !tb.Acquire(j1, x, rt.Read) {
+		t.Fatal("re-acquisition after release must report fresh")
+	}
+}
+
+func TestEachReaderEachWriter(t *testing.T) {
+	tb := NewTable()
+	tb.Acquire(j1, x, rt.Read)
+	tb.Acquire(j2, x, rt.Read)
+	tb.Acquire(j3, x, rt.Write)
+	var readers, writers []rt.JobID
+	tb.EachReader(x, func(o rt.JobID) bool { readers = append(readers, o); return true })
+	tb.EachWriter(x, func(o rt.JobID) bool { writers = append(writers, o); return true })
+	if len(readers) != 2 || len(writers) != 1 || writers[0] != j3 {
+		t.Fatalf("readers %v writers %v", readers, writers)
+	}
+	// Early stop.
+	n := 0
+	tb.EachReader(x, func(o rt.JobID) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d readers, want 1", n)
+	}
+	// Untracked item: no callbacks.
+	tb.EachReader(y, func(o rt.JobID) bool { t.Fatal("unexpected reader"); return true })
+}
+
+func TestReleaseAllUnordered(t *testing.T) {
+	tb := NewTable()
+	tb.Acquire(j1, x, rt.Read)
+	tb.Acquire(j1, x, rt.Write)
+	tb.Acquire(j1, y, rt.Write)
+	tb.Acquire(j2, x, rt.Read)
+	tb.ReleaseAllUnordered(j1)
+	if len(tb.HeldBy(j1)) != 0 {
+		t.Fatalf("j1 still holds %v", tb.HeldBy(j1))
+	}
+	if !tb.HoldsRead(j2, x) {
+		t.Fatal("other holders must survive")
+	}
+	if tb.LockCount() != 1 {
+		t.Fatalf("LockCount = %d, want 1", tb.LockCount())
+	}
+	tb.ReleaseAllUnordered(j1) // idempotent
+	// The table must stay fully usable after bulk release.
+	if !tb.Acquire(j1, y, rt.Write) {
+		t.Fatal("acquire after bulk release failed")
+	}
+}
+
+func TestFreelistRecycling(t *testing.T) {
+	// Churning one job's locks must not grow the table's allocations: the
+	// entry and held-set records recycle through the free lists.
+	tb := NewTable()
+	for i := 0; i < 64; i++ {
+		tb.Acquire(j1, x, rt.Read)
+		tb.Acquire(j1, y, rt.Write)
+		tb.ReleaseAllUnordered(j1)
+	}
+	if tb.LockCount() != 0 {
+		t.Fatalf("LockCount = %d after churn, want 0", tb.LockCount())
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		tb.Acquire(j1, x, rt.Read)
+		tb.Acquire(j1, y, rt.Write)
+		tb.ReleaseAllUnordered(j1)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state churn allocates %v per run, want 0", allocs)
+	}
+}

@@ -66,6 +66,16 @@ type Protocol struct {
 	set   *txn.Set
 	ceil  *txn.Ceilings
 	audit map[string]int
+
+	// Scratch buffers reused across Request calls (a Protocol instance is
+	// driven under one kernel lock, never concurrently). Contents are only
+	// valid until the next Request; decisions that outlive the call (deny
+	// paths) copy what they keep.
+	tstarBuf []rt.JobID
+	offBuf   []rt.JobID
+	// tstarAppend is the one closure handed to CeilingIndex.EachCeilingHolder,
+	// built once so the interface call does not allocate it per request.
+	tstarAppend func(rt.JobID)
 }
 
 var _ cc.Protocol = (*Protocol)(nil)
@@ -114,7 +124,27 @@ type sysinfo struct {
 
 // sysceilFor computes Sysceil_i and T* with respect to requester j: the
 // highest Wceil over items read-locked by other jobs, and who holds them.
+//
+// When the Env maintains a cc.CeilingIndex the answer comes from it in O(1)
+// amortized with zero allocation; otherwise the lock table is scanned. The
+// two paths yield the same ceiling and the same T* membership (the index
+// enumerates holders in job-id order, the scan in item order — callers only
+// use T* as a set). Either way info.tstar aliases p.tstarBuf and is valid
+// only until the next Request.
 func (p *Protocol) sysceilFor(env cc.Env, j *cc.Job) sysinfo {
+	p.tstarBuf = p.tstarBuf[:0]
+	if idx, ok := env.(cc.CeilingIndex); ok {
+		c := idx.SysceilExcluding(j.ID)
+		if !c.IsDummy() {
+			if p.tstarAppend == nil {
+				p.tstarAppend = func(holder rt.JobID) {
+					p.tstarBuf = append(p.tstarBuf, holder)
+				}
+			}
+			idx.EachCeilingHolder(c, j.ID, p.tstarAppend)
+		}
+		return sysinfo{sysceil: c, tstar: p.tstarBuf}
+	}
 	info := sysinfo{sysceil: rt.Dummy}
 	env.Locks().EachReadLock(func(x rt.Item, holder rt.JobID) {
 		if holder == j.ID {
@@ -123,12 +153,13 @@ func (p *Protocol) sysceilFor(env cc.Env, j *cc.Job) sysinfo {
 		w := p.ceil.Wceil(x)
 		if w > info.sysceil {
 			info.sysceil = w
-			info.tstar = info.tstar[:0]
+			p.tstarBuf = p.tstarBuf[:0]
 		}
 		if w == info.sysceil && !info.sysceil.IsDummy() {
-			info.tstar = appendUnique(info.tstar, holder)
+			p.tstarBuf = appendUnique(p.tstarBuf, holder)
 		}
 	})
+	info.tstar = p.tstarBuf
 	return info
 }
 
@@ -155,19 +186,21 @@ func tstarWrites(env cc.Env, tstar []rt.JobID, x rt.Item) bool {
 
 // table1Offenders returns the write-lock holders T_L of x for which
 // DataRead(T_L) ∩ WriteSet(T_i) ≠ ∅ — the holders that would later block
-// T_i's own write and so must not be preempted by T_i's read (Case 1).
-func table1Offenders(env cc.Env, j *cc.Job, x rt.Item) []rt.JobID {
-	var out []rt.JobID
-	for _, id := range env.Locks().WritersOther(x, j.ID) {
-		h := env.Job(id)
-		if h == nil {
-			continue
+// T_i's own write and so must not be preempted by T_i's read (Case 1). The
+// result aliases p.offBuf (valid until the next Request); the common case —
+// no offenders — allocates nothing.
+func (p *Protocol) table1Offenders(env cc.Env, j *cc.Job, x rt.Item) []rt.JobID {
+	p.offBuf = p.offBuf[:0]
+	env.Locks().EachWriter(x, func(id rt.JobID) bool {
+		if id == j.ID {
+			return true
 		}
-		if h.DataRead.Intersects(j.Tmpl.WriteSet()) {
-			out = append(out, id)
+		if h := env.Job(id); h != nil && h.DataRead.Intersects(j.Tmpl.WriteSet()) {
+			p.offBuf = append(p.offBuf, id)
 		}
-	}
-	return out
+		return true
+	})
+	return p.offBuf
 }
 
 // Request implements the PCP-DA locking conditions.
@@ -197,18 +230,19 @@ func (p *Protocol) Request(env cc.Env, j *cc.Job, x rt.Item, m rt.Mode) cc.Decis
 	if runPri < pri {
 		runPri = pri
 	}
-	offenders := table1Offenders(env, j, x)
+	offenders := p.table1Offenders(env, j, x)
 
 	grantIfSafe := func(rule string) cc.Decision {
 		if len(offenders) == 0 {
 			return cc.Grant(rule)
 		}
 		// The paper proves this cannot happen for LC2/LC3; count it so the
-		// tests can verify, and stay safe by denying.
+		// tests can verify, and stay safe by denying. Copy out of the scratch
+		// buffer: the decision outlives this Request.
 		if rule == "LC2" || rule == "LC3" {
 			p.audit["table1-fired-on-"+rule]++
 		}
-		return cc.Block("wr-conflict", offenders...)
+		return cc.Block("wr-conflict", append([]rt.JobID(nil), offenders...)...)
 	}
 
 	// LC2: P_i > Sysceil_i (running priority, see above).
@@ -231,9 +265,12 @@ func (p *Protocol) Request(env cc.Env, j *cc.Job, x rt.Item, m rt.Mode) cc.Decis
 	// when they are lower-priority they coincide with T* (Lemma 5), and
 	// inheritance is a no-op for higher-priority holders.
 	blockers := append([]rt.JobID(nil), info.tstar...)
-	for _, id := range locks.ReadersOther(x, j.ID) {
-		blockers = appendUnique(blockers, id)
-	}
+	locks.EachReader(x, func(id rt.JobID) bool {
+		if id != j.ID {
+			blockers = appendUnique(blockers, id)
+		}
+		return true
+	})
 	return cc.Block("ceiling", blockers...)
 }
 
@@ -241,6 +278,9 @@ func (p *Protocol) Request(env cc.Env, j *cc.Job, x rt.Item, m rt.Mode) cc.Decis
 // items — the quantity the paper plots as Max_Sysceil (dotted line in
 // Figures 4 and 5). Write locks raise nothing under PCP-DA.
 func (p *Protocol) SystemCeiling(env cc.Env) rt.Priority {
+	if idx, ok := env.(cc.CeilingIndex); ok {
+		return idx.SysceilExcluding(rt.NoJob)
+	}
 	c := rt.Dummy
 	env.Locks().EachReadLock(func(x rt.Item, _ rt.JobID) {
 		c = c.Max(p.ceil.Wceil(x))

@@ -1,0 +1,195 @@
+package rtm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pcpda/internal/db"
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+)
+
+// Concurrent throughput benchmarks for the live manager. One benchmark op is
+// one committed transaction (Begin, declared reads/writes, Commit), driven by
+// a fixed number of worker goroutines so the measured parallelism does not
+// depend on GOMAXPROCS; combine with -cpu sweeps to vary scheduler pressure.
+//
+//	go test -run '^$' -bench BenchmarkManagerParallel -benchmem -cpu 1,2,4,8 ./internal/rtm
+//
+// Three workloads bracket the contention spectrum:
+//
+//   - low: every worker's template touches only its own private items — no
+//     lock conflicts, no ceiling interactions; measures the raw per-op cost
+//     of the manager hot path.
+//   - med: private writes plus reads of a small shared pool — ceilings are
+//     raised and consulted constantly but blocking stays rare.
+//   - high: all templates read AND write a four-item shared pool — LC1
+//     conflicts, ceiling blocks and commit waits dominate; measures the
+//     parking/wakeup machinery under a thundering herd.
+
+// benchLowSet returns n templates over disjoint items.
+func benchLowSet(n int) *txn.Set {
+	s := txn.NewSet("bench-low")
+	for i := 0; i < n; i++ {
+		r0 := s.Catalog.Intern(fmt.Sprintf("r%d.0", i))
+		r1 := s.Catalog.Intern(fmt.Sprintf("r%d.1", i))
+		w0 := s.Catalog.Intern(fmt.Sprintf("w%d.0", i))
+		w1 := s.Catalog.Intern(fmt.Sprintf("w%d.1", i))
+		s.Add(&txn.Template{
+			Name:  fmt.Sprintf("T%d", i),
+			Steps: []txn.Step{txn.Read(r0), txn.Read(r1), txn.Write(w0), txn.Write(w1)},
+		})
+	}
+	s.AssignByIndex()
+	return s
+}
+
+// benchMedSet returns n templates with private writes and a shared read pool.
+func benchMedSet(n int) *txn.Set {
+	s := txn.NewSet("bench-med")
+	shared := make([]rt.Item, 4)
+	for i := range shared {
+		shared[i] = s.Catalog.Intern(fmt.Sprintf("s%d", i))
+	}
+	for i := 0; i < n; i++ {
+		w0 := s.Catalog.Intern(fmt.Sprintf("w%d.0", i))
+		w1 := s.Catalog.Intern(fmt.Sprintf("w%d.1", i))
+		s.Add(&txn.Template{
+			Name: fmt.Sprintf("T%d", i),
+			Steps: []txn.Step{
+				txn.Read(shared[i%len(shared)]),
+				txn.Read(shared[(i+1)%len(shared)]),
+				txn.Write(w0), txn.Write(w1),
+			},
+		})
+	}
+	s.AssignByIndex()
+	return s
+}
+
+// benchHighSet returns n templates that all read and write a 4-item pool.
+func benchHighSet(n int) *txn.Set {
+	s := txn.NewSet("bench-high")
+	shared := make([]rt.Item, 4)
+	for i := range shared {
+		shared[i] = s.Catalog.Intern(fmt.Sprintf("s%d", i))
+	}
+	for i := 0; i < n; i++ {
+		s.Add(&txn.Template{
+			Name: fmt.Sprintf("T%d", i),
+			Steps: []txn.Step{
+				txn.Read(shared[i%len(shared)]),
+				txn.Write(shared[(i+2)%len(shared)]),
+			},
+		})
+	}
+	s.AssignByIndex()
+	return s
+}
+
+// benchTxnOnce drives one transaction over tmpl's declared sets, reporting
+// whether it committed (false: sacrificed, caller retries).
+func benchTxnOnce(ctx context.Context, m *Manager, tmpl *txn.Template) (bool, error) {
+	tx, err := m.Begin(ctx, tmpl.Name)
+	if err != nil {
+		if errors.Is(err, ErrAborted) {
+			return false, nil
+		}
+		return false, err
+	}
+	for _, st := range tmpl.Steps {
+		switch st.Kind {
+		case txn.ReadStep:
+			_, err = tx.Read(ctx, st.Item)
+		case txn.WriteStep:
+			err = tx.Write(ctx, st.Item, db.SyntheticValue(tx.job.Run, st.Item))
+		}
+		if err != nil {
+			if errors.Is(err, ErrAborted) {
+				return false, nil
+			}
+			tx.Abort()
+			return false, err
+		}
+	}
+	if err := tx.Commit(ctx); err != nil {
+		if errors.Is(err, ErrAborted) {
+			return false, nil
+		}
+		return false, err
+	}
+	return true, nil
+}
+
+// benchManager runs b.N committed transactions through m using `workers`
+// goroutines, each bound to its own template (Begin is non-reentrant per
+// template, so sharing one would measure slot contention, not the protocol).
+func benchManager(b *testing.B, set *txn.Set, workers int) {
+	b.Helper()
+	m, err := New(set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		tmpl := set.Templates[w%len(set.Templates)]
+		wg.Add(1)
+		go func(tmpl *txn.Template) {
+			defer wg.Done()
+			for {
+				n := next.Add(1)
+				if n > int64(b.N) {
+					return
+				}
+				if n%8192 == 0 {
+					// Trim the op log so the benchmark measures the manager,
+					// not the history append tax (which grows with b.N and
+					// would make ns/op depend on iteration count).
+					m.mu.Lock()
+					m.hist.Reset()
+					m.mu.Unlock()
+				}
+				for {
+					ok, err := benchTxnOnce(ctx, m, tmpl)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if ok {
+						break
+					}
+				}
+			}
+		}(tmpl)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if el := time.Since(start).Seconds(); el > 0 {
+		b.ReportMetric(float64(b.N)/el, "txn/s")
+	}
+}
+
+func BenchmarkManagerParallel(b *testing.B) {
+	const workers = 8
+	b.Run("low", func(b *testing.B) { benchManager(b, benchLowSet(workers), workers) })
+	b.Run("med", func(b *testing.B) { benchManager(b, benchMedSet(workers), workers) })
+	b.Run("high", func(b *testing.B) { benchManager(b, benchHighSet(workers), workers) })
+	b.Run("high2", func(b *testing.B) { benchManager(b, benchHighSet(2), 2) })
+}
+
+// BenchmarkManagerSerial is the single-worker floor: no parking, no
+// contention — isolates the per-operation bookkeeping cost.
+func BenchmarkManagerSerial(b *testing.B) {
+	benchManager(b, benchLowSet(1), 1)
+}

@@ -72,6 +72,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -140,8 +141,7 @@ type Options struct {
 // Manager is a live PCP-DA transaction manager. All methods are safe for
 // concurrent use.
 type Manager struct {
-	mu   sync.Mutex
-	cond *sync.Cond
+	mu sync.Mutex
 
 	set   *txn.Set
 	ceil  *txn.Ceilings
@@ -155,9 +155,28 @@ type Manager struct {
 
 	active  map[rt.JobID]*Txn
 	byTmpl  map[txn.ID]*Txn // one live instance per template
+	actList []*Txn          // live transactions in ascending job-id order
 	nextJob rt.JobID
 	nextRun db.RunID
 	clock   rt.Ticks // logical time: one tick per manager operation
+
+	// Incremental read-lock ceiling index (see index.go).
+	dom       *rt.PriorityDomain
+	wceilRank []int16 // per item: dense rank of Wceil(x); -1 for dummy
+	readCeil  []int32 // live read locks per ceiling rank, all holders
+	ceilTop   int     // highest rank with readCeil > 0; -1 when none
+
+	// Targeted-wakeup machinery (see wait.go).
+	waitOn     map[rt.JobID][]*waitNode // parked waiters per blocking job
+	tmplWait   map[txn.ID][]*waitNode   // Begin waiters per template slot
+	allWaiters []*waitNode              // every parked waiter (injected wakeups)
+	freeNodes  []*waitNode              // pooled Begin-waiter nodes
+	freeLists  [][]*waitNode            // retired waits-on index lists
+	freeRes    []*txnRes                // pooled per-transaction resources
+
+	// resolveCycle scratch, reused across parks.
+	cycleColor map[rt.JobID]int
+	cycleStack []rt.JobID
 
 	rng *rand.Rand // Exec backoff jitter; guarded by mu
 
@@ -167,9 +186,13 @@ type Manager struct {
 
 // Txn is a live transaction handle, owned by a single goroutine.
 type Txn struct {
-	mgr  *Manager
-	job  *cc.Job
-	done bool
+	mgr *Manager
+	job *cc.Job
+	res *txnRes // pooled resources; nil once finished
+	// donatedPri is the running priority this transaction is currently
+	// donating to its blockers (dummy = not donating). Guarded by mgr.mu.
+	donatedPri rt.Priority
+	done       bool
 	// aborted is set by the manager (under mgr.mu) when this transaction
 	// is chosen as a cycle victim; the owning goroutine observes it at its
 	// next (or current) blocking operation.
@@ -205,8 +228,12 @@ func NewWithOptions(set *txn.Set, opts Options) (*Manager, error) {
 		byTmpl:  make(map[txn.ID]*Txn),
 		nextRun: db.InitRun + 1,
 		rng:     rand.New(rand.NewSource(opts.Seed)),
+
+		waitOn:     make(map[rt.JobID][]*waitNode),
+		tmplWait:   make(map[txn.ID][]*waitNode),
+		cycleColor: make(map[rt.JobID]int),
 	}
-	m.cond = sync.NewCond(&m.mu)
+	m.initCeilIndex()
 	return m, nil
 }
 
@@ -226,21 +253,19 @@ func (m *Manager) Job(id rt.JobID) *cc.Job {
 	return nil
 }
 
-// ActiveJobs returns the live jobs in id order.
+// ActiveJobs returns the live jobs in id order. The live list is maintained
+// in that order already (job ids are assigned monotonically and removals
+// splice), so no sort is needed.
 func (m *Manager) ActiveJobs() []*cc.Job {
-	out := make([]*cc.Job, 0, len(m.active))
-	for _, t := range m.active {
+	out := make([]*cc.Job, 0, len(m.actList))
+	for _, t := range m.actList {
 		out = append(out, t.job)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
 	}
 	return out
 }
 
 var _ cc.Env = (*Manager)(nil)
+var _ cc.CeilingIndex = (*Manager)(nil)
 
 // --- public API ---------------------------------------------------------------
 
@@ -259,11 +284,12 @@ func (m *Manager) Begin(ctx context.Context, name string) (*Txn, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for m.byTmpl[tmpl.ID] != nil {
-		if err := m.wait(ctx, nil); err != nil {
+		if err := m.parkBegin(ctx, tmpl.ID); err != nil {
 			return nil, err
 		}
 	}
 	m.clock++
+	res := m.getRes()
 	j := &cc.Job{
 		ID:         m.nextJob,
 		Run:        m.nextRun,
@@ -271,8 +297,8 @@ func (m *Manager) Begin(ctx context.Context, name string) (*Txn, error) {
 		Release:    m.clock,
 		Status:     cc.Ready,
 		RunPri:     tmpl.Priority,
-		DataRead:   rt.NewItemSet(),
-		WS:         db.NewWorkspace(),
+		DataRead:   res.dataRead,
+		WS:         res.ws,
 		FinishTick: -1,
 		MissedAt:   -1,
 	}
@@ -283,9 +309,11 @@ func (m *Manager) Begin(ctx context.Context, name string) (*Txn, error) {
 	}
 	m.nextJob++
 	m.nextRun++
-	t := &Txn{mgr: m, job: j}
+	t := &Txn{mgr: m, job: j, res: res}
+	res.wn.t = t
 	m.active[j.ID] = t
 	m.byTmpl[tmpl.ID] = t
+	m.actList = append(m.actList, t)
 	m.hist.Begin(m.clock, j.Run, tmpl.ID)
 	m.stats.Begins++
 	if err := m.inject(fault.BeginTxn, t, true); err != nil {
@@ -335,16 +363,17 @@ func (t *Txn) Read(ctx context.Context, item rt.Item) (db.Value, error) {
 		if err := m.inject(fault.BlockWait, t, false); err != nil {
 			return 0, err
 		}
-		if err := m.blockAndWait(ctx, t); err != nil {
+		if err := m.park(ctx, t, waitLock); err != nil {
 			return 0, err
 		}
 	}
 	t.job.Status = cc.Ready
 	t.job.Blockers = nil
 	m.clock++
-	m.locks.Acquire(t.job.ID, item, rt.Read)
+	if m.locks.Acquire(t.job.ID, item, rt.Read) {
+		m.ceilAdd(t, item)
+	}
 	t.job.DataRead.Add(item)
-	m.recomputePriorities()
 	if err := m.inject(fault.LockGrant, t, false); err != nil {
 		return 0, err
 	}
@@ -386,7 +415,7 @@ func (t *Txn) Write(ctx context.Context, item rt.Item, v db.Value) error {
 		if err := m.inject(fault.BlockWait, t, false); err != nil {
 			return err
 		}
-		if err := m.blockAndWait(ctx, t); err != nil {
+		if err := m.park(ctx, t, waitLock); err != nil {
 			return err
 		}
 	}
@@ -395,7 +424,6 @@ func (t *Txn) Write(ctx context.Context, item rt.Item, v db.Value) error {
 	m.clock++
 	m.locks.Acquire(t.job.ID, item, rt.Write)
 	t.job.WS.Write(item, v)
-	m.recomputePriorities()
 	if err := m.inject(fault.LockGrant, t, false); err != nil {
 		return err
 	}
@@ -431,7 +459,7 @@ func (t *Txn) Commit(ctx context.Context) error {
 			t.waitingCommit = false
 			return err
 		}
-		err := m.blockAndWait(ctx, t)
+		err := m.park(ctx, t, waitCommit)
 		t.waitingCommit = false
 		if err != nil {
 			return err
@@ -509,6 +537,17 @@ func (m *Manager) Stats() Stats {
 // History returns the recorded execution history (for validation; the
 // returned pointer must only be inspected once no transactions are live).
 func (m *Manager) History() *history.History { return m.hist }
+
+// ResetHistory discards the recorded op log while keeping its allocation.
+// The log grows without bound (one entry per operation), which a long-running
+// manager cannot afford; deployments that audit periodically call this after
+// each CheckInvariants window. Serializability validation after a reset
+// covers only the operations recorded since.
+func (m *Manager) ResetHistory() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hist.Reset()
+}
 
 // ReadCommitted returns the last committed value of item without starting a
 // transaction (a dirty-read-free peek, usable for monitoring).
@@ -593,6 +632,91 @@ func (m *Manager) CheckInvariants() error {
 	}
 	if len(m.byTmpl) != len(m.active) {
 		badf("map cardinality mismatch: %d active vs %d per-template entries", len(m.active), len(m.byTmpl))
+	}
+
+	// The ordered live list must mirror the active map exactly.
+	if len(m.actList) != len(m.active) {
+		badf("live list cardinality mismatch: %d listed vs %d active", len(m.actList), len(m.active))
+	}
+	for i, t := range m.actList {
+		if m.active[t.job.ID] != t {
+			badf("live list entry %d (job %d) not in the active map", i, t.job.ID)
+		}
+		if i > 0 && m.actList[i-1].job.ID >= t.job.ID {
+			badf("live list out of order at %d: job %d after job %d", i, t.job.ID, m.actList[i-1].job.ID)
+		}
+	}
+
+	// The incremental ceiling index must agree with a from-scratch
+	// recomputation over the lock table.
+	wantCeil := make([]int32, m.dom.Size())
+	wantPer := make(map[rt.JobID][]int32, len(m.active))
+	m.locks.EachReadLock(func(x rt.Item, o rt.JobID) {
+		if int(x) >= len(m.wceilRank) {
+			badf("read lock on item %d outside the declared item range", x)
+			return
+		}
+		r := int(m.wceilRank[x])
+		if r < 0 {
+			return
+		}
+		wantCeil[r]++
+		per, ok := wantPer[o]
+		if !ok {
+			per = make([]int32, m.dom.Size())
+			wantPer[o] = per
+		}
+		per[r]++
+	})
+	wantTop := -1
+	for r := range wantCeil {
+		if wantCeil[r] != m.readCeil[r] {
+			badf("ceiling index drift at rank %d: counted %d, recomputed %d", r, m.readCeil[r], wantCeil[r])
+		}
+		if wantCeil[r] > 0 {
+			wantTop = r
+		}
+	}
+	if wantTop != m.ceilTop {
+		badf("ceiling top drift: counted %d, recomputed %d", m.ceilTop, wantTop)
+	}
+	for _, t := range m.actList {
+		want := wantPer[t.job.ID]
+		for r, c := range t.res.ceilCounts {
+			w := int32(0)
+			if want != nil {
+				w = want[r]
+			}
+			if c != w {
+				badf("job %d ceiling counts drift at rank %d: counted %d, recomputed %d", t.job.ID, r, c, w)
+			}
+		}
+	}
+
+	// Incremental donation-based running priorities must agree with the
+	// classical inheritance fixpoint recomputed from scratch.
+	wantPri := make(map[rt.JobID]rt.Priority, len(m.active))
+	m.fixpointPri(wantPri)
+	for _, id := range ids {
+		t := m.active[id]
+		if t.job.RunPri != wantPri[id] {
+			badf("job %d running priority drift: %v, fixpoint says %v", id, t.job.RunPri, wantPri[id])
+		}
+	}
+
+	// Waiter-index sanity: the all-waiters list is position-consistent and
+	// every waits-on entry is a registered node.
+	for i, n := range m.allWaiters {
+		if n.allIdx != i {
+			badf("waiter at slot %d carries index %d", i, n.allIdx)
+		}
+	}
+	for id, s := range m.waitOn {
+		for _, n := range s {
+			if !n.parked() {
+				badf("unregistered wait node filed under job %d", id)
+			}
+		}
 	}
 
 	rep := m.hist.Check()
@@ -690,7 +814,10 @@ func (m *Manager) inject(p fault.Point, t *Txn, mayUnlock bool) error {
 		return t.usable() // the world may have moved while we yielded
 	case fault.Wakeup:
 		m.stats.InjectedFaults++
-		m.cond.Broadcast()
+		// A spurious broadcast: wake every parked waiter so each re-evaluates
+		// its condition (the chaos harness relies on this exercising the
+		// re-check paths exactly as the legacy condition broadcast did).
+		m.wakeAll()
 		return nil
 	case fault.ForceAbort:
 		m.stats.InjectedFaults++
@@ -707,8 +834,13 @@ func (m *Manager) inject(p fault.Point, t *Txn, mayUnlock bool) error {
 	return nil
 }
 
-// finish removes t from the live structures and wakes everyone. Caller
-// holds m.mu; t.job.Status must already be Done or Aborted.
+// finish removes t from the live structures and wakes exactly the waiters
+// whose blocking condition could have changed: those filed under t's job id
+// (lock and commit waiters — locks release only here, so any deny→grant flip
+// traces to a finishing blocker) and Begin waiters for t's template slot.
+// Caller holds m.mu; t.job.Status must already be Done or Aborted, and t's
+// wait node must not be registered (park always deregisters before any
+// failure path reaches here).
 func (m *Manager) finish(t *Txn) {
 	if t.done {
 		return
@@ -717,134 +849,75 @@ func (m *Manager) finish(t *Txn) {
 	if t.job.Status == cc.Aborted {
 		t.job.WS.Discard()
 	}
-	m.locks.ReleaseAll(t.job.ID)
+	m.ceilRelease(t)
+	m.locks.ReleaseAllUnordered(t.job.ID)
 	delete(m.active, t.job.ID)
 	if m.byTmpl[t.job.Tmpl.ID] == t {
 		delete(m.byTmpl, t.job.Tmpl.ID)
 	}
-	m.recomputePriorities()
-	m.cond.Broadcast()
-}
-
-// staleReaders lists live transactions (other than t) that have read an
-// item in t's pending write set: they observed the pre-commit version and
-// must commit first.
-func (m *Manager) staleReaders(t *Txn) []rt.JobID {
-	var out []rt.JobID
-	for _, o := range m.active {
+	for i, o := range m.actList {
 		if o == t {
-			continue
+			m.actList = append(m.actList[:i], m.actList[i+1:]...)
+			break
 		}
-		for _, x := range t.job.WS.Items() {
-			if o.job.DataRead.Has(x) {
-				out = append(out, o.job.ID)
-				break
+	}
+	m.wakeWaitersOn(t.job.ID)
+	m.wakeTmpl(t.job.Tmpl.ID)
+	res := t.res
+	t.res = nil
+	// Detach the pooled containers from the (never reused) job so a handle
+	// inspected after the fact cannot observe a successor's data.
+	t.job.DataRead = nil
+	t.job.WS = nil
+	m.putRes(res)
+}
+
+// staleReaders lists live transactions (other than t) that have read an item
+// in t's pending write set: they observed the pre-commit version and must
+// commit first. In this manager DataRead(o) coincides exactly with o's read
+// locks (strict 2PL, locks release only at finish), so the set inverts to
+// "readers of t's written items" straight off the lock-table entry lists —
+// O(write set × readers) instead of O(live × write set), and allocation-free
+// (the result reuses t's blocker scratch buffer, stable while t is parked).
+func (m *Manager) staleReaders(t *Txn) []rt.JobID {
+	buf := t.res.blockers[:0]
+	self := t.job.ID
+	t.job.WS.EachItem(func(x rt.Item) {
+		m.locks.EachReader(x, func(o rt.JobID) bool {
+			if o != self {
+				buf = appendUniqueID(buf, o)
 			}
-		}
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
-}
-
-// blockAndWait parks t until the manager state changes, handling priority
-// inheritance, cycle detection and cancellation. Caller holds m.mu and has
-// filled t.job.Blockers; on return t must re-evaluate its condition.
-func (m *Manager) blockAndWait(ctx context.Context, t *Txn) error {
-	m.recomputePriorities()
-	if victim := m.resolveCycle(t); victim != nil {
-		victim.aborted = true
-		m.aborts++
-		m.cond.Broadcast()
-		if victim == t {
-			t.job.Status = cc.Aborted
-			m.hist.Abort(m.clock, t.job.Run, t.job.Tmpl.ID)
-			m.finish(t)
-			return ErrAborted
-		}
-	}
-	return m.wait(ctx, t)
-}
-
-// wait sleeps on the manager condition with context cancellation. If t is
-// non-nil its abort flag and firm deadline are honoured on wakeup, and any
-// failure tears t down before returning.
-func (m *Manager) wait(ctx context.Context, t *Txn) error {
-	if err := ctx.Err(); err != nil {
-		if t == nil {
-			return &cancelledError{cause: err}
-		}
-		return m.cancel(t, err)
-	}
-	stop := context.AfterFunc(ctx, func() {
-		m.mu.Lock()
-		defer m.mu.Unlock()
-		m.cond.Broadcast()
+			return true
+		})
 	})
-	m.cond.Wait()
-	stop()
-	if t != nil {
-		if t.aborted && !t.done {
-			t.job.Status = cc.Aborted
-			m.hist.Abort(m.clock, t.job.Run, t.job.Tmpl.ID)
-			m.finish(t)
-			return ErrAborted
-		}
-		if err := m.checkDeadline(t); err != nil {
-			return err
-		}
-	}
-	if err := ctx.Err(); err != nil {
-		if t == nil {
-			return &cancelledError{cause: err}
-		}
-		return m.cancel(t, err)
-	}
-	return nil
+	slices.Sort(buf)
+	t.res.blockers = buf
+	return buf
 }
 
-// recomputePriorities runs the priority-inheritance fixpoint over the live
-// transactions (same rule as the kernel's): a blocker executes, for
-// admission purposes, at the highest priority among the transactions it
-// (transitively) blocks.
-func (m *Manager) recomputePriorities() {
-	for _, t := range m.active {
-		t.job.RunPri = t.job.BasePri()
-	}
-	for changed := true; changed; {
-		changed = false
-		for _, t := range m.active {
-			if t.job.Status != cc.Blocked {
-				continue
-			}
-			for _, bid := range t.job.Blockers {
-				b, ok := m.active[bid]
-				if !ok {
-					continue
-				}
-				if b.job.RunPri < t.job.RunPri {
-					b.job.RunPri = t.job.RunPri
-					changed = true
-				}
-			}
+func appendUniqueID(ids []rt.JobID, id rt.JobID) []rt.JobID {
+	for _, have := range ids {
+		if have == id {
+			return ids
 		}
 	}
+	return append(ids, id)
 }
 
 // resolveCycle looks for a wait cycle reachable from start (lock waits and
 // commit waits combined) and returns the lowest-base-priority member as the
-// victim, or nil when no cycle exists.
+// victim, or nil when no cycle exists. The DFS colouring reuses manager
+// scratch (this runs on every park).
 func (m *Manager) resolveCycle(start *Txn) *Txn {
 	const (
 		white = 0
 		grey  = 1
 		black = 2
 	)
-	color := make(map[rt.JobID]int)
-	var stack []rt.JobID
+	clear(m.cycleColor)
+	color := m.cycleColor
+	stack := m.cycleStack[:0]
+	defer func() { m.cycleStack = stack[:0] }()
 	var cycle []rt.JobID
 
 	var dfs func(t *Txn) bool

@@ -1,0 +1,249 @@
+package rtm
+
+import (
+	"context"
+
+	"pcpda/internal/cc"
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+)
+
+// waitKind distinguishes what a parked waiter is waiting for, because the
+// wake rules differ: lock waiters must additionally be woken when their own
+// running priority rises (LC2 admits on the running priority), while commit
+// and template waiters only depend on other transactions finishing.
+type waitKind uint8
+
+const (
+	waitLock   waitKind = iota // lock request denied by the locking conditions
+	waitCommit                 // Commit waiting out stale readers
+	waitTmpl                   // Begin waiting for the template slot
+)
+
+// waitNode is one parked waiter. Wakeups are targeted: a node is registered
+// (under m.mu) against every job it waits on before the manager lock is
+// released, and woken through its own buffered channel. Because registration
+// happens before unlock and wake() is a non-blocking send into a buffer of
+// one, a wake delivered at any point after registration is never lost — the
+// subsequent receive completes immediately.
+type waitNode struct {
+	t    *Txn // owning transaction; nil for Begin (template) waiters
+	kind waitKind
+	tmpl txn.ID // template key, waitTmpl only
+	ch   chan struct{}
+
+	// Registration bookkeeping, all under m.mu.
+	blockers []rt.JobID // waits-on index keys this node is filed under
+	allIdx   int        // position in m.allWaiters; -1 when not parked
+}
+
+// wake delivers one wake token; extra tokens while one is already pending
+// coalesce. Caller holds m.mu.
+func (n *waitNode) wake() {
+	select {
+	case n.ch <- struct{}{}:
+	default:
+	}
+}
+
+// drain discards a stale token left over from a wake that raced a
+// cancellation on the previous park.
+func (n *waitNode) drain() {
+	select {
+	case <-n.ch:
+	default:
+	}
+}
+
+// parked reports whether the node is currently registered.
+func (n *waitNode) parked() bool { return n.allIdx >= 0 }
+
+// --- registration (all under m.mu) -------------------------------------------
+
+// pushWaiter files n under blocker id in the waits-on index, reusing a
+// retired list when the key is fresh.
+func (m *Manager) pushWaiter(id rt.JobID, n *waitNode) {
+	s, ok := m.waitOn[id]
+	if !ok && len(m.freeLists) > 0 {
+		s = m.freeLists[len(m.freeLists)-1]
+		m.freeLists = m.freeLists[:len(m.freeLists)-1]
+	}
+	m.waitOn[id] = append(s, n)
+}
+
+// register files n under every blocker and in the all-waiters list.
+func (m *Manager) register(n *waitNode, blockers []rt.JobID) {
+	n.blockers = blockers
+	for _, id := range blockers {
+		m.pushWaiter(id, n)
+	}
+	n.allIdx = len(m.allWaiters)
+	m.allWaiters = append(m.allWaiters, n)
+}
+
+// deregister removes n from every index it was filed in. Idempotent.
+func (m *Manager) deregister(n *waitNode) {
+	if n.allIdx < 0 {
+		return
+	}
+	last := len(m.allWaiters) - 1
+	m.allWaiters[n.allIdx] = m.allWaiters[last]
+	m.allWaiters[n.allIdx].allIdx = n.allIdx
+	m.allWaiters[last] = nil
+	m.allWaiters = m.allWaiters[:last]
+	n.allIdx = -1
+	for _, id := range n.blockers {
+		s := removeNode(m.waitOn[id], n)
+		if len(s) == 0 {
+			// Job ids are never reused, so empty keys must be deleted; the
+			// backing array is recycled for the next fresh key.
+			delete(m.waitOn, id)
+			m.freeLists = append(m.freeLists, s)
+		} else {
+			m.waitOn[id] = s
+		}
+	}
+	n.blockers = nil
+	if n.kind == waitTmpl {
+		// Template keys are a fixed small set; the emptied slice stays.
+		m.tmplWait[n.tmpl] = removeNode(m.tmplWait[n.tmpl], n)
+	}
+}
+
+func removeNode(s []*waitNode, n *waitNode) []*waitNode {
+	for i, x := range s {
+		if x == n {
+			s[i] = s[len(s)-1]
+			s[len(s)-1] = nil
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// --- wake rules ---------------------------------------------------------------
+
+// wakeWaitersOn wakes every waiter filed under the (finishing) job id. The
+// nodes deregister themselves when their goroutines resume.
+func (m *Manager) wakeWaitersOn(id rt.JobID) {
+	for _, n := range m.waitOn[id] {
+		n.wake()
+	}
+}
+
+// wakeTmpl wakes every Begin waiter for the template slot.
+func (m *Manager) wakeTmpl(id txn.ID) {
+	for _, n := range m.tmplWait[id] {
+		n.wake()
+	}
+}
+
+// wakeAll wakes every parked waiter — the targeted-wakeup equivalent of the
+// legacy condition broadcast, kept for injected spurious wakeups (package
+// fault's Wakeup action must still exercise every waiter's re-evaluation
+// path).
+func (m *Manager) wakeAll() {
+	for _, n := range m.allWaiters {
+		n.wake()
+	}
+}
+
+// --- parking ------------------------------------------------------------------
+
+// park blocks t until a targeted wakeup or ctx cancellation, handling
+// priority donation, cycle detection, victim teardown and firm deadlines.
+// Caller holds m.mu with t.job.Status = Blocked and t.job.Blockers filled;
+// on nil return the caller re-evaluates its condition.
+//
+// The ordering is load-bearing: the node registers and the donation cascade
+// runs before m.mu is released, so a blocker finishing (or a priority raise
+// flipping LC2) at any later point finds the node and its token is retained.
+func (m *Manager) park(ctx context.Context, t *Txn, kind waitKind) error {
+	n := &t.res.wn
+	n.kind = kind
+	n.drain()
+	m.register(n, t.job.Blockers)
+	m.donate(t)
+	if victim := m.resolveCycle(t); victim != nil {
+		victim.aborted = true
+		m.aborts++
+		if victim == t {
+			m.deregister(n)
+			m.retract(t)
+			t.job.Status = cc.Aborted
+			m.hist.Abort(m.clock, t.job.Run, t.job.Tmpl.ID)
+			m.finish(t)
+			return ErrAborted
+		}
+		victim.res.wn.wake()
+	}
+	m.mu.Unlock()
+	var ctxErr error
+	select {
+	case <-n.ch:
+	case <-ctx.Done():
+		ctxErr = ctx.Err()
+	}
+	m.mu.Lock()
+	m.deregister(n)
+	m.retract(t)
+	if t.aborted && !t.done {
+		t.job.Status = cc.Aborted
+		m.hist.Abort(m.clock, t.job.Run, t.job.Tmpl.ID)
+		m.finish(t)
+		return ErrAborted
+	}
+	if err := m.checkDeadline(t); err != nil {
+		return err
+	}
+	if ctxErr == nil {
+		ctxErr = ctx.Err()
+	}
+	if ctxErr != nil {
+		return m.cancel(t, ctxErr)
+	}
+	return nil
+}
+
+// parkBegin blocks a Begin call until the template slot may be free. The
+// transient node comes from a pool (Begin waiters have no Txn yet).
+func (m *Manager) parkBegin(ctx context.Context, id txn.ID) error {
+	n := m.getNode()
+	n.kind = waitTmpl
+	n.tmpl = id
+	m.tmplWait[id] = append(m.tmplWait[id], n)
+	n.allIdx = len(m.allWaiters)
+	m.allWaiters = append(m.allWaiters, n)
+	m.mu.Unlock()
+	var ctxErr error
+	select {
+	case <-n.ch:
+	case <-ctx.Done():
+		ctxErr = ctx.Err()
+	}
+	m.mu.Lock()
+	m.deregister(n)
+	m.putNode(n)
+	if ctxErr == nil {
+		ctxErr = ctx.Err()
+	}
+	if ctxErr != nil {
+		return &cancelledError{cause: ctxErr}
+	}
+	return nil
+}
+
+func (m *Manager) getNode() *waitNode {
+	if k := len(m.freeNodes); k > 0 {
+		n := m.freeNodes[k-1]
+		m.freeNodes = m.freeNodes[:k-1]
+		return n
+	}
+	return &waitNode{ch: make(chan struct{}, 1), allIdx: -1}
+}
+
+func (m *Manager) putNode(n *waitNode) {
+	n.drain()
+	n.t = nil
+	m.freeNodes = append(m.freeNodes, n)
+}

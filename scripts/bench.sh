@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# bench.sh — run the live-manager and lock-table benchmark suite and emit a
+# committed performance record (BENCH_<n>.json) plus a benchstat-compatible
+# text log.
+#
+# Usage:
+#   scripts/bench.sh                         # writes BENCH_2.json + bench.txt
+#   BENCH_LABEL=baseline BENCH_OUT=/tmp/base.json scripts/bench.sh
+#   BENCH_BASELINE=/tmp/base.json scripts/bench.sh   # embeds baseline + deltas
+#
+# Environment knobs:
+#   BENCH_OUT      output JSON path            (default BENCH_2.json)
+#   BENCH_TXT      output text log path        (default bench.txt)
+#   BENCH_LABEL    label recorded in the JSON  (default current)
+#   BENCH_BASELINE previously emitted JSON to diff against (default none)
+#   BENCH_CPU      -cpu list                   (default 1,2,4,8)
+#   BENCH_TIME     -benchtime                  (default 1s)
+#   BENCH_COUNT    -count                      (default 1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${BENCH_OUT:-BENCH_2.json}
+txt=${BENCH_TXT:-bench.txt}
+label=${BENCH_LABEL:-current}
+baseline=${BENCH_BASELINE:-}
+cpu=${BENCH_CPU:-1,2,4,8}
+benchtime=${BENCH_TIME:-1s}
+count=${BENCH_COUNT:-1}
+
+go build ./...
+
+go test -run '^$' -bench 'BenchmarkManager|BenchmarkLock' -benchmem \
+	-cpu "$cpu" -benchtime "$benchtime" -count "$count" \
+	./internal/rtm ./internal/lock | tee "$txt"
+
+args=(-label "$label")
+if [[ -n "$baseline" ]]; then
+	args+=(-baseline "$baseline")
+fi
+go run ./cmd/benchjson "${args[@]}" < "$txt" > "$out"
+echo "wrote $out (text log: $txt)"
