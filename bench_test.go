@@ -12,6 +12,7 @@ package pcpda_test
 import (
 	"context"
 	"io"
+	"runtime"
 	"testing"
 
 	root "pcpda"
@@ -114,6 +115,59 @@ func BenchmarkRunRWPCP(b *testing.B) { benchProtocolRun(b, "rwpcp") }
 func BenchmarkRunCCP(b *testing.B)   { benchProtocolRun(b, "ccp") }
 func BenchmarkRunOPCP(b *testing.B)  { benchProtocolRun(b, "pcp") }
 func BenchmarkRun2PLHP(b *testing.B) { benchProtocolRun(b, "2plhp") }
+
+// benchProtocolScan mirrors benchProtocolRun with the kernel's ceiling
+// index withheld, so protocols fall back to lock-table scans. The Run/Scan
+// pairs measure exactly what the index buys per run; the golden tests
+// guarantee both variants produce the identical schedule.
+func benchProtocolScan(b *testing.B, protocol string) {
+	set, err := workload.Generate(workload.Config{
+		N: 8, Items: 6, Utilization: 0.6,
+		PeriodMin: 40, PeriodMax: 400,
+		OpsMin: 2, OpsMax: 4, WriteProb: 0.5, Seed: 77,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	horizon := sim.DefaultHorizon(set)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(set, protocol, sim.Options{Horizon: horizon, DisableCeilingIndex: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScanPCPDA(b *testing.B) { benchProtocolScan(b, "pcpda") }
+func BenchmarkScanRWPCP(b *testing.B) { benchProtocolScan(b, "rwpcp") }
+func BenchmarkScanCCP(b *testing.B)   { benchProtocolScan(b, "ccp") }
+func BenchmarkScanOPCP(b *testing.B)  { benchProtocolScan(b, "pcp") }
+
+// BenchmarkCompareAllProtocols measures the side-by-side facade over every
+// protocol on one workload — the unit the parallel fan-out distributes.
+// Workers defaults to GOMAXPROCS so multi-core hosts see the fan-out win;
+// the merged output is identical at any worker count.
+func BenchmarkCompareAllProtocols(b *testing.B) {
+	set, err := workload.Generate(workload.Config{
+		N: 8, Items: 6, Utilization: 0.6,
+		PeriodMin: 40, PeriodMax: 400,
+		OpsMin: 2, OpsMax: 4, WriteProb: 0.5, Seed: 77,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	protocols := sim.Protocols()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Compare(set, protocols, sim.Options{StopOnDeadlock: true, Workers: maxprocs()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func maxprocs() int { return runtime.GOMAXPROCS(0) }
 
 // BenchmarkHistoryCheck measures the serializability checker on a realistic
 // committed history.

@@ -5,7 +5,13 @@
 //
 //	experiments -list
 //	experiments -run fig3,fig4
-//	experiments > experiments.out
+//	experiments -j 8 > experiments.out
+//
+// -j N fans the seeded sweeps across N workers; the report is byte-identical
+// for every N (runs share nothing, results merge in seed order). -maxticks T
+// caps each sweep simulation's horizon — a CI smoke knob that trades
+// statistical fidelity for wall clock; do not use it when reproducing the
+// paper's numbers.
 package main
 
 import (
@@ -15,13 +21,18 @@ import (
 	"strings"
 
 	"pcpda/internal/experiments"
+	"pcpda/internal/rt"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	run := flag.String("run", "", "comma-separated experiment names (default: all)")
 	svgdir := flag.String("svgdir", "", "also write the reproduced figures as SVG files into this directory")
+	jobs := flag.Int("j", 0, "sweep worker goroutines (0 = GOMAXPROCS); output is identical for any value")
+	maxticks := flag.Int64("maxticks", 0, "cap each sweep run's horizon at this many ticks (0 = no cap; changes the numbers — CI smoke only)")
 	flag.Parse()
+	experiments.SetWorkers(*jobs)
+	experiments.SetHorizonCap(rt.Ticks(*maxticks))
 	if *svgdir != "" {
 		if err := os.MkdirAll(*svgdir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)

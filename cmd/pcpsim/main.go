@@ -3,7 +3,13 @@
 //
 //	pcpsim -workload example3.json -protocol pcpda
 //	pcpsim -workload set.json -protocol rwpcp -horizon 200 -firm
+//	pcpsim -workload set.json -protocol pcpda,rwpcp,ccp -j 3   # side-by-side
 //	pcpsim -protocols            # list available protocols
+//
+// Passing several comma-separated protocols switches to compare mode: the
+// set runs once per protocol (fanned across -j worker goroutines) and the
+// summary table is printed side by side. The output is identical for every
+// -j — runs share nothing and merge in argument order.
 //
 // Workload files are JSON (see internal/workload): transactions with
 // periods, offsets and step lists over named items. The -paper flag loads
@@ -33,6 +39,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,6 +70,7 @@ func main() {
 		seed         = flag.Int64("seed", 0, "sporadic-arrival RNG seed (also seeds -chaos)")
 		chaos        = flag.Int("chaos", 0, "run N seeded fault schedules against the live manager instead of simulating")
 		livebench    = flag.Duration("livebench", 0, "drive the live manager for this long and print throughput instead of simulating")
+		jobs         = flag.Int("j", 1, "worker goroutines for multi-protocol compare mode (-protocol a,b,c)")
 	)
 	flag.Parse()
 
@@ -84,6 +92,18 @@ func main() {
 	}
 	if *livebench > 0 {
 		runLiveBench(set, *livebench)
+		return
+	}
+	if strings.Contains(*protocol, ",") {
+		runCompare(set, strings.Split(*protocol, ","), sim.Options{
+			Horizon:        rt.Ticks(*horizon),
+			FirmDeadlines:  *firm,
+			TrackCeiling:   true,
+			StopOnDeadlock: true,
+			SporadicJitter: *jitter,
+			Seed:           *seed,
+			Workers:        *jobs,
+		})
 		return
 	}
 
@@ -161,6 +181,41 @@ func main() {
 	}
 	if !sum.Serializable {
 		fmt.Fprintln(os.Stderr, "\nWARNING: history is not serializable")
+		os.Exit(2)
+	}
+}
+
+// runCompare simulates set once per named protocol — fanned across
+// opts.Workers goroutines — and prints the side-by-side summary table. A
+// deadlocked run is reported per protocol; a non-serializable history exits
+// non-zero, same as single-protocol mode.
+func runCompare(set *txn.Set, names []string, opts sim.Options) {
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	comps, err := sim.Compare(set, names, opts)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("workload %q under %d protocols (horizon %d, %d workers)\n\n",
+		set.Name, len(comps), comps[0].Result.Horizon, opts.Workers)
+	sums := make([]metrics.Summary, len(comps))
+	for i, c := range comps {
+		sums[i] = c.Summary
+	}
+	fmt.Print(metrics.Table(sums))
+	clean := true
+	for _, c := range comps {
+		if c.Result.Deadlocked {
+			fmt.Printf("\n%s: DEADLOCK at t=%d involving jobs %v\n",
+				c.Result.Protocol, c.Result.DeadlockAt, c.Result.DeadlockCycle)
+		}
+		if !c.Summary.Serializable {
+			fmt.Fprintf(os.Stderr, "\nWARNING: %s history is not serializable\n", c.Result.Protocol)
+			clean = false
+		}
+	}
+	if !clean {
 		os.Exit(2)
 	}
 }

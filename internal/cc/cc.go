@@ -182,6 +182,33 @@ type CeilingIndex interface {
 	EachCeilingHolder(c rt.Priority, o rt.JobID, fn func(holder rt.JobID))
 }
 
+// AccessCeilingIndex is the access-ceiling analogue of CeilingIndex for
+// protocols (OPCP) where EVERY lock — read or write — raises the item's
+// access ceiling Aceil(x). Same discovery, fallback and equivalence rules
+// as CeilingIndex.
+type AccessCeilingIndex interface {
+	// SysAceilExcluding returns the highest Aceil(x) over all items x locked
+	// (in any mode) by transactions other than o (rt.Dummy when none).
+	SysAceilExcluding(o rt.JobID) rt.Priority
+	// EachAceilHolder calls fn for every live transaction other than o that
+	// holds a lock (any mode) on some item with Aceil(x) == c. Enumeration
+	// order is ascending job id.
+	EachAceilHolder(c rt.Priority, o rt.JobID, fn func(holder rt.JobID))
+}
+
+// RWCeilingIndex serves the RW-PCP rw-ceiling query: read locks contribute
+// Wceil(x), write locks contribute Aceil(x) (the protocol's rwceil per
+// lock). Same discovery, fallback and equivalence rules as CeilingIndex.
+type RWCeilingIndex interface {
+	// SysRWceilExcluding returns the highest rw-ceiling over all locks held
+	// by transactions other than o (rt.Dummy when none): Wceil(x) for each
+	// foreign read lock, Aceil(x) for each foreign write lock.
+	SysRWceilExcluding(o rt.JobID) rt.Priority
+	// EachRWceilHolder calls fn for every live transaction other than o
+	// holding a lock whose rw-ceiling equals c, ascending job id.
+	EachRWceilHolder(c rt.Priority, o rt.JobID, fn func(holder rt.JobID))
+}
+
 // Protocol is a pluggable concurrency-control policy.
 type Protocol interface {
 	// Name returns the short protocol name used in reports ("PCP-DA").

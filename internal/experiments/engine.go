@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"pcpda/internal/rt"
+	"pcpda/internal/sched"
+	"pcpda/internal/sim"
+	"pcpda/internal/txn"
+)
+
+// The sweep engine is configurable from the CLI: workerCount caps the
+// goroutines runSeeds fans seeded runs across (0 = GOMAXPROCS) and
+// horizonCap bounds per-run horizons so CI can smoke the full experiment
+// suite on a reduced clock. Both are process-wide because the registry's
+// Run closures take no parameters; they are set once before RunAll/RunOne.
+var (
+	workerCount atomic.Int64
+	horizonCap  atomic.Int64
+)
+
+// SetWorkers caps the worker pool used for seeded sweeps. n <= 0 restores
+// the default (GOMAXPROCS). Reports are identical for every n: seeded runs
+// share nothing and results merge in seed order.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerCount.Store(int64(n))
+}
+
+// Workers reports the effective sweep worker count.
+func Workers() int {
+	if n := workerCount.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetHorizonCap bounds the horizon of every sweep simulation at t ticks
+// (0 = no cap). Capped runs see fewer job instances, so the numbers change;
+// this exists for CI smoke runs, not for reproducing the paper.
+func SetHorizonCap(t rt.Ticks) {
+	if t < 0 {
+		t = 0
+	}
+	horizonCap.Store(int64(t))
+}
+
+// simRun is sim.Run with the engine's horizon cap applied. Sweep-style
+// experiments route their runs through here; the tiny paper-example figures
+// do not (their horizons are already a few dozen ticks, and capping them
+// would break the exact paper traces they assert).
+func simRun(set *txn.Set, protocol string, opts sim.Options) (*sched.Result, error) {
+	if cap := rt.Ticks(horizonCap.Load()); cap > 0 {
+		h := opts.Horizon
+		if h <= 0 {
+			h = sim.DefaultHorizon(set)
+		}
+		if h > cap {
+			h = cap
+		}
+		opts.Horizon = h
+	}
+	return sim.Run(set, protocol, opts)
+}

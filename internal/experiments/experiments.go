@@ -8,7 +8,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
 	"sync"
 )
@@ -83,13 +82,14 @@ func check(w io.Writer, ok bool, format string, args ...any) {
 	fmt.Fprintf(w, "  [%s] %s\n", status, fmt.Sprintf(format, args...))
 }
 
-// runSeeds evaluates fn for every seed in [0, n) on a worker pool and
-// returns the results in seed order (so aggregation stays deterministic
-// regardless of scheduling). The first error aborts the sweep.
+// runSeeds evaluates fn for every seed in [0, n) on a worker pool sized by
+// SetWorkers (default GOMAXPROCS) and returns the results in seed order (so
+// aggregation stays deterministic regardless of scheduling). The first
+// error — by seed order, also deterministic — aborts the sweep.
 func runSeeds[T any](n int64, fn func(seed int64) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
-	workers := runtime.GOMAXPROCS(0)
+	workers := Workers()
 	if int64(workers) > n {
 		workers = int(n)
 	}

@@ -52,7 +52,7 @@ func samplePoint(protocol string, opts sim.Options, base workload.Config) (simPo
 	if err != nil {
 		return pt, err
 	}
-	res, err := sim.Run(set, protocol, opts)
+	res, err := simRun(set, protocol, opts)
 	if err != nil {
 		return pt, err
 	}
@@ -193,8 +193,11 @@ func blockingProfile(w io.Writer) error {
 		fmt.Fprintf(w, "%-6.2f", wp)
 		for _, p := range protocols {
 			pts, err := runSeeds(sweepReps/2, func(seed int64) (simPoint, error) {
+				// TrackCeiling (not Trace): the profile only reads
+				// Max_Sysceil, and skipping the timeline keeps the
+				// kernel's fast-forward eligible.
 				return samplePoint(p,
-					sim.Options{Trace: true, StopOnDeadlock: true},
+					sim.Options{TrackCeiling: true, StopOnDeadlock: true},
 					sweepConfig(0.55, wp, 11000+seed))
 			})
 			if err != nil {
@@ -292,11 +295,11 @@ func ablation(w io.Writer) error {
 		if err != nil {
 			return pr, err
 		}
-		full, err := sim.Run(set, "pcpda", sim.Options{StopOnDeadlock: true})
+		full, err := simRun(set, "pcpda", sim.Options{StopOnDeadlock: true})
 		if err != nil {
 			return pr, err
 		}
-		lc2, err := sim.Run(set, "pcpda-lc2", sim.Options{StopOnDeadlock: true})
+		lc2, err := simRun(set, "pcpda-lc2", sim.Options{StopOnDeadlock: true})
 		if err != nil {
 			return pr, err
 		}

@@ -56,7 +56,7 @@ func tightness(w io.Writer) error {
 				continue // the bound only promises anything for admitted sets
 			}
 			setsUsed++
-			res, err := sim.Run(set, pk.proto, sim.Options{StopOnDeadlock: true})
+			res, err := simRun(set, pk.proto, sim.Options{StopOnDeadlock: true})
 			if err != nil {
 				return err
 			}

@@ -22,6 +22,11 @@ type Protocol struct {
 	cc.Base
 	set  *txn.Set
 	ceil *txn.Ceilings
+
+	// Scratch for the holder list, reused across Request calls (one
+	// instance drives one single-threaded run); deny decisions copy out.
+	holdBuf    []rt.JobID
+	holdAppend func(rt.JobID)
 }
 
 var _ cc.Protocol = (*Protocol)(nil)
@@ -43,11 +48,27 @@ func (p *Protocol) Init(set *txn.Set, ceil *txn.Ceilings) {
 }
 
 // sysceilFor computes the highest Aceil over items locked (in any mode) by
-// jobs other than j, plus the holders realizing it.
+// jobs other than j, plus the holders realizing it — through the
+// cc.AccessCeilingIndex capability when the Env maintains one, by
+// lock-table scan otherwise. The two paths agree on the ceiling and the
+// holder SET (enumeration order differs; the kernel canonicalizes blocker
+// lists). The holder slice aliases p.holdBuf, valid until the next Request.
 func (p *Protocol) sysceilFor(env cc.Env, j *cc.Job) (rt.Priority, []rt.JobID) {
+	p.holdBuf = p.holdBuf[:0]
+	if idx, ok := env.(cc.AccessCeilingIndex); ok {
+		c := idx.SysAceilExcluding(j.ID)
+		if !c.IsDummy() {
+			if p.holdAppend == nil {
+				p.holdAppend = func(holder rt.JobID) {
+					p.holdBuf = append(p.holdBuf, holder)
+				}
+			}
+			idx.EachAceilHolder(c, j.ID, p.holdAppend)
+		}
+		return c, p.holdBuf
+	}
 	locks := env.Locks()
 	sys := rt.Dummy
-	var holders []rt.JobID
 	consider := func(x rt.Item, holder rt.JobID) {
 		if holder == j.ID {
 			return
@@ -55,15 +76,15 @@ func (p *Protocol) sysceilFor(env cc.Env, j *cc.Job) (rt.Priority, []rt.JobID) {
 		c := p.ceil.Aceil(x)
 		if c > sys {
 			sys = c
-			holders = holders[:0]
+			p.holdBuf = p.holdBuf[:0]
 		}
 		if c == sys && !sys.IsDummy() {
-			holders = appendUnique(holders, holder)
+			p.holdBuf = appendUnique(p.holdBuf, holder)
 		}
 	}
 	locks.EachReadLock(consider)
 	locks.EachWriteLock(consider)
-	return sys, holders
+	return sys, p.holdBuf
 }
 
 func appendUnique(ids []rt.JobID, id rt.JobID) []rt.JobID {
@@ -84,11 +105,15 @@ func (p *Protocol) Request(env cc.Env, j *cc.Job, x rt.Item, m rt.Mode) cc.Decis
 	if j.BasePri() > sys {
 		return cc.Grant("pcp-ok")
 	}
-	return cc.Block("ceiling", holders...)
+	// The holder list aliases p.holdBuf; the decision outlives the call.
+	return cc.Block("ceiling", append([]rt.JobID(nil), holders...)...)
 }
 
 // SystemCeiling reports the highest Aceil in force over all locked items.
 func (p *Protocol) SystemCeiling(env cc.Env) rt.Priority {
+	if idx, ok := env.(cc.AccessCeilingIndex); ok {
+		return idx.SysAceilExcluding(rt.NoJob)
+	}
 	c := rt.Dummy
 	seen := rt.NewItemSet()
 	consider := func(x rt.Item, _ rt.JobID) {

@@ -29,6 +29,11 @@ type Protocol struct {
 	cc.Base
 	set  *txn.Set
 	ceil *txn.Ceilings
+
+	// Scratch for the holder list, reused across Request calls (one
+	// instance drives one single-threaded run); deny decisions copy out.
+	holdBuf    []rt.JobID
+	holdAppend func(rt.JobID)
 }
 
 var _ cc.Protocol = (*Protocol)(nil)
@@ -65,11 +70,36 @@ func (p *Protocol) rwceilFor(env cc.Env, x rt.Item, exclude rt.JobID) rt.Priorit
 }
 
 // sysceilFor computes Sysceil_i for requester j and the jobs holding the
-// lock(s) that realize it.
+// lock(s) that realize it — through the cc.RWCeilingIndex capability when
+// the Env maintains one, by lock-table scan otherwise.
+//
+// The index decomposes per LOCK (a read lock raises Wceil(x), a write lock
+// Aceil(x)) where the scan walks per ITEM; the two agree on every state the
+// kernel can reach, because under RW-PCP's own admission rule no item is
+// ever read-locked and write-locked by different transactions (the would-be
+// second locker always fails the ceiling test against the first), so an
+// item's RWceil is realized exactly by the locks its holders actually hold.
+// Holder SETS agree as well; enumeration order differs and the kernel
+// canonicalizes blocker lists. With the index, the holder slice aliases
+// p.holdBuf and is valid until the next Request.
 func (p *Protocol) sysceilFor(env cc.Env, j *cc.Job) (rt.Priority, []rt.JobID) {
+	p.holdBuf = p.holdBuf[:0]
+	if idx, ok := env.(cc.RWCeilingIndex); ok {
+		c := idx.SysRWceilExcluding(j.ID)
+		if !c.IsDummy() {
+			if p.holdAppend == nil {
+				p.holdAppend = func(holder rt.JobID) {
+					p.holdBuf = append(p.holdBuf, holder)
+				}
+			}
+			idx.EachRWceilHolder(c, j.ID, p.holdAppend)
+		}
+		return c, p.holdBuf
+	}
+
 	locks := env.Locks()
 	sys := rt.Dummy
-	var holders []rt.JobID
+	holders := p.holdBuf
 
 	consider := func(x rt.Item) {
 		c := p.rwceilFor(env, x, j.ID)
@@ -103,6 +133,7 @@ func (p *Protocol) sysceilFor(env cc.Env, j *cc.Job) (rt.Priority, []rt.JobID) {
 			consider(x)
 		}
 	})
+	p.holdBuf = holders
 	return sys, holders
 }
 
@@ -123,12 +154,18 @@ func (p *Protocol) Request(env cc.Env, j *cc.Job, x rt.Item, m rt.Mode) cc.Decis
 	if j.BasePri() > sys {
 		return cc.Grant("ceiling-ok")
 	}
-	return cc.Block("ceiling", holders...)
+	// The holder list aliases p.holdBuf; the decision outlives the call.
+	return cc.Block("ceiling", append([]rt.JobID(nil), holders...)...)
 }
 
 // SystemCeiling reports the highest RWceil in force over all locked items
-// (the Max_Sysceil track of Figures 3 and 5).
+// (the Max_Sysceil track of Figures 3 and 5). The per-lock index maximum
+// matches the per-item scan: a read lock on a write-locked item adds
+// Wceil(x) ≤ Aceil(x), which the write lock already contributes.
 func (p *Protocol) SystemCeiling(env cc.Env) rt.Priority {
+	if idx, ok := env.(cc.RWCeilingIndex); ok {
+		return idx.SysRWceilExcluding(rt.NoJob)
+	}
 	locks := env.Locks()
 	c := rt.Dummy
 	locks.EachWriteLock(func(x rt.Item, _ rt.JobID) {

@@ -20,8 +20,16 @@ import (
 // at exactly the same instants as in tick-by-tick mode. Fast-forwarding is
 // disabled while tracing (the timeline needs every tick) and by
 // Config.DisableFastForward.
+//
+// Ceiling tracking alone does NOT disable it: the lock table cannot change
+// inside a span (no request, grant or release happens mid-segment), so
+// every skipped tick would have recorded the same ceiling as the tick just
+// accounted, and the early release at the span's end only lowers the
+// ceiling — Result.MaxSysceil is unaffected either way. (TrackCeiling plus
+// RecordTrace still runs tick-by-tick: the timeline wants a per-tick
+// ceiling row.)
 func (k *Kernel) fastForward(j *cc.Job) {
-	if k.cfg.DisableFastForward || k.cfg.RecordTrace || k.cfg.TrackCeiling {
+	if k.cfg.DisableFastForward || k.cfg.RecordTrace {
 		return
 	}
 	if j == nil {
@@ -46,33 +54,26 @@ func (k *Kernel) fastForward(j *cc.Job) {
 		j.StepIdx++
 		j.StepDone = 0
 		j.HasLock = false
-		for _, x := range k.proto.EarlyRelease(k, j) {
-			k.locks.ReleaseItem(j.ID, x)
+		for _, x := range k.proto.EarlyRelease(k.env, j) {
+			k.releaseItem(j, x)
 		}
 	}
 }
 
 // fastIdle jumps an empty system to the next release (or the horizon).
+// relMin is the exact next release time (Horizon+1 when none remain).
 func (k *Kernel) fastIdle() {
 	if len(k.active) > 0 {
 		// Active-but-all-blocked means a deadlock is in progress; keep
 		// per-tick accounting so blocked-time statistics stay exact.
 		return
 	}
-	next := rt.Ticks(-1)
-	for _, rel := range k.nextRel {
-		if rel >= 0 && (next < 0 || rel < next) {
-			next = rel
-		}
+	if k.relMin <= k.now {
+		return
 	}
 	span := k.cfg.Horizon - k.now
-	if next >= 0 {
-		if next <= k.now {
-			return
-		}
-		if gap := next - k.now; gap < span {
-			span = gap
-		}
+	if gap := k.relMin - k.now; gap < span {
+		span = gap
 	}
 	if span <= 0 {
 		return
@@ -82,26 +83,19 @@ func (k *Kernel) fastIdle() {
 }
 
 // clampSpan bounds a candidate span so it ends no later than the next
-// release, the next unmissed deadline, or the horizon.
+// release, the next unmissed deadline, or the horizon. relMin is exact;
+// dlMin is a conservative lower bound — clamping to it can only shorten
+// the span (the subsequent tick rescans and tightens the bound), never
+// skip an event.
 func (k *Kernel) clampSpan(span rt.Ticks) rt.Ticks {
 	if lim := k.cfg.Horizon - k.now; span > lim {
 		span = lim
 	}
-	for _, rel := range k.nextRel {
-		if rel < 0 {
-			continue
-		}
-		if lim := rel - k.now; lim < span {
-			span = lim
-		}
+	if lim := k.relMin - k.now; lim < span {
+		span = lim
 	}
-	for _, o := range k.active {
-		if o.AbsDeadline <= 0 || o.MissedAt >= 0 {
-			continue
-		}
-		if lim := o.AbsDeadline - k.now; lim < span {
-			span = lim
-		}
+	if lim := k.dlMin - k.now; lim < span {
+		span = lim
 	}
 	return span
 }
@@ -116,7 +110,7 @@ func (k *Kernel) accountSpan(exec *cc.Job, span rt.Ticks) {
 		if o.Status == cc.Blocked {
 			o.BlockedTicks += span
 			if o.BlockedOn >= 0 {
-				k.res.ItemBlocked[o.BlockedOn] += span
+				k.itemBlocked[o.BlockedOn] += span
 			}
 			if exec.BasePri() < o.BasePri() {
 				o.InvBlockTicks += span

@@ -81,17 +81,24 @@ type Config struct {
 	// Seed drives the sporadic-arrival RNG (and nothing else).
 	Seed int64
 	// DisableFastForward forces tick-by-tick execution. By default, when
-	// neither the trace nor the ceiling track is recorded, the kernel
-	// fast-forwards across inert spans (a job mid-segment with no release,
-	// deadline or scheduling event before the segment ends, or a fully
-	// idle gap); the differential tests assert the two modes produce
-	// identical results.
+	// the per-tick trace is not recorded, the kernel fast-forwards across
+	// inert spans (a job mid-segment with no release, deadline or
+	// scheduling event before the segment ends, or a fully idle gap).
+	// Ceiling tracking alone does not inhibit it — locks cannot change
+	// mid-span, so MaxSysceil is unaffected (see fastForward); the
+	// differential tests assert the two modes produce identical results.
 	DisableFastForward bool
 	// Paranoid validates the kernel's structural invariants every tick
 	// (see checkInvariants) and halts the run on the first violation,
 	// which is then reported in Result.Invariant. Used by the randomized
 	// test sweeps; costs O(jobs × locks) per tick.
 	Paranoid bool
+	// DisableCeilingIndex withholds the incremental ceiling index (see
+	// index.go): the Env handed to the protocol exposes none of the
+	// cc.CeilingIndex capabilities, so ceiling queries fall back to
+	// lock-table scans. The golden trace tests run every workload both
+	// ways and assert bit-identical schedules.
+	DisableCeilingIndex bool
 }
 
 // Result is everything a run produced.
@@ -152,6 +159,31 @@ type Kernel struct {
 	nextRun db.RunID
 	rng     *rand.Rand // sporadic arrivals only
 
+	// env is what protocols see: the kernel itself, or the index-bearing
+	// wrapper when the ceiling index is on (idx non-nil).
+	env cc.Env
+	idx *ceilIndex
+
+	// Event-time lower bounds so the per-tick release and deadline scans
+	// skip entirely between events. Both are conservative: a stale bound
+	// only costs one wasted rescan, never a missed event.
+	relMin rt.Ticks // no template releases before this tick
+	dlMin  rt.Ticks // no unmissed deadline expires before this tick
+
+	// Per-tick scratch reused across the whole run (the kernel is
+	// single-threaded): dispatch's tried set as per-job tick stamps, the
+	// deadline iteration copy, the canonical blocker buffer, the DFS state
+	// of findWaitCycle, and the per-item blocked-ticks tally that becomes
+	// Result.ItemBlocked.
+	tried       []rt.Ticks // per job id; == now when tried this tick
+	liveScratch []*cc.Job
+	blkBuf      []rt.JobID
+	dfsColor    []uint8 // per job id, valid when dfsEpoch matches
+	dfsEpoch    []int64
+	dfsStack    []rt.JobID
+	curEpoch    int64
+	itemBlocked []rt.Ticks // per item; folded into res.ItemBlocked at the end
+
 	res Result
 }
 
@@ -180,6 +212,12 @@ func New(set *txn.Set, proto cc.Protocol, cfg Config) (*Kernel, error) {
 	for i, t := range set.Templates {
 		k.nextRel[i] = t.Offset
 	}
+	k.env = k
+	if !cfg.DisableCeilingIndex {
+		k.idx = newCeilIndex(set, ceil)
+		k.env = &indexEnv{Kernel: k, ix: k.idx}
+	}
+	k.itemBlocked = make([]rt.Ticks, set.Catalog.Len())
 	if cfg.RecordTrace {
 		k.tl = trace.New(len(set.Templates), cfg.Horizon)
 	}
@@ -243,14 +281,25 @@ func (k *Kernel) Run() *Result {
 	k.res.History = k.hist
 	k.res.Timeline = k.tl
 	k.res.Store = k.store
+	for x, t := range k.itemBlocked {
+		if t > 0 {
+			k.res.ItemBlocked[rt.Item(x)] = t
+		}
+	}
 	if a, ok := k.proto.(cc.Auditor); ok {
 		k.res.Audit = a.Audit()
 	}
 	return &k.res
 }
 
-// release creates jobs whose release time has arrived.
+// release creates jobs whose release time has arrived. Between releases the
+// per-template scan is skipped entirely via the relMin bound (exact: nextRel
+// only changes here).
 func (k *Kernel) release() {
+	if k.now < k.relMin {
+		return
+	}
+	next := k.cfg.Horizon + 1
 	for i, tmpl := range k.set.Templates {
 		for k.nextRel[i] >= 0 && k.nextRel[i] <= k.now {
 			rel := k.nextRel[i]
@@ -267,7 +316,11 @@ func (k *Kernel) release() {
 			}
 			k.spawn(tmpl, rel)
 		}
+		if k.nextRel[i] >= 0 && k.nextRel[i] < next {
+			next = k.nextRel[i]
+		}
 	}
+	k.relMin = next
 }
 
 func (k *Kernel) spawn(tmpl *txn.Template, rel rt.Ticks) {
@@ -291,9 +344,15 @@ func (k *Kernel) spawn(tmpl *txn.Template, rel rt.Ticks) {
 	}
 	k.jobs = append(k.jobs, j)
 	k.active = append(k.active, j)
+	k.tried = append(k.tried, -1)
+	k.dfsColor = append(k.dfsColor, 0)
+	k.dfsEpoch = append(k.dfsEpoch, 0)
+	if j.AbsDeadline > 0 && j.AbsDeadline < k.dlMin {
+		k.dlMin = j.AbsDeadline
+	}
 	k.hist.Begin(k.now, j.Run, tmpl.ID)
 	k.annotate(j, "arr")
-	k.proto.Begin(k, j)
+	k.proto.Begin(k.env, j)
 }
 
 // higherPriority is the kernel's total dispatch order.
@@ -323,12 +382,25 @@ func equalBlockers(a, b []rt.JobID) bool {
 }
 
 // checkDeadlines records misses at the deadline boundary; under FirmAbort
-// the late job is terminated.
+// the late job is terminated. The dlMin bound (a conservative lower bound,
+// lowered by spawn and recomputed on every scan) skips the whole pass
+// between deadline events.
 func (k *Kernel) checkDeadlines() {
+	if k.now < k.dlMin {
+		return
+	}
 	// Iterate over a copy: FirmAbort mutates k.active.
-	live := append([]*cc.Job(nil), k.active...)
+	live := append(k.liveScratch[:0], k.active...)
+	k.liveScratch = live
+	next := k.cfg.Horizon + 1
 	for _, j := range live {
-		if j.AbsDeadline <= 0 || j.MissedAt >= 0 || k.now < j.AbsDeadline {
+		if j.AbsDeadline <= 0 || j.MissedAt >= 0 {
+			continue
+		}
+		if k.now < j.AbsDeadline {
+			if j.AbsDeadline < next {
+				next = j.AbsDeadline
+			}
 			continue
 		}
 		j.MissedAt = k.now
@@ -339,6 +411,7 @@ func (k *Kernel) checkDeadlines() {
 			k.res.Aborts++
 		}
 	}
+	k.dlMin = next
 }
 
 // dispatch runs one tick of the highest-priority runnable job.
@@ -350,23 +423,22 @@ func (k *Kernel) checkDeadlines() {
 // candidate is considered; a grant unblocks the job and it executes this
 // tick. Returns the job that executed, or nil for an idle tick.
 func (k *Kernel) dispatch() *cc.Job {
-	tried := make(map[rt.JobID]bool)
 	for {
 		k.recomputePriorities()
-		j := k.bestCandidate(tried)
+		j := k.bestCandidate()
 		if j == nil {
 			return nil
 		}
 		if x, m, need := j.NeedsLock(); need {
 			wasBlocked := j.Status == cc.Blocked
-			dec := k.proto.Request(k, j, x, m)
+			dec := k.proto.Request(k.env, j, x, m)
 			k.applyDecision(j, dec)
 			if !dec.Granted {
 				if !wasBlocked {
 					k.res.BlockCounts[dec.Rule]++
 				}
 				k.block(j, x, m, dec.Blockers, !wasBlocked)
-				tried[j.ID] = true
+				k.tried[j.ID] = k.now
 				if k.res.Deadlocked && k.cfg.StopOnDeadlock {
 					return nil
 				}
@@ -385,11 +457,11 @@ func (k *Kernel) dispatch() *cc.Job {
 }
 
 // bestCandidate returns the highest-priority Ready or Blocked job that has
-// not been tried this tick.
-func (k *Kernel) bestCandidate(tried map[rt.JobID]bool) *cc.Job {
+// not been tried this tick (tick stamps in k.tried replace a per-tick set).
+func (k *Kernel) bestCandidate() *cc.Job {
 	var best *cc.Job
 	for _, j := range k.active {
-		if tried[j.ID] {
+		if k.tried[j.ID] == k.now {
 			continue
 		}
 		if j.Status != cc.Ready && j.Status != cc.Blocked {
@@ -425,7 +497,9 @@ func (k *Kernel) grant(j *cc.Job) {
 	id := j.Tmpl.ID
 	switch step.Kind {
 	case txn.ReadStep:
-		k.locks.Acquire(j.ID, x, rt.Read)
+		if k.locks.Acquire(j.ID, x, rt.Read) && k.idx != nil {
+			k.idx.onAcquire(j.ID, x, rt.Read)
+		}
 		j.DataRead.Add(x)
 		if j.WS != nil {
 			if _, own := j.WS.Get(x); own {
@@ -439,9 +513,13 @@ func (k *Kernel) grant(j *cc.Job) {
 			_, ver, from := k.store.Read(x)
 			k.hist.Read(k.now, j.Run, id, x, ver, from)
 		}
-		k.annotate(j, "RL("+k.set.Catalog.Name(x)+")")
+		if k.tl != nil {
+			k.annotate(j, "RL("+k.set.Catalog.Name(x)+")")
+		}
 	case txn.WriteStep:
-		k.locks.Acquire(j.ID, x, rt.Write)
+		if k.locks.Acquire(j.ID, x, rt.Write) && k.idx != nil {
+			k.idx.onAcquire(j.ID, x, rt.Write)
+		}
 		val := db.SyntheticValue(j.Run, x)
 		if j.WS != nil {
 			j.WS.Write(x, val)
@@ -449,14 +527,16 @@ func (k *Kernel) grant(j *cc.Job) {
 			ver := k.store.WriteInPlace(j.Run, x, val)
 			k.hist.Write(k.now, j.Run, id, x, ver)
 		}
-		k.annotate(j, "WL("+k.set.Catalog.Name(x)+")")
+		if k.tl != nil {
+			k.annotate(j, "WL("+k.set.Catalog.Name(x)+")")
+		}
 	}
 	j.HasLock = true
 	mode := rt.Read
 	if step.Kind == txn.WriteStep {
 		mode = rt.Write
 	}
-	k.proto.Granted(k, j, x, mode)
+	k.proto.Granted(k.env, j, x, mode)
 }
 
 // exec burns one tick of j's current step and advances the step machine.
@@ -470,23 +550,35 @@ func (k *Kernel) exec(j *cc.Job) {
 		j.StepIdx++
 		j.StepDone = 0
 		j.HasLock = false
-		for _, x := range k.proto.EarlyRelease(k, j) {
-			k.locks.ReleaseItem(j.ID, x)
-			k.annotate(j, "UL("+k.set.Catalog.Name(x)+")")
+		for _, x := range k.proto.EarlyRelease(k.env, j) {
+			k.releaseItem(j, x)
+			if k.tl != nil {
+				k.annotate(j, "UL("+k.set.Catalog.Name(x)+")")
+			}
 		}
 	}
+}
+
+// releaseItem drops j's locks on x and keeps the ceiling index in step (the
+// held modes must be read off the table before the release retires them).
+func (k *Kernel) releaseItem(j *cc.Job, x rt.Item) {
+	if k.idx != nil {
+		k.idx.onRelease(j.ID, x, k.locks.HoldsRead(j.ID, x), k.locks.HoldsWrite(j.ID, x))
+	}
+	k.locks.ReleaseItem(j.ID, x)
 }
 
 // block transitions j to Blocked (or refreshes a standing block) and applies
 // inheritance plus the deadlock check. fresh marks a Ready→Blocked
 // transition; re-blocks only re-annotate when the blocker set changed.
 func (k *Kernel) block(j *cc.Job, x rt.Item, m rt.Mode, blockers []rt.JobID, fresh bool) {
-	changed := fresh || !equalBlockers(j.Blockers, blockers)
+	canon := k.canonBlockers(blockers)
+	changed := fresh || !equalBlockers(j.Blockers, canon)
 	j.Status = cc.Blocked
 	j.BlockedOn = x
 	j.BlockedMode = m
-	j.Blockers = blockers
-	for _, b := range blockers {
+	j.Blockers = append(j.Blockers[:0], canon...)
+	for _, b := range j.Blockers {
 		seen := false
 		for _, have := range j.EverBlockedBy {
 			if have == b {
@@ -498,7 +590,7 @@ func (k *Kernel) block(j *cc.Job, x rt.Item, m rt.Mode, blockers []rt.JobID, fre
 			j.EverBlockedBy = append(j.EverBlockedBy, b)
 		}
 	}
-	if fresh {
+	if fresh && k.tl != nil {
 		k.annotate(j, fmt.Sprintf("blocked %s(%s)", m, k.set.Catalog.Name(x)))
 	}
 	if !changed {
@@ -516,7 +608,29 @@ func (k *Kernel) block(j *cc.Job, x rt.Item, m rt.Mode, blockers []rt.JobID, fre
 func (k *Kernel) unblock(j *cc.Job) {
 	j.Status = cc.Ready
 	j.BlockedOn = rt.NoItem
-	j.Blockers = nil
+	j.Blockers = j.Blockers[:0] // keep capacity for the next block
+}
+
+// canonBlockers copies blockers into k.blkBuf sorted (ascending job id) and
+// deduplicated, so a blocker list is a canonical set representation: the
+// scan and index protocol paths enumerate the same blockers in different
+// orders, and the re-block "changed" test must not see that as a change.
+// The result is valid until the next call.
+func (k *Kernel) canonBlockers(blockers []rt.JobID) []rt.JobID {
+	buf := append(k.blkBuf[:0], blockers...)
+	k.blkBuf = buf
+	for i := 1; i < len(buf); i++ { // insertion sort: lists are tiny
+		for p := i; p > 0 && buf[p] < buf[p-1]; p-- {
+			buf[p], buf[p-1] = buf[p-1], buf[p]
+		}
+	}
+	out := buf[:0]
+	for i, id := range buf {
+		if i == 0 || id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // recomputePriorities runs priority inheritance to a fixpoint: every
@@ -546,56 +660,64 @@ func (k *Kernel) recomputePriorities() {
 	}
 }
 
-// findWaitCycle looks for a waits-for cycle reachable from start.
-func (k *Kernel) findWaitCycle(start *cc.Job) []rt.JobID {
-	const (
-		white = 0
-		grey  = 1
-		black = 2
-	)
-	color := make(map[rt.JobID]int)
-	var stack []rt.JobID
-	var cycle []rt.JobID
+// DFS colors for findWaitCycle, stamped per search via dfsEpoch so the
+// color array never needs clearing.
+const (
+	dfsWhite = 0
+	dfsGrey  = 1
+	dfsBlack = 2
+)
 
-	var dfs func(j *cc.Job) bool
-	dfs = func(j *cc.Job) bool {
-		color[j.ID] = grey
-		stack = append(stack, j.ID)
-		if j.Status == cc.Blocked {
-			for _, bid := range j.Blockers {
-				b := k.Job(bid)
-				if b == nil || (b.Status != cc.Blocked && b.Status != cc.Ready) {
-					continue
-				}
-				// Only blocked blockers propagate waiting; a Ready blocker
-				// can run and eventually release.
-				if b.Status != cc.Blocked {
-					continue
-				}
-				switch color[b.ID] {
-				case grey:
-					for i := len(stack) - 1; i >= 0; i-- {
-						if stack[i] == b.ID {
-							cycle = append(cycle, stack[i:]...)
-							return true
-						}
+// findWaitCycle looks for a waits-for cycle reachable from start. The DFS
+// state lives in per-job arrays validated by an epoch counter, so a
+// cycle-free search (the overwhelmingly common case) allocates nothing.
+func (k *Kernel) findWaitCycle(start *cc.Job) []rt.JobID {
+	k.curEpoch++
+	k.dfsStack = k.dfsStack[:0]
+	return k.dfsVisit(start)
+}
+
+func (k *Kernel) colorOf(id rt.JobID) uint8 {
+	if k.dfsEpoch[id] != k.curEpoch {
+		return dfsWhite
+	}
+	return k.dfsColor[id]
+}
+
+func (k *Kernel) setColor(id rt.JobID, c uint8) {
+	k.dfsEpoch[id] = k.curEpoch
+	k.dfsColor[id] = c
+}
+
+// dfsVisit returns the cycle found through j, or nil.
+func (k *Kernel) dfsVisit(j *cc.Job) []rt.JobID {
+	k.setColor(j.ID, dfsGrey)
+	k.dfsStack = append(k.dfsStack, j.ID)
+	if j.Status == cc.Blocked {
+		for _, bid := range j.Blockers {
+			b := k.Job(bid)
+			// Only blocked blockers propagate waiting; a Ready blocker can
+			// run and eventually release.
+			if b == nil || b.Status != cc.Blocked {
+				continue
+			}
+			switch k.colorOf(b.ID) {
+			case dfsGrey:
+				for i := len(k.dfsStack) - 1; i >= 0; i-- {
+					if k.dfsStack[i] == b.ID {
+						return append([]rt.JobID(nil), k.dfsStack[i:]...)
 					}
-					cycle = append(cycle, b.ID, j.ID)
-					return true
-				case white:
-					if dfs(b) {
-						return true
-					}
+				}
+				return []rt.JobID{b.ID, j.ID}
+			case dfsWhite:
+				if cyc := k.dfsVisit(b); cyc != nil {
+					return cyc
 				}
 			}
 		}
-		color[j.ID] = black
-		stack = stack[:len(stack)-1]
-		return false
 	}
-	if dfs(start) {
-		return cycle
-	}
+	k.setColor(j.ID, dfsBlack)
+	k.dfsStack = k.dfsStack[:len(k.dfsStack)-1]
 	return nil
 }
 
@@ -607,7 +729,7 @@ func (k *Kernel) commit(j *cc.Job) {
 	// the victims observe the new state on their re-run.
 	var victims []rt.JobID
 	if arb, ok := k.proto.(cc.CommitArbiter); ok {
-		victims = arb.CommitVictims(k, j)
+		victims = arb.CommitVictims(k.env, j)
 	}
 	if j.WS != nil {
 		for _, ins := range j.WS.InstallInto(k.store, j.Run) {
@@ -617,13 +739,13 @@ func (k *Kernel) commit(j *cc.Job) {
 		k.store.Forget(j.Run)
 	}
 	k.hist.Commit(k.now, j.Run, id)
-	k.locks.ReleaseAll(j.ID)
+	k.releaseAll(j)
 	j.Status = cc.Done
 	j.FinishTick = k.now
 	k.removeActive(j)
 	k.res.Committed++
 	k.annotate(j, "commit")
-	k.proto.Committed(k, j)
+	k.proto.Committed(k.env, j)
 	k.recomputePriorities()
 	for _, vid := range victims {
 		v := k.Job(vid)
@@ -643,10 +765,10 @@ func (k *Kernel) abort(j *cc.Job, restart bool) {
 	} else {
 		k.store.Rollback(j.Run)
 	}
-	k.locks.ReleaseAll(j.ID)
+	k.releaseAll(j)
 	k.hist.Abort(k.now, j.Run, j.Tmpl.ID)
 	k.annotate(j, "abort")
-	k.proto.Aborted(k, j)
+	k.proto.Aborted(k.env, j)
 	if restart {
 		j.Run = k.nextRun
 		k.nextRun++
@@ -656,15 +778,25 @@ func (k *Kernel) abort(j *cc.Job, restart bool) {
 		j.DataRead.Clear()
 		j.Status = cc.Ready
 		j.BlockedOn = rt.NoItem
-		j.Blockers = nil
+		j.Blockers = j.Blockers[:0]
 		j.Restarts++
 		k.hist.Begin(k.now, j.Run, j.Tmpl.ID)
-		k.proto.Begin(k, j)
+		k.proto.Begin(k.env, j)
 		return
 	}
 	j.Status = cc.Aborted
 	k.removeActive(j)
 	k.recomputePriorities()
+}
+
+// releaseAll drops every lock j holds — strict 2PL retirement at commit or
+// abort — retracting the ceiling index first and skipping the item-list
+// materialization (nothing consumes it).
+func (k *Kernel) releaseAll(j *cc.Job) {
+	if k.idx != nil {
+		k.idx.onReleaseAll(j.ID)
+	}
+	k.locks.ReleaseAllUnordered(j.ID)
 }
 
 func (k *Kernel) removeActive(j *cc.Job) {
@@ -689,7 +821,7 @@ func (k *Kernel) accountTick(executed *cc.Job) {
 		case cc.Blocked:
 			j.BlockedTicks++
 			if j.BlockedOn >= 0 {
-				k.res.ItemBlocked[j.BlockedOn]++
+				k.itemBlocked[j.BlockedOn]++
 			}
 			if executed != nil && executed.BasePri() < j.BasePri() {
 				j.InvBlockTicks++
@@ -714,7 +846,7 @@ func (k *Kernel) accountTick(executed *cc.Job) {
 	}
 	if k.cfg.TrackCeiling {
 		if cr, ok := k.proto.(cc.CeilingReporter); ok {
-			c := cr.SystemCeiling(k)
+			c := cr.SystemCeiling(k.env)
 			k.res.MaxSysceil = k.res.MaxSysceil.Max(c)
 			if k.tl != nil {
 				k.tl.SetCeiling(k.now, c)

@@ -1,0 +1,236 @@
+package sim
+
+// Golden determinism tests for the ceiling-index-backed kernel. The index
+// (internal/sched/index.go) replaces the protocols' lock-table scans with
+// O(ranks) incremental queries; these tests are the gate: every protocol ×
+// workload × option combination must produce a BIT-IDENTICAL schedule with
+// the index on and off. The fingerprint covers the full observable run —
+// every history op, every job's statistics, every counter, the deadlock
+// verdict, the ceiling track and (when traced) the per-tick timeline — so
+// any divergence in any tick shows up.
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"pcpda/internal/papercases"
+	"pcpda/internal/rt"
+	"pcpda/internal/sched"
+	"pcpda/internal/txn"
+	"pcpda/internal/workload"
+)
+
+// fingerprint renders every observable aspect of a run as a canonical
+// string (map keys sorted). Two runs are "the same schedule" iff their
+// fingerprints match byte for byte.
+func fingerprint(set *txn.Set, res *sched.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "protocol=%s horizon=%d\n", res.Protocol, res.Horizon)
+	fmt.Fprintf(&b, "committed=%d misses=%d aborts=%d restarts=%d idle=%d\n",
+		res.Committed, res.Misses, res.Aborts, res.Restarts, res.IdleTicks)
+	fmt.Fprintf(&b, "deadlocked=%v at=%d cycle=%v\n", res.Deadlocked, res.DeadlockAt, res.DeadlockCycle)
+	fmt.Fprintf(&b, "maxsysceil=%d\n", res.MaxSysceil)
+	for _, j := range res.Jobs {
+		fmt.Fprintf(&b, "job %d tmpl=%s rel=%d dl=%d status=%v runpri=%d step=%d fin=%d blk=%d inv=%d rst=%d miss=%d everblk=%v\n",
+			j.ID, j.Tmpl.Name, j.Release, j.AbsDeadline, j.Status, j.RunPri, j.StepIdx,
+			j.FinishTick, j.BlockedTicks, j.InvBlockTicks, j.Restarts, j.MissedAt, j.EverBlockedBy)
+	}
+	for _, op := range res.History.Ops {
+		fmt.Fprintf(&b, "op t=%d run=%d txn=%d kind=%v item=%d ver=%d from=%d\n",
+			op.Time, op.Run, op.Txn, op.Kind, op.Item, op.Ver, op.From)
+	}
+	sortedCounts := func(name string, m map[string]int) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s %s=%d\n", name, k, m[k])
+		}
+	}
+	sortedCounts("grant", res.GrantCounts)
+	sortedCounts("block", res.BlockCounts)
+	sortedCounts("audit", res.Audit)
+	items := make([]rt.Item, 0, len(res.ItemBlocked))
+	for it := range res.ItemBlocked {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	for _, it := range items {
+		fmt.Fprintf(&b, "itemblk %d=%d\n", it, res.ItemBlocked[it])
+	}
+	if res.Timeline != nil {
+		b.WriteString(res.Timeline.CSV(set))
+	}
+	return b.String()
+}
+
+// goldenWorkloads returns the paper examples plus three seeded random
+// workloads in the sweep engine's parameter regime.
+func goldenWorkloads(t *testing.T) []*txn.Set {
+	t.Helper()
+	sets := []*txn.Set{
+		papercases.Example1(),
+		papercases.Example3(),
+		papercases.Example4(),
+		papercases.Example5(),
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		set, err := workload.Generate(workload.Config{
+			Name: fmt.Sprintf("golden-%d", seed), N: 8, Items: 10,
+			Utilization: 0.55, PeriodMin: 40, PeriodMax: 800,
+			OpsMin: 1, OpsMax: 4, WriteProb: 0.5, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets = append(sets, set)
+	}
+	return sets
+}
+
+// TestGoldenIndexVsScan is the tentpole gate: for every protocol, every
+// golden workload and a spread of option profiles, the index-backed kernel
+// and the scan-backed kernel must produce bit-identical schedules.
+func TestGoldenIndexVsScan(t *testing.T) {
+	variants := []struct {
+		name string
+		opts Options
+	}{
+		{"plain", Options{StopOnDeadlock: true}},
+		{"ceiling", Options{StopOnDeadlock: true, TrackCeiling: true}},
+		{"traced", Options{StopOnDeadlock: true, Trace: true}},
+		{"firm", Options{StopOnDeadlock: true, FirmDeadlines: true, TrackCeiling: true}},
+	}
+	for _, set := range goldenWorkloads(t) {
+		for _, name := range Protocols() {
+			for _, v := range variants {
+				scanOpts := v.opts
+				scanOpts.DisableCeilingIndex = true
+				scan, err := Run(set, name, scanOpts)
+				if err != nil {
+					t.Fatalf("%s/%s/%s scan: %v", set.Name, name, v.name, err)
+				}
+				idx, err := Run(set, name, v.opts)
+				if err != nil {
+					t.Fatalf("%s/%s/%s index: %v", set.Name, name, v.name, err)
+				}
+				fpScan, fpIdx := fingerprint(set, scan), fingerprint(set, idx)
+				if fpScan != fpIdx {
+					hScan := sha256.Sum256([]byte(fpScan))
+					hIdx := sha256.Sum256([]byte(fpIdx))
+					t.Errorf("%s/%s/%s: schedules diverge (scan sha256=%x, index sha256=%x)\nfirst diff: %s",
+						set.Name, name, v.name, hScan[:8], hIdx[:8], firstDiff(fpScan, fpIdx))
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenFastForwardVsTickByTick pins the fast-forward eligibility under
+// TrackCeiling (new in this change: ceiling tracking no longer forces
+// tick-by-tick execution): skipping inert spans must not change the
+// schedule or Max_Sysceil.
+func TestGoldenFastForwardVsTickByTick(t *testing.T) {
+	for _, set := range goldenWorkloads(t) {
+		for _, name := range Protocols() {
+			run := func(disableFF bool) *sched.Result {
+				p, err := NewProtocol(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				k, err := sched.New(set, p, sched.Config{
+					Horizon:            DefaultHorizon(set),
+					TrackCeiling:       true,
+					StopOnDeadlock:     true,
+					DisableFastForward: disableFF,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return k.Run()
+			}
+			ff, tick := run(false), run(true)
+			if fpFF, fpTick := fingerprint(set, ff), fingerprint(set, tick); fpFF != fpTick {
+				t.Errorf("%s/%s: fast-forward diverges from tick-by-tick\nfirst diff: %s",
+					set.Name, name, firstDiff(fpFF, fpTick))
+			}
+		}
+	}
+}
+
+// TestGoldenCompareWorkers asserts the parallel Compare fan-out is
+// observationally identical to the serial path for every worker count.
+func TestGoldenCompareWorkers(t *testing.T) {
+	protocols := Protocols()
+	for _, set := range goldenWorkloads(t) {
+		serial, err := Compare(set, protocols, Options{StopOnDeadlock: true, TrackCeiling: true})
+		if err != nil {
+			t.Fatalf("%s serial: %v", set.Name, err)
+		}
+		for _, workers := range []int{2, 8} {
+			par, err := Compare(set, protocols, Options{StopOnDeadlock: true, TrackCeiling: true, Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", set.Name, workers, err)
+			}
+			if len(par) != len(serial) {
+				t.Fatalf("%s workers=%d: %d comparisons, want %d", set.Name, workers, len(par), len(serial))
+			}
+			for i := range serial {
+				if par[i].Name != serial[i].Name {
+					t.Errorf("%s workers=%d: order diverges at %d: %s vs %s",
+						set.Name, workers, i, par[i].Name, serial[i].Name)
+				}
+				if !reflect.DeepEqual(par[i].Summary, serial[i].Summary) {
+					t.Errorf("%s/%s workers=%d: summaries diverge:\n  serial: %+v\n  par:    %+v",
+						set.Name, serial[i].Name, workers, serial[i].Summary, par[i].Summary)
+				}
+				if fpS, fpP := fingerprint(set, serial[i].Result), fingerprint(set, par[i].Result); fpS != fpP {
+					t.Errorf("%s/%s workers=%d: results diverge\nfirst diff: %s",
+						set.Name, serial[i].Name, workers, firstDiff(fpS, fpP))
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenParanoidIndex runs the kernel's per-tick invariant checker —
+// including I6, the full recomputation of the incremental ceiling index
+// from the lock table — over the golden workloads.
+func TestGoldenParanoidIndex(t *testing.T) {
+	for _, set := range goldenWorkloads(t) {
+		for _, name := range Protocols() {
+			p, err := NewProtocol(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k, err := sched.New(set, p, sched.Config{
+				Horizon:        DefaultHorizon(set),
+				StopOnDeadlock: true,
+				Paranoid:       true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res := k.Run(); res.Invariant != nil {
+				t.Errorf("%s/%s: %v", set.Name, name, res.Invariant)
+			}
+		}
+	}
+}
+
+// firstDiff locates the first line where two fingerprints disagree.
+func firstDiff(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			return fmt.Sprintf("line %d:\n  a: %s\n  b: %s", i+1, la[i], lb[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(la), len(lb))
+}

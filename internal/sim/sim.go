@@ -66,6 +66,11 @@ type Options struct {
 	FirmDeadlines bool
 	// Trace records the Gantt timeline and the ceiling track.
 	Trace bool
+	// TrackCeiling records the ceiling track (Result.MaxSysceil) WITHOUT
+	// the per-tick timeline. Unlike Trace this keeps the kernel's
+	// fast-forward optimization eligible, so it is the cheap way to ask
+	// for Max_Sysceil in bulk sweeps. Implied by Trace.
+	TrackCeiling bool
 	// StopOnDeadlock halts a deadlocked run (always safe to leave on; a
 	// deadlock-free protocol never triggers it).
 	StopOnDeadlock bool
@@ -74,6 +79,16 @@ type Options struct {
 	SporadicJitter float64
 	// Seed drives the sporadic-arrival RNG.
 	Seed int64
+	// DisableCeilingIndex makes the kernel withhold the incremental
+	// ceiling index so protocols fall back to lock-table scans. Exists for
+	// the golden determinism tests, which run every workload both ways and
+	// assert bit-identical schedules.
+	DisableCeilingIndex bool
+	// Workers caps the goroutines Compare fans protocol runs across.
+	// 0 or 1 runs serially; n > 1 runs up to n protocols concurrently.
+	// Output is deterministic either way: runs share nothing and results
+	// are merged in argument order.
+	Workers int
 }
 
 // DefaultHorizon derives a sensible horizon for set: one hyperperiod past
@@ -122,12 +137,13 @@ func RunProtocol(set *txn.Set, p cc.Protocol, opts Options) (*sched.Result, erro
 		horizon = DefaultHorizon(set)
 	}
 	cfg := sched.Config{
-		Horizon:        horizon,
-		RecordTrace:    opts.Trace,
-		TrackCeiling:   opts.Trace,
-		StopOnDeadlock: opts.StopOnDeadlock,
-		SporadicJitter: opts.SporadicJitter,
-		Seed:           opts.Seed,
+		Horizon:             horizon,
+		RecordTrace:         opts.Trace,
+		TrackCeiling:        opts.Trace || opts.TrackCeiling,
+		StopOnDeadlock:      opts.StopOnDeadlock,
+		SporadicJitter:      opts.SporadicJitter,
+		Seed:                opts.Seed,
+		DisableCeilingIndex: opts.DisableCeilingIndex,
 	}
 	if opts.FirmDeadlines {
 		cfg.Deadline = sched.FirmAbort
@@ -146,15 +162,62 @@ type Comparison struct {
 	Summary metrics.Summary
 }
 
-// Compare runs set under each named protocol and summarizes.
+// Compare runs set under each named protocol and summarizes. With
+// opts.Workers > 1 the runs fan out across that many goroutines — each run
+// owns its kernel and protocol instance and the shared set is read-only —
+// and the results are merged in argument order, so the output is identical
+// to a serial run.
 func Compare(set *txn.Set, protocols []string, opts Options) ([]Comparison, error) {
-	var out []Comparison
-	for _, name := range protocols {
-		res, err := Run(set, name, opts)
-		if err != nil {
-			return nil, fmt.Errorf("sim: %s: %w", name, err)
+	workers := opts.Workers
+	if workers > len(protocols) {
+		workers = len(protocols)
+	}
+	if workers <= 1 {
+		var out []Comparison
+		for _, name := range protocols {
+			res, err := Run(set, name, opts)
+			if err != nil {
+				return nil, fmt.Errorf("sim: %s: %w", name, err)
+			}
+			out = append(out, Comparison{Name: name, Result: res, Summary: metrics.Summarize(res)})
 		}
-		out = append(out, Comparison{Name: name, Result: res, Summary: metrics.Summarize(res)})
+		return out, nil
+	}
+
+	// Warm the set's lazily derived caches (read/write sets, ceilings are
+	// per-kernel) before sharing it across goroutines.
+	for _, t := range set.Templates {
+		t.AccessSet()
+	}
+	out := make([]Comparison, len(protocols))
+	errs := make([]error, len(protocols))
+	next := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range next {
+				name := protocols[i]
+				res, err := Run(set, name, opts)
+				if err != nil {
+					errs[i] = fmt.Errorf("sim: %s: %w", name, err)
+					continue
+				}
+				out[i] = Comparison{Name: name, Result: res, Summary: metrics.Summarize(res)}
+			}
+		}()
+	}
+	for i := range protocols {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err // first by argument order: deterministic
+		}
 	}
 	return out, nil
 }

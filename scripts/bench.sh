@@ -1,41 +1,60 @@
 #!/usr/bin/env bash
-# bench.sh — run the live-manager and lock-table benchmark suite and emit a
-# committed performance record (BENCH_<n>.json) plus a benchstat-compatible
-# text log.
+# bench.sh — run the benchmark suite and emit a committed performance record
+# (BENCH_<n>.json) plus a benchstat-compatible text log. Covers the live
+# manager and lock table (multi-core), and the simulator kernel + sweep
+# engine (per-run cost, index-vs-scan pairs, sweep wall clock).
 #
 # Usage:
-#   scripts/bench.sh                         # writes BENCH_2.json + bench.txt
+#   scripts/bench.sh                         # writes BENCH_3.json + bench.txt
 #   BENCH_LABEL=baseline BENCH_OUT=/tmp/base.json scripts/bench.sh
 #   BENCH_BASELINE=/tmp/base.json scripts/bench.sh   # embeds baseline + deltas
 #
 # Environment knobs:
-#   BENCH_OUT      output JSON path            (default BENCH_2.json)
+#   BENCH_OUT      output JSON path            (default BENCH_3.json)
 #   BENCH_TXT      output text log path        (default bench.txt)
 #   BENCH_LABEL    label recorded in the JSON  (default current)
 #   BENCH_BASELINE previously emitted JSON to diff against (default none)
-#   BENCH_CPU      -cpu list                   (default 1,2,4,8)
-#   BENCH_TIME     -benchtime                  (default 1s)
-#   BENCH_COUNT    -count                      (default 1)
+#   BENCH_NOTE     free-text note recorded in the JSON (default none)
+#   BENCH_CPU      -cpu list for the manager/lock benches (default 1,2,4,8)
+#   BENCH_TIME     -benchtime for the micro benches (default 1s)
+#   BENCH_COUNT    -count (default 1)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${BENCH_OUT:-BENCH_2.json}
+out=${BENCH_OUT:-BENCH_3.json}
 txt=${BENCH_TXT:-bench.txt}
 label=${BENCH_LABEL:-current}
 baseline=${BENCH_BASELINE:-}
+note=${BENCH_NOTE:-}
 cpu=${BENCH_CPU:-1,2,4,8}
 benchtime=${BENCH_TIME:-1s}
 count=${BENCH_COUNT:-1}
 
 go build ./...
 
+# Live manager + lock table (scales with cores).
 go test -run '^$' -bench 'BenchmarkManager|BenchmarkLock' -benchmem \
 	-cpu "$cpu" -benchtime "$benchtime" -count "$count" \
 	./internal/rtm ./internal/lock | tee "$txt"
 
+# Simulator kernel: per-run protocol cost and the index-vs-scan pairs.
+go test -run '^$' \
+	-bench 'BenchmarkSimulationTicks|BenchmarkRunPCPDA|BenchmarkRunRWPCP|BenchmarkRunCCP|BenchmarkRunOPCP|BenchmarkRun2PLHP|BenchmarkScan|BenchmarkCompareAllProtocols' \
+	-benchmem -benchtime "$benchtime" -count "$count" \
+	. | tee -a "$txt"
+
+# Sweep engine wall clock (one full regeneration per sweep experiment).
+go test -run '^$' \
+	-bench 'BenchmarkMissRatio|BenchmarkBlockingProfile|BenchmarkRestarts|BenchmarkAblation|BenchmarkCSLength|BenchmarkHotspot' \
+	-benchmem -benchtime 1x -count "$count" \
+	. | tee -a "$txt"
+
 args=(-label "$label")
 if [[ -n "$baseline" ]]; then
 	args+=(-baseline "$baseline")
+fi
+if [[ -n "$note" ]]; then
+	args+=(-note "$note")
 fi
 go run ./cmd/benchjson "${args[@]}" < "$txt" > "$out"
 echo "wrote $out (text log: $txt)"
