@@ -1,0 +1,140 @@
+// Command pcpdalint runs the protocol-contract analyzer suite (DESIGN.md
+// §10) over the module:
+//
+//	go run ./cmd/pcpdalint ./...
+//
+// It exits 0 when every finding is either absent or justified in the
+// committed suppression file (.pcpdalint-suppressions at the module root),
+// and 1 otherwise. Stale suppression entries — entries that no longer
+// match any finding — are also fatal, so the file cannot rot.
+//
+// The binary doubles as a vet tool (see vettool.go):
+//
+//	go build -o /tmp/pcpdalint ./cmd/pcpdalint
+//	go vet -vettool=/tmp/pcpdalint ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pcpda/internal/lint"
+	"pcpda/internal/lint/all"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// go vet -vettool probes the binary with -V=full (version for the build
+	// cache), then -flags (JSON list of tool flags; the suite has none it
+	// exposes to vet), then invokes it with a unitchecker-style *.cfg
+	// argument per package; all three route to vettool behavior.
+	for _, a := range args {
+		if strings.HasPrefix(a, "-V") {
+			fmt.Printf("pcpdalint version pcpda-lint-1 sum h1:pcpda-lint-suite\n")
+			return 0
+		}
+		if a == "-flags" {
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runVet(args[0])
+	}
+
+	fs := flag.NewFlagSet("pcpdalint", flag.ExitOnError)
+	var (
+		listOnly = fs.Bool("list", false, "list the analyzers and exit")
+		suppress = fs.String("suppressions", "", "suppression file (default: <module root>/"+lint.SuppressFile+")")
+		verbose  = fs.Bool("v", false, "also print suppressed findings")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pcpdalint [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range all.Analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(os.Stderr, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listOnly {
+		for _, a := range all.Analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcpdalint:", err)
+		return 2
+	}
+	modPath, modDir, err := lint.FindModule(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcpdalint:", err)
+		return 2
+	}
+	supPath := *suppress
+	if supPath == "" {
+		supPath = filepath.Join(modDir, lint.SuppressFile)
+	}
+	sup, err := lint.LoadSuppressions(supPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcpdalint:", err)
+		return 2
+	}
+
+	loader := lint.NewLoader(lint.ModuleResolver(modPath, modDir))
+	pkgs, err := loader.LoadPatterns(modPath, modDir, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcpdalint:", err)
+		return 2
+	}
+	findings, err := lint.RunAnalyzers(pkgs, all.Analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcpdalint:", err)
+		return 2
+	}
+	kept, suppressed := sup.Filter(findings)
+	if *verbose {
+		for _, f := range suppressed {
+			fmt.Printf("suppressed: %s\n", f)
+		}
+	}
+	for _, f := range kept {
+		fmt.Println(f)
+	}
+	bad := len(kept) > 0
+	// Stale-entry auditing only makes sense when every package the
+	// suppressions could refer to was analyzed; on a scoped run an entry
+	// for an unanalyzed package would be reported stale spuriously.
+	wholeModule := false
+	for _, p := range patterns {
+		if p == "./..." {
+			wholeModule = true
+		}
+	}
+	if wholeModule {
+		for _, e := range sup.Unused() {
+			fmt.Fprintf(os.Stderr, "pcpdalint: %s:%d: stale suppression (matched nothing): %s %q %q\n", supPath, e.Line, e.Analyzer, e.PathSub, e.MsgSub)
+			bad = true
+		}
+	}
+	if bad {
+		return 1
+	}
+	fmt.Printf("pcpdalint: %d packages clean (%d findings suppressed with justification)\n", len(pkgs), len(suppressed))
+	return 0
+}

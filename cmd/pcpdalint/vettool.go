@@ -1,0 +1,166 @@
+// vettool.go implements enough of the cmd/go unitchecker protocol for
+// pcpdalint to run as `go vet -vettool=pcpdalint ./...`: cmd/go hands the
+// tool a JSON config per package (file list, import map, export-data
+// locations); the tool type-checks from export data, runs the suite and
+// reports findings on stderr with exit status 2, which vet surfaces as
+// ordinary diagnostics. Facts are not exchanged (the suite needs none), but
+// the vetx output file must still be produced or cmd/go fails the action.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pcpda/internal/lint"
+	"pcpda/internal/lint/all"
+)
+
+// vetConfig mirrors the fields of cmd/go's vet JSON config that the suite
+// needs; unknown fields are ignored.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVet(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcpdalint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "pcpdalint: parsing vet config:", err)
+		return 1
+	}
+	// cmd/go requires the facts file even though the suite exports none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("pcpdalint: no facts"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "pcpdalint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// The protocol contracts cover production code: the standalone driver
+	// never loads _test.go files, and the vet path must agree or the two
+	// runners would disagree about whether the tree is clean (tests freely
+	// import sched to drive the kernel directly). cmd/go also invokes the
+	// tool for test-augmented package variants, whose extra files are all
+	// _test.go — those reduce to the already-analyzed base package.
+	prodFiles := cfg.GoFiles[:0:0]
+	for _, name := range cfg.GoFiles {
+		if !strings.HasSuffix(name, "_test.go") {
+			prodFiles = append(prodFiles, name)
+		}
+	}
+	if len(prodFiles) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range prodFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "pcpdalint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Type-check against the export data cmd/go already compiled.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "pcpdalint:", err)
+		return 1
+	}
+
+	pkg := &lint.Package{
+		PkgPath:   cfg.ImportPath,
+		Dir:       cfg.Dir,
+		Fset:      fset,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	findings, err := lint.RunAnalyzers([]*lint.Package{pkg}, all.Analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcpdalint:", err)
+		return 1
+	}
+	sup := loadVetSuppressions(cfg.Dir)
+	kept, _ := sup.Filter(findings)
+	for _, f := range kept {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(kept) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// loadVetSuppressions finds the module's suppression file above dir; a
+// missing file is an empty set. Stale-entry auditing is the standalone
+// driver's job — under vet each package sees only its own findings.
+func loadVetSuppressions(dir string) *lint.Suppressions {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			sup, err := lint.LoadSuppressions(filepath.Join(d, lint.SuppressFile))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pcpdalint:", err)
+				return &lint.Suppressions{}
+			}
+			return sup
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return &lint.Suppressions{}
+		}
+		d = parent
+	}
+}

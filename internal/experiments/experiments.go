@@ -65,12 +65,49 @@ func RunAll(w io.Writer) error {
 	return nil
 }
 
-// RunOne executes one experiment with its header.
+// RunOne executes one experiment with its header. The experiment writes
+// through a stickyWriter, so the first output failure is returned once here
+// instead of being checked (or dropped) at every print in the report code.
 func RunOne(w io.Writer, e Experiment) error {
-	fmt.Fprintf(w, "\n================================================================================\n")
-	fmt.Fprintf(w, "%s — %s\n", e.Name, e.Title)
-	fmt.Fprintf(w, "================================================================================\n")
-	return e.Run(w)
+	sw := &stickyWriter{w: w}
+	pf(sw, "\n================================================================================\n")
+	pf(sw, "%s — %s\n", e.Name, e.Title)
+	pf(sw, "================================================================================\n")
+	if err := e.Run(sw); err != nil {
+		return err
+	}
+	return sw.err
+}
+
+// stickyWriter remembers the first write error and turns every later write
+// into a no-op, so report code can print line by line without threading an
+// error through each call.
+type stickyWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (s *stickyWriter) Write(p []byte) (int, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	n, err := s.w.Write(p)
+	if err != nil {
+		s.err = err
+	}
+	return n, err
+}
+
+// pf and pln are the package's report-print helpers. They have no error
+// result on purpose: all report output flows through the stickyWriter
+// installed by RunOne, which surfaces the first write failure as the
+// experiment's return error, so per-call checks would only add noise.
+func pf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...) // first failure is held by the stickyWriter
+}
+
+func pln(w io.Writer, args ...any) {
+	_, _ = fmt.Fprintln(w, args...) // first failure is held by the stickyWriter
 }
 
 // check prints a PASS/FAIL line for an expectation derived from the paper.
@@ -79,7 +116,7 @@ func check(w io.Writer, ok bool, format string, args ...any) {
 	if !ok {
 		status = "FAIL"
 	}
-	fmt.Fprintf(w, "  [%s] %s\n", status, fmt.Sprintf(format, args...))
+	pf(w, "  [%s] %s\n", status, fmt.Sprintf(format, args...))
 }
 
 // runSeeds evaluates fn for every seed in [0, n) on a worker pool sized by

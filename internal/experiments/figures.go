@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -48,16 +47,16 @@ func dumpSVG(name string, res *sched.Result) error {
 }
 
 func printRun(w io.Writer, res *sched.Result) {
-	fmt.Fprintf(w, "protocol: %s\n", res.Protocol)
+	pf(w, "protocol: %s\n", res.Protocol)
 	for _, tmpl := range res.Set.Templates {
-		fmt.Fprintf(w, "  %-4s (P%d): %s\n", tmpl.Name,
+		pf(w, "  %-4s (P%d): %s\n", tmpl.Name,
 			len(res.Set.Templates)-int(tmpl.Priority)+1, tmpl.Signature(res.Set.Catalog))
 	}
-	fmt.Fprintln(w, res.Timeline.Render(res.Set))
-	fmt.Fprintln(w, trace.Legend())
+	pln(w, res.Timeline.Render(res.Set))
+	pln(w, trace.Legend())
 	rep := res.History.Check()
-	fmt.Fprintf(w, "history: %s\n", res.History)
-	fmt.Fprintf(w, "serializable=%v commitOrder=%v misses=%d committed=%d\n\n",
+	pf(w, "history: %s\n", res.History)
+	pf(w, "serializable=%v commitOrder=%v misses=%d committed=%d\n\n",
 		rep.Serializable, rep.CommitOrderOK, res.Misses, res.Committed)
 }
 
@@ -99,7 +98,7 @@ func figure1(w io.Writer) error {
 	check(w, b2 == 3, "T2 ceiling-blocked 3 ticks although y is free (got %d)", b2)
 	check(w, b1 == 1, "T1 conflict-blocked 1 tick on write-locked x (got %d)", b1)
 
-	fmt.Fprintln(w, "\ncontrast — the same transactions under PCP-DA:")
+	pln(w, "\ncontrast — the same transactions under PCP-DA:")
 	da, err := runCase(papercases.Example1(), "pcpda", papercases.Example1Horizon)
 	if err != nil {
 		return err
@@ -203,7 +202,7 @@ func example5(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "the naive protocol (locking conditions (1)/(2) of Section 7):")
+	pln(w, "the naive protocol (locking conditions (1)/(2) of Section 7):")
 	printRun(w, naive)
 	check(w, naive.Deadlocked, "naive condition-(2) protocol deadlocks")
 	check(w, naive.DeadlockAt == 3, "deadlock closes at t=3 (got %d)", naive.DeadlockAt)
@@ -212,7 +211,7 @@ func example5(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "the same transactions under PCP-DA (LC3 refuses TH's read of y):")
+	pln(w, "the same transactions under PCP-DA (LC3 refuses TH's read of y):")
 	printRun(w, da)
 	check(w, !da.Deadlocked, "PCP-DA is deadlock-free on Example 5")
 	check(w, da.Committed == 2, "both transactions commit (got %d)", da.Committed)
@@ -220,6 +219,6 @@ func example5(w io.Writer) error {
 	check(w, bh == 2, "TH blocked exactly once, for TL's remaining 2 ticks (got %d)", bh)
 
 	sums := []metrics.Summary{metrics.Summarize(naive), metrics.Summarize(da)}
-	fmt.Fprintln(w, metrics.Table(sums))
+	pln(w, metrics.Table(sums))
 	return nil
 }

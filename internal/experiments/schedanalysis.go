@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"io"
 
 	"pcpda/internal/analysis"
@@ -32,21 +31,21 @@ func section9Set() *txn.Set {
 func schedAnalysis(w io.Writer) error {
 	set := section9Set()
 	ceil := txn.ComputeCeilings(set)
-	fmt.Fprintln(w, "transaction set (rate-monotonic priorities):")
+	pln(w, "transaction set (rate-monotonic priorities):")
 	for _, t := range set.Templates {
-		fmt.Fprintf(w, "  %-3s Pd=%-3d C=%-2d %s\n", t.Name, t.Period, t.Exec(), t.Signature(set.Catalog))
+		pf(w, "  %-3s Pd=%-3d C=%-2d %s\n", t.Name, t.Period, t.Exec(), t.Signature(set.Catalog))
 	}
-	fmt.Fprintln(w)
+	pln(w)
 
-	fmt.Fprintf(w, "%-5s | %-22s %-4s | %-22s %-4s\n", "txn", "BTS (PCP-DA)", "B_i", "BTS (RW-PCP)", "B_i")
+	pf(w, "%-5s | %-22s %-4s | %-22s %-4s\n", "txn", "BTS (PCP-DA)", "B_i", "BTS (RW-PCP)", "B_i")
 	for _, t := range set.ByPriorityDesc() {
 		da := analysis.BTS(set, ceil, analysis.PCPDA, t)
 		rw := analysis.BTS(set, ceil, analysis.RWPCP, t)
-		fmt.Fprintf(w, "%-5s | %-22s %-4d | %-22s %-4d\n",
+		pf(w, "%-5s | %-22s %-4d | %-22s %-4d\n",
 			t.Name, nameList(da), analysis.WorstCaseBlocking(set, ceil, analysis.PCPDA, t),
 			nameList(rw), analysis.WorstCaseBlocking(set, ceil, analysis.RWPCP, t))
 	}
-	fmt.Fprintln(w)
+	pln(w)
 
 	t1 := set.ByName("T1")
 	check(w, len(analysis.BTS(set, ceil, analysis.PCPDA, t1)) == 0,
@@ -59,13 +58,13 @@ func schedAnalysis(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "RM condition under %-8s: schedulable=%v\n", kind, rep.Schedulable)
+		pf(w, "RM condition under %-8s: schedulable=%v\n", kind, rep.Schedulable)
 		for i, v := range rep.Verdicts {
-			fmt.Fprintf(w, "  i=%d %-3s B=%-3d util-with-blocking=%.3f bound=%.3f ok=%v\n",
+			pf(w, "  i=%d %-3s B=%-3d util-with-blocking=%.3f bound=%.3f ok=%v\n",
 				i+1, v.Txn.Name, v.B, v.Utilization, v.Bound, v.OK)
 		}
 	}
-	fmt.Fprintln(w)
+	pln(w)
 
 	// Containment across random sets.
 	violations := 0

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"io"
 
 	"pcpda/internal/analysis"
@@ -72,18 +71,18 @@ func samplePoint(protocol string, opts sim.Options, base workload.Config) (simPo
 
 func breakdown(w io.Writer) error {
 	kinds := []analysis.Kind{analysis.PCPDA, analysis.RWPCP, analysis.CCP, analysis.OPCP, analysis.PIP}
-	fmt.Fprintln(w, "fraction of random transaction sets passing the RM condition")
-	fmt.Fprintf(w, "(N=8, %d sets per point, write probability 0.4)\n\n", sweepReps)
-	fmt.Fprintf(w, "%-6s", "U")
+	pln(w, "fraction of random transaction sets passing the RM condition")
+	pf(w, "(N=8, %d sets per point, write probability 0.4)\n\n", sweepReps)
+	pf(w, "%-6s", "U")
 	for _, k := range kinds {
-		fmt.Fprintf(w, " %8s", k)
+		pf(w, " %8s", k)
 	}
-	fmt.Fprintln(w)
+	pln(w)
 
 	// Remember fractions at a mid utilization for the shape check.
 	var fracAt50 = map[analysis.Kind]float64{}
 	for _, u := range []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7} {
-		fmt.Fprintf(w, "%-6.2f", u)
+		pf(w, "%-6.2f", u)
 		for _, k := range kinds {
 			verdicts, err := runSeeds(sweepReps, func(seed int64) (bool, error) {
 				set, err := workload.Generate(sweepConfig(u, 0.4, 7000+seed))
@@ -109,11 +108,11 @@ func breakdown(w io.Writer) error {
 			if u == 0.5 {
 				fracAt50[k] = frac
 			}
-			fmt.Fprintf(w, " %8.2f", frac)
+			pf(w, " %8.2f", frac)
 		}
-		fmt.Fprintln(w)
+		pln(w)
 	}
-	fmt.Fprintln(w)
+	pln(w)
 	check(w, fracAt50[analysis.PCPDA] >= fracAt50[analysis.RWPCP],
 		"PCP-DA admits at least as many sets as RW-PCP at U=0.5 (%.2f vs %.2f)",
 		fracAt50[analysis.PCPDA], fracAt50[analysis.RWPCP])
@@ -128,20 +127,20 @@ func breakdown(w io.Writer) error {
 
 func missRatio(w io.Writer) error {
 	protocols := []string{"pcpda", "rwpcp", "ccp", "pcp", "2plhp", "occ"}
-	fmt.Fprintln(w, "simulated deadline-miss ratio under firm deadlines")
-	fmt.Fprintf(w, "(N=8, %d seeds per point, write probability 0.4, horizon 50×max period)\n\n", sweepReps/2)
-	fmt.Fprintf(w, "%-6s", "U")
+	pln(w, "simulated deadline-miss ratio under firm deadlines")
+	pf(w, "(N=8, %d seeds per point, write probability 0.4, horizon 50×max period)\n\n", sweepReps/2)
+	pf(w, "%-6s", "U")
 	for _, p := range protocols {
-		fmt.Fprintf(w, " %8s", p)
+		pf(w, " %8s", p)
 	}
-	fmt.Fprintln(w)
+	pln(w)
 
 	ratioAt := map[string]map[float64]float64{}
 	for _, p := range protocols {
 		ratioAt[p] = map[float64]float64{}
 	}
 	for _, u := range []float64{0.4, 0.6, 0.8, 1.0, 1.2} {
-		fmt.Fprintf(w, "%-6.2f", u)
+		pf(w, "%-6.2f", u)
 		for _, p := range protocols {
 			pts, err := runSeeds(sweepReps/2, func(seed int64) (simPoint, error) {
 				return samplePoint(p,
@@ -161,11 +160,11 @@ func missRatio(w io.Writer) error {
 				r = float64(misses) / float64(jobs)
 			}
 			ratioAt[p][u] = r
-			fmt.Fprintf(w, " %8.4f", r)
+			pf(w, " %8.4f", r)
 		}
-		fmt.Fprintln(w)
+		pln(w)
 	}
-	fmt.Fprintln(w)
+	pln(w)
 	check(w, ratioAt["pcpda"][0.8] <= ratioAt["rwpcp"][0.8],
 		"PCP-DA misses no more than RW-PCP at U=0.8 (%.4f vs %.4f)",
 		ratioAt["pcpda"][0.8], ratioAt["rwpcp"][0.8])
@@ -177,20 +176,20 @@ func missRatio(w io.Writer) error {
 
 func blockingProfile(w io.Writer) error {
 	protocols := []string{"pcpda", "rwpcp", "ccp", "pcp"}
-	fmt.Fprintln(w, "mean blocked ticks per committed job, and Max_Sysceil height, vs write probability")
-	fmt.Fprintf(w, "(N=8, U=0.55, %d seeds per point; ceiling height is the fraction of the priority range)\n\n", sweepReps/2)
-	fmt.Fprintf(w, "%-6s", "wp")
+	pln(w, "mean blocked ticks per committed job, and Max_Sysceil height, vs write probability")
+	pf(w, "(N=8, U=0.55, %d seeds per point; ceiling height is the fraction of the priority range)\n\n", sweepReps/2)
+	pf(w, "%-6s", "wp")
 	for _, p := range protocols {
-		fmt.Fprintf(w, " %14s", p+" blk/ceil")
+		pf(w, " %14s", p+" blk/ceil")
 	}
-	fmt.Fprintln(w)
+	pln(w)
 
 	blockAt := map[string]map[float64]float64{}
 	for _, p := range protocols {
 		blockAt[p] = map[float64]float64{}
 	}
 	for _, wp := range []float64{0.0, 0.2, 0.4, 0.6, 0.8, 1.0} {
-		fmt.Fprintf(w, "%-6.2f", wp)
+		pf(w, "%-6.2f", wp)
 		for _, p := range protocols {
 			pts, err := runSeeds(sweepReps/2, func(seed int64) (simPoint, error) {
 				// TrackCeiling (not Trace): the profile only reads
@@ -217,11 +216,11 @@ func blockingProfile(w io.Writer) error {
 				mean = float64(blocked) / float64(committed)
 			}
 			blockAt[p][wp] = mean
-			fmt.Fprintf(w, "   %6.3f/%.2f", mean, ceilSum/ceilMax)
+			pf(w, "   %6.3f/%.2f", mean, ceilSum/ceilMax)
 		}
-		fmt.Fprintln(w)
+		pln(w)
 	}
-	fmt.Fprintln(w)
+	pln(w)
 	check(w, blockAt["pcpda"][0.4] <= blockAt["rwpcp"][0.4],
 		"PCP-DA blocks less than RW-PCP at wp=0.4 (%.3f vs %.3f)",
 		blockAt["pcpda"][0.4], blockAt["rwpcp"][0.4])
@@ -235,10 +234,10 @@ func blockingProfile(w io.Writer) error {
 }
 
 func restarts(w io.Writer) error {
-	fmt.Fprintln(w, "restart counts of the abort-based protocols (2PL-HP, OCC-BC) vs the")
-	fmt.Fprintln(w, "no-restart guarantee of PCP-DA")
-	fmt.Fprintf(w, "(N=8, write probability 0.6, %d seeds per point)\n\n", sweepReps/2)
-	fmt.Fprintf(w, "%-6s %10s %10s %10s %10s %12s %12s\n",
+	pln(w, "restart counts of the abort-based protocols (2PL-HP, OCC-BC) vs the")
+	pln(w, "no-restart guarantee of PCP-DA")
+	pf(w, "(N=8, write probability 0.6, %d seeds per point)\n\n", sweepReps/2)
+	pf(w, "%-6s %10s %10s %10s %10s %12s %12s\n",
 		"U", "hp-restart", "hp-miss", "occ-rsts", "occ-miss", "pcpda-rsts", "pcpda-miss")
 	totalHP, totalOCC, totalDA := 0, 0, 0
 	for _, u := range []float64{0.4, 0.6, 0.8} {
@@ -272,9 +271,9 @@ func restarts(w io.Writer) error {
 		totalHP += hpR
 		totalOCC += ocR
 		totalDA += daR
-		fmt.Fprintf(w, "%-6.2f %10d %10d %10d %10d %12d %12d\n", u, hpR, hpM, ocR, ocM, daR, daM)
+		pf(w, "%-6.2f %10d %10d %10d %10d %12d %12d\n", u, hpR, hpM, ocR, ocM, daR, daM)
 	}
-	fmt.Fprintln(w)
+	pln(w)
 	check(w, totalDA == 0, "PCP-DA never restarts a transaction (got %d)", totalDA)
 	check(w, totalHP > 0, "2PL-HP pays restart overhead on contended workloads (got %d)", totalHP)
 	check(w, totalOCC > 0, "OCC-BC pays restart overhead on contended workloads (got %d)", totalOCC)
@@ -282,8 +281,8 @@ func restarts(w io.Writer) error {
 }
 
 func ablation(w io.Writer) error {
-	fmt.Fprintln(w, "LC3/LC4 ablation: PCP-DA vs PCP-DA restricted to LC1+LC2")
-	fmt.Fprintf(w, "(N=8, U=0.55, write probability 0.5, %d seeds)\n\n", sweepReps)
+	pln(w, "LC3/LC4 ablation: PCP-DA vs PCP-DA restricted to LC1+LC2")
+	pf(w, "(N=8, U=0.55, write probability 0.5, %d seeds)\n\n", sweepReps)
 	type pair struct {
 		fullBlocked, lc2Blocked rt.Ticks
 		grants34                int
@@ -325,9 +324,9 @@ func ablation(w io.Writer) error {
 		agg.fullMiss += pr.fullMiss
 		agg.lc2Miss += pr.lc2Miss
 	}
-	fmt.Fprintf(w, "  total blocked ticks: full=%d lc2-only=%d\n", agg.fullBlocked, agg.lc2Blocked)
-	fmt.Fprintf(w, "  LC3+LC4 grants under full PCP-DA: %d\n", agg.grants34)
-	fmt.Fprintf(w, "  deadline misses: full=%d lc2-only=%d\n\n", agg.fullMiss, agg.lc2Miss)
+	pf(w, "  total blocked ticks: full=%d lc2-only=%d\n", agg.fullBlocked, agg.lc2Blocked)
+	pf(w, "  LC3+LC4 grants under full PCP-DA: %d\n", agg.grants34)
+	pf(w, "  deadline misses: full=%d lc2-only=%d\n\n", agg.fullMiss, agg.lc2Miss)
 	check(w, agg.fullBlocked <= agg.lc2Blocked,
 		"LC3/LC4 reduce aggregate blocking (%d vs %d)", agg.fullBlocked, agg.lc2Blocked)
 	check(w, agg.grants34 > 0, "LC3/LC4 actually fire on contended workloads (%d grants)", agg.grants34)
@@ -336,21 +335,21 @@ func ablation(w io.Writer) error {
 
 func csLength(w io.Writer) error {
 	protocols := []string{"pcpda", "rwpcp", "pcp"}
-	fmt.Fprintln(w, "mean blocked ticks per committed job vs maximum data-operation length")
-	fmt.Fprintln(w, "(longer accesses = longer critical sections = larger blocking terms;")
-	fmt.Fprintf(w, " N=8, U=0.55, write probability 0.4, %d seeds per point)\n\n", sweepReps/2)
-	fmt.Fprintf(w, "%-8s", "opdur")
+	pln(w, "mean blocked ticks per committed job vs maximum data-operation length")
+	pln(w, "(longer accesses = longer critical sections = larger blocking terms;")
+	pf(w, " N=8, U=0.55, write probability 0.4, %d seeds per point)\n\n", sweepReps/2)
+	pf(w, "%-8s", "opdur")
 	for _, p := range protocols {
-		fmt.Fprintf(w, " %9s", p)
+		pf(w, " %9s", p)
 	}
-	fmt.Fprintln(w)
+	pln(w)
 
 	blockAt := map[string]map[rt.Ticks]float64{}
 	for _, p := range protocols {
 		blockAt[p] = map[rt.Ticks]float64{}
 	}
 	for _, dur := range []rt.Ticks{1, 2, 4, 8} {
-		fmt.Fprintf(w, "%-8d", dur)
+		pf(w, "%-8d", dur)
 		for _, p := range protocols {
 			pts, err := runSeeds(sweepReps/2, func(seed int64) (simPoint, error) {
 				cfg := sweepConfig(0.55, 0.4, 17000+seed)
@@ -371,11 +370,11 @@ func csLength(w io.Writer) error {
 				mean = float64(blocked) / float64(committed)
 			}
 			blockAt[p][dur] = mean
-			fmt.Fprintf(w, " %9.3f", mean)
+			pf(w, " %9.3f", mean)
 		}
-		fmt.Fprintln(w)
+		pln(w)
 	}
-	fmt.Fprintln(w)
+	pln(w)
 	check(w, blockAt["pcpda"][8] <= blockAt["rwpcp"][8],
 		"PCP-DA's advantage survives long critical sections (%.3f vs %.3f at opdur=8)",
 		blockAt["pcpda"][8], blockAt["rwpcp"][8])
@@ -387,21 +386,21 @@ func csLength(w io.Writer) error {
 
 func hotspot(w io.Writer) error {
 	protocols := []string{"pcpda", "rwpcp", "ccp", "pcp"}
-	fmt.Fprintln(w, "mean blocked ticks per committed job vs hot-spot skew")
-	fmt.Fprintln(w, "(2 of 10 items are 'hot'; each access targets the hot region with the")
-	fmt.Fprintf(w, " given probability; N=8, U=0.55, wp=0.4, %d seeds per point)\n\n", sweepReps/2)
-	fmt.Fprintf(w, "%-8s", "hotprob")
+	pln(w, "mean blocked ticks per committed job vs hot-spot skew")
+	pln(w, "(2 of 10 items are 'hot'; each access targets the hot region with the")
+	pf(w, " given probability; N=8, U=0.55, wp=0.4, %d seeds per point)\n\n", sweepReps/2)
+	pf(w, "%-8s", "hotprob")
 	for _, p := range protocols {
-		fmt.Fprintf(w, " %9s", p)
+		pf(w, " %9s", p)
 	}
-	fmt.Fprintln(w)
+	pln(w)
 
 	blockAt := map[string]map[float64]float64{}
 	for _, p := range protocols {
 		blockAt[p] = map[float64]float64{}
 	}
 	for _, hp := range []float64{0.0, 0.3, 0.6, 0.9} {
-		fmt.Fprintf(w, "%-8.2f", hp)
+		pf(w, "%-8.2f", hp)
 		for _, p := range protocols {
 			pts, err := runSeeds(sweepReps/2, func(seed int64) (simPoint, error) {
 				cfg := sweepConfig(0.55, 0.4, 19000+seed)
@@ -423,11 +422,11 @@ func hotspot(w io.Writer) error {
 				mean = float64(blocked) / float64(committed)
 			}
 			blockAt[p][hp] = mean
-			fmt.Fprintf(w, " %9.3f", mean)
+			pf(w, " %9.3f", mean)
 		}
-		fmt.Fprintln(w)
+		pln(w)
 	}
-	fmt.Fprintln(w)
+	pln(w)
 	check(w, blockAt["rwpcp"][0.9] > blockAt["rwpcp"][0.0],
 		"hot-spot contention drives RW-PCP blocking up (%.3f vs %.3f)",
 		blockAt["rwpcp"][0.9], blockAt["rwpcp"][0.0])

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"io"
 
 	"pcpda/internal/analysis"
@@ -29,9 +28,9 @@ func tightness(w io.Writer) error {
 		{"pcpda", analysis.PCPDA},
 		{"rwpcp", analysis.RWPCP},
 	}
-	fmt.Fprintln(w, "worst observed response time vs analytic bound on RTA-schedulable sets")
-	fmt.Fprintf(w, "(N=6, U=0.5, wp=0.4, %d random sets, horizon 50×max period)\n\n", sweepReps)
-	fmt.Fprintf(w, "%-8s %10s %12s %14s %14s\n", "protocol", "sets", "violations", "mean obs/bnd", "max obs/bnd")
+	pln(w, "worst observed response time vs analytic bound on RTA-schedulable sets")
+	pf(w, "(N=6, U=0.5, wp=0.4, %d random sets, horizon 50×max period)\n\n", sweepReps)
+	pf(w, "%-8s %10s %12s %14s %14s\n", "protocol", "sets", "violations", "mean obs/bnd", "max obs/bnd")
 
 	for _, pk := range kinds {
 		violations := 0
@@ -81,14 +80,14 @@ func tightness(w io.Writer) error {
 				ratio.Add(float64(s.MaxResponse) / float64(b))
 			}
 		}
-		fmt.Fprintf(w, "%-8s %10d %12d %14.3f %14.3f\n",
+		pf(w, "%-8s %10d %12d %14.3f %14.3f\n",
 			pk.proto, setsUsed, violations, ratio.Mean(), ratio.Max())
 		check(w, violations == 0,
 			"%s: no job ever exceeds its response-time bound on admitted sets (%d violations over %d sets)",
 			pk.proto, violations, setsUsed)
 	}
-	fmt.Fprintln(w)
-	fmt.Fprintln(w, "ratios below 1 quantify the analysis' conservatism: the simulated")
-	fmt.Fprintln(w, "phasings rarely realize the critical instant + worst-case blocking.")
+	pln(w)
+	pln(w, "ratios below 1 quantify the analysis' conservatism: the simulated")
+	pln(w, "phasings rarely realize the critical instant + worst-case blocking.")
 	return nil
 }

@@ -1,0 +1,24 @@
+// Package all registers the complete pcpdalint analyzer suite — the single
+// list the cmd/pcpdalint driver, the go vet -vettool mode and the
+// self-check meta-test all share, so the three runners can never drift.
+package all
+
+import (
+	"pcpda/internal/lint"
+	"pcpda/internal/lint/allocfree"
+	"pcpda/internal/lint/capability"
+	"pcpda/internal/lint/determinism"
+	"pcpda/internal/lint/errcheck"
+	"pcpda/internal/lint/lockorder"
+	"pcpda/internal/lint/waitnode"
+)
+
+// Analyzers is the suite in stable (reporting) order.
+var Analyzers = []*lint.Analyzer{
+	allocfree.Analyzer,
+	capability.Analyzer,
+	determinism.Analyzer,
+	errcheck.Analyzer,
+	lockorder.Analyzer,
+	waitnode.Analyzer,
+}

@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"pcpda/internal/lint/allocfree"
+	"pcpda/internal/lint/linttest"
+)
+
+func TestAllocfree(t *testing.T) {
+	linttest.Run(t, "testdata", allocfree.Analyzer, "hotpath")
+}

@@ -1,0 +1,195 @@
+// Package capability enforces the cc capability boundary around the
+// protocol packages (DESIGN.md §10): a protocol may observe kernel state
+// only through the cc.Env capabilities and may never mutate it. This is the
+// single-blocking bookkeeping contract — if a protocol could reach into the
+// lock table or kernel directly, the properties the simulator proves
+// (single blocking, deadlock freedom, golden traces) would no longer
+// constrain the live system.
+package capability
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"pcpda/internal/lint"
+)
+
+// ProtocolPkgs are the packages held to the capability contract.
+var ProtocolPkgs = []string{
+	"pcpda/internal/pcpda",
+	"pcpda/internal/naiveda",
+	"pcpda/internal/opcp",
+	"pcpda/internal/rwpcp",
+	"pcpda/internal/ccp",
+	"pcpda/internal/pip",
+	"pcpda/internal/tplhp",
+	"pcpda/internal/occ",
+}
+
+// BannedImports are kernel internals protocols must not import; everything
+// a protocol needs arrives through cc (which owns the lock/db imports).
+var BannedImports = []string{
+	"pcpda/internal/lock",
+	"pcpda/internal/sched",
+	"pcpda/internal/rtm",
+	"pcpda/internal/sim",
+	"pcpda/internal/history",
+	"pcpda/internal/db",
+	"pcpda/internal/fault",
+}
+
+// lockTableMutators are lock.Table methods that change table state. The
+// table itself is reachable read-only via cc.Env.Locks(), so the import ban
+// alone cannot stop a protocol from mutating it.
+var lockTableMutators = map[string]bool{
+	"Acquire":             true,
+	"Release":             true,
+	"ReleaseItem":         true,
+	"ReleaseAll":          true,
+	"ReleaseAllUnordered": true,
+}
+
+// Analyzer is the capability analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "capability",
+	Doc: "protocol packages must reach kernel state only through cc capabilities: " +
+		"no kernel-internal imports, no lock-table mutation, no cc.Job field writes",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	if !isProtocolPkg(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			for _, banned := range BannedImports {
+				if path == banned {
+					pass.Reportf(imp.Pos(), "protocol package imports kernel internal %q; use the cc capability interfaces", path)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkLockMutation(pass, n)
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkJobWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkJobWrite(pass, n.X)
+			case *ast.UnaryExpr:
+				// &j.Field hands out a mutable alias to kernel-owned state.
+				if n.Op.String() == "&" {
+					if sel, ok := n.X.(*ast.SelectorExpr); ok && isJobSelector(pass, sel) {
+						pass.Reportf(n.Pos(), "protocol takes the address of kernel-owned field %s.%s (cc.Job is read-only for protocols)", exprString(sel.X), sel.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isProtocolPkg(path string) bool {
+	for _, p := range ProtocolPkgs {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLockMutation flags calls to mutating lock.Table methods.
+func checkLockMutation(pass *lint.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !lockTableMutators[sel.Sel.Name] {
+		return
+	}
+	recv := pass.TypesInfo.TypeOf(sel.X)
+	if recv == nil {
+		return
+	}
+	if named := namedOf(recv); named != nil && isLockTable(named) {
+		pass.Reportf(call.Pos(), "protocol mutates the lock table via %s.%s; lock state changes are kernel-only", exprString(sel.X), sel.Sel.Name)
+	}
+}
+
+// checkJobWrite flags assignments whose target is a field of cc.Job (or an
+// element of one of its slices, e.g. j.Blockers[0]).
+func checkJobWrite(pass *lint.Pass, lhs ast.Expr) {
+	for {
+		switch x := lhs.(type) {
+		case *ast.IndexExpr:
+			lhs = x.X
+			continue
+		case *ast.ParenExpr:
+			lhs = x.X
+			continue
+		}
+		break
+	}
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok || !isJobSelector(pass, sel) {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "protocol writes kernel-owned field %s.%s (cc.Job is read-only for protocols)", exprString(sel.X), sel.Sel.Name)
+}
+
+// isJobSelector reports whether sel selects a field of cc.Job.
+func isJobSelector(pass *lint.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	named := namedOf(s.Recv())
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Job" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/cc")
+}
+
+func isLockTable(named *types.Named) bool {
+	obj := named.Obj()
+	return obj.Name() == "Table" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/lock")
+}
+
+// namedOf unwraps pointers and aliases down to a *types.Named.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Alias:
+			t = types.Unalias(x)
+		case *types.Named:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "()"
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	default:
+		return "expr"
+	}
+}

@@ -1,0 +1,15 @@
+package capability_test
+
+import (
+	"testing"
+
+	"pcpda/internal/lint/capability"
+	"pcpda/internal/lint/linttest"
+)
+
+func TestCapability(t *testing.T) {
+	linttest.Run(t, "testdata", capability.Analyzer,
+		"pcpda/internal/pcpda", // protocol package: violations flagged
+		"pcpda/internal/cc",    // non-protocol package: exempt even though it imports lock
+	)
+}

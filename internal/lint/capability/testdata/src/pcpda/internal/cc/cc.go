@@ -1,0 +1,25 @@
+// Stub of pcpda/internal/cc for capability analyzer tests.
+package cc
+
+import (
+	"pcpda/internal/lock"
+	"pcpda/internal/rt"
+)
+
+type Job struct {
+	ID       rt.JobID
+	RunPri   rt.Priority
+	Blockers []rt.JobID
+}
+
+type Env interface {
+	Now() rt.Ticks
+	Locks() *lock.Table
+	Job(id rt.JobID) *Job
+}
+
+type Decision struct {
+	Granted  bool
+	Rule     string
+	Blockers []rt.JobID
+}

@@ -1,0 +1,49 @@
+// Package pcpda is the capability analyzer's positive/negative test bed: a
+// fake protocol package (the analyzer matches on the import path) that
+// mixes legal capability use with every violation class.
+package pcpda
+
+import (
+	"pcpda/internal/cc"
+	"pcpda/internal/lock" // want `protocol package imports kernel internal "pcpda/internal/lock"`
+	"pcpda/internal/rt"
+)
+
+type Protocol struct {
+	table *lock.Table
+}
+
+// ok: read-only queries through the env capability are the sanctioned path.
+func (p *Protocol) Request(env cc.Env, j *cc.Job, x rt.Item) cc.Decision {
+	var blockers []rt.JobID
+	env.Locks().EachReader(x, func(o rt.JobID) bool {
+		if o != j.ID {
+			blockers = append(blockers, o)
+		}
+		return true
+	})
+	_ = env.Locks().Readers(x)
+	return cc.Decision{Granted: len(blockers) == 0, Rule: "stub", Blockers: blockers}
+}
+
+// bad: mutating the shared lock table from a protocol.
+func (p *Protocol) Steal(env cc.Env, j *cc.Job, x rt.Item) {
+	env.Locks().Acquire(j.ID, x, rt.Write) // want `protocol mutates the lock table via env.Locks\(\).Acquire`
+	env.Locks().ReleaseAll(j.ID)           // want `protocol mutates the lock table via env.Locks\(\).ReleaseAll`
+	p.table.Acquire(j.ID, x, rt.Read)      // want `protocol mutates the lock table via p.table.Acquire`
+}
+
+// bad: writing kernel-owned job state.
+func (p *Protocol) Tamper(j *cc.Job) {
+	j.RunPri = 3      // want `protocol writes kernel-owned field j.RunPri`
+	j.Blockers = nil  // want `protocol writes kernel-owned field j.Blockers`
+	j.Blockers[0] = 0 // want `protocol writes kernel-owned field j.Blockers`
+	pri := &j.RunPri  // want `protocol takes the address of kernel-owned field j.RunPri`
+	*pri = 4
+}
+
+// ok: reading job state, and writing the protocol's own fields.
+func (p *Protocol) Observe(j *cc.Job) rt.Priority {
+	p.table = nil
+	return j.RunPri
+}

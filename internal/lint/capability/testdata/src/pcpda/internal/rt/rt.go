@@ -1,0 +1,17 @@
+// Stub of pcpda/internal/rt for capability analyzer tests.
+package rt
+
+type JobID int32
+
+type Item int32
+
+type Mode uint8
+
+const (
+	Read Mode = iota
+	Write
+)
+
+type Priority int16
+
+type Ticks int64

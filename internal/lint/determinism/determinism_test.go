@@ -1,0 +1,15 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"pcpda/internal/lint/determinism"
+	"pcpda/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, "testdata", determinism.Analyzer,
+		"pcpda/internal/sched",   // kernel package: flagged
+		"pcpda/internal/metrics", // non-kernel package: exempt
+	)
+}

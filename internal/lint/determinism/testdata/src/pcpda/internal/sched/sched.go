@@ -1,0 +1,97 @@
+// Package sched is the determinism analyzer's test bed (matched by import
+// path): every banned nondeterminism source, plus the allowed seeded forms.
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type Kernel struct {
+	rng    *rand.Rand
+	counts map[string]int
+}
+
+// ok: seeded per-run rand replays deterministically.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed)), counts: map[string]int{}}
+}
+
+// ok: drawing from the seeded instance.
+func (k *Kernel) Jitter(n int) int { return k.rng.Intn(n) }
+
+// bad: global rand and wall clock.
+func (k *Kernel) Bad() int64 {
+	x := rand.Intn(10)           // want `global rand.Intn in kernel package`
+	rand.Seed(42)                // want `global rand.Seed in kernel package`
+	t := time.Now().UnixNano()   // want `time.Now in kernel package`
+	time.Sleep(time.Millisecond) // want `time.Sleep in kernel package`
+	return int64(x) + t
+}
+
+// bad: goroutine spawn inside the kernel.
+func (k *Kernel) Spawn(fn func()) {
+	go fn() // want `go statement in kernel package`
+}
+
+// ok: the canonical collect-then-sort idiom — the loop only appends keys
+// and the slice is sorted before use, so no map order can leak.
+func (k *Kernel) Names() []string {
+	var names []string
+	for name := range k.counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ok: guarded collection still qualifies when the slice is sorted.
+func (k *Kernel) BigNames() []string {
+	var names []string
+	for name, c := range k.counts {
+		if c > 1 {
+			names = append(names, name)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names
+}
+
+// bad: collected but never sorted — map order leaks into the result.
+func (k *Kernel) UnsortedNames() []string {
+	var names []string
+	for name := range k.counts { // want `range over map k.counts in kernel package`
+		names = append(names, name)
+	}
+	return names
+}
+
+// bad: the loop body does more than collect, so the side effects happen in
+// map order even though the slice is sorted afterwards.
+func (k *Kernel) Tally() []string {
+	var names []string
+	total := 0
+	for name, c := range k.counts { // want `range over map k.counts in kernel package`
+		names = append(names, name)
+		total += c
+	}
+	sort.Strings(names)
+	_ = total
+	return names
+}
+
+// ok: ranging over slices and channels is ordered.
+func (k *Kernel) Sum(xs []int, ch chan int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	for x := range ch {
+		s += x
+	}
+	return s
+}
+
+// ok: time.Duration arithmetic without reading the clock.
+func (k *Kernel) Budget() time.Duration { return 5 * time.Second }

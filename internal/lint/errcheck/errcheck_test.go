@@ -1,0 +1,12 @@
+package errcheck_test
+
+import (
+	"testing"
+
+	"pcpda/internal/lint/errcheck"
+	"pcpda/internal/lint/linttest"
+)
+
+func TestErrcheck(t *testing.T) {
+	linttest.Run(t, "testdata", errcheck.Analyzer, "pcpda/cmd/tool")
+}

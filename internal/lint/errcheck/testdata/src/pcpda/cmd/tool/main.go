@@ -1,0 +1,30 @@
+// Command tool is the errcheck analyzer's test bed (matched by the
+// pcpda/cmd/ path prefix).
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func emit(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `defer f.Close drops its error result`
+
+	fmt.Fprintf(f, "report\n")         // want `fmt.Fprintf drops its error result`
+	fmt.Println("progress")            // ok: process stdout
+	fmt.Fprintln(os.Stderr, "warning") // ok: process stderr
+	if _, err := fmt.Fprintf(f, "x"); err != nil {
+		return err // ok: handled
+	}
+	_ = f.Sync() // ok: explicit discard
+	f.Sync()     // want `f.Sync drops its error result`
+	return nil
+}
+
+func main() {
+	emit("out.txt") // want `emit drops its error result`
+}

@@ -1,0 +1,137 @@
+// Package linttest is the golden-file test harness for the pcpdalint
+// analyzers — the analysistest equivalent for the stdlib-only framework in
+// internal/lint.
+//
+// Testdata lives in a GOPATH-style tree: <testdata>/src/<importpath>/*.go.
+// Stub dependency packages (pcpda/internal/cc, pcpda/internal/lock, ...)
+// sit beside the packages under test so the capability-shaped analyzers see
+// the same import paths they match on in the real tree. Expected
+// diagnostics are trailing comments of the form
+//
+//	foo() // want "regexp" "another regexp"
+//
+// one regexp per expected diagnostic on that line. The run fails on any
+// unexpected diagnostic and on any unfulfilled expectation.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"pcpda/internal/lint"
+)
+
+// Run loads each package path from testdata/src, applies the analyzer and
+// checks diagnostics against the // want comments.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	root := filepath.Join(testdata, "src")
+	loader := lint.NewLoader(lint.TreeResolver(root))
+	var pkgs []*lint.Package
+	for _, path := range pkgPaths {
+		pkg, err := loader.LoadDir(path, filepath.Join(root, filepath.FromSlash(path)))
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	findings, err := lint.RunAnalyzers(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants := collectWants(t, loader.Fset, pkgs)
+
+	matched := map[*want]bool{}
+	for _, f := range findings {
+		key := posKey{f.Position.Filename, f.Position.Line}
+		var hit *want
+		for _, w := range wants[key] {
+			if !matched[w] && w.re.MatchString(f.Message) {
+				hit = w
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("unexpected diagnostic at %s: %s", f.Position, f.Message)
+			continue
+		}
+		matched[hit] = true
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !matched[w] {
+				t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// collectWants scans the loaded ASTs (parsed with ParseComments) for
+// // want clauses.
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*lint.Package) map[posKey][]*want {
+	t.Helper()
+	out := map[posKey][]*want{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			file := fset.Position(f.Pos()).Filename
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					line := fset.Position(c.Pos()).Line
+					for _, pat := range splitPatterns(m[1]) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", file, line, pat, err)
+						}
+						out[posKey{file, line}] = append(out[posKey{file, line}], &want{file: file, line: line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitPatterns splits `"a" "b c"` into its quoted patterns; both double
+// quotes and backticks delimit a pattern, as in analysistest.
+func splitPatterns(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if len(s) < 2 || (s[0] != '"' && s[0] != '`') {
+			break
+		}
+		end := strings.IndexByte(s[1:], s[0])
+		if end < 0 {
+			break
+		}
+		out = append(out, s[1:1+end])
+		s = s[end+2:]
+	}
+	if len(out) == 0 {
+		// A bare // want with no quotes is a testdata bug; surface it as a
+		// never-matching pattern so the test fails loudly.
+		out = append(out, fmt.Sprintf("^linttest: malformed want clause %q$", s))
+	}
+	return out
+}

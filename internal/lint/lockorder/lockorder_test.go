@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"pcpda/internal/lint/linttest"
+	"pcpda/internal/lint/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	linttest.Run(t, "testdata", lockorder.Analyzer, "pcpda/internal/rtm")
+}

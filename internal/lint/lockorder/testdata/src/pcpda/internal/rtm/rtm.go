@@ -1,0 +1,123 @@
+// Package rtm is the lockorder analyzer's test bed (matched by import
+// path): a miniature of the manager's mutex + wait-channel discipline, with
+// sends outside the mutex and receives inside it as positives.
+package rtm
+
+import (
+	"context"
+	"sync"
+)
+
+type waitNode struct {
+	ch chan struct{}
+}
+
+func (n *waitNode) wake() {
+	select {
+	case n.ch <- struct{}{}: // ok: reached only from locked callers
+	default:
+	}
+}
+
+type Manager struct {
+	mu      sync.Mutex
+	waiters []*waitNode
+}
+
+// ok: the exported entry point locks before waking.
+func (m *Manager) Finish() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, n := range m.waiters {
+		n.wake()
+	}
+}
+
+// ok: the canonical park shape — mutex released across the receive.
+func (m *Manager) Park(ctx context.Context, n *waitNode) error {
+	m.mu.Lock()
+	m.waiters = append(m.waiters, n)
+	m.mu.Unlock()
+	var err error
+	select {
+	case <-n.ch:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	m.mu.Lock()
+	m.waiters = m.waiters[:len(m.waiters)-1]
+	m.mu.Unlock()
+	return err
+}
+
+// bad: waking outside the mutex races registration.
+func (m *Manager) WakeUnlocked(n *waitNode) {
+	select {
+	case n.ch <- struct{}{}: // want `wait-node send without holding the manager mutex`
+	default:
+	}
+}
+
+// bad: receiving while the manager mutex is held.
+func (m *Manager) WaitLocked(n *waitNode) {
+	m.mu.Lock()
+	<-n.ch // want `channel receive while holding the manager mutex`
+	m.mu.Unlock()
+}
+
+// bad: the select's receives also happen under the mutex.
+func (m *Manager) SelectLocked(ctx context.Context, n *waitNode) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	select {
+	case <-n.ch: // want `channel receive while holding the manager mutex`
+	case <-ctx.Done(): // want `channel receive while holding the manager mutex`
+	}
+}
+
+// sendHelper is reached both locked (LockedCaller) and unlocked
+// (UnlockedCaller): the merged entry state cannot prove the mutex is held.
+func (m *Manager) sendHelper(n *waitNode) {
+	n.ch <- struct{}{} // want `wait-node send without holding the manager mutex`
+}
+
+func (m *Manager) LockedCaller(n *waitNode) {
+	m.mu.Lock()
+	m.sendHelper(n)
+	m.mu.Unlock()
+}
+
+func (m *Manager) UnlockedCaller(n *waitNode) {
+	m.sendHelper(n)
+}
+
+// ok: a balanced unlock/lock window helper keeps the caller's state
+// correct — the summary fixpoint must see yield as state-preserving.
+func (m *Manager) yield() {
+	m.mu.Unlock()
+	m.mu.Lock()
+}
+
+func (m *Manager) Inject(n *waitNode) {
+	m.mu.Lock()
+	m.yield()
+	n.ch <- struct{}{} // ok: yield restores the locked state
+	m.mu.Unlock()
+}
+
+// ok: sends on non-wait-node channels are out of scope (worker pools and
+// the chaos harness have their own channels).
+func (m *Manager) Broadcast(done chan struct{}) {
+	done <- struct{}{}
+}
+
+// ok: a select with a default clause cannot block, so draining a stale wake
+// token under the mutex is safe (waitNode.drain in the real manager).
+func (m *Manager) DrainLocked(n *waitNode) {
+	m.mu.Lock()
+	select {
+	case <-n.ch:
+	default:
+	}
+	m.mu.Unlock()
+}

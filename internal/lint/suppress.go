@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// SuppressFile is the committed suppression file, at the module root. Every
+// entry records an audited false positive (or deliberate exception) with a
+// one-line justification; the meta-test fails on entries that no longer
+// match anything, so the file cannot silently go stale.
+const SuppressFile = ".pcpdalint-suppressions"
+
+// A SuppressEntry silences findings of one analyzer whose position contains
+// PathSub and whose message contains MsgSub. Fields with spaces are quoted
+// in the file.
+type SuppressEntry struct {
+	Analyzer string
+	PathSub  string
+	MsgSub   string
+	Reason   string
+	Line     int
+
+	used bool
+}
+
+// Suppressions is a parsed suppression file.
+type Suppressions struct {
+	Path    string
+	Entries []*SuppressEntry
+}
+
+// LoadSuppressions parses the suppression file at path. A missing file is
+// an empty (not an invalid) suppression set, so fresh checkouts and
+// testdata runs need no stub file.
+func LoadSuppressions(path string) (*Suppressions, error) {
+	s := &Suppressions{Path: path}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return s, nil
+		}
+		return nil, err
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		spec, reason, ok := strings.Cut(line, " -- ")
+		if !ok || strings.TrimSpace(reason) == "" {
+			return nil, fmt.Errorf("%s:%d: entry needs a ' -- <justification>' suffix", path, i+1)
+		}
+		fields, err := splitQuoted(spec)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, i+1, err)
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want 'analyzer path-substring msg-substring -- reason', got %d fields", path, i+1, len(fields))
+		}
+		s.Entries = append(s.Entries, &SuppressEntry{
+			Analyzer: fields[0],
+			PathSub:  fields[1],
+			MsgSub:   fields[2],
+			Reason:   strings.TrimSpace(reason),
+			Line:     i + 1,
+		})
+	}
+	return s, nil
+}
+
+// splitQuoted splits on spaces, honoring double-quoted fields.
+func splitQuoted(s string) ([]string, error) {
+	var fields []string
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		if s[0] == '"' {
+			end := strings.IndexByte(s[1:], '"')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quote")
+			}
+			fields = append(fields, s[1:1+end])
+			s = s[end+2:]
+			continue
+		}
+		cut := strings.IndexByte(s, ' ')
+		if cut < 0 {
+			cut = len(s)
+		}
+		fields = append(fields, s[:cut])
+		s = s[cut:]
+	}
+	return fields, nil
+}
+
+// Match reports whether f is suppressed, marking the first matching entry
+// as used. Position paths are matched with forward slashes so entries are
+// portable.
+func (s *Suppressions) Match(f Finding) bool {
+	pos := filepath.ToSlash(f.Position.String())
+	for _, e := range s.Entries {
+		if e.Analyzer == f.Analyzer && strings.Contains(pos, e.PathSub) && strings.Contains(f.Message, e.MsgSub) {
+			e.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Unused returns entries that matched nothing — stale suppressions the
+// meta-test refuses to carry.
+func (s *Suppressions) Unused() []*SuppressEntry {
+	var out []*SuppressEntry
+	for _, e := range s.Entries {
+		if !e.used {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Filter partitions findings into kept and suppressed.
+func (s *Suppressions) Filter(findings []Finding) (kept, suppressed []Finding) {
+	for _, f := range findings {
+		if s.Match(f) {
+			suppressed = append(suppressed, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	return kept, suppressed
+}

@@ -1,0 +1,12 @@
+package waitnode_test
+
+import (
+	"testing"
+
+	"pcpda/internal/lint/linttest"
+	"pcpda/internal/lint/waitnode"
+)
+
+func TestWaitnode(t *testing.T) {
+	linttest.Run(t, "testdata", waitnode.Analyzer, "pcpda/internal/rtm")
+}

@@ -304,6 +304,8 @@ func (t *Table) WritersOther(x rt.Item, o rt.JobID) []rt.JobID {
 // EachReader calls fn for every job holding a read lock on x, in acquisition
 // order, stopping early when fn returns false. Unlike Readers it performs no
 // allocation; fn must not mutate the table.
+//
+//pcpda:alloc-free
 func (t *Table) EachReader(x rt.Item, fn func(o rt.JobID) bool) {
 	e, ok := t.items[x]
 	if !ok {
@@ -319,6 +321,8 @@ func (t *Table) EachReader(x rt.Item, fn func(o rt.JobID) bool) {
 // EachWriter calls fn for every job holding a write lock on x, in
 // acquisition order, stopping early when fn returns false. Allocation-free;
 // fn must not mutate the table.
+//
+//pcpda:alloc-free
 func (t *Table) EachWriter(x rt.Item, fn func(o rt.JobID) bool) {
 	e, ok := t.items[x]
 	if !ok {

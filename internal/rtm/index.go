@@ -138,6 +138,8 @@ func (m *Manager) ceilRelease(t *Txn) {
 // SysceilExcluding implements cc.CeilingIndex: the highest Wceil over items
 // read-locked by transactions other than o, from the count profile alone.
 // Passing an id that is not live (rt.NoJob included) excludes nothing.
+//
+//pcpda:alloc-free
 func (m *Manager) SysceilExcluding(o rt.JobID) rt.Priority {
 	var own []int32
 	if t, ok := m.active[o]; ok {
@@ -157,6 +159,8 @@ func (m *Manager) SysceilExcluding(o rt.JobID) rt.Priority {
 
 // EachCeilingHolder implements cc.CeilingIndex: every live transaction other
 // than o holding a read lock on an item with Wceil == c, in job-id order.
+//
+//pcpda:alloc-free
 func (m *Manager) EachCeilingHolder(c rt.Priority, o rt.JobID, fn func(holder rt.JobID)) {
 	r, ok := m.dom.Rank(c)
 	if !ok {

@@ -209,6 +209,8 @@ func retract(p *profile, own []int32) {
 
 // ownCounts returns id's vectors, or nil when id has no live contribution
 // (rt.NoJob and dead jobs included).
+//
+//pcpda:alloc-free
 func (ix *ceilIndex) ownCounts(id rt.JobID) *jobCounts {
 	if id < 0 || int(id) >= len(ix.perJob) {
 		return nil
@@ -235,6 +237,8 @@ var _ cc.AccessCeilingIndex = (*indexEnv)(nil)
 var _ cc.RWCeilingIndex = (*indexEnv)(nil)
 
 // SysceilExcluding implements cc.CeilingIndex from the readW profile.
+//
+//pcpda:alloc-free
 func (e *indexEnv) SysceilExcluding(o rt.JobID) rt.Priority {
 	ix := e.ix
 	var own []int32
@@ -255,6 +259,8 @@ func (e *indexEnv) SysceilExcluding(o rt.JobID) rt.Priority {
 
 // EachCeilingHolder implements cc.CeilingIndex: live jobs other than o with
 // a read lock at Wceil rank c, ascending job id (k.active is id-ordered).
+//
+//pcpda:alloc-free
 func (e *indexEnv) EachCeilingHolder(c rt.Priority, o rt.JobID, fn func(holder rt.JobID)) {
 	ix := e.ix
 	r, ok := ix.dom.Rank(c)
@@ -272,6 +278,8 @@ func (e *indexEnv) EachCeilingHolder(c rt.Priority, o rt.JobID, fn func(holder r
 }
 
 // SysAceilExcluding implements cc.AccessCeilingIndex from readA+writeA.
+//
+//pcpda:alloc-free
 func (e *indexEnv) SysAceilExcluding(o rt.JobID) rt.Priority {
 	ix := e.ix
 	jc := ix.ownCounts(o)
@@ -292,6 +300,8 @@ func (e *indexEnv) SysAceilExcluding(o rt.JobID) rt.Priority {
 }
 
 // EachAceilHolder implements cc.AccessCeilingIndex.
+//
+//pcpda:alloc-free
 func (e *indexEnv) EachAceilHolder(c rt.Priority, o rt.JobID, fn func(holder rt.JobID)) {
 	ix := e.ix
 	r, ok := ix.dom.Rank(c)
@@ -309,6 +319,8 @@ func (e *indexEnv) EachAceilHolder(c rt.Priority, o rt.JobID, fn func(holder rt.
 }
 
 // SysRWceilExcluding implements cc.RWCeilingIndex from readW+writeA.
+//
+//pcpda:alloc-free
 func (e *indexEnv) SysRWceilExcluding(o rt.JobID) rt.Priority {
 	ix := e.ix
 	jc := ix.ownCounts(o)
@@ -329,6 +341,8 @@ func (e *indexEnv) SysRWceilExcluding(o rt.JobID) rt.Priority {
 }
 
 // EachRWceilHolder implements cc.RWCeilingIndex.
+//
+//pcpda:alloc-free
 func (e *indexEnv) EachRWceilHolder(c rt.Priority, o rt.JobID, fn func(holder rt.JobID)) {
 	ix := e.ix
 	r, ok := ix.dom.Rank(c)

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 
 	"pcpda/internal/cc"
 	"pcpda/internal/rt"
@@ -181,7 +182,15 @@ func (k *Kernel) checkIndex() *InvariantError {
 	if err := check("writeA", &ix.writeA, wantWriteA); err != nil {
 		return err
 	}
-	for id, want := range perJob {
+	// Sorted so that a violation always names the lowest offending job id,
+	// independent of map iteration order (determinism analyzer).
+	heldIDs := make([]rt.JobID, 0, len(perJob))
+	for id := range perJob {
+		heldIDs = append(heldIDs, id)
+	}
+	sort.Slice(heldIDs, func(a, b int) bool { return heldIDs[a] < heldIDs[b] })
+	for _, id := range heldIDs {
+		want := perJob[id]
 		jc := ix.ownCounts(id)
 		if jc == nil {
 			return fail("job %d holds locks but has no index vectors", id)

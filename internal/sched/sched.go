@@ -422,6 +422,8 @@ func (k *Kernel) checkDeadlines() {
 // denial (re-)blocks the candidate, inheritance kicks in, and the next
 // candidate is considered; a grant unblocks the job and it executes this
 // tick. Returns the job that executed, or nil for an idle tick.
+//
+//pcpda:alloc-free
 func (k *Kernel) dispatch() *cc.Job {
 	for {
 		k.recomputePriorities()
