@@ -1,0 +1,170 @@
+// Command pcpdad serves a PCP-DA transaction manager over TCP.
+//
+// It generates a seeded synthetic transaction set, builds a live
+// rtm.Manager over it (optionally with firm deadlines and fault
+// injection), and runs the internal/server protocol on -listen. A side
+// HTTP listener on -http exposes:
+//
+//	/healthz  liveness ("ok")
+//	/stats    JSON snapshot: server counters + manager counters
+//
+// SIGINT/SIGTERM trigger a graceful drain bounded by -drain-timeout. The
+// exit code is the drain verdict: 0 means the manager shut down provably
+// clean (invariants hold, zero live transactions, zero parked waiters);
+// 1 means the drain audit failed; 2 means startup failed.
+//
+//	pcpdad -listen :9723 -http :9724 -n 8 -items 12 -seed 1
+//	pcpdad -listen :9723 -fault-abort 0.01 -firm-deadlines
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pcpda/internal/fault"
+	"pcpda/internal/metrics"
+	"pcpda/internal/rtm"
+	"pcpda/internal/server"
+	"pcpda/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		listen       = flag.String("listen", "127.0.0.1:9723", "transaction service listen address")
+		httpAddr     = flag.String("http", "", "stats/health HTTP listen address (empty = disabled)")
+		queueDepth   = flag.Int("queue", 64, "admission queue depth (full queue => overload rejection)")
+		batchMax     = flag.Int("batch", 16, "max BEGINs folded into one admission batch")
+		admitting    = flag.Int("admitting", 4, "max concurrently running admission batches")
+		idleTimeout  = flag.Duration("idle-timeout", 30*time.Second, "per-session read deadline")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight transactions on shutdown")
+
+		n         = flag.Int("n", 8, "transaction templates in the generated set")
+		items     = flag.Int("items", 12, "shared data items")
+		util      = flag.Float64("util", 0.5, "target utilization of the generated set")
+		writeProb = flag.Float64("write-prob", 0.5, "probability an operation is a write")
+		seed      = flag.Int64("seed", 1, "workload generation seed")
+
+		firm        = flag.Bool("firm-deadlines", false, "abort transactions that miss their firm deadline")
+		faultSeed   = flag.Int64("fault-seed", 42, "fault injector seed")
+		faultDelay  = flag.Float64("fault-delay", 0, "probability of an injected scheduling delay")
+		faultWakeup = flag.Float64("fault-wakeup", 0, "probability of an injected spurious wakeup")
+		faultAbort  = flag.Float64("fault-abort", 0, "probability of an injected forced abort")
+		faultCancel = flag.Float64("fault-cancel", 0, "probability of an injected forced cancel")
+	)
+	flag.Parse()
+
+	set, err := workload.Generate(workload.Config{
+		N: *n, Items: *items, Utilization: *util,
+		PeriodMin: 40, PeriodMax: 400,
+		OpsMin: 2, OpsMax: 4, WriteProb: *writeProb, Seed: *seed,
+	})
+	if err != nil {
+		log.Printf("pcpdad: workload: %v", err)
+		return 2
+	}
+	opts := rtm.Options{FirmDeadlines: *firm, Seed: *seed}
+	if *faultDelay > 0 || *faultWakeup > 0 || *faultAbort > 0 || *faultCancel > 0 {
+		opts.Injector = fault.NewSeeded(fault.Config{
+			Seed: *faultSeed, PDelay: *faultDelay, PWakeup: *faultWakeup,
+			PAbort: *faultAbort, PCancel: *faultCancel,
+		})
+	}
+	mgr, err := rtm.NewWithOptions(set, opts)
+	if err != nil {
+		log.Printf("pcpdad: manager: %v", err)
+		return 2
+	}
+	ctr := &metrics.ServerCounters{}
+	srv, err := server.New(server.Config{
+		Manager: mgr, Counters: ctr,
+		QueueDepth: *queueDepth, BatchMax: *batchMax, MaxAdmitting: *admitting,
+		IdleTimeout: *idleTimeout,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		log.Printf("pcpdad: %v", err)
+		return 2
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Printf("pcpdad: listen: %v", err)
+		return 2
+	}
+	log.Printf("pcpdad: serving set %q (%d templates, %d items) on %s",
+		set.Name, len(set.Templates), *items, ln.Addr())
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		httpSrv = statsServer(*httpAddr, mgr, ctr)
+	}
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("pcpdad: %s: draining (grace %v)", sig, *drainTimeout)
+	case err := <-serveDone:
+		log.Printf("pcpdad: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(ctx)
+	if err := <-serveDone; err != nil && !errors.Is(err, net.ErrClosed) {
+		log.Printf("pcpdad: serve exit: %v", err)
+	}
+	if httpSrv != nil {
+		_ = httpSrv.Close()
+	}
+	snap := ctr.Snapshot()
+	log.Printf("pcpdad: accepted=%d rejected_overload=%d auto_aborted=%d drain_aborted=%d bytes_in=%d bytes_out=%d",
+		snap.Accepted, snap.RejectedOverload, snap.AutoAborted, snap.DrainAborted, snap.BytesIn, snap.BytesOut)
+	if drainErr != nil {
+		log.Printf("pcpdad: drain audit FAILED: %v", drainErr)
+		return 1
+	}
+	log.Printf("pcpdad: drain clean")
+	return 0
+}
+
+// statsServer exposes /healthz and /stats on addr.
+func statsServer(addr string, mgr *rtm.Manager, ctr *metrics.ServerCounters) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		doc := struct {
+			Server  metrics.ServerSnapshot `json:"server"`
+			Manager rtm.Stats              `json:"manager"`
+		}{ctr.Snapshot(), mgr.Stats()}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	})
+	s := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := s.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("pcpdad: stats http: %v", err)
+		}
+	}()
+	return s
+}

@@ -1,0 +1,100 @@
+// Command pcpdaload drives a pcpdad server with a seeded closed-loop
+// workload and reports throughput and latency percentiles.
+//
+// The default output is a human-readable summary. -bench additionally
+// prints a `go test -bench`-style line, so a load run feeds the same
+// BENCH_<n>.json pipeline as the in-process benchmarks:
+//
+//	pcpdaload -addr 127.0.0.1:9723 -conns 64 -txns 10000 -bench | benchjson -label net
+//
+// -report writes the full JSON report to a file ("-" = stdout). The exit
+// code is 0 when the run reached its committed-transaction target, 1
+// otherwise.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pcpda/internal/client"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9723", "pcpdad address")
+		conns    = flag.Int("conns", 64, "concurrent closed-loop connections")
+		txns     = flag.Int("txns", 10000, "committed transactions to drive")
+		seed     = flag.Int64("seed", 7, "workload seed")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "whole-run deadline")
+		opTO     = flag.Duration("op-timeout", 10*time.Second, "per-operation deadline")
+		report   = flag.String("report", "", "write JSON report to this file (\"-\" = stdout)")
+		bench    = flag.Bool("bench", false, "print a benchjson-compatible benchmark line")
+		attempts = flag.Int("attempts", 16, "max attempts per transaction")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		cancel()
+	}()
+
+	rep, err := client.RunLoad(ctx, client.LoadConfig{
+		Addr: *addr, Conns: *conns, Txns: *txns, Seed: *seed,
+		OpTimeout: *opTO, MaxAttempts: *attempts,
+	})
+	if err != nil {
+		log.Printf("pcpdaload: %v", err)
+		if rep == nil {
+			return 1
+		}
+	}
+	fmt.Printf("pcpdaload: %d committed (%d attempts, %d retries, %d failed) in %v\n",
+		rep.Committed, rep.Attempts, rep.Retries, rep.Failed, rep.Elapsed.Round(time.Millisecond))
+	fmt.Printf("pcpdaload: %.0f txn/s  p50=%v p90=%v p99=%v max=%v\n",
+		rep.Throughput(), rep.P50, rep.P90, rep.P99, rep.Max)
+
+	if *bench && rep.Committed > 0 {
+		nsPerOp := float64(rep.Elapsed.Nanoseconds()) / float64(rep.Committed)
+		fmt.Printf("BenchmarkPcpdaLoad/conns=%d %d %.1f ns/op %.1f txn/s %d p50-ns %d p99-ns %d retries\n",
+			*conns, rep.Committed, nsPerOp, rep.Throughput(),
+			rep.P50.Nanoseconds(), rep.P99.Nanoseconds(), rep.Retries)
+	}
+	if *report != "" {
+		if err := writeReport(*report, rep); err != nil {
+			log.Printf("pcpdaload: report: %v", err)
+			return 1
+		}
+	}
+	if int(rep.Committed) < *txns {
+		return 1
+	}
+	return 0
+}
+
+func writeReport(path string, rep *client.LoadReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

@@ -1,0 +1,315 @@
+// Package client speaks the internal/wire protocol to a pcpdad server:
+// a single-connection Conn with strict request/reply pairing, a
+// fixed-capacity connection Pool, and a retrying Client that turns the
+// server's typed backpressure (CodeOverload) and optimistic failures
+// (CodeAborted, CodeDeadline) into seeded-jitter retry loops.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pcpda/internal/wire"
+)
+
+// Conn is one protocol connection. Not safe for concurrent use; the
+// protocol is strictly request/reply per connection.
+type Conn struct {
+	c       net.Conn
+	schema  *wire.HelloOK
+	timeout time.Duration
+	wbuf    []byte
+	rbuf    []byte
+	broken  bool // a transport or framing error desynced the stream
+}
+
+// Dial connects, performs the HELLO handshake and returns a ready Conn.
+// opTimeout bounds every subsequent request/reply round trip.
+func Dial(addr string, opTimeout time.Duration) (*Conn, error) {
+	if opTimeout <= 0 {
+		opTimeout = 10 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, opTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	c := &Conn{c: nc, timeout: opTimeout}
+	reply, err := c.roundTrip(&wire.Hello{})
+	if err != nil {
+		_ = nc.Close()
+		return nil, err
+	}
+	ok, isOK := reply.(*wire.HelloOK)
+	if !isOK {
+		_ = nc.Close()
+		return nil, fmt.Errorf("client: handshake reply %s", reply.Kind())
+	}
+	c.schema = ok
+	return c, nil
+}
+
+// Schema returns the transaction-set schema from the handshake.
+func (c *Conn) Schema() *wire.HelloOK { return c.schema }
+
+// Broken reports whether the connection suffered a transport or framing
+// failure and must not be reused.
+func (c *Conn) Broken() bool { return c.broken }
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+func (c *Conn) roundTrip(req wire.Message) (wire.Message, error) {
+	if c.broken {
+		return nil, errors.New("client: connection is broken")
+	}
+	if err := c.c.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		c.broken = true
+		return nil, err
+	}
+	buf, err := wire.AppendFrame(c.wbuf[:0], req)
+	if err != nil {
+		return nil, err
+	}
+	c.wbuf = buf
+	if _, err := c.c.Write(buf); err != nil {
+		c.broken = true
+		return nil, fmt.Errorf("client: write %s: %w", req.Kind(), err)
+	}
+	reply, rbuf, err := wire.ReadFrame(c.c, c.rbuf)
+	if err != nil {
+		c.broken = true
+		return nil, fmt.Errorf("client: read reply to %s: %w", req.Kind(), err)
+	}
+	c.rbuf = rbuf
+	return reply, nil
+}
+
+// op performs one round trip and maps an ERR reply to *wire.RemoteError.
+// want is the expected success kind.
+func (c *Conn) op(req wire.Message, want wire.Kind) (wire.Message, error) {
+	reply, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if e, isErr := reply.(*wire.ErrMsg); isErr {
+		return nil, &wire.RemoteError{Code: e.Code, Text: e.Text}
+	}
+	if reply.Kind() != want {
+		c.broken = true
+		return nil, fmt.Errorf("client: reply %s to %s, want %s", reply.Kind(), req.Kind(), want)
+	}
+	return reply, nil
+}
+
+// Begin starts a transaction of the named type and returns its job id.
+func (c *Conn) Begin(name string) (uint64, error) {
+	reply, err := c.op(&wire.Begin{Name: name}, wire.KindBeginOK)
+	if err != nil {
+		return 0, err
+	}
+	return reply.(*wire.BeginOK).ID, nil
+}
+
+// Read reads one item inside the live transaction.
+func (c *Conn) Read(item uint32) (int64, error) {
+	reply, err := c.op(&wire.Read{Item: item}, wire.KindReadOK)
+	if err != nil {
+		return 0, err
+	}
+	return reply.(*wire.ReadOK).Value, nil
+}
+
+// Write writes one item inside the live transaction.
+func (c *Conn) Write(item uint32, v int64) error {
+	_, err := c.op(&wire.Write{Item: item, Value: v}, wire.KindWriteOK)
+	return err
+}
+
+// Commit commits the live transaction.
+func (c *Conn) Commit() error {
+	_, err := c.op(&wire.Commit{}, wire.KindCommitOK)
+	return err
+}
+
+// Abort aborts the live transaction.
+func (c *Conn) Abort() error {
+	_, err := c.op(&wire.Abort{}, wire.KindAbortOK)
+	return err
+}
+
+// Ping round-trips a nonce.
+func (c *Conn) Ping(nonce uint64) error {
+	reply, err := c.op(&wire.Ping{Nonce: nonce}, wire.KindPong)
+	if err != nil {
+		return err
+	}
+	if got := reply.(*wire.Pong).Nonce; got != nonce {
+		c.broken = true
+		return fmt.Errorf("client: pong nonce %d, want %d", got, nonce)
+	}
+	return nil
+}
+
+// Pool keeps up to cap idle connections to one address for reuse.
+type Pool struct {
+	addr    string
+	timeout time.Duration
+
+	mu     sync.Mutex
+	idle   []*Conn
+	closed bool
+}
+
+// NewPool builds a pool dialing addr with the given per-op timeout,
+// keeping at most capacity idle connections.
+func NewPool(addr string, opTimeout time.Duration, capacity int) *Pool {
+	if capacity <= 0 {
+		capacity = 8
+	}
+	return &Pool{addr: addr, timeout: opTimeout, idle: make([]*Conn, 0, capacity)}
+}
+
+// Get returns an idle connection or dials a new one.
+func (p *Pool) Get() (*Conn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, errors.New("client: pool closed")
+	}
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	return Dial(p.addr, p.timeout)
+}
+
+// Put returns a connection to the pool. Broken connections, and any
+// connection beyond the pool's capacity, are closed instead.
+func (p *Pool) Put(c *Conn) {
+	if c == nil {
+		return
+	}
+	if c.Broken() {
+		_ = c.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed || len(p.idle) == cap(p.idle) {
+		p.mu.Unlock()
+		_ = c.Close()
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// Close closes the pool and every idle connection.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, c := range idle {
+		_ = c.Close()
+	}
+}
+
+// Client wraps a Pool with seeded-jitter retries on the protocol's
+// retryable error codes.
+type Client struct {
+	pool *Pool
+	// MaxAttempts bounds tries per Do call (default 8).
+	MaxAttempts int
+	// BackoffBase is the first retry's sleep ceiling; it doubles per
+	// attempt (full jitter, default 1ms).
+	BackoffBase time.Duration
+	// Retries, when set, is atomically incremented once per retry attempt.
+	Retries *int64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient builds a retrying client over pool. seed drives backoff
+// jitter deterministically.
+func NewClient(pool *Pool, seed int64) *Client {
+	return &Client{pool: pool, MaxAttempts: 8, BackoffBase: time.Millisecond,
+		rng: rand.New(rand.NewSource(seed))}
+}
+
+// Do runs fn as one transaction attempt of the named type: Begin, fn,
+// Commit, retrying the whole sequence (with exponential full-jitter
+// backoff) when the failure is retryable — overload backpressure, an
+// optimistic abort, or a firm-deadline miss. fn gets a live connection
+// with the transaction begun; returning an error aborts the attempt.
+func (cl *Client) Do(name string, fn func(c *Conn) error) error {
+	attempts := cl.MaxAttempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	var last error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			if cl.Retries != nil {
+				atomic.AddInt64(cl.Retries, 1)
+			}
+			cl.sleepBackoff(a)
+		}
+		err := cl.attempt(name, fn)
+		if err == nil {
+			return nil
+		}
+		last = err
+		var remote *wire.RemoteError
+		if errors.As(err, &remote) && remote.Code.Retryable() {
+			continue
+		}
+		return err
+	}
+	return fmt.Errorf("client: %s: attempts exhausted: %w", name, last)
+}
+
+func (cl *Client) attempt(name string, fn func(c *Conn) error) error {
+	c, err := cl.pool.Get()
+	if err != nil {
+		return err
+	}
+	defer cl.pool.Put(c)
+	if _, err := c.Begin(name); err != nil {
+		return err
+	}
+	if err := fn(c); err != nil {
+		// The server ends the transaction on every ERR reply; only a
+		// non-protocol failure inside fn leaves one to abort.
+		var remote *wire.RemoteError
+		if !errors.As(err, &remote) && !c.Broken() {
+			_ = c.Abort()
+		}
+		return err
+	}
+	return c.Commit()
+}
+
+func (cl *Client) sleepBackoff(attempt int) {
+	base := cl.BackoffBase
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	ceil := base << uint(attempt-1)
+	if limit := 100 * time.Millisecond; ceil > limit {
+		ceil = limit
+	}
+	cl.mu.Lock()
+	d := time.Duration(cl.rng.Int63n(int64(ceil) + 1))
+	cl.mu.Unlock()
+	time.Sleep(d)
+}

@@ -1,0 +1,213 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"pcpda/internal/wire"
+)
+
+// fakeServer runs script against the first accepted connection and
+// returns the listen address. The script talks raw wire frames.
+func fakeServer(t *testing.T, script func(t *testing.T, conn net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer func() { _ = conn.Close() }()
+				script(t, conn)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func expect(t *testing.T, conn net.Conn, want wire.Kind) wire.Message {
+	t.Helper()
+	m, _, err := wire.ReadFrame(conn, nil)
+	if err != nil {
+		t.Errorf("fake server read: %v", err)
+		return nil
+	}
+	if m.Kind() != want {
+		t.Errorf("fake server got %s, want %s", m.Kind(), want)
+	}
+	return m
+}
+
+func send(t *testing.T, conn net.Conn, m wire.Message) {
+	t.Helper()
+	if _, err := wire.WriteFrame(conn, nil, m); err != nil {
+		t.Errorf("fake server write: %v", err)
+	}
+}
+
+var fakeSchema = &wire.HelloOK{Proto: wire.Version, Set: "fake",
+	Templates: []wire.TemplateInfo{{Name: "T1", Priority: 1}}}
+
+func TestDialHandshake(t *testing.T) {
+	addr := fakeServer(t, func(t *testing.T, conn net.Conn) {
+		expect(t, conn, wire.KindHello)
+		send(t, conn, fakeSchema)
+	})
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if c.Schema().Set != "fake" || len(c.Schema().Templates) != 1 {
+		t.Fatalf("schema: %+v", c.Schema())
+	}
+}
+
+// TestDoRetriesOverload: the first BEGIN is refused with the retryable
+// CodeOverload; Do must back off and succeed on the second attempt.
+func TestDoRetriesOverload(t *testing.T) {
+	begins := 0
+	addr := fakeServer(t, func(t *testing.T, conn net.Conn) {
+		expect(t, conn, wire.KindHello)
+		send(t, conn, fakeSchema)
+		for {
+			m, _, err := wire.ReadFrame(conn, nil)
+			if err != nil {
+				return
+			}
+			switch m.(type) {
+			case *wire.Begin:
+				begins++
+				if begins == 1 {
+					send(t, conn, &wire.ErrMsg{Code: wire.CodeOverload, Text: "full"})
+				} else {
+					send(t, conn, &wire.BeginOK{ID: 9})
+				}
+			case *wire.Commit:
+				send(t, conn, &wire.CommitOK{})
+			default:
+				t.Errorf("fake server: unexpected %s", m.Kind())
+				return
+			}
+		}
+	})
+	pool := NewPool(addr, 2*time.Second, 2)
+	defer pool.Close()
+	cl := NewClient(pool, 1)
+	var retries int64
+	cl.Retries = &retries
+	if err := cl.Do("T1", func(c *Conn) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if begins != 2 || retries != 1 {
+		t.Fatalf("begins = %d, retries = %d", begins, retries)
+	}
+}
+
+// TestDoFatalErrorNotRetried: CodeProtocol is not retryable; Do returns it
+// after one attempt.
+func TestDoFatalErrorNotRetried(t *testing.T) {
+	begins := 0
+	addr := fakeServer(t, func(t *testing.T, conn net.Conn) {
+		expect(t, conn, wire.KindHello)
+		send(t, conn, fakeSchema)
+		for {
+			if _, _, err := wire.ReadFrame(conn, nil); err != nil {
+				return
+			}
+			begins++
+			send(t, conn, &wire.ErrMsg{Code: wire.CodeProtocol, Text: "no"})
+		}
+	})
+	pool := NewPool(addr, 2*time.Second, 2)
+	defer pool.Close()
+	cl := NewClient(pool, 1)
+	err := cl.Do("T1", func(c *Conn) error { return nil })
+	if !wire.IsCode(err, wire.CodeProtocol) {
+		t.Fatalf("err = %v", err)
+	}
+	if begins != 1 {
+		t.Fatalf("begins = %d, want 1 (no retry)", begins)
+	}
+}
+
+func TestPoolReusesConnections(t *testing.T) {
+	dials := 0
+	addr := fakeServer(t, func(t *testing.T, conn net.Conn) {
+		dials++
+		expect(t, conn, wire.KindHello)
+		send(t, conn, fakeSchema)
+		for {
+			m, _, err := wire.ReadFrame(conn, nil)
+			if err != nil {
+				return
+			}
+			if p, ok := m.(*wire.Ping); ok {
+				send(t, conn, &wire.Pong{Nonce: p.Nonce})
+			}
+		}
+	})
+	pool := NewPool(addr, 2*time.Second, 2)
+	defer pool.Close()
+	c1, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Ping(1); err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(c1)
+	c2, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c1 {
+		t.Fatal("pool did not reuse the idle connection")
+	}
+	pool.Put(c2)
+	if dials != 1 {
+		t.Fatalf("dials = %d, want 1", dials)
+	}
+}
+
+func TestBrokenConnNotPooled(t *testing.T) {
+	addr := fakeServer(t, func(t *testing.T, conn net.Conn) {
+		expect(t, conn, wire.KindHello)
+		send(t, conn, fakeSchema)
+		// Answer the first request with garbage, breaking the stream.
+		if _, _, err := wire.ReadFrame(conn, nil); err == nil {
+			_, _ = conn.Write([]byte{0xBA, 0xD0})
+		}
+	})
+	pool := NewPool(addr, 2*time.Second, 2)
+	defer pool.Close()
+	c, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(1); err == nil {
+		t.Fatal("ping over a corrupted stream succeeded")
+	}
+	if !c.Broken() {
+		t.Fatal("framing failure did not mark the conn broken")
+	}
+	pool.Put(c)
+	c2, err := pool.Get()
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("get after broken put: %v", err)
+	}
+	if c2 == c {
+		t.Fatal("pool handed back a broken connection")
+	}
+	if c2 != nil {
+		pool.Put(c2)
+	}
+}

@@ -1,0 +1,185 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pcpda/internal/wire"
+)
+
+// LoadConfig parameterizes the closed-loop load generator: Conns workers,
+// each with its own connection, each running one transaction at a time
+// (begin → declared steps → commit) until Txns transactions have
+// committed in total.
+type LoadConfig struct {
+	// Addr is the server to drive.
+	Addr string
+	// Conns is the number of concurrent closed-loop workers. Default 8.
+	Conns int
+	// Txns is the total number of committed transactions to reach.
+	// Default 1000.
+	Txns int
+	// Seed makes the workload reproducible: worker w draws template
+	// choices, written values and backoff jitter from Seed+w.
+	Seed int64
+	// OpTimeout bounds each request/reply round trip. Default 10s.
+	OpTimeout time.Duration
+	// MaxAttempts bounds retries per transaction. Default 16 — load
+	// generation under deliberate overload needs more patience than the
+	// Client default.
+	MaxAttempts int
+}
+
+// LoadReport aggregates one load run.
+type LoadReport struct {
+	Committed int64         `json:"committed"`
+	Attempts  int64         `json:"attempts"` // transactions tried (each may retry internally)
+	Retries   int64         `json:"retries"`  // per-attempt retries across all workers
+	Failed    int64         `json:"failed"`   // transactions abandoned (attempts exhausted or fatal)
+	Elapsed   time.Duration `json:"elapsed_ns"`
+
+	// Latency percentiles over committed transactions, begin→commit.
+	P50 time.Duration `json:"p50_ns"`
+	P90 time.Duration `json:"p90_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	Max time.Duration `json:"max_ns"`
+}
+
+// Throughput returns committed transactions per second.
+func (r *LoadReport) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Committed) / r.Elapsed.Seconds()
+}
+
+// RunLoad drives the server at cfg.Addr with a seeded closed loop and
+// reports throughput and latency. It stops early (with the partial
+// report and ctx's error) if ctx is cancelled.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 8
+	}
+	if cfg.Txns <= 0 {
+		cfg.Txns = 1000
+	}
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = 10 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 16
+	}
+	probe, err := Dial(cfg.Addr, cfg.OpTimeout)
+	if err != nil {
+		return nil, err
+	}
+	schema := probe.Schema()
+	_ = probe.Close()
+	if len(schema.Templates) == 0 {
+		return nil, errors.New("client: server exports no transaction types")
+	}
+
+	rep := &LoadReport{}
+	var remaining atomic.Int64
+	remaining.Store(int64(cfg.Txns))
+	lats := make([][]time.Duration, cfg.Conns)
+	errs := make([]error, cfg.Conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = loadWorker(ctx, cfg, schema, int64(w), &remaining, rep, &lats[w])
+		}(w)
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if n := len(all); n > 0 {
+		rep.P50 = all[n*50/100]
+		rep.P90 = all[n*90/100]
+		rep.P99 = all[n*99/100]
+		if rep.P99 == 0 { // tiny runs: index n*99/100 may clamp to 0th
+			rep.P99 = all[n-1]
+		}
+		rep.Max = all[n-1]
+	}
+	for _, err := range errs {
+		if err != nil {
+			return rep, err
+		}
+	}
+	return rep, ctx.Err()
+}
+
+// loadWorker is one closed-loop connection: claim a transaction from the
+// shared budget, run it to commit (retrying retryable failures), record
+// the latency, repeat.
+func loadWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK,
+	id int64, remaining *atomic.Int64, rep *LoadReport, lats *[]time.Duration) error {
+	rng := rand.New(rand.NewSource(cfg.Seed + id))
+	pool := NewPool(cfg.Addr, cfg.OpTimeout, 1)
+	defer pool.Close()
+	cl := NewClient(pool, cfg.Seed^id)
+	cl.MaxAttempts = cfg.MaxAttempts
+	cl.Retries = &rep.Retries
+
+	for remaining.Add(-1) >= 0 {
+		if ctx.Err() != nil {
+			return nil
+		}
+		tmpl := schema.Templates[rng.Intn(len(schema.Templates))]
+		begin := time.Now()
+		err := cl.Do(tmpl.Name, func(c *Conn) error {
+			for _, st := range tmpl.Steps {
+				switch st.Op {
+				case wire.OpRead:
+					if _, err := c.Read(st.Item); err != nil {
+						return err
+					}
+				case wire.OpWrite:
+					if err := c.Write(st.Item, rng.Int63n(1<<30)); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		atomic.AddInt64(&rep.Attempts, 1)
+		if err != nil {
+			atomic.AddInt64(&rep.Failed, 1)
+			var remote *wire.RemoteError
+			if ctx.Err() != nil {
+				return nil
+			}
+			// Draining and cancellation are orderly shutdown, not failures
+			// worth killing the run over; anything else is.
+			if errors.As(err, &remote) &&
+				(remote.Code == wire.CodeDraining || remote.Code == wire.CodeCancelled) {
+				return nil
+			}
+			if errors.As(err, &remote) && remote.Code.Retryable() {
+				// Return the budget entry so the run still reaches its
+				// committed-transaction target despite the abandonment.
+				remaining.Add(1)
+				continue
+			}
+			return fmt.Errorf("client: worker %d: %w", id, err)
+		}
+		atomic.AddInt64(&rep.Committed, 1)
+		*lats = append(*lats, time.Since(begin))
+	}
+	return nil
+}

@@ -40,6 +40,24 @@ var BannedImports = []string{
 	"pcpda/internal/fault",
 }
 
+// LayerAllow confines the network-service layers (DESIGN.md §11): each
+// package listed here may import module-internal packages only from its
+// allowlist. wire is a pure codec and sees nothing of the module; client
+// sees only the codec, so it can never reach around the protocol; server
+// is the sole package allowed to hold both a socket and the manager.
+var LayerAllow = map[string][]string{
+	"pcpda/internal/wire":   {},
+	"pcpda/internal/client": {"pcpda/internal/wire"},
+	"pcpda/internal/server": {
+		"pcpda/internal/wire",
+		"pcpda/internal/rtm",
+		"pcpda/internal/metrics",
+		"pcpda/internal/txn",
+		"pcpda/internal/rt",
+		"pcpda/internal/db",
+	},
+}
+
 // lockTableMutators are lock.Table methods that change table state. The
 // table itself is reachable read-only via cc.Env.Locks(), so the import ban
 // alone cannot stop a protocol from mutating it.
@@ -60,6 +78,9 @@ var Analyzer = &lint.Analyzer{
 }
 
 func run(pass *lint.Pass) error {
+	if allowed, confined := LayerAllow[pass.PkgPath]; confined {
+		checkLayerImports(pass, allowed)
+	}
 	if !isProtocolPkg(pass.PkgPath) {
 		return nil
 	}
@@ -97,6 +118,29 @@ func run(pass *lint.Pass) error {
 		})
 	}
 	return nil
+}
+
+// checkLayerImports flags module-internal imports outside the package's
+// LayerAllow allowlist.
+func checkLayerImports(pass *lint.Pass, allowed []string) {
+	ok := make(map[string]bool, len(allowed))
+	for _, a := range allowed {
+		ok[a] = true
+	}
+	list := strings.Join(allowed, ", ")
+	if list == "" {
+		list = "none; stdlib only"
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !strings.HasPrefix(path, "pcpda/") || ok[path] {
+				continue
+			}
+			pass.Reportf(imp.Pos(), "layer violation: %s may not import %q (allowed: %s)",
+				pass.PkgPath, path, list)
+		}
+	}
 }
 
 func isProtocolPkg(path string) bool {

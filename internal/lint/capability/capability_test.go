@@ -9,7 +9,10 @@ import (
 
 func TestCapability(t *testing.T) {
 	linttest.Run(t, "testdata", capability.Analyzer,
-		"pcpda/internal/pcpda", // protocol package: violations flagged
-		"pcpda/internal/cc",    // non-protocol package: exempt even though it imports lock
+		"pcpda/internal/pcpda",  // protocol package: violations flagged
+		"pcpda/internal/cc",     // non-protocol package: exempt even though it imports lock
+		"pcpda/internal/wire",   // layer rule: codec must not import module internals
+		"pcpda/internal/client", // layer rule: client sees only the codec
+		"pcpda/internal/server", // layer rule: manager+codec sanctioned, kernel internals not
 	)
 }

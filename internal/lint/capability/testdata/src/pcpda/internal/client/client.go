@@ -1,0 +1,18 @@
+// Stub of pcpda/internal/client: the client layer may see the codec but
+// never the manager — reaching rtm directly would bypass the server's
+// admission control and session accounting.
+package client
+
+import (
+	"pcpda/internal/rtm" // want `layer violation: pcpda/internal/client may not import "pcpda/internal/rtm"`
+	"pcpda/internal/wire"
+)
+
+type Conn struct {
+	mgr *rtm.Manager
+}
+
+func (c *Conn) Begin(name string) error {
+	_ = wire.Begin{Name: name}
+	return c.mgr.Begin(name)
+}

@@ -1,0 +1,6 @@
+// Stub of pcpda/internal/rtm for layer-confinement tests.
+package rtm
+
+type Manager struct{}
+
+func (m *Manager) Begin(name string) error { return nil }

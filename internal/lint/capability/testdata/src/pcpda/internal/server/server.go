@@ -1,0 +1,16 @@
+// Stub of pcpda/internal/server: the manager and codec are sanctioned;
+// kernel internals like the lock table are not.
+package server
+
+import (
+	"pcpda/internal/lock" // want `layer violation: pcpda/internal/server may not import "pcpda/internal/lock"`
+	"pcpda/internal/rtm"
+	"pcpda/internal/wire"
+)
+
+type Server struct {
+	mgr   *rtm.Manager
+	locks *lock.Table
+}
+
+func (s *Server) Begin(m wire.Begin) error { return s.mgr.Begin(m.Name) }

@@ -1,0 +1,11 @@
+// Stub of pcpda/internal/wire for the layer-confinement rule: the codec
+// layer may import nothing module-internal.
+package wire
+
+import (
+	"pcpda/internal/rt" // want `layer violation: pcpda/internal/wire may not import "pcpda/internal/rt"`
+)
+
+type Begin struct{ Name string }
+
+func ItemOf(x rt.Item) uint32 { return uint32(x) }

@@ -19,10 +19,15 @@ import (
 )
 
 // PkgPrefixes select the packages checked. cmd binaries and the experiment
-// report generators write the committed artifacts.
+// report generators write the committed artifacts; the network-service
+// packages hold sockets and transactions, where a swallowed error means a
+// leaked session or a desynced protocol stream.
 var PkgPrefixes = []string{
 	"pcpda/cmd/",
 	"pcpda/internal/experiments",
+	"pcpda/internal/wire",
+	"pcpda/internal/server",
+	"pcpda/internal/client",
 }
 
 // Analyzer is the errcheck analyzer.

@@ -1,0 +1,57 @@
+package metrics
+
+import "sync/atomic"
+
+// ServerCounters is the live counter set for the network transaction
+// service. All fields are atomics so sessions update them without
+// coordinating; Snapshot gives a coherent-enough point-in-time copy for
+// the daemon's /stats endpoint (counters are monotone, so a snapshot
+// torn across concurrent increments still never goes backwards).
+//
+// Contains atomics: must be used through a pointer, never copied.
+type ServerCounters struct {
+	Accepted         atomic.Int64 // transactions admitted (BEGIN granted)
+	RejectedOverload atomic.Int64 // BEGINs refused because the admission queue was full
+	AutoAborted      atomic.Int64 // live transactions aborted because their session disconnected
+	DrainAborted     atomic.Int64 // live transactions aborted by server drain
+	SessionsOpened   atomic.Int64 // connections that completed the hello handshake
+	SessionsClosed   atomic.Int64 // sessions torn down (any reason)
+	BytesIn          atomic.Int64 // payload bytes read off the wire
+	BytesOut         atomic.Int64 // payload bytes written to the wire
+}
+
+// ServerSnapshot is a plain-value copy of ServerCounters, safe to copy,
+// compare and marshal.
+type ServerSnapshot struct {
+	Accepted         int64 `json:"accepted"`
+	RejectedOverload int64 `json:"rejected_overload"`
+	AutoAborted      int64 `json:"auto_aborted"`
+	DrainAborted     int64 `json:"drain_aborted"`
+	SessionsOpened   int64 `json:"sessions_opened"`
+	SessionsClosed   int64 `json:"sessions_closed"`
+	BytesIn          int64 `json:"bytes_in"`
+	BytesOut         int64 `json:"bytes_out"`
+}
+
+// Snapshot reads every counter once.
+func (c *ServerCounters) Snapshot() ServerSnapshot {
+	return ServerSnapshot{
+		Accepted:         c.Accepted.Load(),
+		RejectedOverload: c.RejectedOverload.Load(),
+		AutoAborted:      c.AutoAborted.Load(),
+		DrainAborted:     c.DrainAborted.Load(),
+		SessionsOpened:   c.SessionsOpened.Load(),
+		SessionsClosed:   c.SessionsClosed.Load(),
+		BytesIn:          c.BytesIn.Load(),
+		BytesOut:         c.BytesOut.Load(),
+	}
+}
+
+// SessionsLive returns opened minus closed — the number of sessions
+// currently attached.
+func (c *ServerCounters) SessionsLive() int64 {
+	// Closed is loaded first so a session closing between the two loads can
+	// only overcount, never yield a negative live figure.
+	closed := c.SessionsClosed.Load()
+	return c.SessionsOpened.Load() - closed
+}

@@ -1,0 +1,45 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestServerCountersSnapshot(t *testing.T) {
+	var c ServerCounters
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Accepted.Add(1)
+				c.BytesIn.Add(10)
+				c.BytesOut.Add(20)
+				c.SessionsOpened.Add(1)
+				c.SessionsClosed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Accepted != workers*per || s.BytesIn != 10*workers*per || s.BytesOut != 20*workers*per {
+		t.Fatalf("snapshot lost updates: %+v", s)
+	}
+	if live := c.SessionsLive(); live != 0 {
+		t.Fatalf("SessionsLive = %d, want 0", live)
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ServerSnapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("JSON round trip: %+v != %+v", back, s)
+	}
+}

@@ -1,0 +1,132 @@
+// Batched admission (ROADMAP "Batched admission"): Begin takes the manager
+// lock once per transaction, so an arrival burst of k admissions pays the
+// herd cost k times. BeginBatch admits k instances under ONE manager-lock
+// acquisition — when every requested slot is free (the common case for a
+// burst arriving after the previous wave finished), the whole batch is
+// admitted without the lock ever being released, and the per-admission
+// bookkeeping (clock, history, pooled resources, template slots) happens
+// back to back on a warm cache.
+package rtm
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"pcpda/internal/cc"
+	"pcpda/internal/fault"
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+)
+
+// BeginBatch starts one instance of each named transaction type, admitting
+// as many as possible under a single manager-lock acquisition. The returned
+// handles correspond to names position by position.
+//
+// Semantics match len(names) sequential Begin calls, with two deliberate
+// differences:
+//
+//   - Names must be distinct. Two instances of one template cannot be live
+//     together (Begin's non-reentrancy), so a duplicate inside one batch
+//     would park the batch waiting on itself; it is rejected up front.
+//   - Busy slots are waited for in template-ID order regardless of the
+//     order of names. All BeginBatch callers therefore acquire slots along
+//     one global order, so two overlapping batches can never deadlock
+//     against each other (classical resource ordering). Handles still come
+//     back in request order.
+//
+// On any failure — cancellation while waiting for a slot, or an injected
+// fault during admission — every instance the batch already admitted is
+// aborted again before the error returns, so a failed batch leaves no
+// trace (the all-or-nothing contract the server's admission queue relies
+// on for its own bookkeeping).
+func (m *Manager) BeginBatch(ctx context.Context, names []string) ([]*Txn, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	tmpls := make([]*txn.Template, len(names))
+	seen := make(map[txn.ID]int, len(names))
+	for i, name := range names {
+		tmpl := m.set.ByName(name)
+		if tmpl == nil {
+			return nil, fmt.Errorf("rtm: unknown transaction type %q", name)
+		}
+		if j, dup := seen[tmpl.ID]; dup {
+			return nil, fmt.Errorf("rtm: batch names %q at positions %d and %d; instances of one template cannot be live together", name, j, i)
+		}
+		seen[tmpl.ID] = i
+		tmpls[i] = tmpl
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &cancelledError{cause: err}
+	}
+	// Admission order: ascending template ID (see the doc comment). order
+	// holds positions into names/tmpls.
+	order := make([]int, len(tmpls))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return tmpls[order[a]].ID < tmpls[order[b]].ID })
+
+	out := make([]*Txn, len(names))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, pos := range order {
+		tmpl := tmpls[pos]
+		for m.byTmpl[tmpl.ID] != nil {
+			// parkBegin releases m.mu while parked; instances admitted so
+			// far keep their slots and are visible (and abortable-by-fault)
+			// exactly as if their Begin calls had already returned.
+			if err := m.parkBegin(ctx, tmpl.ID); err != nil {
+				m.rollbackBatch(out)
+				return nil, err
+			}
+		}
+		t := m.admit(tmpl)
+		out[pos] = t
+		if err := m.inject(fault.BeginTxn, t, true); err != nil {
+			// The injected failure already tore t down; undo the rest.
+			out[pos] = nil
+			m.rollbackBatch(out)
+			return nil, err
+		}
+	}
+	m.stats.Batches++
+	return out, nil
+}
+
+// rollbackBatch aborts every non-nil handle in ts that is still live.
+// Caller holds m.mu.
+func (m *Manager) rollbackBatch(ts []*Txn) {
+	for _, t := range ts {
+		if t == nil || t.done {
+			continue
+		}
+		m.clock++
+		m.hist.Abort(m.clock, t.job.Run, t.job.Tmpl.ID)
+		t.job.Status = cc.Aborted
+		m.stats.Aborts++
+		m.finish(t)
+	}
+}
+
+// Set returns the transaction set the manager was built from. The set is
+// immutable after New; callers must not mutate it.
+func (m *Manager) Set() *txn.Set { return m.set }
+
+// ID returns the manager-assigned job id of this transaction instance.
+// Stable for the life of the handle, including after it finishes.
+func (t *Txn) ID() rt.JobID { return t.job.ID }
+
+// Template returns the transaction type this instance was begun from.
+func (t *Txn) Template() *txn.Template { return t.job.Tmpl }
+
+// ParkedWaiters returns the number of currently registered wait nodes
+// (lock, commit and Begin waiters together). At any quiescent point this is
+// zero; the network server's drain uses it to prove that no session leaked
+// a registration.
+func (m *Manager) ParkedWaiters() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.allWaiters)
+}

@@ -1,0 +1,317 @@
+package rtm
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"pcpda/internal/db"
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+	"pcpda/internal/workload"
+)
+
+// batchSet builds n single-write templates B0..B<n-1> over a shared item
+// pool, the shape the server's admission queue produces.
+func batchSet(t *testing.T, n int) *txn.Set {
+	t.Helper()
+	s := txn.NewSet("batch")
+	items := make([]rt.Item, n)
+	for i := range items {
+		items[i] = s.Catalog.Intern(string(rune('a' + i)))
+	}
+	for i := 0; i < n; i++ {
+		s.Add(&txn.Template{Name: "B" + string(rune('0'+i)), Steps: []txn.Step{
+			txn.Read(items[(i+1)%n]), txn.Write(items[i]),
+		}})
+	}
+	s.AssignByIndex()
+	return s
+}
+
+// TestBeginBatchMatchesSequential is the property test: for random distinct
+// name subsets in random order, one BeginBatch is observably equivalent to
+// k sequential Begins on a twin manager — same live count, same counters,
+// same per-handle behaviour, same committed state, clean invariants.
+func TestBeginBatchMatchesSequential(t *testing.T) {
+	const n = 6
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		set := batchSet(t, n)
+		batched, err := New(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := New(batchSet(t, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 1 + rng.Intn(n)
+		names := make([]string, 0, k)
+		for _, i := range rng.Perm(n)[:k] {
+			names = append(names, set.Templates[i].Name)
+		}
+		c := ctx(t)
+
+		got, err := batched.BeginBatch(c, names)
+		if err != nil {
+			t.Fatalf("trial %d: BeginBatch(%v): %v", trial, names, err)
+		}
+		want := make([]*Txn, 0, k)
+		for _, name := range names {
+			tx, err := seq.Begin(c, name)
+			if err != nil {
+				t.Fatalf("trial %d: Begin(%s): %v", trial, name, err)
+			}
+			want = append(want, tx)
+		}
+
+		if len(got) != k {
+			t.Fatalf("trial %d: %d handles, want %d", trial, len(got), k)
+		}
+		ids := make(map[rt.JobID]bool, k)
+		for i, tx := range got {
+			if tx == nil {
+				t.Fatalf("trial %d: nil handle at %d", trial, i)
+			}
+			if name := tx.Template().Name; name != names[i] {
+				t.Fatalf("trial %d: handle %d is %s, want %s", trial, i, name, names[i])
+			}
+			if ids[tx.ID()] {
+				t.Fatalf("trial %d: duplicate job id %d", trial, tx.ID())
+			}
+			ids[tx.ID()] = true
+		}
+		bs, ss := batched.Stats(), seq.Stats()
+		if bs.Begins != ss.Begins || bs.Live != ss.Live || bs.Live != k {
+			t.Fatalf("trial %d: stats diverge: batch %+v seq %+v", trial, bs, ss)
+		}
+		if bs.Batches != 1 {
+			t.Fatalf("trial %d: Batches = %d, want 1", trial, bs.Batches)
+		}
+
+		// Drive both sides through identical work and compare the outcome.
+		for i := range got {
+			item := set.Templates[i%n].Steps[1].Item
+			for j, tx := range []*Txn{got[i], want[i]} {
+				tmpl := tx.Template()
+				wr := tmpl.Steps[1].Item
+				if err := tx.Write(c, wr, db.Value(100+i)); err != nil {
+					t.Fatalf("trial %d side %d write: %v", trial, j, err)
+				}
+				if err := tx.Commit(c); err != nil {
+					t.Fatalf("trial %d side %d commit: %v", trial, j, err)
+				}
+			}
+			_ = item
+		}
+		for i := 0; i < n; i++ {
+			it := set.Templates[i].Steps[1].Item
+			if bv, sv := batched.ReadCommitted(it), seq.ReadCommitted(it); bv != sv {
+				t.Fatalf("trial %d: item %d: batched %v, sequential %v", trial, it, bv, sv)
+			}
+		}
+		for _, m := range []*Manager{batched, seq} {
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if rep := m.History().Check(); !rep.Serializable {
+				t.Fatalf("trial %d: %+v", trial, rep.Violations)
+			}
+		}
+	}
+}
+
+func TestBeginBatchEmpty(t *testing.T) {
+	m, _ := New(batchSet(t, 2))
+	got, err := m.BeginBatch(ctx(t), nil)
+	if got != nil || err != nil {
+		t.Fatalf("empty batch: %v, %v", got, err)
+	}
+	if s := m.Stats(); s.Batches != 0 {
+		t.Fatalf("empty batch counted: %+v", s)
+	}
+}
+
+func TestBeginBatchRejectsUnknownAndDuplicate(t *testing.T) {
+	m, _ := New(batchSet(t, 3))
+	c := ctx(t)
+	if _, err := m.BeginBatch(c, []string{"B0", "nope"}); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if _, err := m.BeginBatch(c, []string{"B0", "B1", "B0"}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	// Rejection happens before any admission: nothing to roll back.
+	if s := m.Stats(); s.Begins != 0 || s.Aborts != 0 || s.Live != 0 {
+		t.Fatalf("failed validation touched the manager: %+v", s)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBeginBatchParksOnBusySlot: a batch naming a template with a live
+// instance parks until that instance finishes, then admits the whole batch.
+func TestBeginBatchParksOnBusySlot(t *testing.T) {
+	m, _ := New(batchSet(t, 3))
+	c := ctx(t)
+	hold, err := m.Begin(c, "B1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan []*Txn, 1)
+	go func() {
+		txs, err := m.BeginBatch(c, []string{"B2", "B1", "B0"})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- txs
+	}()
+	// The batch must be parked on B1's slot, not done.
+	deadline := time.Now().Add(time.Second)
+	for m.ParkedWaiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("batch never parked on the busy slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("batch admitted while B1 was live")
+	default:
+	}
+	hold.Abort()
+	txs := <-done
+	if len(txs) != 3 {
+		t.Fatalf("%d handles", len(txs))
+	}
+	for _, tx := range txs {
+		tx.Abort()
+	}
+	if w := m.ParkedWaiters(); w != 0 {
+		t.Fatalf("%d waiters leaked", w)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBeginBatchCancelRollsBack: cancelling a batch parked mid-way aborts
+// the instances it had already admitted — all-or-nothing.
+func TestBeginBatchCancelRollsBack(t *testing.T) {
+	m, _ := New(batchSet(t, 3))
+	bg := ctx(t)
+	hold, err := m.Begin(bg, "B2") // highest template ID: admitted last
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, cancel := context.WithCancel(bg)
+	errCh := make(chan error, 1)
+	go func() {
+		// B0 and B1 admit (template-ID order), then the batch parks on B2.
+		txs, err := m.BeginBatch(c, []string{"B2", "B0", "B1"})
+		if err == nil {
+			for _, tx := range txs {
+				tx.Abort()
+			}
+		}
+		errCh <- err
+	}()
+	deadline := time.Now().Add(time.Second)
+	for m.ParkedWaiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("batch never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; !errors.Is(err, ErrCancelled) {
+		t.Fatalf("cancelled batch: %v, want ErrCancelled", err)
+	}
+	s := m.Stats()
+	if s.Live != 1 { // only the held B2 instance survives
+		t.Fatalf("Live = %d after rollback, want 1", s.Live)
+	}
+	if s.Aborts < 2 {
+		t.Fatalf("Aborts = %d, want >= 2 (rolled-back admissions)", s.Aborts)
+	}
+	if s.Batches != 0 {
+		t.Fatalf("failed batch counted: Batches = %d", s.Batches)
+	}
+	hold.Abort()
+	if w := m.ParkedWaiters(); w != 0 {
+		t.Fatalf("%d waiters leaked", w)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBeginBatchConcurrentNoDeadlock: overlapping batches with reversed
+// name orders must not deadlock — admission follows global template-ID
+// order, not request order. Run with -race.
+func TestBeginBatchConcurrentNoDeadlock(t *testing.T) {
+	set, err := workload.Generate(workload.Config{
+		N: 8, Items: 12, Utilization: 0.5,
+		PeriodMin: 40, PeriodMax: 400,
+		OpsMin: 2, OpsMax: 4, WriteProb: 0.5, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(set.Templates))
+	for i, tmpl := range set.Templates {
+		names[i] = tmpl.Name
+	}
+	c, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 50; i++ {
+				k := 1 + rng.Intn(4)
+				batch := make([]string, 0, k)
+				for _, j := range rng.Perm(len(names))[:k] {
+					batch = append(batch, names[j])
+				}
+				txs, err := m.BeginBatch(c, batch)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, tx := range txs {
+					tx.Abort()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if w := m.ParkedWaiters(); w != 0 {
+		t.Fatalf("%d waiters leaked", w)
+	}
+	if live := m.Stats().Live; live != 0 {
+		t.Fatalf("%d transactions leaked", live)
+	}
+}
+
+func TestManagerSetAccessor(t *testing.T) {
+	s := batchSet(t, 2)
+	m, _ := New(s)
+	if m.Set() != s {
+		t.Fatal("Set() did not return the constructor's set")
+	}
+}

@@ -288,6 +288,17 @@ func (m *Manager) Begin(ctx context.Context, name string) (*Txn, error) {
 			return nil, err
 		}
 	}
+	t := m.admit(tmpl)
+	if err := m.inject(fault.BeginTxn, t, true); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// admit creates and registers a new instance of tmpl — the admission body
+// shared by Begin and BeginBatch. Caller holds m.mu and has already
+// established that tmpl's slot is free.
+func (m *Manager) admit(tmpl *txn.Template) *Txn {
 	m.clock++
 	res := m.getRes()
 	j := &cc.Job{
@@ -316,10 +327,7 @@ func (m *Manager) Begin(ctx context.Context, name string) (*Txn, error) {
 	m.actList = append(m.actList, t)
 	m.hist.Begin(m.clock, j.Run, tmpl.ID)
 	m.stats.Begins++
-	if err := m.inject(fault.BeginTxn, t, true); err != nil {
-		return nil, err
-	}
-	return t, nil
+	return t
 }
 
 // relDeadline resolves the relative firm deadline (in ticks) for tmpl.
@@ -512,6 +520,7 @@ func (m *Manager) Aborts() int {
 // Stats is a snapshot of the manager's lifetime counters.
 type Stats struct {
 	Begins         int // transactions started
+	Batches        int // BeginBatch calls that admitted at least one instance
 	Commits        int // successful commits
 	Aborts         int // explicit Abort() calls + injected forced aborts
 	CycleAborts    int // cycle-breaking victim aborts

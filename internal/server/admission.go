@@ -1,0 +1,173 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"pcpda/internal/rtm"
+	"pcpda/internal/wire"
+)
+
+// admitReq is one BEGIN travelling through the admission queue.
+//
+// The claim word arbitrates the race between the dispatcher delivering a
+// result and the requesting session abandoning the wait (disconnect,
+// drain): 0 = unclaimed, 1 = dispatcher delivering, 2 = session gone.
+// Exactly one side wins the CAS from 0. If the dispatcher wins, the
+// session is still listening (it only stops after a successful 0→2) and
+// the buffered reply channel hands over the transaction; if the session
+// wins, the dispatcher owns any admitted transaction and aborts it, so a
+// handle is never stranded between the two goroutines.
+type admitReq struct {
+	name  string
+	claim atomic.Int32
+	reply chan admitResult // buffered(1); written at most once
+}
+
+type admitResult struct {
+	tx  *rtm.Txn
+	err error
+}
+
+const (
+	claimFree      = 0
+	claimDelivered = 1
+	claimAbandoned = 2
+)
+
+// handleBegin runs in the session goroutine: validate state, enqueue onto
+// the bounded admission queue (full queue → immediate CodeOverload), then
+// wait for the dispatcher's verdict or session death.
+func (s *session) handleBegin(m *wire.Begin) error {
+	if s.tx != nil {
+		return s.reply(&wire.ErrMsg{Code: wire.CodeState, Text: "BEGIN with a transaction already live"})
+	}
+	if s.srv.draining.Load() {
+		return s.reply(&wire.ErrMsg{Code: wire.CodeDraining, Text: "server draining"})
+	}
+	if s.srv.mgr.Set().ByName(m.Name) == nil {
+		return s.reply(&wire.ErrMsg{Code: wire.CodeProtocol, Text: "unknown transaction type " + m.Name})
+	}
+	req := &admitReq{name: m.Name, reply: make(chan admitResult, 1)}
+	s.srv.pending.Add(1)
+	select {
+	case s.srv.admitCh <- req:
+	default:
+		s.srv.pending.Add(-1)
+		s.srv.ctr.RejectedOverload.Add(1)
+		return s.reply(&wire.ErrMsg{Code: wire.CodeOverload, Text: "admission queue full"})
+	}
+	select {
+	case res := <-req.reply:
+		defer s.srv.pending.Add(-1)
+		if res.err != nil {
+			return s.reply(&wire.ErrMsg{Code: codeOf(res.err), Text: "BEGIN: " + res.err.Error()})
+		}
+		s.tx = res.tx
+		s.txLive.Store(true)
+		s.srv.ctr.Accepted.Add(1)
+		return s.reply(&wire.BeginOK{ID: uint64(res.tx.ID())})
+	case <-s.ctx.Done():
+		if !req.claim.CompareAndSwap(claimFree, claimAbandoned) {
+			// Dispatcher won the race: the result is in flight on the
+			// buffered channel. Take ownership and discard it.
+			if res := <-req.reply; res.tx != nil {
+				res.tx.Abort()
+			}
+		}
+		s.srv.pending.Add(-1)
+		return s.ctx.Err()
+	}
+}
+
+// dispatch is the admission pump: it gathers queued BEGINs into groups of
+// distinct template names and admits each group through one
+// rtm.BeginBatch call. The semaphore bounds concurrently running groups;
+// when all slots are busy the pump stalls, the queue fills, and sessions
+// start seeing CodeOverload — the backpressure chain the bounded queue
+// promises.
+func (s *Server) dispatch() {
+	defer s.dispatchWG.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case first := <-s.admitCh:
+			batch := []*admitReq{first}
+			for len(batch) < s.cfg.BatchMax {
+				select {
+				case r := <-s.admitCh:
+					batch = append(batch, r)
+				default:
+					goto gathered
+				}
+			}
+		gathered:
+			for _, group := range splitDistinct(batch) {
+				select {
+				case s.admitSem <- struct{}{}:
+				case <-s.ctx.Done():
+					abandonGroup(group)
+					return
+				}
+				s.dispatchWG.Add(1)
+				go s.admitGroup(group)
+			}
+		}
+	}
+}
+
+// splitDistinct partitions a gathered batch into groups with pairwise
+// distinct names, preserving arrival order: the i-th request for a given
+// template lands in group i. BeginBatch forbids duplicate names in one
+// call (two instances of a template cannot be live together), so repeats
+// must go through separate batches anyway — this keeps them queued in FIFO
+// order per template without re-enqueueing.
+func splitDistinct(batch []*admitReq) [][]*admitReq {
+	var groups [][]*admitReq
+	next := make(map[string]int, len(batch))
+	for _, r := range batch {
+		g := next[r.name]
+		next[r.name] = g + 1
+		if g == len(groups) {
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], r)
+	}
+	return groups
+}
+
+// admitGroup admits one distinct-name group under a single manager-lock
+// acquisition and delivers each handle to its session — or aborts it if
+// the session abandoned the wait.
+func (s *Server) admitGroup(group []*admitReq) {
+	defer s.dispatchWG.Done()
+	defer func() { <-s.admitSem }()
+	names := make([]string, len(group))
+	for i, r := range group {
+		names[i] = r.name
+	}
+	txs, err := s.mgr.BeginBatch(s.ctx, names)
+	for i, r := range group {
+		res := admitResult{err: err}
+		if err == nil {
+			res.tx = txs[i]
+		}
+		if r.claim.CompareAndSwap(claimFree, claimDelivered) {
+			r.reply <- res
+		} else if res.tx != nil {
+			// Session abandoned between enqueue and delivery; the batch is
+			// all-or-nothing, so the orphan was admitted and must go.
+			res.tx.Abort()
+		}
+	}
+}
+
+// abandonGroup fails a group that was gathered but never admitted (server
+// shutdown). No transactions exist; sessions unblock via their contexts.
+func abandonGroup(group []*admitReq) {
+	for _, r := range group {
+		if r.claim.CompareAndSwap(claimFree, claimDelivered) {
+			r.reply <- admitResult{err: rtm.ErrCancelled}
+		}
+	}
+}

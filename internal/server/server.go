@@ -1,0 +1,278 @@
+// Package server exposes an rtm.Manager as a network transaction service.
+//
+// Each TCP connection is one session speaking the internal/wire protocol:
+// HELLO handshake, then at most one live transaction at a time driven by
+// BEGIN/READ/WRITE/COMMIT/ABORT, with PING usable throughout. Admission is
+// mediated by a bounded queue: BEGINs that find the queue full are refused
+// immediately with CodeOverload (backpressure instead of unbounded memory),
+// and a dispatcher goroutine folds queued arrivals into rtm.BeginBatch
+// calls so a burst pays the manager-lock herd cost once, not once per
+// transaction.
+//
+// The two liveness hazards of putting a blocking lock manager behind a
+// socket are handled structurally:
+//
+//   - A client that disconnects while its transaction is parked inside the
+//     manager (on a lock, on commit, or on a template slot) cannot be
+//     reaped by reading the socket — the session goroutine is blocked in
+//     the manager, not in a read. Each session therefore keeps a dedicated
+//     reader goroutine whose only jobs are to feed requests and to cancel
+//     the session context the moment the connection dies; every manager
+//     call runs under that context, so the park unwinds with ErrCancelled
+//     and the session auto-aborts its transaction on the way out.
+//
+//   - Drain first refuses new work (CodeDraining), waits out in-flight
+//     transactions up to the caller's deadline, then cancels whatever is
+//     left and proves cleanliness: CheckInvariants passes, no transaction
+//     is live, no wait node is registered.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pcpda/internal/metrics"
+	"pcpda/internal/rtm"
+)
+
+// Config parameterizes a Server. Manager is required; zero values
+// elsewhere select the defaults noted per field.
+type Config struct {
+	// Manager is the transaction manager the server fronts.
+	Manager *rtm.Manager
+	// Counters receives session and admission statistics. Allocated
+	// internally when nil.
+	Counters *metrics.ServerCounters
+	// QueueDepth bounds the admission queue. A BEGIN arriving when the
+	// queue is full is rejected with CodeOverload. Default 64.
+	QueueDepth int
+	// BatchMax caps how many queued BEGINs one dispatcher round gathers
+	// into BeginBatch groups. Default 16.
+	BatchMax int
+	// MaxAdmitting bounds concurrently running admission groups; queued
+	// arrivals beyond it wait in the queue (and overflow to CodeOverload).
+	// Default 4.
+	MaxAdmitting int
+	// IdleTimeout is the per-frame read deadline: a session whose client
+	// sends nothing for this long is torn down. Default 30s.
+	IdleTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline. Default 10s.
+	WriteTimeout time.Duration
+	// Logf, when set, receives one line per abnormal session end.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() error {
+	if c.Manager == nil {
+		return errors.New("server: Config.Manager is required")
+	}
+	if c.Counters == nil {
+		c.Counters = &metrics.ServerCounters{}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 16
+	}
+	if c.MaxAdmitting <= 0 {
+		c.MaxAdmitting = 4
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	return nil
+}
+
+// Server accepts connections and runs one session per connection over a
+// shared rtm.Manager.
+type Server struct {
+	cfg Config
+	mgr *rtm.Manager
+	ctr *metrics.ServerCounters
+
+	ctx    context.Context // lifetime of all sessions and the dispatcher
+	cancel context.CancelFunc
+
+	admitCh  chan *admitReq
+	admitSem chan struct{}
+	pending  atomic.Int64 // BEGINs enqueued but not yet resolved
+	draining atomic.Bool
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[*session]struct{}
+
+	sessWG     sync.WaitGroup // session goroutines
+	dispatchWG sync.WaitGroup // dispatcher + admission groups
+}
+
+// New builds a Server from cfg. Call Serve to start accepting.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		mgr:      cfg.Manager,
+		ctr:      cfg.Counters,
+		ctx:      ctx,
+		cancel:   cancel,
+		admitCh:  make(chan *admitReq, cfg.QueueDepth),
+		admitSem: make(chan struct{}, cfg.MaxAdmitting),
+		sessions: make(map[*session]struct{}),
+	}
+	s.dispatchWG.Add(1)
+	go s.dispatch()
+	return s, nil
+}
+
+// Counters returns the server's live counter set.
+func (s *Server) Counters() *metrics.ServerCounters { return s.ctr }
+
+// Serve accepts connections on ln until the listener closes (typically via
+// Drain or Close). It always returns a non-nil error; after a clean
+// shutdown that error wraps net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		if s.draining.Load() || s.ctx.Err() != nil {
+			// Listener raced shutdown; refuse politely.
+			_ = conn.Close()
+			continue
+		}
+		s.startSession(conn)
+	}
+}
+
+// ListenAndServe listens on addr and calls Serve. Addr returns the bound
+// address once listening (useful with ":0").
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listening address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) startSession(conn net.Conn) {
+	ctx, cancel := context.WithCancel(s.ctx)
+	sess := &session{srv: s, conn: conn, ctx: ctx, cancel: cancel}
+	s.mu.Lock()
+	s.sessions[sess] = struct{}{}
+	s.mu.Unlock()
+	s.ctr.SessionsOpened.Add(1)
+	s.sessWG.Add(1)
+	go func() {
+		defer s.sessWG.Done()
+		sess.run()
+	}()
+}
+
+func (s *Server) removeSession(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	s.mu.Unlock()
+	s.ctr.SessionsClosed.Add(1)
+}
+
+// liveWork reports whether any transaction is live on a session or any
+// BEGIN is still in the admission pipeline.
+func (s *Server) liveWork() bool {
+	if s.pending.Load() > 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for sess := range s.sessions {
+		if sess.txLive.Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// Drain shuts the server down gracefully: stop accepting, refuse new
+// BEGINs with CodeDraining, wait for in-flight transactions to commit or
+// abort on their own until ctx expires, then cancel every remaining
+// session (their transactions are aborted and counted as DrainAborted)
+// and wait for all goroutines to exit.
+//
+// Drain then audits the manager and returns an error unless it is clean:
+// CheckInvariants passes, zero transactions live, zero wait nodes
+// registered. A nil return is the server's proof that no session leaked a
+// lock, a workspace, or a parked waiter.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for s.liveWork() {
+		select {
+		case <-ctx.Done():
+			goto force
+		case <-tick.C:
+		}
+	}
+force:
+	s.cancel()
+	s.sessWG.Wait()
+	s.dispatchWG.Wait()
+	if err := s.mgr.CheckInvariants(); err != nil {
+		return fmt.Errorf("server: drain left manager dirty: %w", err)
+	}
+	if n := s.mgr.Stats().Live; n != 0 {
+		return fmt.Errorf("server: drain left %d transactions live", n)
+	}
+	if n := s.mgr.ParkedWaiters(); n != 0 {
+		return fmt.Errorf("server: drain left %d wait nodes registered", n)
+	}
+	return nil
+}
+
+// Close shuts down immediately: equivalent to Drain with an already
+// expired deadline.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return s.Drain(ctx)
+}
+
+// timeNow is indirected for deadline tests.
+var timeNow = time.Now
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,267 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+
+	"pcpda/internal/db"
+	"pcpda/internal/rt"
+	"pcpda/internal/rtm"
+	"pcpda/internal/txn"
+	"pcpda/internal/wire"
+)
+
+// session is the per-connection state machine. Two goroutines exist per
+// session: run (owns conn writes, the transaction handle and all manager
+// calls) and readLoop (owns conn reads). They share nothing mutable except
+// the context and the request channel; disconnects propagate as a context
+// cancellation, never as shared state.
+type session struct {
+	srv    *Server
+	conn   net.Conn
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	tx     *rtm.Txn    // live transaction; owned by run
+	txLive atomic.Bool // mirror of tx != nil, readable by Drain
+
+	scratch []byte // frame write buffer, reused across replies
+}
+
+// countReader adds every byte read from the connection to the shared
+// BytesIn counter.
+type countReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (c countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// errSessionEnd tells run to exit after a reply that terminates the
+// conversation (protocol violation or write failure).
+var errSessionEnd = errors.New("session end")
+
+func (s *session) run() {
+	reqs := make(chan wire.Message)
+	readerDone := make(chan struct{})
+	go s.readLoop(reqs, readerDone)
+	// LIFO: cleanup closes the connection first, which unblocks a reader
+	// stuck mid-ReadFrame; only then wait for it to exit.
+	defer func() { <-readerDone }()
+	defer s.cleanup()
+
+	if err := s.handshake(reqs); err != nil {
+		return
+	}
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case m := <-reqs:
+			if err := s.handle(m); err != nil {
+				if !errors.Is(err, errSessionEnd) {
+					s.srv.logf("session %s: %v", s.conn.RemoteAddr(), err)
+				}
+				return
+			}
+		}
+	}
+}
+
+// readLoop decodes frames off the connection and feeds run. Any read
+// failure — disconnect, idle timeout, malformed frame — cancels the
+// session context, which unparks run from whatever manager call it is
+// blocked in.
+func (s *session) readLoop(reqs chan<- wire.Message, done chan<- struct{}) {
+	defer close(done)
+	defer s.cancel()
+	cr := countReader{r: s.conn, n: &s.srv.ctr.BytesIn}
+	var scratch []byte
+	for {
+		if err := s.conn.SetReadDeadline(timeNow().Add(s.srv.cfg.IdleTimeout)); err != nil {
+			return
+		}
+		m, sc, err := wire.ReadFrame(cr, scratch)
+		if err != nil {
+			return
+		}
+		scratch = sc
+		select {
+		case reqs <- m:
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+// handshake requires the first frame to be HELLO and answers with the
+// manager's transaction-set schema.
+func (s *session) handshake(reqs <-chan wire.Message) error {
+	select {
+	case <-s.ctx.Done():
+		return s.ctx.Err()
+	case m := <-reqs:
+		if _, ok := m.(*wire.Hello); !ok {
+			_ = s.reply(&wire.ErrMsg{Code: wire.CodeProtocol,
+				Text: fmt.Sprintf("expected HELLO, got %s", m.Kind())})
+			return errSessionEnd
+		}
+		return s.reply(schemaOf(s.srv.mgr.Set()))
+	}
+}
+
+// handle processes one request. The session-state contract kept here:
+// every reply to BEGIN is BEGIN_OK or ERR; every ERR reply to
+// READ/WRITE/COMMIT also ends the live transaction, so after any ERR the
+// client knows it holds nothing.
+func (s *session) handle(m wire.Message) error {
+	switch m := m.(type) {
+	case *wire.Ping:
+		return s.reply(&wire.Pong{Nonce: m.Nonce})
+	case *wire.Begin:
+		return s.handleBegin(m)
+	case *wire.Read:
+		if s.tx == nil {
+			return s.reply(&wire.ErrMsg{Code: wire.CodeState, Text: "READ outside a transaction"})
+		}
+		v, err := s.tx.Read(s.ctx, rt.Item(int32(m.Item)))
+		if err != nil {
+			return s.txFailed("READ", err)
+		}
+		return s.reply(&wire.ReadOK{Value: int64(v)})
+	case *wire.Write:
+		if s.tx == nil {
+			return s.reply(&wire.ErrMsg{Code: wire.CodeState, Text: "WRITE outside a transaction"})
+		}
+		if err := s.tx.Write(s.ctx, rt.Item(int32(m.Item)), db.Value(m.Value)); err != nil {
+			return s.txFailed("WRITE", err)
+		}
+		return s.reply(&wire.WriteOK{})
+	case *wire.Commit:
+		if s.tx == nil {
+			return s.reply(&wire.ErrMsg{Code: wire.CodeState, Text: "COMMIT outside a transaction"})
+		}
+		if err := s.tx.Commit(s.ctx); err != nil {
+			return s.txFailed("COMMIT", err)
+		}
+		s.clearTx()
+		return s.reply(&wire.CommitOK{})
+	case *wire.Abort:
+		if s.tx == nil {
+			return s.reply(&wire.ErrMsg{Code: wire.CodeState, Text: "ABORT outside a transaction"})
+		}
+		s.tx.Abort()
+		s.clearTx()
+		return s.reply(&wire.AbortOK{})
+	case *wire.Hello:
+		_ = s.reply(&wire.ErrMsg{Code: wire.CodeProtocol, Text: "duplicate HELLO"})
+		return errSessionEnd
+	default:
+		_ = s.reply(&wire.ErrMsg{Code: wire.CodeProtocol,
+			Text: fmt.Sprintf("unexpected %s from client", m.Kind())})
+		return errSessionEnd
+	}
+}
+
+// txFailed maps a manager error to an ERR reply and ends the live
+// transaction (Abort is idempotent, so this is safe whether the manager
+// already tore it down or the failure was a validation rejection that left
+// it live). If the session itself is dying, the transaction is kept for
+// cleanup to account as an auto-abort instead.
+func (s *session) txFailed(op string, err error) error {
+	if s.ctx.Err() != nil {
+		return s.ctx.Err()
+	}
+	s.tx.Abort()
+	s.clearTx()
+	return s.reply(&wire.ErrMsg{Code: codeOf(err), Text: op + ": " + err.Error()})
+}
+
+func (s *session) clearTx() {
+	s.tx = nil
+	s.txLive.Store(false)
+}
+
+// cleanup tears the session down: cancel (stops the reader and any parked
+// manager call), auto-abort a still-live transaction, close the socket.
+func (s *session) cleanup() {
+	s.cancel()
+	if s.tx != nil {
+		s.tx.Abort()
+		s.clearTx()
+		if s.srv.draining.Load() {
+			s.srv.ctr.DrainAborted.Add(1)
+		} else {
+			s.srv.ctr.AutoAborted.Add(1)
+		}
+	}
+	_ = s.conn.Close()
+	s.srv.removeSession(s)
+}
+
+// reply frames and writes one message under the write deadline. A write
+// failure ends the session.
+func (s *session) reply(m wire.Message) error {
+	if err := s.conn.SetWriteDeadline(timeNow().Add(s.srv.cfg.WriteTimeout)); err != nil {
+		return errSessionEnd
+	}
+	buf, err := wire.AppendFrame(s.scratch[:0], m)
+	if err != nil {
+		// Encoding failures are server bugs (oversized schema); drop the
+		// session rather than desync the stream.
+		s.srv.logf("session %s: encode %s: %v", s.conn.RemoteAddr(), m.Kind(), err)
+		return errSessionEnd
+	}
+	s.scratch = buf
+	if _, err := s.conn.Write(buf); err != nil {
+		return errSessionEnd
+	}
+	s.srv.ctr.BytesOut.Add(int64(len(buf)))
+	return nil
+}
+
+// codeOf maps manager errors onto wire error codes. Anything that is not a
+// manager lifecycle error is a request the declared read/write sets forbid
+// — the client's mistake, hence CodeProtocol.
+func codeOf(err error) wire.ErrorCode {
+	switch {
+	case errors.Is(err, rtm.ErrAborted):
+		return wire.CodeAborted
+	case errors.Is(err, rtm.ErrDeadlineMissed):
+		return wire.CodeDeadline
+	case errors.Is(err, rtm.ErrCancelled):
+		return wire.CodeCancelled
+	case errors.Is(err, rtm.ErrClosed):
+		return wire.CodeState
+	default:
+		return wire.CodeProtocol
+	}
+}
+
+// schemaOf renders the manager's transaction set as the HELLO_OK schema.
+func schemaOf(set *txn.Set) *wire.HelloOK {
+	h := &wire.HelloOK{Proto: wire.Version, Set: set.Name}
+	for _, tmpl := range set.Templates {
+		ti := wire.TemplateInfo{Name: tmpl.Name, Priority: int32(tmpl.Priority)}
+		for _, st := range tmpl.Steps {
+			si := wire.StepInfo{Op: wire.OpCompute, Item: wire.NoItem, Dur: uint32(st.Dur)}
+			switch st.Kind {
+			case txn.ReadStep:
+				si.Op, si.Item = wire.OpRead, uint32(st.Item)
+			case txn.WriteStep:
+				si.Op, si.Item = wire.OpWrite, uint32(st.Item)
+			}
+			ti.Steps = append(ti.Steps, si)
+		}
+		h.Templates = append(h.Templates, ti)
+	}
+	return h
+}

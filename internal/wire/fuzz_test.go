@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzWireRoundTrip feeds arbitrary bytes to the frame decoder. The
+// contract under fuzzing:
+//
+//   - decoding never panics, whatever the input;
+//   - a malformed frame errors with ErrMalformed/ErrTooLarge;
+//   - a frame that decodes re-encodes to exactly the bytes consumed
+//     (canonical encoding), and decoding the re-encoding yields an equal
+//     message (round trip);
+//   - the decoder never allocates beyond the declared, bounded payload
+//     (enforced structurally: element counts are checked against the
+//     remaining payload before any allocation).
+func FuzzWireRoundTrip(f *testing.F) {
+	for _, m := range []Message{
+		&Hello{},
+		&HelloOK{Proto: Version, Set: "s", Templates: []TemplateInfo{
+			{Name: "T1", Priority: 2, Steps: []StepInfo{{Op: OpRead, Item: 1, Dur: 1}}},
+		}},
+		&Begin{Name: "T1"},
+		&BeginOK{ID: 7},
+		&Read{Item: 3},
+		&ReadOK{Value: -1},
+		&Write{Item: 4, Value: 9},
+		&WriteOK{},
+		&Commit{},
+		&CommitOK{},
+		&Abort{},
+		&AbortOK{},
+		&Ping{Nonce: 1},
+		&Pong{Nonce: 1},
+		&ErrMsg{Code: CodeDraining, Text: "bye"},
+	} {
+		frame, err := AppendFrame(nil, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+	f.Add([]byte{Version, uint8(KindHelloOK), 0, 0, 0, 4, 1, 0, 0, 0})
+	f.Add([]byte{Version, uint8(KindErr), 0xFF, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, rest, err := DecodeFrame(data)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) && !errors.Is(err, ErrTooLarge) {
+				t.Fatalf("decode error %v wraps neither ErrMalformed nor ErrTooLarge", err)
+			}
+			return
+		}
+		consumed := data[:len(data)-len(rest)]
+		re, err := AppendFrame(nil, m)
+		if err != nil {
+			t.Fatalf("re-encode of decoded %s failed: %v", m.Kind(), err)
+		}
+		if !bytes.Equal(re, consumed) {
+			t.Fatalf("%s not canonical:\n consumed %x\n re-encoded %x", m.Kind(), consumed, re)
+		}
+		m2, rest2, err := DecodeFrame(re)
+		if err != nil || len(rest2) != 0 {
+			t.Fatalf("decode of re-encoding failed: %v (%d rest)", err, len(rest2))
+		}
+		f2, err := AppendFrame(nil, m2)
+		if err != nil || !bytes.Equal(f2, re) {
+			t.Fatalf("second round trip diverged: %v", err)
+		}
+	})
+}

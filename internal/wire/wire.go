@@ -1,0 +1,663 @@
+// Package wire is the versioned, length-prefixed binary protocol spoken
+// between pcpdad (the network transaction daemon, internal/server) and its
+// clients (internal/client). It is a pure codec: no networking, no manager
+// types — just frames in and out of byte slices, so both endpoints and the
+// fuzzer share one implementation that cannot drift.
+//
+// # Framing
+//
+// Every message travels as one frame:
+//
+//	+---------+---------+---------------+-----------------+
+//	| version |  kind   |  payload len  |     payload     |
+//	|  u8=1   |   u8    |   u32 (BE)    |  len(payload)   |
+//	+---------+---------+---------------+-----------------+
+//
+// Integers are big-endian. Strings are a u16 length followed by raw bytes.
+// The payload length is bounded by MaxPayload; a decoder rejects larger
+// frames before allocating anything, so a hostile peer cannot force memory
+// growth with a forged header. Decoding is exact: a payload with trailing
+// bytes is malformed, which makes encoding canonical (decode∘encode is the
+// identity on valid frames — the property FuzzWireRoundTrip checks).
+//
+// # Conversation
+//
+// The client side of one session is strictly sequential request/reply:
+//
+//	HELLO  → HELLO_OK (set name + template schema)    — optional, any time
+//	BEGIN  → BEGIN_OK | ERR                           — opens the session txn
+//	READ   → READ_OK(value) | ERR
+//	WRITE  → WRITE_OK | ERR
+//	COMMIT → COMMIT_OK | ERR                          — closes the session txn
+//	ABORT  → ABORT_OK                                 — closes the session txn
+//	PING   → PONG(nonce)                              — liveness, any time
+//
+// Every failure is a typed ERR reply (ErrMsg): an ErrorCode the client can
+// branch on (overload → back off and retry, aborted → retry the
+// transaction, draining → stop) plus a human-readable detail string.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version carried in every frame header.
+const Version = 1
+
+// MaxPayload bounds a frame's payload. Decoders reject larger declared
+// lengths before allocating; encoders refuse to produce them.
+const MaxPayload = 1 << 20
+
+// MaxString bounds any encoded string (template/set names, error text).
+const MaxString = 4096
+
+// headerLen is the fixed frame header size: version, kind, payload length.
+const headerLen = 6
+
+// Kind identifies a message type. Requests are low values, replies have the
+// high bit set, errors are 0xFF.
+type Kind uint8
+
+const (
+	KindHello  Kind = 0x01
+	KindBegin  Kind = 0x02
+	KindRead   Kind = 0x03
+	KindWrite  Kind = 0x04
+	KindCommit Kind = 0x05
+	KindAbort  Kind = 0x06
+	KindPing   Kind = 0x07
+
+	KindHelloOK  Kind = 0x81
+	KindBeginOK  Kind = 0x82
+	KindReadOK   Kind = 0x83
+	KindWriteOK  Kind = 0x84
+	KindCommitOK Kind = 0x85
+	KindAbortOK  Kind = 0x86
+	KindPong     Kind = 0x87
+
+	KindErr Kind = 0xFF
+)
+
+var kindNames = map[Kind]string{
+	KindHello: "HELLO", KindBegin: "BEGIN", KindRead: "READ", KindWrite: "WRITE",
+	KindCommit: "COMMIT", KindAbort: "ABORT", KindPing: "PING",
+	KindHelloOK: "HELLO_OK", KindBeginOK: "BEGIN_OK", KindReadOK: "READ_OK",
+	KindWriteOK: "WRITE_OK", KindCommitOK: "COMMIT_OK", KindAbortOK: "ABORT_OK",
+	KindPong: "PONG", KindErr: "ERR",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(0x%02x)", uint8(k))
+}
+
+// ErrorCode classifies an ERR reply so clients can react without parsing
+// prose.
+type ErrorCode uint8
+
+const (
+	// CodeProtocol: the request violated the wire or session protocol
+	// (malformed frame, undeclared item, unknown template). Not retryable.
+	CodeProtocol ErrorCode = iota
+	// CodeState: the request is invalid in the session's current state
+	// (BEGIN with a transaction open, READ without one, finished handle).
+	CodeState
+	// CodeOverload: the admission queue is full. Back off and retry.
+	CodeOverload
+	// CodeAborted: the transaction was sacrificed (cycle victim or injected
+	// fault). The transaction is gone; retry with a fresh BEGIN.
+	CodeAborted
+	// CodeCancelled: the transaction was torn down by cancellation
+	// (disconnect, drain, or injected cancel). Retry only on a new session.
+	CodeCancelled
+	// CodeDeadline: firm-deadline enforcement aborted the transaction.
+	// Retry iff a fresh instance is still useful.
+	CodeDeadline
+	// CodeDraining: the server is draining; it admits no new transactions.
+	// Stop sending work.
+	CodeDraining
+	// CodeInternal: unexpected server-side failure.
+	CodeInternal
+
+	numCodes
+)
+
+var codeNames = [numCodes]string{
+	CodeProtocol: "protocol", CodeState: "state", CodeOverload: "overload",
+	CodeAborted: "aborted", CodeCancelled: "cancelled", CodeDeadline: "deadline",
+	CodeDraining: "draining", CodeInternal: "internal",
+}
+
+func (c ErrorCode) String() string {
+	if int(c) < len(codeNames) {
+		return codeNames[c]
+	}
+	return fmt.Sprintf("code(%d)", uint8(c))
+}
+
+// Retryable reports whether a client may retry after this code: overload
+// (after backoff) and sacrifice-style aborts (fresh BEGIN).
+func (c ErrorCode) Retryable() bool {
+	return c == CodeOverload || c == CodeAborted || c == CodeDeadline
+}
+
+// RemoteError is the client-side error for an ERR reply: the typed code
+// plus the server's detail text.
+type RemoteError struct {
+	Code ErrorCode
+	Text string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("wire: remote %s: %s", e.Code, e.Text)
+}
+
+// IsCode reports whether err is a RemoteError carrying code.
+func IsCode(err error, code ErrorCode) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == code
+}
+
+// ErrMalformed is wrapped by every decode failure. Decoders return it (never
+// panic) for any byte sequence that is not a valid frame.
+var ErrMalformed = errors.New("wire: malformed frame")
+
+// ErrTooLarge is wrapped when a header declares a payload beyond MaxPayload
+// (decode) or a message would encode beyond the limits (encode).
+var ErrTooLarge = errors.New("wire: frame exceeds size limits")
+
+// --- schema -------------------------------------------------------------------
+
+// Step ops inside a TemplateInfo. They mirror txn.StepKind but are
+// independently defined so the codec stays decoupled from the model
+// packages.
+const (
+	OpCompute uint8 = 0
+	OpRead    uint8 = 1
+	OpWrite   uint8 = 2
+)
+
+// NoItem is the wire encoding of "no item" (compute steps).
+const NoItem uint32 = 0xFFFFFFFF
+
+// StepInfo is one step of a template as advertised in HELLO_OK.
+type StepInfo struct {
+	Op   uint8  // OpCompute, OpRead or OpWrite
+	Item uint32 // NoItem for compute steps
+	Dur  uint32 // CPU demand in ticks (informational for clients)
+}
+
+// TemplateInfo describes one registered transaction type: everything a load
+// generator needs to drive well-formed transactions against the set.
+type TemplateInfo struct {
+	Name     string
+	Priority int32
+	Steps    []StepInfo
+}
+
+// --- messages -----------------------------------------------------------------
+
+// Message is one protocol message, encodable as a frame payload.
+type Message interface {
+	Kind() Kind
+	encodePayload(dst []byte) ([]byte, error)
+	decodePayload(d *dec)
+}
+
+// Hello requests the server's transaction-set schema.
+type Hello struct{}
+
+// HelloOK is the schema reply.
+type HelloOK struct {
+	Proto     uint8 // server wire version (== Version)
+	Set       string
+	Templates []TemplateInfo
+}
+
+// Begin opens the session's transaction as an instance of the named
+// template.
+type Begin struct{ Name string }
+
+// BeginOK confirms admission; ID is the manager's job id (observability).
+type BeginOK struct{ ID uint64 }
+
+// Read requests a read lock on Item and its visible value.
+type Read struct{ Item uint32 }
+
+// ReadOK carries the value read.
+type ReadOK struct{ Value int64 }
+
+// Write requests a write lock on Item and buffers Value in the workspace.
+type Write struct {
+	Item  uint32
+	Value int64
+}
+
+// WriteOK confirms a buffered write.
+type WriteOK struct{}
+
+// Commit installs the session transaction's workspace.
+type Commit struct{}
+
+// CommitOK confirms a commit.
+type CommitOK struct{}
+
+// Abort discards the session transaction.
+type Abort struct{}
+
+// AbortOK confirms an abort (idempotent: also sent when no transaction was
+// open).
+type AbortOK struct{}
+
+// Ping is a liveness probe; the server echoes Nonce in a Pong.
+type Ping struct{ Nonce uint64 }
+
+// Pong answers a Ping.
+type Pong struct{ Nonce uint64 }
+
+// ErrMsg is the typed error reply.
+type ErrMsg struct {
+	Code ErrorCode
+	Text string
+}
+
+func (*Hello) Kind() Kind    { return KindHello }
+func (*HelloOK) Kind() Kind  { return KindHelloOK }
+func (*Begin) Kind() Kind    { return KindBegin }
+func (*BeginOK) Kind() Kind  { return KindBeginOK }
+func (*Read) Kind() Kind     { return KindRead }
+func (*ReadOK) Kind() Kind   { return KindReadOK }
+func (*Write) Kind() Kind    { return KindWrite }
+func (*WriteOK) Kind() Kind  { return KindWriteOK }
+func (*Commit) Kind() Kind   { return KindCommit }
+func (*CommitOK) Kind() Kind { return KindCommitOK }
+func (*Abort) Kind() Kind    { return KindAbort }
+func (*AbortOK) Kind() Kind  { return KindAbortOK }
+func (*Ping) Kind() Kind     { return KindPing }
+func (*Pong) Kind() Kind     { return KindPong }
+func (*ErrMsg) Kind() Kind   { return KindErr }
+
+// newMessage returns a zero message for kind, or nil for unknown kinds.
+func newMessage(k Kind) Message {
+	switch k {
+	case KindHello:
+		return &Hello{}
+	case KindHelloOK:
+		return &HelloOK{}
+	case KindBegin:
+		return &Begin{}
+	case KindBeginOK:
+		return &BeginOK{}
+	case KindRead:
+		return &Read{}
+	case KindReadOK:
+		return &ReadOK{}
+	case KindWrite:
+		return &Write{}
+	case KindWriteOK:
+		return &WriteOK{}
+	case KindCommit:
+		return &Commit{}
+	case KindCommitOK:
+		return &CommitOK{}
+	case KindAbort:
+		return &Abort{}
+	case KindAbortOK:
+		return &AbortOK{}
+	case KindPing:
+		return &Ping{}
+	case KindPong:
+		return &Pong{}
+	case KindErr:
+		return &ErrMsg{}
+	}
+	return nil
+}
+
+// --- payload encodings --------------------------------------------------------
+
+func (*Hello) encodePayload(dst []byte) ([]byte, error) { return dst, nil }
+func (*Hello) decodePayload(*dec)                       {}
+
+func (m *HelloOK) encodePayload(dst []byte) ([]byte, error) {
+	dst = append(dst, m.Proto)
+	var err error
+	if dst, err = appendStr(dst, m.Set); err != nil {
+		return nil, err
+	}
+	if len(m.Templates) > 0xFFFF {
+		return nil, fmt.Errorf("%w: %d templates", ErrTooLarge, len(m.Templates))
+	}
+	dst = appendU16(dst, uint16(len(m.Templates)))
+	for _, t := range m.Templates {
+		if dst, err = appendStr(dst, t.Name); err != nil {
+			return nil, err
+		}
+		dst = appendU32(dst, uint32(t.Priority))
+		if len(t.Steps) > 0xFFFF {
+			return nil, fmt.Errorf("%w: %d steps", ErrTooLarge, len(t.Steps))
+		}
+		dst = appendU16(dst, uint16(len(t.Steps)))
+		for _, s := range t.Steps {
+			dst = append(dst, s.Op)
+			dst = appendU32(dst, s.Item)
+			dst = appendU32(dst, s.Dur)
+		}
+	}
+	return dst, nil
+}
+
+func (m *HelloOK) decodePayload(d *dec) {
+	m.Proto = d.u8()
+	m.Set = d.str()
+	n := int(d.u16())
+	// A template encodes to ≥ 8 bytes (empty name, no steps); bounding the
+	// allocation by the remaining payload keeps forged counts cheap.
+	if max := d.remaining() / 8; n > max {
+		d.failf("template count %d exceeds payload", n)
+		return
+	}
+	if n > 0 { // zero-count decodes as nil, keeping encoding canonical
+		m.Templates = make([]TemplateInfo, 0, n)
+	}
+	for i := 0; i < n && d.ok(); i++ {
+		var t TemplateInfo
+		t.Name = d.str()
+		t.Priority = int32(d.u32())
+		k := int(d.u16())
+		if max := d.remaining() / 9; k > max { // a step is exactly 9 bytes
+			d.failf("step count %d exceeds payload", k)
+			return
+		}
+		if k > 0 {
+			t.Steps = make([]StepInfo, 0, k)
+		}
+		for j := 0; j < k && d.ok(); j++ {
+			op := d.u8()
+			if op > OpWrite {
+				d.failf("unknown step op %d", op)
+				return
+			}
+			t.Steps = append(t.Steps, StepInfo{Op: op, Item: d.u32(), Dur: d.u32()})
+		}
+		m.Templates = append(m.Templates, t)
+	}
+}
+
+func (m *Begin) encodePayload(dst []byte) ([]byte, error) { return appendStr(dst, m.Name) }
+func (m *Begin) decodePayload(d *dec)                     { m.Name = d.str() }
+
+func (m *BeginOK) encodePayload(dst []byte) ([]byte, error) { return appendU64(dst, m.ID), nil }
+func (m *BeginOK) decodePayload(d *dec)                     { m.ID = d.u64() }
+
+func (m *Read) encodePayload(dst []byte) ([]byte, error) { return appendU32(dst, m.Item), nil }
+func (m *Read) decodePayload(d *dec)                     { m.Item = d.u32() }
+
+func (m *ReadOK) encodePayload(dst []byte) ([]byte, error) {
+	return appendU64(dst, uint64(m.Value)), nil
+}
+func (m *ReadOK) decodePayload(d *dec) { m.Value = int64(d.u64()) }
+
+func (m *Write) encodePayload(dst []byte) ([]byte, error) {
+	dst = appendU32(dst, m.Item)
+	return appendU64(dst, uint64(m.Value)), nil
+}
+func (m *Write) decodePayload(d *dec) {
+	m.Item = d.u32()
+	m.Value = int64(d.u64())
+}
+
+func (*WriteOK) encodePayload(dst []byte) ([]byte, error)  { return dst, nil }
+func (*WriteOK) decodePayload(*dec)                        {}
+func (*Commit) encodePayload(dst []byte) ([]byte, error)   { return dst, nil }
+func (*Commit) decodePayload(*dec)                         {}
+func (*CommitOK) encodePayload(dst []byte) ([]byte, error) { return dst, nil }
+func (*CommitOK) decodePayload(*dec)                       {}
+func (*Abort) encodePayload(dst []byte) ([]byte, error)    { return dst, nil }
+func (*Abort) decodePayload(*dec)                          {}
+func (*AbortOK) encodePayload(dst []byte) ([]byte, error)  { return dst, nil }
+func (*AbortOK) decodePayload(*dec)                        {}
+
+func (m *Ping) encodePayload(dst []byte) ([]byte, error) { return appendU64(dst, m.Nonce), nil }
+func (m *Ping) decodePayload(d *dec)                     { m.Nonce = d.u64() }
+func (m *Pong) encodePayload(dst []byte) ([]byte, error) { return appendU64(dst, m.Nonce), nil }
+func (m *Pong) decodePayload(d *dec)                     { m.Nonce = d.u64() }
+
+func (m *ErrMsg) encodePayload(dst []byte) ([]byte, error) {
+	if m.Code >= numCodes {
+		return nil, fmt.Errorf("%w: unknown error code %d", ErrMalformed, m.Code)
+	}
+	dst = append(dst, uint8(m.Code))
+	return appendStr(dst, m.Text)
+}
+
+func (m *ErrMsg) decodePayload(d *dec) {
+	c := ErrorCode(d.u8())
+	if c >= numCodes {
+		d.failf("unknown error code %d", c)
+		return
+	}
+	m.Code = c
+	m.Text = d.str()
+}
+
+// --- framing ------------------------------------------------------------------
+
+// AppendFrame encodes m as one frame appended to dst.
+func AppendFrame(dst []byte, m Message) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, Version, uint8(m.Kind()), 0, 0, 0, 0)
+	body, err := m.encodePayload(dst)
+	if err != nil {
+		return nil, err
+	}
+	dst = body
+	plen := len(dst) - start - headerLen
+	if plen > MaxPayload {
+		return nil, fmt.Errorf("%w: payload %d > %d", ErrTooLarge, plen, MaxPayload)
+	}
+	putU32(dst[start+2:], uint32(plen))
+	return dst, nil
+}
+
+// DecodeFrame decodes the first frame in b, returning the message and the
+// unconsumed remainder. All failures wrap ErrMalformed or ErrTooLarge; the
+// decoder never panics and never allocates more than the declared (bounded)
+// payload.
+func DecodeFrame(b []byte) (Message, []byte, error) {
+	if len(b) < headerLen {
+		return nil, b, fmt.Errorf("%w: short header (%d bytes)", ErrMalformed, len(b))
+	}
+	if b[0] != Version {
+		return nil, b, fmt.Errorf("%w: version %d, want %d", ErrMalformed, b[0], Version)
+	}
+	kind := Kind(b[1])
+	plen := int(u32(b[2:]))
+	if plen > MaxPayload {
+		return nil, b, fmt.Errorf("%w: declared payload %d > %d", ErrTooLarge, plen, MaxPayload)
+	}
+	if len(b) < headerLen+plen {
+		return nil, b, fmt.Errorf("%w: payload truncated (%d of %d bytes)", ErrMalformed, len(b)-headerLen, plen)
+	}
+	m := newMessage(kind)
+	if m == nil {
+		return nil, b, fmt.Errorf("%w: unknown kind 0x%02x", ErrMalformed, uint8(kind))
+	}
+	d := &dec{b: b[headerLen : headerLen+plen]}
+	m.decodePayload(d)
+	if d.err != nil {
+		return nil, b, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, b, fmt.Errorf("%w: %d trailing payload bytes after %s", ErrMalformed, len(d.b)-d.off, kind)
+	}
+	return m, b[headerLen+plen:], nil
+}
+
+// ReadFrame reads exactly one frame from r, using (and growing) scratch as
+// the read buffer; it returns the message and the buffer for reuse. A clean
+// EOF before any header byte is returned as io.EOF; every other failure is
+// either a transport error from r or wraps ErrMalformed/ErrTooLarge.
+func ReadFrame(r io.Reader, scratch []byte) (Message, []byte, error) {
+	if cap(scratch) < headerLen {
+		scratch = make([]byte, 0, 512)
+	}
+	hdr := scratch[:headerLen]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("%w: header truncated", ErrMalformed)
+		}
+		return nil, scratch, err
+	}
+	if hdr[0] != Version {
+		return nil, scratch, fmt.Errorf("%w: version %d, want %d", ErrMalformed, hdr[0], Version)
+	}
+	plen := int(u32(hdr[2:]))
+	if plen > MaxPayload {
+		return nil, scratch, fmt.Errorf("%w: declared payload %d > %d", ErrTooLarge, plen, MaxPayload)
+	}
+	need := headerLen + plen
+	if cap(scratch) < need {
+		grown := make([]byte, need)
+		copy(grown, hdr)
+		scratch = grown[:0]
+		hdr = grown[:headerLen]
+	}
+	buf := scratch[:need]
+	if _, err := io.ReadFull(r, buf[headerLen:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("%w: payload truncated", ErrMalformed)
+		}
+		return nil, scratch, err
+	}
+	m, rest, err := DecodeFrame(buf)
+	if err != nil {
+		return nil, scratch, err
+	}
+	if len(rest) != 0 { // cannot happen: buf holds exactly one frame
+		return nil, scratch, fmt.Errorf("%w: internal framing error", ErrMalformed)
+	}
+	return m, scratch, nil
+}
+
+// WriteFrame encodes m into scratch and writes the frame to w, returning
+// the (possibly grown) buffer for reuse.
+func WriteFrame(w io.Writer, scratch []byte, m Message) ([]byte, error) {
+	buf, err := AppendFrame(scratch[:0], m)
+	if err != nil {
+		return scratch, err
+	}
+	if _, err := w.Write(buf); err != nil {
+		return buf, err
+	}
+	return buf, nil
+}
+
+// --- primitive encoding -------------------------------------------------------
+
+func appendU16(b []byte, v uint16) []byte { return append(b, byte(v>>8), byte(v)) }
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendStr(b []byte, s string) ([]byte, error) {
+	if len(s) > MaxString {
+		return nil, fmt.Errorf("%w: string of %d bytes (max %d)", ErrTooLarge, len(s), MaxString)
+	}
+	b = appendU16(b, uint16(len(s)))
+	return append(b, s...), nil
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+}
+
+func u32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// dec is a bounds-checked payload cursor. The first failure sticks; later
+// reads return zero values so message decoders can stay straight-line.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) ok() bool { return d.err == nil }
+
+func (d *dec) failf(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrMalformed, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *dec) remaining() int { return len(d.b) - d.off }
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.remaining() < n {
+		d.failf("need %d bytes, have %d", n, d.remaining())
+		return nil
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+func (d *dec) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *dec) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return uint16(b[0])<<8 | uint16(b[1])
+}
+
+func (d *dec) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return u32(b)
+}
+
+func (d *dec) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return uint64(u32(b))<<32 | uint64(u32(b[4:]))
+}
+
+func (d *dec) str() string {
+	n := int(d.u16())
+	if n > MaxString {
+		d.failf("string of %d bytes (max %d)", n, MaxString)
+		return ""
+	}
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}

@@ -1,0 +1,190 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleMessages covers every message kind with representative payloads.
+func sampleMessages() []Message {
+	return []Message{
+		&Hello{},
+		&HelloOK{Proto: Version, Set: "paper-example-3", Templates: []TemplateInfo{
+			{Name: "T1", Priority: 3, Steps: []StepInfo{
+				{Op: OpRead, Item: 0, Dur: 1},
+				{Op: OpCompute, Item: NoItem, Dur: 4},
+				{Op: OpWrite, Item: 1, Dur: 1},
+			}},
+			{Name: "T2", Priority: 2, Steps: nil},
+			{Name: "T3", Priority: 1, Steps: []StepInfo{{Op: OpRead, Item: 7, Dur: 2}}},
+		}},
+		&Begin{Name: "T1"},
+		&BeginOK{ID: 0xDEADBEEFCAFE},
+		&Read{Item: 42},
+		&ReadOK{Value: -77},
+		&Write{Item: 3, Value: 1 << 40},
+		&WriteOK{},
+		&Commit{},
+		&CommitOK{},
+		&Abort{},
+		&AbortOK{},
+		&Ping{Nonce: 99},
+		&Pong{Nonce: 99},
+		&ErrMsg{Code: CodeOverload, Text: "queue full"},
+		&ErrMsg{Code: CodeAborted, Text: ""},
+	}
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	for _, m := range sampleMessages() {
+		frame, err := AppendFrame(nil, m)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", m.Kind(), err)
+		}
+		got, rest, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", m.Kind(), err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%s: %d unconsumed bytes", m.Kind(), len(rest))
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("%s: round trip mismatch:\n have %#v\n want %#v", m.Kind(), got, m)
+		}
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	var stream []byte
+	var err error
+	for _, m := range sampleMessages() {
+		stream, err = AppendFrame(stream, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Byte-slice decoding consumes the stream frame by frame.
+	rest := stream
+	var got []Message
+	for len(rest) > 0 {
+		var m Message
+		m, rest, err = DecodeFrame(rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, m)
+	}
+	want := sampleMessages()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stream decode mismatch: %d messages, want %d", len(got), len(want))
+	}
+	// Reader decoding sees the same sequence, reusing one scratch buffer.
+	r := bytes.NewReader(stream)
+	var scratch []byte
+	for i := 0; ; i++ {
+		var m Message
+		m, scratch, err = ReadFrame(r, scratch)
+		if err == io.EOF {
+			if i != len(want) {
+				t.Fatalf("reader stopped after %d of %d messages", i, len(want))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(m, want[i]) {
+			t.Fatalf("message %d mismatch: %#v", i, m)
+		}
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	valid, err := AppendFrame(nil, &Begin{Name: "T1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":             {},
+		"short header":      valid[:4],
+		"bad version":       append([]byte{9}, valid[1:]...),
+		"unknown kind":      {Version, 0x70, 0, 0, 0, 0},
+		"truncated payload": valid[:len(valid)-1],
+		"trailing payload":  withLen(append(bytes.Clone(valid), 0), len(valid)-headerLen+1),
+		"oversized decl":    {Version, uint8(KindPing), 0xFF, 0xFF, 0xFF, 0xFF},
+		"string overrun":    withLen([]byte{Version, uint8(KindBegin), 0, 0, 0, 2, 0, 9}, 2),
+		"bad error code":    withLen([]byte{Version, uint8(KindErr), 0, 0, 0, 3, 200, 0, 0}, 3),
+		"bad step op": withLen([]byte{Version, uint8(KindHelloOK), 0, 0, 0, 0,
+			Version, 0, 0, 0, 1, // proto, set "", one template
+			0, 0, 0, 0, 0, 3, 0, 1, // name "", pri 3, one step
+			9, 0, 0, 0, 0, 0, 0, 0, 1, // op 9 (invalid)
+		}, 22),
+	}
+	for name, b := range cases {
+		if _, _, err := DecodeFrame(b); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		} else if !errors.Is(err, ErrMalformed) && !errors.Is(err, ErrTooLarge) {
+			t.Errorf("%s: error %v does not wrap ErrMalformed/ErrTooLarge", name, err)
+		}
+	}
+}
+
+// withLen rewrites the header's payload-length field.
+func withLen(b []byte, n int) []byte {
+	putU32(b[2:], uint32(n))
+	return b
+}
+
+func TestEncodeLimits(t *testing.T) {
+	if _, err := AppendFrame(nil, &Begin{Name: strings.Repeat("x", MaxString+1)}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized name: err = %v, want ErrTooLarge", err)
+	}
+	if _, err := AppendFrame(nil, &ErrMsg{Code: numCodes, Text: "?"}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("unknown code: err = %v, want ErrMalformed", err)
+	}
+	// A schema big enough to overflow MaxPayload must be refused, not sent.
+	big := &HelloOK{Proto: Version, Set: "big"}
+	tmpl := TemplateInfo{Name: strings.Repeat("n", MaxString), Steps: make([]StepInfo, 1000)}
+	for len(big.Templates) < 200 {
+		big.Templates = append(big.Templates, tmpl)
+	}
+	if _, err := AppendFrame(nil, big); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized schema: err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestReadFrameEOF(t *testing.T) {
+	if _, _, err := ReadFrame(bytes.NewReader(nil), nil); err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{Version, 1}), nil); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("cut header: err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestRetryableCodes(t *testing.T) {
+	want := map[ErrorCode]bool{
+		CodeOverload: true, CodeAborted: true, CodeDeadline: true,
+		CodeProtocol: false, CodeState: false, CodeCancelled: false,
+		CodeDraining: false, CodeInternal: false,
+	}
+	for c, r := range want {
+		if c.Retryable() != r {
+			t.Errorf("%s.Retryable() = %v, want %v", c, !r, r)
+		}
+	}
+}
+
+func TestIsCode(t *testing.T) {
+	err := error(&RemoteError{Code: CodeOverload, Text: "busy"})
+	if !IsCode(err, CodeOverload) || IsCode(err, CodeAborted) {
+		t.Fatal("IsCode misclassified a RemoteError")
+	}
+	if IsCode(errors.New("plain"), CodeOverload) {
+		t.Fatal("IsCode matched a non-remote error")
+	}
+}

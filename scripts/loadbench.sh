@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# loadbench.sh — end-to-end load benchmark of the network transaction
+# service: start pcpdad on a loopback port, drive it with pcpdaload, shut
+# the daemon down with SIGTERM and require a clean drain audit (exit 0),
+# then convert the load driver's benchmark line into a committed
+# performance record via cmd/benchjson.
+#
+# Usage:
+#   scripts/loadbench.sh                      # writes BENCH_5.json + loadbench.txt
+#   LOAD_RACE=1 scripts/loadbench.sh          # daemon built with -race (CI smoke)
+#
+# Environment knobs:
+#   LOAD_OUT     output JSON path             (default BENCH_5.json)
+#   LOAD_TXT     output text log path         (default loadbench.txt)
+#   LOAD_LABEL   label recorded in the JSON   (default current)
+#   LOAD_CONNS   concurrent connections       (default 64)
+#   LOAD_TXNS    committed transactions       (default 10000)
+#   LOAD_SEED    workload seed                (default 7)
+#   LOAD_ADDR    listen address               (default 127.0.0.1:9723)
+#   LOAD_RACE    1 = build both binaries with -race (slower, CI smoke)
+#   LOAD_FAULTS  1 = run the daemon with fault injection on (default 1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${LOAD_OUT:-BENCH_5.json}
+txt=${LOAD_TXT:-loadbench.txt}
+label=${LOAD_LABEL:-current}
+conns=${LOAD_CONNS:-64}
+txns=${LOAD_TXNS:-10000}
+seed=${LOAD_SEED:-7}
+addr=${LOAD_ADDR:-127.0.0.1:9723}
+race=${LOAD_RACE:-0}
+faults=${LOAD_FAULTS:-1}
+
+build=(go build)
+if [[ "$race" == 1 ]]; then
+	build+=(-race)
+fi
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+"${build[@]}" -o "$tmp/pcpdad" ./cmd/pcpdad
+"${build[@]}" -o "$tmp/pcpdaload" ./cmd/pcpdaload
+
+daemon_args=(-listen "$addr" -queue 128)
+if [[ "$faults" == 1 ]]; then
+	daemon_args+=(-fault-abort 0.002 -fault-delay 0.01 -fault-wakeup 0.01)
+fi
+"$tmp/pcpdad" "${daemon_args[@]}" > "$tmp/pcpdad.log" 2>&1 &
+daemon=$!
+
+# Wait for the listener to come up.
+for _ in $(seq 1 100); do
+	if "$tmp/pcpdaload" -addr "$addr" -conns 1 -txns 1 -seed 0 >/dev/null 2>&1; then
+		break
+	fi
+	sleep 0.1
+done
+
+"$tmp/pcpdaload" -addr "$addr" -conns "$conns" -txns "$txns" -seed "$seed" \
+	-bench -report "$tmp/report.json" | tee "$txt"
+
+# Graceful drain: the daemon's exit code is the leak audit.
+kill -TERM "$daemon"
+drain=0
+wait "$daemon" || drain=$?
+cat "$tmp/pcpdad.log"
+if [[ "$drain" != 0 ]]; then
+	echo "loadbench: pcpdad drain audit failed (exit $drain)" >&2
+	exit 1
+fi
+
+grep '^Benchmark' "$txt" | go run ./cmd/benchjson -label "$label" \
+	-note "pcpdad loopback: $conns conns, $txns txns, faults=$faults race=$race" > "$out"
+echo "wrote $out (text log: $txt)"
