@@ -5,7 +5,8 @@
 // injection), and runs the internal/server protocol on -listen. A side
 // HTTP listener on -http exposes:
 //
-//	/healthz  liveness ("ok")
+//	/healthz  liveness: 200 "ok", 200 "degraded" (serving but shedding),
+//	          503 "draining"
 //	/stats    JSON snapshot: server counters + manager counters
 //
 // SIGINT/SIGTERM trigger a graceful drain bounded by -drain-timeout. The
@@ -47,9 +48,15 @@ func run() int {
 		listen       = flag.String("listen", "127.0.0.1:9723", "transaction service listen address")
 		httpAddr     = flag.String("http", "", "stats/health HTTP listen address (empty = disabled)")
 		queueDepth   = flag.Int("queue", 64, "admission queue depth (full queue => overload rejection)")
+		highWater    = flag.Int("high-water", 0, "queue occupancy at which priority shedding starts (0 = 3/4 of -queue)")
 		batchMax     = flag.Int("batch", 16, "max BEGINs folded into one admission batch")
 		admitting    = flag.Int("admitting", 4, "max concurrently running admission batches")
 		idleTimeout  = flag.Duration("idle-timeout", 30*time.Second, "per-session read deadline")
+		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "per-frame write deadline (slow-client kill threshold)")
+		wdInterval   = flag.Duration("watchdog-interval", 100*time.Millisecond, "stuck-transaction watchdog sweep interval (negative = disabled)")
+		wdGrace      = flag.Duration("watchdog-grace", time.Second, "how far past its firm deadline a transaction may live before force-abort")
+		stuckAge     = flag.Duration("stuck-age", 0, "force-abort any transaction older than this, deadline or not (0 = disabled)")
+		healthWindow = flag.Duration("health-window", 5*time.Second, "how long after the last overload event /healthz stays degraded")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight transactions on shutdown")
 
 		n         = flag.Int("n", 8, "transaction templates in the generated set")
@@ -91,9 +98,12 @@ func run() int {
 	ctr := &metrics.ServerCounters{}
 	srv, err := server.New(server.Config{
 		Manager: mgr, Counters: ctr,
-		QueueDepth: *queueDepth, BatchMax: *batchMax, MaxAdmitting: *admitting,
-		IdleTimeout: *idleTimeout,
-		Logf:        log.Printf,
+		QueueDepth: *queueDepth, HighWater: *highWater,
+		BatchMax: *batchMax, MaxAdmitting: *admitting,
+		IdleTimeout: *idleTimeout, WriteTimeout: *writeTimeout,
+		WatchdogInterval: *wdInterval, WatchdogGrace: *wdGrace,
+		StuckTxnAge: *stuckAge, HealthWindow: *healthWindow,
+		Logf: log.Printf,
 	})
 	if err != nil {
 		log.Printf("pcpdad: %v", err)
@@ -109,7 +119,7 @@ func run() int {
 
 	var httpSrv *http.Server
 	if *httpAddr != "" {
-		httpSrv = statsServer(*httpAddr, mgr, ctr)
+		httpSrv = statsServer(*httpAddr, srv, mgr, ctr)
 	}
 
 	serveDone := make(chan error, 1)
@@ -134,8 +144,10 @@ func run() int {
 		_ = httpSrv.Close()
 	}
 	snap := ctr.Snapshot()
-	log.Printf("pcpdad: accepted=%d rejected_overload=%d auto_aborted=%d drain_aborted=%d bytes_in=%d bytes_out=%d",
-		snap.Accepted, snap.RejectedOverload, snap.AutoAborted, snap.DrainAborted, snap.BytesIn, snap.BytesOut)
+	log.Printf("pcpdad: accepted=%d rejected_overload=%d rejected_infeasible=%d shed=%d auto_aborted=%d drain_aborted=%d",
+		snap.Accepted, snap.RejectedOverload, snap.RejectedInfeasible, snap.Shed, snap.AutoAborted, snap.DrainAborted)
+	log.Printf("pcpdad: watchdog_trips=%d watchdog_audit_fails=%d slow_client_kills=%d bytes_in=%d bytes_out=%d",
+		snap.WatchdogTrips, snap.WatchdogAuditFails, snap.SlowClientKills, snap.BytesIn, snap.BytesOut)
 	if drainErr != nil {
 		log.Printf("pcpdad: drain audit FAILED: %v", drainErr)
 		return 1
@@ -145,16 +157,23 @@ func run() int {
 }
 
 // statsServer exposes /healthz and /stats on addr.
-func statsServer(addr string, mgr *rtm.Manager, ctr *metrics.ServerCounters) *http.Server {
+func statsServer(addr string, srv *server.Server, mgr *rtm.Manager, ctr *metrics.ServerCounters) *http.Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		_, _ = fmt.Fprintln(w, "ok")
+		state := srv.Health()
+		// "degraded" still serves traffic — it is a warning, not a failure —
+		// so only "draining" turns the probe red.
+		if state == "draining" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_, _ = fmt.Fprintln(w, state)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
 		doc := struct {
+			Health  string                 `json:"health"`
 			Server  metrics.ServerSnapshot `json:"server"`
 			Manager rtm.Stats              `json:"manager"`
-		}{ctr.Snapshot(), mgr.Stats()}
+		}{srv.Health(), ctr.Snapshot(), mgr.Stats()}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

@@ -1,5 +1,23 @@
-// Command pcpdaload drives a pcpdad server with a seeded closed-loop
-// workload and reports throughput and latency percentiles.
+// Command pcpdaload drives a pcpdad server with a seeded workload and
+// reports throughput, goodput and latency percentiles.
+//
+// Three modes:
+//
+//   - Closed loop (default): -conns workers each run one transaction at
+//     a time until -txns have committed. Measures capacity.
+//   - Open loop (-arrival-rate > 0): transactions arrive by a Poisson
+//     process for -duration regardless of completion rate — the only
+//     mode that can push the server past saturation. -deadline-budget
+//     attaches a firm deadline to every BEGIN; commits later than it
+//     count as deadline misses, not goodput.
+//   - Sweep (-sweep "1,2,4"): measure the closed-loop saturation rate,
+//     then run one open-loop step per multiplier of it and emit a JSON
+//     sweep document (goodput, deadline-miss ratio, shed counts per
+//     step) to -report. This is the BENCH_6 overload artifact.
+//
+// -nemesis interposes an in-process fault-injection proxy
+// (internal/nemesis) between the driver and -addr, so the workload
+// traverses seeded latency, resets, drops and one-way partitions.
 //
 // The default output is a human-readable summary. -bench additionally
 // prints a `go test -bench`-style line, so a load run feeds the same
@@ -8,8 +26,8 @@
 //	pcpdaload -addr 127.0.0.1:9723 -conns 64 -txns 10000 -bench | benchjson -label net
 //
 // -report writes the full JSON report to a file ("-" = stdout). The exit
-// code is 0 when the run reached its committed-transaction target, 1
-// otherwise.
+// code is 0 when the run reached its committed-transaction target (closed
+// loop) or committed anything at all (open loop / sweep), 1 otherwise.
 package main
 
 import (
@@ -20,10 +38,14 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"pcpda/internal/client"
+	"pcpda/internal/nemesis"
 )
 
 func main() {
@@ -33,14 +55,30 @@ func main() {
 func run() int {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:9723", "pcpdad address")
-		conns    = flag.Int("conns", 64, "concurrent closed-loop connections")
-		txns     = flag.Int("txns", 10000, "committed transactions to drive")
+		conns    = flag.Int("conns", 64, "concurrent connections")
+		txns     = flag.Int("txns", 10000, "closed-loop committed-transaction target")
 		seed     = flag.Int64("seed", 7, "workload seed")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "whole-run deadline")
 		opTO     = flag.Duration("op-timeout", 10*time.Second, "per-operation deadline")
 		report   = flag.String("report", "", "write JSON report to this file (\"-\" = stdout)")
 		bench    = flag.Bool("bench", false, "print a benchjson-compatible benchmark line")
 		attempts = flag.Int("attempts", 16, "max attempts per transaction")
+		label    = flag.String("label", "current", "label recorded in the sweep document")
+
+		arrivalRate = flag.Float64("arrival-rate", 0, "open loop: Poisson arrivals per second (0 = closed loop)")
+		duration    = flag.Duration("duration", 5*time.Second, "open loop: arrival window per run")
+		deadline    = flag.Duration("deadline-budget", 0, "open loop: firm deadline per transaction, from arrival (0 = none)")
+		maxInFlight = flag.Int("max-inflight", 0, "open loop: arrivals in flight before client-side drop (0 = 4x conns)")
+		sweep       = flag.String("sweep", "", "comma-separated saturation multipliers, e.g. \"1,2,3,4\" (implies open loop per step)")
+
+		nemOn    = flag.Bool("nemesis", false, "route traffic through an in-process fault-injection proxy")
+		nemSeed  = flag.Int64("nemesis-seed", 99, "nemesis fault seed")
+		nemLat   = flag.Duration("nemesis-latency", 0, "nemesis added latency per chunk (beware: sleep granularity on coarse-timer hosts can multiply this)")
+		nemJit   = flag.Duration("nemesis-jitter", 0, "nemesis latency jitter")
+		nemReset = flag.Float64("nemesis-reset", 0.05, "per-connection mid-stream RST probability")
+		nemDrop  = flag.Float64("nemesis-drop", 0.05, "per-connection silent-close probability")
+		nemPart  = flag.Float64("nemesis-partition", 0.03, "per-connection one-way-partition probability")
+		nemSlow  = flag.Int64("nemesis-slow-bps", 0, "nemesis slow-reader cap on the server->client direction, bytes/s (0 = off)")
 	)
 	flag.Parse()
 
@@ -53,21 +91,55 @@ func run() int {
 		cancel()
 	}()
 
-	rep, err := client.RunLoad(ctx, client.LoadConfig{
-		Addr: *addr, Conns: *conns, Txns: *txns, Seed: *seed,
+	// With -nemesis the driver talks to the proxy and the proxy talks to
+	// the real server; everything else is unchanged.
+	target := *addr
+	var proxy *nemesis.Proxy
+	if *nemOn {
+		p, err := nemesis.New(nemesis.Config{
+			Listen: "127.0.0.1:0", Target: *addr, Seed: *nemSeed,
+			Faults: nemesis.Faults{
+				Latency: *nemLat, Jitter: *nemJit,
+				PReset: *nemReset, PDrop: *nemDrop, PPartition: *nemPart,
+				SlowReadBPS: *nemSlow,
+			},
+		})
+		if err != nil {
+			log.Printf("pcpdaload: nemesis: %v", err)
+			return 1
+		}
+		proxy = p
+		defer func() { _ = proxy.Close() }()
+		target = proxy.Addr().String()
+		log.Printf("pcpdaload: nemesis proxy %s -> %s (seed %d)", target, *addr, *nemSeed)
+	}
+
+	base := client.LoadConfig{
+		Addr: target, Conns: *conns, Txns: *txns, Seed: *seed,
 		OpTimeout: *opTO, MaxAttempts: *attempts,
-	})
+		ArrivalRate: *arrivalRate, Duration: *duration,
+		DeadlineBudget: *deadline, MaxInFlight: *maxInFlight,
+	}
+
+	if *sweep != "" {
+		// The sweep calibrates and runs its baseline steps over the direct
+		// path; with -nemesis each multiplier is additionally run through
+		// the proxy so the document carries both curves.
+		base.Addr = *addr
+		return runSweep(ctx, base, *sweep, *label, *report, proxy)
+	}
+
+	rep, err := client.RunLoad(ctx, base)
 	if err != nil {
 		log.Printf("pcpdaload: %v", err)
 		if rep == nil {
 			return 1
 		}
 	}
-	fmt.Printf("pcpdaload: %d committed (%d attempts, %d retries, %d failed) in %v\n",
-		rep.Committed, rep.Attempts, rep.Retries, rep.Failed, rep.Elapsed.Round(time.Millisecond))
-	fmt.Printf("pcpdaload: %.0f txn/s  p50=%v p90=%v p99=%v max=%v\n",
-		rep.Throughput(), rep.P50, rep.P90, rep.P99, rep.Max)
-
+	printReport(rep, base)
+	if proxy != nil {
+		logProxy(proxy)
+	}
 	if *bench && rep.Committed > 0 {
 		nsPerOp := float64(rep.Elapsed.Nanoseconds()) / float64(rep.Committed)
 		fmt.Printf("BenchmarkPcpdaLoad/conns=%d %d %.1f ns/op %.1f txn/s %d p50-ns %d p99-ns %d retries\n",
@@ -75,10 +147,16 @@ func run() int {
 			rep.P50.Nanoseconds(), rep.P99.Nanoseconds(), rep.Retries)
 	}
 	if *report != "" {
-		if err := writeReport(*report, rep); err != nil {
+		if err := writeJSON(*report, rep); err != nil {
 			log.Printf("pcpdaload: report: %v", err)
 			return 1
 		}
+	}
+	if base.ArrivalRate > 0 {
+		if rep.Committed == 0 {
+			return 1
+		}
+		return 0
 	}
 	if int(rep.Committed) < *txns {
 		return 1
@@ -86,8 +164,192 @@ func run() int {
 	return 0
 }
 
-func writeReport(path string, rep *client.LoadReport) error {
-	b, err := json.MarshalIndent(rep, "", "  ")
+func printReport(rep *client.LoadReport, cfg client.LoadConfig) {
+	fmt.Printf("pcpdaload: %d committed (%d attempts, %d retries, %d suppressed, %d failed) in %v\n",
+		rep.Committed, rep.Attempts, rep.Retries, rep.RetriesSuppressed, rep.Failed,
+		rep.Elapsed.Round(time.Millisecond))
+	fmt.Printf("pcpdaload: %.0f txn/s  p50=%v p90=%v p99=%v max=%v\n",
+		rep.Throughput(), rep.P50, rep.P90, rep.P99, rep.Max)
+	if cfg.ArrivalRate > 0 {
+		fmt.Printf("pcpdaload: offered=%d overrun=%d on_time=%d goodput=%.0f txn/s shed=%d infeasible=%d\n",
+			rep.Offered, rep.Overrun, rep.OnTime, rep.Goodput(), rep.Shed, rep.Infeasible)
+		for _, tr := range rep.Tiers {
+			fmt.Printf("pcpdaload:   tier pri=%d offered=%d committed=%d on_time=%d shed=%d miss=%.3f\n",
+				tr.Priority, tr.Offered, tr.Committed, tr.OnTime, tr.Shed, tr.MissRatio)
+		}
+	}
+}
+
+func logProxy(p *nemesis.Proxy) {
+	st := p.Stats()
+	log.Printf("pcpdaload: nemesis: conns=%d resets=%d drops=%d partitions=%d discarded=%d",
+		st.Conns, st.Resets, st.Drops, st.Partitions, st.Discarded)
+}
+
+// sweepStep is one offered-load step of the overload sweep.
+type sweepStep struct {
+	Multiplier  float64 `json:"multiplier"`
+	ArrivalRate float64 `json:"arrival_rate"`
+	Nemesis     bool    `json:"nemesis"` // step ran through the fault proxy
+
+	Offered    int64 `json:"offered"`
+	Overrun    int64 `json:"overrun"`
+	Committed  int64 `json:"committed"`
+	OnTime     int64 `json:"on_time"`
+	Shed       int64 `json:"shed"`
+	Infeasible int64 `json:"infeasible"`
+	Failed     int64 `json:"failed"`
+	Retries    int64 `json:"retries"`
+	Suppressed int64 `json:"retries_suppressed"`
+
+	ThroughputTPS float64 `json:"throughput_txn_s"`
+	GoodputTPS    float64 `json:"goodput_txn_s"`
+	MissRatio     float64 `json:"deadline_miss_ratio"`
+	TopTierMiss   float64 `json:"top_tier_miss_ratio"`
+
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+
+	Tiers []client.TierReport `json:"tiers"`
+}
+
+// sweepDoc is the BENCH_6 artifact: goodput and deadline misses as a
+// function of offered load, in multiples of the measured saturation
+// rate. PeakGoodput is taken over the baseline (fault-free) steps — the
+// graceful-degradation criterion is judged on that curve; nemesis steps
+// document how far the plateau survives injected network faults.
+type sweepDoc struct {
+	Label         string         `json:"label"`
+	Date          string         `json:"date"`
+	Go            string         `json:"go"`
+	Nemesis       bool           `json:"nemesis"`
+	NemesisStats  *nemesis.Stats `json:"nemesis_stats,omitempty"`
+	Conns         int            `json:"conns"`
+	DeadlineMs    float64        `json:"deadline_budget_ms"`
+	SaturationTPS float64        `json:"saturation_txn_s"`
+	PeakGoodput   float64        `json:"peak_goodput_txn_s"`
+	Steps         []sweepStep    `json:"steps"`
+}
+
+// runSweep measures closed-loop saturation, then runs one open-loop step
+// per multiplier and writes the sweep document.
+func runSweep(ctx context.Context, base client.LoadConfig, spec, label, out string, proxy *nemesis.Proxy) int {
+	mults, err := parseMults(spec)
+	if err != nil {
+		log.Printf("pcpdaload: -sweep: %v", err)
+		return 1
+	}
+	if base.DeadlineBudget <= 0 {
+		log.Printf("pcpdaload: -sweep requires -deadline-budget (goodput needs a deadline)")
+		return 1
+	}
+
+	// Calibration: a closed-loop burst over the direct path measures what
+	// the system can absorb; every multiplier steps off that rate.
+	cal := base
+	cal.ArrivalRate = 0
+	log.Printf("pcpdaload: sweep: calibrating saturation (%d conns, %d txns)", cal.Conns, cal.Txns)
+	calRep, err := client.RunLoad(ctx, cal)
+	if err != nil || calRep.Committed == 0 {
+		log.Printf("pcpdaload: sweep calibration failed: %v", err)
+		return 1
+	}
+	sat := calRep.Throughput()
+	log.Printf("pcpdaload: sweep: saturation = %.0f txn/s", sat)
+
+	doc := &sweepDoc{
+		Label: label, Date: time.Now().UTC().Format(time.RFC3339),
+		Go: runtime.Version(), Nemesis: proxy != nil,
+		Conns:         base.Conns,
+		DeadlineMs:    float64(base.DeadlineBudget) / float64(time.Millisecond),
+		SaturationTPS: sat,
+	}
+	for _, m := range mults {
+		variants := []bool{false}
+		if proxy != nil {
+			variants = append(variants, true)
+		}
+		for _, faulted := range variants {
+			step := base
+			step.ArrivalRate = sat * m
+			step.RetryBudget = nil // fresh budget per step
+			tag := ""
+			if faulted {
+				step.Addr = proxy.Addr().String()
+				tag = " [nemesis]"
+			}
+			log.Printf("pcpdaload: sweep: step %.2fx%s -> %.0f arrivals/s for %v",
+				m, tag, step.ArrivalRate, step.Duration)
+			rep, err := client.RunLoad(ctx, step)
+			if err != nil {
+				log.Printf("pcpdaload: sweep step %.2fx%s: %v", m, tag, err)
+				return 1
+			}
+			st := sweepStep{
+				Multiplier: m, ArrivalRate: step.ArrivalRate, Nemesis: faulted,
+				Offered: rep.Offered, Overrun: rep.Overrun,
+				Committed: rep.Committed, OnTime: rep.OnTime,
+				Shed: rep.Shed, Infeasible: rep.Infeasible, Failed: rep.Failed,
+				Retries: rep.Retries, Suppressed: rep.RetriesSuppressed,
+				ThroughputTPS: rep.Throughput(), GoodputTPS: rep.Goodput(),
+				P50Ms: ms(rep.P50), P99Ms: ms(rep.P99), MaxMs: ms(rep.Max),
+				Tiers: rep.Tiers,
+			}
+			if rep.Offered > 0 {
+				st.MissRatio = 1 - float64(rep.OnTime)/float64(rep.Offered)
+			}
+			if len(rep.Tiers) > 0 {
+				st.TopTierMiss = rep.Tiers[0].MissRatio
+			}
+			doc.Steps = append(doc.Steps, st)
+			if !faulted && st.GoodputTPS > doc.PeakGoodput {
+				doc.PeakGoodput = st.GoodputTPS
+			}
+			log.Printf("pcpdaload: sweep: %.2fx%s offered=%d goodput=%.0f txn/s miss=%.3f top-tier-miss=%.3f shed=%d",
+				m, tag, st.Offered, st.GoodputTPS, st.MissRatio, st.TopTierMiss, st.Shed)
+		}
+	}
+	if proxy != nil {
+		st := proxy.Stats()
+		doc.NemesisStats = &st
+		logProxy(proxy)
+	}
+	if out == "" {
+		out = "-"
+	}
+	if err := writeJSON(out, doc); err != nil {
+		log.Printf("pcpdaload: report: %v", err)
+		return 1
+	}
+	for _, st := range doc.Steps {
+		if st.Committed == 0 {
+			log.Printf("pcpdaload: sweep step %.2fx committed nothing", st.Multiplier)
+			return 1
+		}
+	}
+	return 0
+}
+
+func parseMults(spec string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(spec, ",") {
+		m, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || m <= 0 {
+			return nil, fmt.Errorf("bad multiplier %q", part)
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty multiplier list")
+	}
+	return out, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}

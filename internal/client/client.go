@@ -8,6 +8,7 @@ package client
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"net"
 	"sync"
@@ -108,7 +109,24 @@ func (c *Conn) op(req wire.Message, want wire.Kind) (wire.Message, error) {
 
 // Begin starts a transaction of the named type and returns its job id.
 func (c *Conn) Begin(name string) (uint64, error) {
-	reply, err := c.op(&wire.Begin{Name: name}, wire.KindBeginOK)
+	return c.BeginBudget(name, 0)
+}
+
+// BeginBudget starts a transaction with a firm deadline budget: the server
+// refuses it (CodeInfeasible) if its queue-wait estimate already breaks
+// the budget, and its watchdog force-aborts the transaction if it is still
+// live past budget+grace. budget <= 0 means no deadline; sub-millisecond
+// budgets round up to 1ms rather than silently dropping the deadline.
+func (c *Conn) BeginBudget(name string, budget time.Duration) (uint64, error) {
+	m := &wire.Begin{Name: name}
+	if budget > 0 {
+		ms := (budget + time.Millisecond - 1) / time.Millisecond
+		if ms > math.MaxUint32 {
+			ms = math.MaxUint32
+		}
+		m.Deadline = uint32(ms)
+	}
+	reply, err := c.op(m, wire.KindBeginOK)
 	if err != nil {
 		return 0, err
 	}
@@ -223,6 +241,61 @@ func (p *Pool) Close() {
 	}
 }
 
+// RetryBudget is a token bucket bounding the global ratio of retries to
+// first attempts across every Client sharing it. Each Do call earns a
+// fraction of a token; each retry spends a whole one. Under normal
+// operation the bucket stays near full and retries are free; under
+// sustained overload the spend rate caps at the earn rate, so the retry
+// traffic a saturated server sees is at most EarnPerCall of the offered
+// load — the classic defense against retry storms turning an overload
+// into a metastable failure.
+type RetryBudget struct {
+	mu         sync.Mutex
+	tokens     float64
+	burst      float64
+	earn       float64
+	suppressed int64
+}
+
+// NewRetryBudget builds a budget earning earnPerCall tokens per first
+// attempt (default 0.2) with the given burst capacity (default 20). The
+// bucket starts full so short bursts of failures retry freely.
+func NewRetryBudget(earnPerCall, burst float64) *RetryBudget {
+	if earnPerCall <= 0 {
+		earnPerCall = 0.2
+	}
+	if burst < 1 {
+		burst = 20
+	}
+	return &RetryBudget{tokens: burst, burst: burst, earn: earnPerCall}
+}
+
+func (b *RetryBudget) credit() {
+	b.mu.Lock()
+	b.tokens = min(b.burst, b.tokens+b.earn)
+	b.mu.Unlock()
+}
+
+// take spends one token if available; a refusal is counted as a
+// suppressed retry.
+func (b *RetryBudget) take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	b.suppressed++
+	return false
+}
+
+// Suppressed returns how many retries the budget has refused.
+func (b *RetryBudget) Suppressed() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.suppressed
+}
+
 // Client wraps a Pool with seeded-jitter retries on the protocol's
 // retryable error codes.
 type Client struct {
@@ -234,6 +307,15 @@ type Client struct {
 	BackoffBase time.Duration
 	// Retries, when set, is atomically incremented once per retry attempt.
 	Retries *int64
+	// Budget, when set, globally caps retries: a retry the budget refuses
+	// ends the Do call with the last error instead of sleeping and trying
+	// again. Share one budget across all clients of a workload.
+	Budget *RetryBudget
+	// CodeHook, when set, observes every typed server error an attempt
+	// returns (including ones that are then retried) — load generators use
+	// it to count sheds and infeasible rejections that Do would otherwise
+	// absorb.
+	CodeHook func(wire.ErrorCode)
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -248,43 +330,62 @@ func NewClient(pool *Pool, seed int64) *Client {
 
 // Do runs fn as one transaction attempt of the named type: Begin, fn,
 // Commit, retrying the whole sequence (with exponential full-jitter
-// backoff) when the failure is retryable — overload backpressure, an
-// optimistic abort, or a firm-deadline miss. fn gets a live connection
-// with the transaction begun; returning an error aborts the attempt.
+// backoff) when the failure is retryable — overload backpressure, a shed
+// or infeasible rejection, an optimistic abort, or a firm-deadline miss.
+// fn gets a live connection with the transaction begun; returning an
+// error aborts the attempt.
 func (cl *Client) Do(name string, fn func(c *Conn) error) error {
+	return cl.DoDeadline(name, 0, fn)
+}
+
+// DoDeadline is Do with a firm deadline budget attached to the BEGIN (see
+// Conn.BeginBudget); budget <= 0 is plain Do. Retries reuse the same
+// budget value — the server re-evaluates feasibility per attempt.
+func (cl *Client) DoDeadline(name string, budget time.Duration, fn func(c *Conn) error) error {
 	attempts := cl.MaxAttempts
 	if attempts <= 0 {
 		attempts = 1
 	}
+	if cl.Budget != nil {
+		cl.Budget.credit()
+	}
 	var last error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
+			if cl.Budget != nil && !cl.Budget.take() {
+				return fmt.Errorf("client: %s: retry budget exhausted: %w", name, last)
+			}
 			if cl.Retries != nil {
 				atomic.AddInt64(cl.Retries, 1)
 			}
 			cl.sleepBackoff(a)
 		}
-		err := cl.attempt(name, fn)
+		err := cl.attempt(name, budget, fn)
 		if err == nil {
 			return nil
 		}
 		last = err
 		var remote *wire.RemoteError
-		if errors.As(err, &remote) && remote.Code.Retryable() {
-			continue
+		if errors.As(err, &remote) {
+			if cl.CodeHook != nil {
+				cl.CodeHook(remote.Code)
+			}
+			if remote.Code.Retryable() {
+				continue
+			}
 		}
 		return err
 	}
 	return fmt.Errorf("client: %s: attempts exhausted: %w", name, last)
 }
 
-func (cl *Client) attempt(name string, fn func(c *Conn) error) error {
+func (cl *Client) attempt(name string, budget time.Duration, fn func(c *Conn) error) error {
 	c, err := cl.pool.Get()
 	if err != nil {
 		return err
 	}
 	defer cl.pool.Put(c)
-	if _, err := c.Begin(name); err != nil {
+	if _, err := c.BeginBudget(name, budget); err != nil {
 		return err
 	}
 	if err := fn(c); err != nil {

@@ -13,20 +13,31 @@ import (
 	"pcpda/internal/wire"
 )
 
-// LoadConfig parameterizes the closed-loop load generator: Conns workers,
-// each with its own connection, each running one transaction at a time
-// (begin → declared steps → commit) until Txns transactions have
-// committed in total.
+// LoadConfig parameterizes the load generator. Two modes:
+//
+//   - Closed loop (ArrivalRate == 0): Conns workers, each with its own
+//     connection, each running one transaction at a time (begin → declared
+//     steps → commit) until Txns transactions have committed in total.
+//     Measures the system's capacity — offered load adapts to completion.
+//
+//   - Open loop (ArrivalRate > 0): transactions arrive by a Poisson
+//     process at ArrivalRate per second for Duration, regardless of how
+//     fast earlier ones complete. This is what real overload looks like —
+//     arrivals do not slow down because the server is slow — and it is the
+//     only mode that can push the server past saturation, which is the
+//     point: it measures goodput and deadline misses under offered loads
+//     the server cannot absorb.
 type LoadConfig struct {
 	// Addr is the server to drive.
 	Addr string
-	// Conns is the number of concurrent closed-loop workers. Default 8.
+	// Conns is the number of concurrent workers (each owns a connection
+	// pool of one). Default 8.
 	Conns int
-	// Txns is the total number of committed transactions to reach.
-	// Default 1000.
+	// Txns is the closed-loop committed-transaction target. Default 1000.
+	// Ignored in open-loop mode.
 	Txns int
-	// Seed makes the workload reproducible: worker w draws template
-	// choices, written values and backoff jitter from Seed+w.
+	// Seed makes the workload reproducible: the arrival process draws from
+	// Seed, worker w draws written values and backoff jitter from Seed+w.
 	Seed int64
 	// OpTimeout bounds each request/reply round trip. Default 10s.
 	OpTimeout time.Duration
@@ -34,6 +45,38 @@ type LoadConfig struct {
 	// generation under deliberate overload needs more patience than the
 	// Client default.
 	MaxAttempts int
+
+	// ArrivalRate switches to open loop: mean arrivals per second of the
+	// Poisson process. 0 selects the closed loop.
+	ArrivalRate float64
+	// Duration bounds the open-loop arrival window. Default 5s.
+	Duration time.Duration
+	// DeadlineBudget is the firm deadline attached to every open-loop
+	// BEGIN, measured from arrival: the server sheds infeasible work, and
+	// a commit later than this counts as a deadline miss, not goodput.
+	// 0 sends no deadline (every commit is on time).
+	DeadlineBudget time.Duration
+	// MaxInFlight bounds open-loop arrivals waiting for a worker; past it
+	// the lowest-priority waiting arrival is dropped client-side and
+	// counted as Overrun (an open-loop generator must shed too, or it
+	// measures its own queue — and it must shed in priority order, or it
+	// reintroduces the priority inversion the server's admission queue
+	// avoids). Default 4×Conns.
+	MaxInFlight int
+	// RetryBudget caps retries across all workers; allocated internally
+	// (0.2 tokens per transaction, burst 10×Conns) when nil.
+	RetryBudget *RetryBudget
+}
+
+// TierReport aggregates one priority tier (all templates sharing one base
+// priority) of a load run.
+type TierReport struct {
+	Priority  int32   `json:"priority"`
+	Offered   int64   `json:"offered"`             // arrivals (open loop) or transactions started (closed loop)
+	Committed int64   `json:"committed"`           // commits, on time or not
+	OnTime    int64   `json:"on_time"`             // commits within DeadlineBudget of arrival
+	Shed      int64   `json:"shed"`                // attempts refused with CodeShed
+	MissRatio float64 `json:"deadline_miss_ratio"` // 1 - OnTime/Offered
 }
 
 // LoadReport aggregates one load run.
@@ -44,11 +87,22 @@ type LoadReport struct {
 	Failed    int64         `json:"failed"`   // transactions abandoned (attempts exhausted or fatal)
 	Elapsed   time.Duration `json:"elapsed_ns"`
 
-	// Latency percentiles over committed transactions, begin→commit.
+	// Latency percentiles over committed transactions: begin→commit in the
+	// closed loop, arrival→commit in the open loop (queueing included —
+	// that is the latency a deadline is spent against).
 	P50 time.Duration `json:"p50_ns"`
 	P90 time.Duration `json:"p90_ns"`
 	P99 time.Duration `json:"p99_ns"`
 	Max time.Duration `json:"max_ns"`
+
+	// Open-loop and overload accounting.
+	Offered           int64        `json:"offered,omitempty"`    // open loop: arrivals generated
+	Overrun           int64        `json:"overrun,omitempty"`    // arrivals dropped client-side at MaxInFlight
+	OnTime            int64        `json:"on_time,omitempty"`    // commits within DeadlineBudget (== Committed when no budget)
+	Shed              int64        `json:"shed,omitempty"`       // CodeShed rejections observed
+	Infeasible        int64        `json:"infeasible,omitempty"` // CodeInfeasible rejections observed
+	RetriesSuppressed int64        `json:"retries_suppressed"`   // retries the budget refused
+	Tiers             []TierReport `json:"tiers,omitempty"`      // per-priority breakdown, highest first
 }
 
 // Throughput returns committed transactions per second.
@@ -59,10 +113,16 @@ func (r *LoadReport) Throughput() float64 {
 	return float64(r.Committed) / r.Elapsed.Seconds()
 }
 
-// RunLoad drives the server at cfg.Addr with a seeded closed loop and
-// reports throughput and latency. It stops early (with the partial
-// report and ctx's error) if ctx is cancelled.
-func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+// Goodput returns on-time committed transactions per second — the only
+// rate that matters under firm deadlines.
+func (r *LoadReport) Goodput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.OnTime) / r.Elapsed.Seconds()
+}
+
+func (cfg *LoadConfig) fill() {
 	if cfg.Conns <= 0 {
 		cfg.Conns = 8
 	}
@@ -75,6 +135,23 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 16
 	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4 * cfg.Conns
+	}
+	if cfg.RetryBudget == nil {
+		cfg.RetryBudget = NewRetryBudget(0.2, float64(10*cfg.Conns))
+	}
+}
+
+// RunLoad drives the server at cfg.Addr with a seeded workload — closed
+// loop by default, open loop when ArrivalRate is set — and reports
+// throughput, goodput and latency. It stops early (with the partial
+// report and ctx's error) if ctx is cancelled.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	cfg.fill()
 	probe, err := Dial(cfg.Addr, cfg.OpTimeout)
 	if err != nil {
 		return nil, err
@@ -84,8 +161,15 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	if len(schema.Templates) == 0 {
 		return nil, errors.New("client: server exports no transaction types")
 	}
+	if cfg.ArrivalRate > 0 {
+		return runOpenLoop(ctx, cfg, schema)
+	}
+	return runClosedLoop(ctx, cfg, schema)
+}
 
+func runClosedLoop(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK) (*LoadReport, error) {
 	rep := &LoadReport{}
+	tiers := newTierStats(schema)
 	var remaining atomic.Int64
 	remaining.Store(int64(cfg.Txns))
 	lats := make([][]time.Duration, cfg.Conns)
@@ -96,26 +180,11 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			errs[w] = loadWorker(ctx, cfg, schema, int64(w), &remaining, rep, &lats[w])
+			errs[w] = loadWorker(ctx, cfg, schema, tiers, int64(w), &remaining, rep, &lats[w])
 		}(w)
 	}
 	wg.Wait()
-	rep.Elapsed = time.Since(start)
-
-	var all []time.Duration
-	for _, l := range lats {
-		all = append(all, l...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	if n := len(all); n > 0 {
-		rep.P50 = all[n*50/100]
-		rep.P90 = all[n*90/100]
-		rep.P99 = all[n*99/100]
-		if rep.P99 == 0 { // tiny runs: index n*99/100 may clamp to 0th
-			rep.P99 = all[n-1]
-		}
-		rep.Max = all[n-1]
-	}
+	finishReport(rep, cfg, tiers, lats, start)
 	for _, err := range errs {
 		if err != nil {
 			return rep, err
@@ -127,7 +196,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 // loadWorker is one closed-loop connection: claim a transaction from the
 // shared budget, run it to commit (retrying retryable failures), record
 // the latency, repeat.
-func loadWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK,
+func loadWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, tiers *tierStats,
 	id int64, remaining *atomic.Int64, rep *LoadReport, lats *[]time.Duration) error {
 	rng := rand.New(rand.NewSource(cfg.Seed + id))
 	pool := NewPool(cfg.Addr, cfg.OpTimeout, 1)
@@ -135,28 +204,19 @@ func loadWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK,
 	cl := NewClient(pool, cfg.Seed^id)
 	cl.MaxAttempts = cfg.MaxAttempts
 	cl.Retries = &rep.Retries
+	cl.Budget = cfg.RetryBudget
+	var curTier *tierCounters
+	cl.CodeHook = func(code wire.ErrorCode) { countCode(rep, curTier, code) }
 
 	for remaining.Add(-1) >= 0 {
 		if ctx.Err() != nil {
 			return nil
 		}
 		tmpl := schema.Templates[rng.Intn(len(schema.Templates))]
+		curTier = tiers.of(tmpl.Priority)
+		curTier.offered.Add(1)
 		begin := time.Now()
-		err := cl.Do(tmpl.Name, func(c *Conn) error {
-			for _, st := range tmpl.Steps {
-				switch st.Op {
-				case wire.OpRead:
-					if _, err := c.Read(st.Item); err != nil {
-						return err
-					}
-				case wire.OpWrite:
-					if err := c.Write(st.Item, rng.Int63n(1<<30)); err != nil {
-						return err
-					}
-				}
-			}
-			return nil
-		})
+		err := cl.Do(tmpl.Name, runSteps(tmpl, rng))
 		atomic.AddInt64(&rep.Attempts, 1)
 		if err != nil {
 			atomic.AddInt64(&rep.Failed, 1)
@@ -179,7 +239,304 @@ func loadWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK,
 			return fmt.Errorf("client: worker %d: %w", id, err)
 		}
 		atomic.AddInt64(&rep.Committed, 1)
+		curTier.committed.Add(1)
+		curTier.onTime.Add(1) // no deadline budget in the closed loop
 		*lats = append(*lats, time.Since(begin))
 	}
 	return nil
+}
+
+// openJob is one open-loop arrival awaiting a worker.
+type openJob struct {
+	tmpl    wire.TemplateInfo
+	arrival time.Time
+	seq     uint64
+}
+
+// openQueue is the generator-side waiting room, and it applies the same
+// rule as the server's admission queue: highest priority leaves first,
+// and when the room is full the lowest-priority occupant is displaced.
+// A FIFO here would undo server-side priority shedding — a top-priority
+// arrival would wait behind doomed low-priority work for a free worker —
+// so the priority inversion the server avoids would simply reappear one
+// hop earlier. Within a priority, FIFO by arrival.
+type openQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []openJob // sorted: priority desc, seq asc
+	max    int
+	seq    uint64
+	closed bool
+}
+
+func newOpenQueue(max int) *openQueue {
+	q := &openQueue{max: max}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push inserts a job, displacing the lowest-priority occupant when full.
+// It returns false when the job itself (or, transitively, the displaced
+// occupant) was dropped — exactly one arrival is lost per push to a full
+// queue, always the least important one present.
+func (q *openQueue) push(j openJob) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j.seq = q.seq
+	q.seq++
+	if len(q.items) >= q.max {
+		low := q.items[len(q.items)-1]
+		if j.tmpl.Priority <= low.tmpl.Priority {
+			return false // the newcomer is the least important: drop it
+		}
+		q.items = q.items[:len(q.items)-1] // displace the tail
+		defer q.cond.Signal()
+		q.insert(j)
+		return false // something was still dropped: count the overrun
+	}
+	q.insert(j)
+	q.cond.Signal()
+	return true
+}
+
+func (q *openQueue) insert(j openJob) {
+	i := sort.Search(len(q.items), func(i int) bool {
+		it := q.items[i]
+		return it.tmpl.Priority < j.tmpl.Priority ||
+			(it.tmpl.Priority == j.tmpl.Priority && it.seq > j.seq)
+	})
+	q.items = append(q.items, openJob{})
+	copy(q.items[i+1:], q.items[i:])
+	q.items[i] = j
+}
+
+// pop blocks for the highest-priority waiting job; ok is false once the
+// queue is closed and empty.
+func (q *openQueue) pop() (openJob, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return openJob{}, false
+	}
+	j := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	return j, true
+}
+
+func (q *openQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func runOpenLoop(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK) (*LoadReport, error) {
+	rep := &LoadReport{}
+	tiers := newTierStats(schema)
+	jobs := newOpenQueue(cfg.MaxInFlight)
+	lats := make([][]time.Duration, cfg.Conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			openWorker(ctx, cfg, tiers, int64(w), jobs, rep, &lats[w])
+		}(w)
+	}
+
+	// The arrival process: exponential inter-arrival times at ArrivalRate,
+	// template drawn per arrival — all from one rng, so the offered
+	// workload is a deterministic function of the seed regardless of how
+	// the server behaves. Arrival times are absolute (each scheduled from
+	// the previous scheduled time, not from "now"): when the scheduler
+	// falls behind it emits the overdue arrivals immediately instead of
+	// silently stretching every gap by its own overhead, so the offered
+	// rate actually is ArrivalRate. An arrival finding MaxInFlight jobs
+	// outstanding is dropped here: open-loop latency must be measured
+	// against the server's queueing, not a client-side backlog of stale
+	// arrivals.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	deadline := start.Add(cfg.Duration)
+	next := start
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+arrivals:
+	for {
+		next = next.Add(time.Duration(rng.ExpFloat64() / cfg.ArrivalRate * float64(time.Second)))
+		if next.After(deadline) {
+			break
+		}
+		if wait := time.Until(next); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				break arrivals
+			case <-timer.C:
+			}
+		} else if ctx.Err() != nil {
+			break
+		}
+		tmpl := schema.Templates[rng.Intn(len(schema.Templates))]
+		rep.Offered++
+		tiers.of(tmpl.Priority).offered.Add(1)
+		if !jobs.push(openJob{tmpl: tmpl, arrival: time.Now()}) {
+			rep.Overrun++
+		}
+	}
+	jobs.close()
+	wg.Wait()
+	finishReport(rep, cfg, tiers, lats, start)
+	return rep, ctx.Err()
+}
+
+// openWorker drains arrivals. Unlike the closed-loop worker it never
+// returns an error: under nemesis faults broken connections and exhausted
+// attempts are expected outcomes to count, not reasons to stop offering
+// load.
+func openWorker(ctx context.Context, cfg LoadConfig, tiers *tierStats,
+	id int64, jobs *openQueue, rep *LoadReport, lats *[]time.Duration) {
+	rng := rand.New(rand.NewSource(cfg.Seed + id))
+	pool := NewPool(cfg.Addr, cfg.OpTimeout, 1)
+	defer pool.Close()
+	cl := NewClient(pool, cfg.Seed^id)
+	cl.MaxAttempts = cfg.MaxAttempts
+	cl.Retries = &rep.Retries
+	cl.Budget = cfg.RetryBudget
+	var curTier *tierCounters
+	cl.CodeHook = func(code wire.ErrorCode) { countCode(rep, curTier, code) }
+
+	for {
+		j, ok := jobs.pop()
+		if !ok {
+			return
+		}
+		if ctx.Err() != nil {
+			continue // drain the queue so nothing is left behind
+		}
+		curTier = tiers.of(j.tmpl.Priority)
+		budget := cfg.DeadlineBudget
+		if budget > 0 {
+			// The deadline is anchored at arrival; hand the server only
+			// what remains. A job whose budget evaporated waiting for a
+			// worker is dropped without a round trip.
+			budget -= time.Since(j.arrival)
+			if budget <= 0 {
+				atomic.AddInt64(&rep.Failed, 1)
+				continue
+			}
+		}
+		err := cl.DoDeadline(j.tmpl.Name, budget, runSteps(j.tmpl, rng))
+		atomic.AddInt64(&rep.Attempts, 1)
+		if err != nil {
+			atomic.AddInt64(&rep.Failed, 1)
+			continue
+		}
+		lat := time.Since(j.arrival)
+		atomic.AddInt64(&rep.Committed, 1)
+		curTier.committed.Add(1)
+		if cfg.DeadlineBudget <= 0 || lat <= cfg.DeadlineBudget {
+			curTier.onTime.Add(1)
+		}
+		*lats = append(*lats, lat)
+	}
+}
+
+// runSteps replays a template's declared steps on the live transaction.
+func runSteps(tmpl wire.TemplateInfo, rng *rand.Rand) func(c *Conn) error {
+	return func(c *Conn) error {
+		for _, st := range tmpl.Steps {
+			switch st.Op {
+			case wire.OpRead:
+				if _, err := c.Read(st.Item); err != nil {
+					return err
+				}
+			case wire.OpWrite:
+				if err := c.Write(st.Item, rng.Int63n(1<<30)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// countCode tallies typed overload rejections the Client observes
+// (including retried ones). Called from worker goroutines via CodeHook.
+func countCode(rep *LoadReport, tier *tierCounters, code wire.ErrorCode) {
+	switch code {
+	case wire.CodeShed:
+		atomic.AddInt64(&rep.Shed, 1)
+		if tier != nil {
+			tier.shed.Add(1)
+		}
+	case wire.CodeInfeasible:
+		atomic.AddInt64(&rep.Infeasible, 1)
+	}
+}
+
+// tierCounters is the hot-path (atomic) form of TierReport.
+type tierCounters struct {
+	priority                         int32
+	offered, committed, onTime, shed atomic.Int64
+}
+
+type tierStats struct {
+	byPri map[int32]*tierCounters
+	order []int32 // descending priority
+}
+
+func newTierStats(schema *wire.HelloOK) *tierStats {
+	t := &tierStats{byPri: make(map[int32]*tierCounters)}
+	for _, tmpl := range schema.Templates {
+		if _, ok := t.byPri[tmpl.Priority]; !ok {
+			t.byPri[tmpl.Priority] = &tierCounters{priority: tmpl.Priority}
+			t.order = append(t.order, tmpl.Priority)
+		}
+	}
+	sort.Slice(t.order, func(i, j int) bool { return t.order[i] > t.order[j] })
+	return t
+}
+
+func (t *tierStats) of(pri int32) *tierCounters { return t.byPri[pri] }
+
+// finishReport computes elapsed time, latency percentiles, tier summaries
+// and aggregate on-time/suppressed counts. Shared by both loop modes.
+func finishReport(rep *LoadReport, cfg LoadConfig, tiers *tierStats,
+	lats [][]time.Duration, start time.Time) {
+	rep.Elapsed = time.Since(start)
+	rep.RetriesSuppressed = cfg.RetryBudget.Suppressed()
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if n := len(all); n > 0 {
+		rep.P50 = all[n*50/100]
+		rep.P90 = all[n*90/100]
+		rep.P99 = all[n*99/100]
+		if rep.P99 == 0 { // tiny runs: index n*99/100 may clamp to 0th
+			rep.P99 = all[n-1]
+		}
+		rep.Max = all[n-1]
+	}
+	for _, pri := range tiers.order {
+		tc := tiers.byPri[pri]
+		tr := TierReport{
+			Priority:  pri,
+			Offered:   tc.offered.Load(),
+			Committed: tc.committed.Load(),
+			OnTime:    tc.onTime.Load(),
+			Shed:      tc.shed.Load(),
+		}
+		if tr.Offered > 0 {
+			tr.MissRatio = 1 - float64(tr.OnTime)/float64(tr.Offered)
+		}
+		rep.OnTime += tr.OnTime
+		rep.Tiers = append(rep.Tiers, tr)
+	}
 }

@@ -43,11 +43,15 @@ var BannedImports = []string{
 // LayerAllow confines the network-service layers (DESIGN.md §11): each
 // package listed here may import module-internal packages only from its
 // allowlist. wire is a pure codec and sees nothing of the module; client
-// sees only the codec, so it can never reach around the protocol; server
-// is the sole package allowed to hold both a socket and the manager.
+// sees only the codec, so it can never reach around the protocol; nemesis
+// is a raw TCP relay that must stay ignorant of even the codec (it
+// corrupts byte streams, so letting it parse them would invite
+// protocol-aware "faults" that hide real bugs); server is the sole
+// package allowed to hold both a socket and the manager.
 var LayerAllow = map[string][]string{
-	"pcpda/internal/wire":   {},
-	"pcpda/internal/client": {"pcpda/internal/wire"},
+	"pcpda/internal/wire":    {},
+	"pcpda/internal/nemesis": {},
+	"pcpda/internal/client":  {"pcpda/internal/wire"},
 	"pcpda/internal/server": {
 		"pcpda/internal/wire",
 		"pcpda/internal/rtm",

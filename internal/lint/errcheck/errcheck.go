@@ -28,6 +28,7 @@ var PkgPrefixes = []string{
 	"pcpda/internal/wire",
 	"pcpda/internal/server",
 	"pcpda/internal/client",
+	"pcpda/internal/nemesis",
 }
 
 // Analyzer is the errcheck analyzer.

@@ -10,40 +10,55 @@ import "sync/atomic"
 //
 // Contains atomics: must be used through a pointer, never copied.
 type ServerCounters struct {
-	Accepted         atomic.Int64 // transactions admitted (BEGIN granted)
-	RejectedOverload atomic.Int64 // BEGINs refused because the admission queue was full
-	AutoAborted      atomic.Int64 // live transactions aborted because their session disconnected
-	DrainAborted     atomic.Int64 // live transactions aborted by server drain
-	SessionsOpened   atomic.Int64 // connections that completed the hello handshake
-	SessionsClosed   atomic.Int64 // sessions torn down (any reason)
-	BytesIn          atomic.Int64 // payload bytes read off the wire
-	BytesOut         atomic.Int64 // payload bytes written to the wire
+	Accepted           atomic.Int64 // transactions admitted (BEGIN granted)
+	RejectedOverload   atomic.Int64 // BEGINs refused because the admission queue was full
+	RejectedInfeasible atomic.Int64 // BEGINs refused because the queue-wait estimate already broke their firm deadline
+	Shed               atomic.Int64 // BEGINs shed (displaced from or refused by the queue) as lowest-priority work past the high-water mark
+	AutoAborted        atomic.Int64 // live transactions aborted because their session disconnected
+	DrainAborted       atomic.Int64 // live transactions aborted by server drain
+	WatchdogTrips      atomic.Int64 // transactions force-aborted by the stuck-transaction watchdog
+	WatchdogAuditFails atomic.Int64 // CheckInvariants failures observed after a watchdog trip
+	SlowClientKills    atomic.Int64 // sessions torn down because a reply write hit the write deadline
+	SessionsOpened     atomic.Int64 // connections that completed the hello handshake
+	SessionsClosed     atomic.Int64 // sessions torn down (any reason)
+	BytesIn            atomic.Int64 // payload bytes read off the wire
+	BytesOut           atomic.Int64 // payload bytes written to the wire
 }
 
 // ServerSnapshot is a plain-value copy of ServerCounters, safe to copy,
 // compare and marshal.
 type ServerSnapshot struct {
-	Accepted         int64 `json:"accepted"`
-	RejectedOverload int64 `json:"rejected_overload"`
-	AutoAborted      int64 `json:"auto_aborted"`
-	DrainAborted     int64 `json:"drain_aborted"`
-	SessionsOpened   int64 `json:"sessions_opened"`
-	SessionsClosed   int64 `json:"sessions_closed"`
-	BytesIn          int64 `json:"bytes_in"`
-	BytesOut         int64 `json:"bytes_out"`
+	Accepted           int64 `json:"accepted"`
+	RejectedOverload   int64 `json:"rejected_overload"`
+	RejectedInfeasible int64 `json:"rejected_infeasible"`
+	Shed               int64 `json:"shed"`
+	AutoAborted        int64 `json:"auto_aborted"`
+	DrainAborted       int64 `json:"drain_aborted"`
+	WatchdogTrips      int64 `json:"watchdog_trips"`
+	WatchdogAuditFails int64 `json:"watchdog_audit_fails"`
+	SlowClientKills    int64 `json:"slow_client_kills"`
+	SessionsOpened     int64 `json:"sessions_opened"`
+	SessionsClosed     int64 `json:"sessions_closed"`
+	BytesIn            int64 `json:"bytes_in"`
+	BytesOut           int64 `json:"bytes_out"`
 }
 
 // Snapshot reads every counter once.
 func (c *ServerCounters) Snapshot() ServerSnapshot {
 	return ServerSnapshot{
-		Accepted:         c.Accepted.Load(),
-		RejectedOverload: c.RejectedOverload.Load(),
-		AutoAborted:      c.AutoAborted.Load(),
-		DrainAborted:     c.DrainAborted.Load(),
-		SessionsOpened:   c.SessionsOpened.Load(),
-		SessionsClosed:   c.SessionsClosed.Load(),
-		BytesIn:          c.BytesIn.Load(),
-		BytesOut:         c.BytesOut.Load(),
+		Accepted:           c.Accepted.Load(),
+		RejectedOverload:   c.RejectedOverload.Load(),
+		RejectedInfeasible: c.RejectedInfeasible.Load(),
+		Shed:               c.Shed.Load(),
+		AutoAborted:        c.AutoAborted.Load(),
+		DrainAborted:       c.DrainAborted.Load(),
+		WatchdogTrips:      c.WatchdogTrips.Load(),
+		WatchdogAuditFails: c.WatchdogAuditFails.Load(),
+		SlowClientKills:    c.SlowClientKills.Load(),
+		SessionsOpened:     c.SessionsOpened.Load(),
+		SessionsClosed:     c.SessionsClosed.Load(),
+		BytesIn:            c.BytesIn.Load(),
+		BytesOut:           c.BytesOut.Load(),
 	}
 }
 

@@ -1,0 +1,407 @@
+// Package nemesis is a seeded in-process TCP fault-injection proxy.
+//
+// It sits between a client and a server and degrades the path the way real
+// networks do: added latency and jitter, bandwidth caps, deliberately slow
+// readers, silent connection drops, mid-stream RST resets, and one-way
+// partitions (bytes keep flowing one direction, vanish the other). Tests
+// and soaks route traffic through it to prove the protocol layers above —
+// session teardown, slow-client defense, retry budgets, drain audits —
+// hold up when the transport misbehaves.
+//
+// Every decision is drawn from a rng seeded by (Seed, connection number),
+// so a given connection's fate — which fault it suffers and after how many
+// bytes — is a pure function of the seed and its accept order. Same seed,
+// same per-connection fault plan, reproducible failure.
+//
+// The package deliberately knows nothing about the wire protocol or the
+// transaction manager; it moves bytes. (pcpdalint pins that: net-only
+// imports, no rtm.)
+package nemesis
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Faults selects which degradations a proxy applies. Probabilities are
+// per-connection and mutually exclusive in the order reset, drop,
+// partition: each connection suffers at most one terminal/partition fault,
+// chosen at accept time. Latency, bandwidth and slow-read shaping apply to
+// every connection.
+type Faults struct {
+	// Latency is the mean extra delay added to every chunk relayed, in
+	// both directions. 0 disables.
+	Latency time.Duration
+	// Jitter spreads Latency uniformly over [Latency-Jitter,
+	// Latency+Jitter] (clamped at zero).
+	Jitter time.Duration
+	// BandwidthBPS caps each direction's relay rate in bytes per second.
+	// 0 disables.
+	BandwidthBPS int64
+	// SlowReadBPS additionally caps how fast the proxy reads from the
+	// server (the server→client direction) — a deliberately slow reader.
+	// The proxy stops draining the server's socket, the kernel buffer
+	// fills, and the server's reply writes block: exactly the stall its
+	// write deadline must cut off. 0 disables.
+	SlowReadBPS int64
+	// PReset is the per-connection probability of a mid-stream TCP reset
+	// (RST, via SO_LINGER 0) after FaultAfter bytes.
+	PReset float64
+	// PDrop is the per-connection probability of a silent close (FIN, no
+	// error code, no warning) after FaultAfter bytes.
+	PDrop float64
+	// PPartition is the per-connection probability of a one-way partition
+	// after FaultAfter bytes: one direction (seeded choice) starts
+	// discarding bytes while the connection stays open and the other
+	// direction keeps working.
+	PPartition float64
+	// FaultAfterMin/Max bound the seeded per-connection byte count after
+	// which the chosen fault fires. Defaults 512 and 8192.
+	FaultAfterMin int64
+	FaultAfterMax int64
+}
+
+func (f *Faults) fill() error {
+	if f.PReset < 0 || f.PDrop < 0 || f.PPartition < 0 ||
+		f.PReset+f.PDrop+f.PPartition > 1 {
+		return errors.New("nemesis: fault probabilities must be non-negative and sum to at most 1")
+	}
+	if f.FaultAfterMin <= 0 {
+		f.FaultAfterMin = 512
+	}
+	if f.FaultAfterMax <= f.FaultAfterMin {
+		f.FaultAfterMax = max(8192, f.FaultAfterMin+1)
+	}
+	return nil
+}
+
+// Config parameterizes a Proxy.
+type Config struct {
+	// Listen is the address to accept client connections on (use
+	// "127.0.0.1:0" in tests).
+	Listen string
+	// Target is the upstream server address traffic is relayed to.
+	Target string
+	// Seed drives every fault decision. Two proxies with the same Seed
+	// and Faults deal identical fates to the n-th accepted connection.
+	Seed int64
+	// Faults selects the degradations to apply.
+	Faults Faults
+	// DialTimeout bounds the upstream dial per connection. Default 5s.
+	DialTimeout time.Duration
+	// Logf, when set, receives one line per injected fault.
+	Logf func(format string, args ...any)
+}
+
+// Stats counts what the proxy has done. Plain-value snapshot.
+type Stats struct {
+	Conns      int64 `json:"conns"`       // connections accepted
+	Resets     int64 `json:"resets"`      // RSTs injected
+	Drops      int64 `json:"drops"`       // silent closes injected
+	Partitions int64 `json:"partitions"`  // one-way partitions injected
+	BytesC2S   int64 `json:"bytes_c2s"`   // client→server bytes relayed
+	BytesS2C   int64 `json:"bytes_s2c"`   // server→client bytes relayed
+	Discarded  int64 `json:"discarded"`   // bytes swallowed by partitions
+	DialErrors int64 `json:"dial_errors"` // upstream dials that failed
+}
+
+// Proxy is a running fault-injection proxy. Create with New, stop with
+// Close.
+type Proxy struct {
+	cfg Config
+	ln  net.Listener
+
+	connSeq    atomic.Int64
+	conns      atomic.Int64
+	resets     atomic.Int64
+	drops      atomic.Int64
+	partitions atomic.Int64
+	bytesC2S   atomic.Int64
+	bytesS2C   atomic.Int64
+	discarded  atomic.Int64
+	dialErrs   atomic.Int64
+
+	mu     sync.Mutex
+	live   map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// New starts a proxy listening on cfg.Listen and relaying to cfg.Target.
+func New(cfg Config) (*Proxy, error) {
+	if err := cfg.Faults.fill(); err != nil {
+		return nil, err
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("nemesis: listen %s: %w", cfg.Listen, err)
+	}
+	p := &Proxy{cfg: cfg, ln: ln, live: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the address clients should dial.
+func (p *Proxy) Addr() net.Addr { return p.ln.Addr() }
+
+// Stats snapshots the proxy's counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Conns:      p.conns.Load(),
+		Resets:     p.resets.Load(),
+		Drops:      p.drops.Load(),
+		Partitions: p.partitions.Load(),
+		BytesC2S:   p.bytesC2S.Load(),
+		BytesS2C:   p.bytesS2C.Load(),
+		Discarded:  p.discarded.Load(),
+		DialErrors: p.dialErrs.Load(),
+	}
+}
+
+// Close stops accepting, severs every live connection and waits for all
+// relay goroutines to exit.
+func (p *Proxy) Close() error {
+	err := p.ln.Close()
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.live {
+		_ = c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf(format, args...)
+	}
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.live[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.live, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		id := p.connSeq.Add(1) - 1
+		p.conns.Add(1)
+		p.wg.Add(1)
+		go p.serve(client, id)
+	}
+}
+
+// dirC2S / dirS2C index the per-direction relay state.
+const (
+	dirC2S = 0
+	dirS2C = 1
+)
+
+// plan is one connection's seeded fate.
+type plan struct {
+	reset      bool
+	drop       bool
+	partition  bool
+	partDir    int   // direction the partition blackholes
+	faultAfter int64 // total relayed bytes (both directions) before it fires
+}
+
+// planFor derives connection id's fault plan from the proxy seed. The rng
+// is consumed in a fixed order so the plan depends only on (Seed, id).
+func planFor(seed, id int64, f Faults) (plan, *rand.Rand, *rand.Rand) {
+	// splitmix-style decorrelation so consecutive ids do not walk
+	// correlated rand streams.
+	s := uint64(seed) + uint64(id)*0x9e3779b97f4a7c15
+	s ^= s >> 30
+	s *= 0xbf58476d1ce4e5b9
+	s ^= s >> 27
+	rng := rand.New(rand.NewSource(int64(s)))
+	var pl plan
+	u := rng.Float64()
+	switch {
+	case u < f.PReset:
+		pl.reset = true
+	case u < f.PReset+f.PDrop:
+		pl.drop = true
+	case u < f.PReset+f.PDrop+f.PPartition:
+		pl.partition = true
+	}
+	pl.partDir = rng.Intn(2)
+	pl.faultAfter = f.FaultAfterMin + rng.Int63n(f.FaultAfterMax-f.FaultAfterMin)
+	// Independent jitter streams per direction, both derived from the
+	// already-decorrelated state so they are reproducible too.
+	j1 := rand.New(rand.NewSource(rng.Int63()))
+	j2 := rand.New(rand.NewSource(rng.Int63()))
+	return pl, j1, j2
+}
+
+// serve relays one client connection to the target, applying the
+// connection's seeded fault plan.
+func (p *Proxy) serve(client net.Conn, id int64) {
+	defer p.wg.Done()
+	if !p.track(client) {
+		_ = client.Close()
+		return
+	}
+	defer p.untrack(client)
+	server, err := net.DialTimeout("tcp", p.cfg.Target, p.cfg.DialTimeout)
+	if err != nil {
+		p.dialErrs.Add(1)
+		_ = client.Close()
+		return
+	}
+	if !p.track(server) {
+		_ = client.Close()
+		_ = server.Close()
+		return
+	}
+	defer p.untrack(server)
+
+	pl, jc2s, js2c := planFor(p.cfg.Seed, id, p.cfg.Faults)
+	cc := &pconn{p: p, id: id, client: client, server: server, plan: pl}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); cc.pipe(dirC2S, client, server, jc2s, &p.bytesC2S) }()
+	go func() { defer wg.Done(); cc.pipe(dirS2C, server, client, js2c, &p.bytesS2C) }()
+	wg.Wait()
+	_ = client.Close()
+	_ = server.Close()
+}
+
+// pconn is the shared state of one proxied connection's two pipes.
+type pconn struct {
+	p      *Proxy
+	id     int64
+	client net.Conn
+	server net.Conn
+	plan   plan
+
+	relayed atomic.Int64 // total bytes relayed, both directions
+	fired   atomic.Bool  // terminal fault fired (once per connection)
+}
+
+// fire executes the connection's terminal fault (reset or drop). Returns
+// true if this call fired it.
+func (c *pconn) fire() bool {
+	if !c.fired.CompareAndSwap(false, true) {
+		return false
+	}
+	switch {
+	case c.plan.reset:
+		c.p.resets.Add(1)
+		c.p.logf("nemesis: conn %d: injecting RST after %d bytes", c.id, c.relayed.Load())
+		if tc, ok := c.client.(*net.TCPConn); ok {
+			_ = tc.SetLinger(0) // close now sends RST, not FIN
+		}
+	case c.plan.drop:
+		c.p.drops.Add(1)
+		c.p.logf("nemesis: conn %d: silent drop after %d bytes", c.id, c.relayed.Load())
+	}
+	_ = c.client.Close()
+	_ = c.server.Close()
+	return true
+}
+
+// pipe relays src→dst in chunks, applying latency/jitter, bandwidth and
+// slow-read shaping, and the connection's scheduled fault once the
+// relayed-byte threshold passes. A partitioned direction keeps reading and
+// discards, so the connection stays half-open instead of erroring.
+func (c *pconn) pipe(dir int, src, dst net.Conn, jitter *rand.Rand, relayedCtr *atomic.Int64) {
+	f := c.p.cfg.Faults
+	readBPS := f.BandwidthBPS
+	if dir == dirS2C && f.SlowReadBPS > 0 && (readBPS == 0 || f.SlowReadBPS < readBPS) {
+		readBPS = f.SlowReadBPS
+	}
+	// Small chunks so shaping applies smoothly; a slow-read direction uses
+	// even smaller ones so the kernel buffer drains at the capped rate
+	// rather than in bursts.
+	bufSize := 4096
+	if readBPS > 0 {
+		bufSize = 256
+	}
+	buf := make([]byte, bufSize)
+	partitioned := false
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			total := c.relayed.Add(int64(n))
+			if readBPS > 0 {
+				time.Sleep(time.Duration(int64(n) * int64(time.Second) / readBPS))
+			}
+			if f.Latency > 0 {
+				d := f.Latency
+				if f.Jitter > 0 {
+					d += time.Duration(jitter.Int63n(int64(2*f.Jitter))) - f.Jitter
+				}
+				if d > 0 {
+					time.Sleep(d)
+				}
+			}
+			threshold := total >= c.plan.faultAfter
+			if threshold && (c.plan.reset || c.plan.drop) {
+				c.fire()
+				return
+			}
+			if threshold && c.plan.partition && c.plan.partDir == dir && !partitioned {
+				partitioned = true
+				c.p.partitions.Add(1)
+				c.p.logf("nemesis: conn %d: one-way partition (dir %d) after %d bytes", c.id, dir, total)
+			}
+			if partitioned {
+				c.p.discarded.Add(int64(n))
+			} else {
+				relayedCtr.Add(int64(n))
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	if partitioned {
+		// The partitioned direction swallowed the EOF/error too; sever the
+		// connection so the peers' own timeouts are the only cleanup path
+		// exercised while it lived, but the proxy still exits cleanly.
+		_ = src.Close()
+		return
+	}
+	// Half-close: propagate EOF to the reader's peer without killing the
+	// opposite direction, mirroring TCP semantics through the proxy.
+	if tc, ok := dst.(*net.TCPConn); ok {
+		_ = tc.CloseWrite()
+	} else {
+		_ = dst.Close()
+	}
+	if half, ok := src.(interface{ CloseRead() error }); ok {
+		_ = half.CloseRead()
+	}
+}

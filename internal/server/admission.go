@@ -1,8 +1,12 @@
 package server
 
 import (
+	"errors"
+	"sync"
 	"sync/atomic"
+	"time"
 
+	"pcpda/internal/rt"
 	"pcpda/internal/rtm"
 	"pcpda/internal/wire"
 )
@@ -16,11 +20,16 @@ import (
 // session is still listening (it only stops after a successful 0→2) and
 // the buffered reply channel hands over the transaction; if the session
 // wins, the dispatcher owns any admitted transaction and aborts it, so a
-// handle is never stranded between the two goroutines.
+// handle is never stranded between the two goroutines. Shedding reuses the
+// same protocol: the queue delivers errShed through the reply channel, so
+// a stalled victim session can never block the shedder.
 type admitReq struct {
-	name  string
-	claim atomic.Int32
-	reply chan admitResult // buffered(1); written at most once
+	name     string
+	pri      rt.Priority // template base priority; higher = more urgent
+	seq      uint64      // queue arrival order, FIFO tiebreak within a priority
+	enqueued time.Time   // when the request entered the queue (wait estimator)
+	claim    atomic.Int32
+	reply    chan admitResult // buffered(1); written at most once
 }
 
 type admitResult struct {
@@ -34,26 +43,194 @@ const (
 	claimAbandoned = 2
 )
 
-// handleBegin runs in the session goroutine: validate state, enqueue onto
-// the bounded admission queue (full queue → immediate CodeOverload), then
-// wait for the dispatcher's verdict or session death.
+// errShed is delivered to a queued BEGIN displaced (or refused at arrival)
+// by the priority-shedding policy; sessions map it to wire.CodeShed.
+var errShed = errors.New("server: shed as lowest-priority work past the admission high-water mark")
+
+// errQueueFull is returned by enqueue when the queue is full and the
+// arrival does not outrank any queued work; sessions map it to
+// wire.CodeOverload.
+var errQueueFull = errors.New("server: admission queue full")
+
+// admitQueue is the bounded, priority-ordered admission queue. Unlike the
+// FIFO channel it replaced, it keeps requests sorted by (priority desc,
+// arrival seq asc), so under pressure the dispatcher always admits the
+// most urgent queued work next and the shedding policy always knows which
+// request is the least urgent — PCP-DA's priority semantics extended to
+// the network edge, where the protocol itself cannot see yet.
+//
+// Shedding policy:
+//
+//   - Queue full: an arrival that outranks the lowest-priority queued
+//     request displaces it (the victim's session gets errShed); an arrival
+//     that does not is refused with errQueueFull.
+//   - Queue at or past the high-water mark: an arrival strictly below
+//     every queued priority is refused with errShed immediately — it would
+//     be the first displaced anyway, and refusing it early keeps the
+//     remaining headroom for work that ranks.
+//
+// Same-priority requests keep FIFO order, which also preserves the
+// per-template FIFO order splitDistinct relies on (one template has one
+// priority).
+type admitQueue struct {
+	mu    sync.Mutex
+	items []*admitReq // sorted: priority desc, seq asc
+	seq   uint64
+
+	depth     int
+	highWater int
+
+	wake chan struct{} // buffered(1); signals the dispatcher
+
+	// ewmaWaitNs estimates the queue wait of recently dispatched requests
+	// (exponential moving average, α = 1/8). estimateWait scales it by the
+	// current occupancy so the estimate self-corrects downward as soon as
+	// the queue drains — a stale-high estimate can never wedge admission
+	// shut, because an empty queue always estimates near zero, gets work
+	// admitted, and refreshes the average.
+	ewmaWaitNs atomic.Int64
+}
+
+func newAdmitQueue(depth, highWater int) *admitQueue {
+	return &admitQueue{depth: depth, highWater: highWater, wake: make(chan struct{}, 1)}
+}
+
+// enqueue files r, applying the shedding policy. It returns the displaced
+// victim (to be failed with errShed by the caller) and/or an error for r
+// itself; exactly one of (queued, err) outcomes holds for r.
+func (q *admitQueue) enqueue(r *admitReq) (victim *admitReq, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.items)
+	if n >= q.depth {
+		low := q.items[n-1] // lowest priority, latest arrival
+		if r.pri <= low.pri {
+			return nil, errQueueFull
+		}
+		q.items = q.items[:n-1]
+		victim = low
+	} else if n >= q.highWater && n > 0 && r.pri < q.items[n-1].pri {
+		return nil, errShed
+	}
+	r.seq = q.seq
+	q.seq++
+	r.enqueued = time.Now()
+	// Insertion point: after every request with priority >= r.pri.
+	i := len(q.items)
+	for i > 0 && q.items[i-1].pri < r.pri {
+		i--
+	}
+	q.items = append(q.items, nil)
+	copy(q.items[i+1:], q.items[i:])
+	q.items[i] = r
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+	return victim, nil
+}
+
+// pop removes up to max requests in priority order and feeds the wait
+// estimator with their observed queue delays.
+func (q *admitQueue) pop(max int) []*admitReq {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return nil
+	}
+	k := min(max, len(q.items))
+	out := make([]*admitReq, k)
+	copy(out, q.items[:k])
+	rest := copy(q.items, q.items[k:])
+	for i := rest; i < len(q.items); i++ {
+		q.items[i] = nil
+	}
+	q.items = q.items[:rest]
+	now := time.Now()
+	for _, r := range out {
+		wait := now.Sub(r.enqueued).Nanoseconds()
+		old := q.ewmaWaitNs.Load()
+		q.ewmaWaitNs.Store(old - old/8 + wait/8)
+	}
+	return out
+}
+
+// drainAll empties the queue (server shutdown); the caller fails the
+// returned requests.
+func (q *admitQueue) drainAll() []*admitReq {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.items
+	q.items = nil
+	return out
+}
+
+// depthNow returns the current queue length.
+func (q *admitQueue) depthNow() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// estimateWait predicts the queue wait a new arrival would see: the
+// recent-dispatch EWMA scaled by current occupancy. Deliberately cheap and
+// conservative-low when the queue is empty; admission control only needs
+// it to be honest under sustained pressure, where occupancy is high and
+// the EWMA is fresh.
+func (q *admitQueue) estimateWait() time.Duration {
+	q.mu.Lock()
+	occ := len(q.items)
+	q.mu.Unlock()
+	if occ == 0 {
+		return 0
+	}
+	est := q.ewmaWaitNs.Load() * int64(occ+1) / int64(q.highWater+1)
+	return time.Duration(est)
+}
+
+// handleBegin runs in the session goroutine: validate state, apply
+// deadline-aware admission control, enqueue onto the bounded priority
+// queue (applying the shedding policy), then wait for the dispatcher's
+// verdict or session death.
 func (s *session) handleBegin(m *wire.Begin) error {
-	if s.tx != nil {
+	if s.lt != nil {
 		return s.reply(&wire.ErrMsg{Code: wire.CodeState, Text: "BEGIN with a transaction already live"})
 	}
 	if s.srv.draining.Load() {
 		return s.reply(&wire.ErrMsg{Code: wire.CodeDraining, Text: "server draining"})
 	}
-	if s.srv.mgr.Set().ByName(m.Name) == nil {
+	tmpl := s.srv.mgr.Set().ByName(m.Name)
+	if tmpl == nil {
 		return s.reply(&wire.ErrMsg{Code: wire.CodeProtocol, Text: "unknown transaction type " + m.Name})
 	}
-	req := &admitReq{name: m.Name, reply: make(chan admitResult, 1)}
+	var deadline time.Time
+	if m.Deadline > 0 {
+		deadline = timeNow().Add(time.Duration(m.Deadline) * time.Millisecond)
+		// Deadline-aware admission: a firm-deadline transaction the queue
+		// wait already makes late is worthless — refuse it now instead of
+		// queueing work guaranteed to miss.
+		if est := s.srv.queue.estimateWait(); est > 0 && timeNow().Add(est).After(deadline) {
+			s.srv.ctr.RejectedInfeasible.Add(1)
+			s.srv.noteOverload()
+			return s.reply(&wire.ErrMsg{Code: wire.CodeInfeasible,
+				Text: "queue wait estimate " + est.Round(time.Millisecond).String() + " exceeds deadline budget"})
+		}
+	}
+	req := &admitReq{name: m.Name, pri: tmpl.Priority, reply: make(chan admitResult, 1)}
 	s.srv.pending.Add(1)
-	select {
-	case s.srv.admitCh <- req:
-	default:
+	victim, err := s.srv.queue.enqueue(req)
+	if victim != nil {
+		s.srv.shed(victim)
+	}
+	if err != nil {
 		s.srv.pending.Add(-1)
+		if errors.Is(err, errShed) {
+			s.srv.ctr.Shed.Add(1)
+			s.srv.noteOverload()
+			return s.reply(&wire.ErrMsg{Code: wire.CodeShed, Text: "BEGIN: " + err.Error()})
+		}
 		s.srv.ctr.RejectedOverload.Add(1)
+		s.srv.noteOverload()
 		return s.reply(&wire.ErrMsg{Code: wire.CodeOverload, Text: "admission queue full"})
 	}
 	select {
@@ -62,8 +239,7 @@ func (s *session) handleBegin(m *wire.Begin) error {
 		if res.err != nil {
 			return s.reply(&wire.ErrMsg{Code: codeOf(res.err), Text: "BEGIN: " + res.err.Error()})
 		}
-		s.tx = res.tx
-		s.txLive.Store(true)
+		s.armTx(res.tx, deadline)
 		s.srv.ctr.Accepted.Add(1)
 		return s.reply(&wire.BeginOK{ID: uint64(res.tx.ID())})
 	case <-s.ctx.Done():
@@ -79,29 +255,39 @@ func (s *session) handleBegin(m *wire.Begin) error {
 	}
 }
 
-// dispatch is the admission pump: it gathers queued BEGINs into groups of
-// distinct template names and admits each group through one
+// shed fails a displaced request with errShed through the claim protocol.
+// The victim's own session decrements pending when it consumes the reply,
+// exactly as for a dispatcher-delivered result; if the session already
+// abandoned the wait there is nothing to deliver (no transaction exists).
+func (s *Server) shed(victim *admitReq) {
+	s.ctr.Shed.Add(1)
+	s.noteOverload()
+	if victim.claim.CompareAndSwap(claimFree, claimDelivered) {
+		victim.reply <- admitResult{err: errShed}
+	}
+}
+
+// dispatch is the admission pump: it drains the priority queue into groups
+// of distinct template names and admits each group through one
 // rtm.BeginBatch call. The semaphore bounds concurrently running groups;
-// when all slots are busy the pump stalls, the queue fills, and sessions
-// start seeing CodeOverload — the backpressure chain the bounded queue
-// promises.
+// when all slots are busy the pump stalls, the queue fills past its
+// high-water mark, and the shedding policy starts refusing the
+// lowest-priority work — the backpressure chain the bounded queue
+// promises, now priority-aware.
 func (s *Server) dispatch() {
 	defer s.dispatchWG.Done()
+	defer func() { abandonGroup(s.queue.drainAll()) }()
 	for {
 		select {
 		case <-s.ctx.Done():
 			return
-		case first := <-s.admitCh:
-			batch := []*admitReq{first}
-			for len(batch) < s.cfg.BatchMax {
-				select {
-				case r := <-s.admitCh:
-					batch = append(batch, r)
-				default:
-					goto gathered
-				}
+		case <-s.queue.wake:
+		}
+		for {
+			batch := s.queue.pop(s.cfg.BatchMax)
+			if len(batch) == 0 {
+				break
 			}
-		gathered:
 			for _, group := range splitDistinct(batch) {
 				select {
 				case s.admitSem <- struct{}{}:
@@ -117,11 +303,11 @@ func (s *Server) dispatch() {
 }
 
 // splitDistinct partitions a gathered batch into groups with pairwise
-// distinct names, preserving arrival order: the i-th request for a given
+// distinct names, preserving pop order: the i-th request for a given
 // template lands in group i. BeginBatch forbids duplicate names in one
 // call (two instances of a template cannot be live together), so repeats
-// must go through separate batches anyway — this keeps them queued in FIFO
-// order per template without re-enqueueing.
+// must go through separate batches anyway — this keeps them ordered per
+// template without re-enqueueing.
 func splitDistinct(batch []*admitReq) [][]*admitReq {
 	var groups [][]*admitReq
 	next := make(map[string]int, len(batch))
@@ -162,8 +348,9 @@ func (s *Server) admitGroup(group []*admitReq) {
 	}
 }
 
-// abandonGroup fails a group that was gathered but never admitted (server
-// shutdown). No transactions exist; sessions unblock via their contexts.
+// abandonGroup fails requests that were queued or gathered but never
+// admitted (server shutdown). No transactions exist; sessions unblock via
+// their contexts.
 func abandonGroup(group []*admitReq) {
 	for _, r := range group {
 		if r.claim.CompareAndSwap(claimFree, claimDelivered) {

@@ -1,0 +1,575 @@
+package server
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"pcpda/internal/client"
+	"pcpda/internal/nemesis"
+	"pcpda/internal/rt"
+	"pcpda/internal/rtm"
+	"pcpda/internal/wire"
+)
+
+// --- admission queue (unit) --------------------------------------------------
+
+func mkReq(name string, pri rt.Priority) *admitReq {
+	return &admitReq{name: name, pri: pri, reply: make(chan admitResult, 1)}
+}
+
+func TestAdmitQueueOrdering(t *testing.T) {
+	q := newAdmitQueue(8, 6)
+	for _, r := range []*admitReq{
+		mkReq("low-a", 1), mkReq("hi-a", 3), mkReq("mid", 2),
+		mkReq("low-b", 1), mkReq("hi-b", 3),
+	} {
+		if v, err := q.enqueue(r); v != nil || err != nil {
+			t.Fatalf("enqueue %s: victim=%v err=%v", r.name, v, err)
+		}
+	}
+	got := q.pop(10)
+	want := []string{"hi-a", "hi-b", "mid", "low-a", "low-b"}
+	if len(got) != len(want) {
+		t.Fatalf("popped %d, want %d", len(got), len(want))
+	}
+	for i, r := range got {
+		if r.name != want[i] {
+			t.Fatalf("pop order[%d] = %s, want %s (priority desc, FIFO within)", i, r.name, want[i])
+		}
+	}
+}
+
+func TestAdmitQueueDisplacement(t *testing.T) {
+	q := newAdmitQueue(2, 2)
+	lowA, lowB := mkReq("low-a", 1), mkReq("low-b", 1)
+	mustEnq := func(r *admitReq) {
+		t.Helper()
+		if v, err := q.enqueue(r); v != nil || err != nil {
+			t.Fatalf("enqueue %s: victim=%v err=%v", r.name, v, err)
+		}
+	}
+	mustEnq(lowA)
+	mustEnq(lowB)
+	// Equal priority cannot displace: plain overload.
+	if _, err := q.enqueue(mkReq("low-c", 1)); err != errQueueFull {
+		t.Fatalf("equal-priority arrival into full queue: err=%v, want errQueueFull", err)
+	}
+	// Higher priority displaces the lowest, latest-arrived request.
+	v, err := q.enqueue(mkReq("hi", 3))
+	if err != nil || v != lowB {
+		t.Fatalf("displacement: victim=%v err=%v, want low-b", v, err)
+	}
+	got := q.pop(10)
+	if len(got) != 2 || got[0].name != "hi" || got[1].name != "low-a" {
+		t.Fatalf("after displacement: %v", names(got))
+	}
+}
+
+func TestAdmitQueueHighWaterShed(t *testing.T) {
+	q := newAdmitQueue(8, 2)
+	if _, err := q.enqueue(mkReq("mid-a", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.enqueue(mkReq("mid-b", 2)); err != nil {
+		t.Fatal(err)
+	}
+	// At the high-water mark and strictly below everything queued: shed on
+	// arrival even though the queue has room.
+	if _, err := q.enqueue(mkReq("low", 1)); err != errShed {
+		t.Fatalf("below-min arrival past high water: err=%v, want errShed", err)
+	}
+	// Equal to the queued minimum still rides along (FIFO fairness within a
+	// priority is preserved; only strictly-lower work is refused early).
+	if _, err := q.enqueue(mkReq("mid-c", 2)); err != nil {
+		t.Fatalf("equal-priority arrival past high water: %v", err)
+	}
+	if n := q.depthNow(); n != 3 {
+		t.Fatalf("depth = %d, want 3", n)
+	}
+}
+
+func TestAdmitQueueWaitEstimate(t *testing.T) {
+	q := newAdmitQueue(8, 4)
+	if got := q.estimateWait(); got != 0 {
+		t.Fatalf("empty queue estimate %v, want 0", got)
+	}
+	// Seed the EWMA as if recent dispatches waited 100ms, with occupancy 4
+	// (= high water): the estimate must be the full EWMA.
+	q.ewmaWaitNs.Store(int64(100 * time.Millisecond))
+	for i := 0; i < 4; i++ {
+		if _, err := q.enqueue(mkReq("r", 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := q.estimateWait(); got != 100*time.Millisecond {
+		t.Fatalf("estimate at high water = %v, want 100ms", got)
+	}
+	// Occupancy scaling: a single queued request after the overload clears
+	// estimates far lower — a stale-high EWMA cannot wedge admission shut.
+	q.pop(3)
+	if got := q.estimateWait(); got >= 100*time.Millisecond/2 {
+		t.Fatalf("estimate at occupancy 1 = %v, want well under the 100ms EWMA", got)
+	}
+}
+
+func names(rs []*admitReq) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.name
+	}
+	return out
+}
+
+// --- shed and infeasible, end to end -----------------------------------------
+
+// blockDispatcher wedges the admission pipeline so enqueued BEGINs stay
+// queued: the holder owns zonly's template slot, one admission group is
+// parked in BeginBatch on it (consuming the MaxAdmitting=1 slot), and one
+// more popped request blocks the dispatcher on the semaphore. Returns the
+// holder (abort it to unwind) and the two sacrificial conns.
+func blockDispatcher(t *testing.T, addr string, srv *Server, mgr *rtm.Manager) (holder, parked, popped *client.Conn) {
+	t.Helper()
+	holder = mustDial(t, addr)
+	if _, err := holder.Begin("zonly"); err != nil {
+		t.Fatal(err)
+	}
+	parked = mustDial(t, addr)
+	go func() { _, _ = parked.Begin("zonly") }()
+	waitFor(t, "admission group to park", func() bool { return mgr.ParkedWaiters() > 0 })
+	popped = mustDial(t, addr)
+	go func() { _, _ = popped.Begin("zonly") }()
+	waitFor(t, "dispatcher to block on the admit semaphore", func() bool {
+		return srv.pending.Load() == 2 && srv.queue.depthNow() == 0
+	})
+	return holder, parked, popped
+}
+
+// TestShedUnderBurst drives the full priority-shedding matrix through the
+// wire: at-arrival shed past the high-water mark, queue-full overload for
+// non-outranking work, and displacement of queued low-priority work by a
+// high-priority burst — priorities honored end to end.
+func TestShedUnderBurst(t *testing.T) {
+	mgr, _ := rtm.New(testSet(t))
+	addr, srv := startServer(t, mgr, Config{
+		QueueDepth: 4, HighWater: 1, MaxAdmitting: 1, BatchMax: 1,
+	})
+	holder, parked, popped := blockDispatcher(t, addr, srv, mgr)
+	defer func() { _ = holder.Close(); _ = parked.Close(); _ = popped.Close() }()
+
+	// Queue up two updaters (priority 2): past the high-water mark (1) but
+	// with queue room (depth 4) to spare.
+	type pending struct {
+		c   *client.Conn
+		err chan error
+	}
+	var updaters []pending
+	addUpdater := func() {
+		t.Helper()
+		p := pending{c: mustDial(t, addr), err: make(chan error, 1)}
+		go func() { _, err := p.c.Begin("updater"); p.err <- err }()
+		updaters = append(updaters, p)
+		waitFor(t, "updater queued", func() bool { return srv.queue.depthNow() == len(updaters) })
+	}
+	addUpdater()
+	addUpdater()
+
+	// Past the high-water mark, a zonly (priority 1, strictly below every
+	// queued updater) is shed at arrival — synchronously, with room left.
+	low := mustDial(t, addr)
+	defer func() { _ = low.Close() }()
+	if _, err := low.Begin("zonly"); !wire.IsCode(err, wire.CodeShed) {
+		t.Fatalf("low-priority BEGIN past high water: %v, want CodeShed", err)
+	}
+	if h := srv.Health(); h != "degraded" {
+		t.Fatalf("health after shed = %q, want degraded", h)
+	}
+
+	// Fill the rest of the queue with updaters.
+	addUpdater()
+	addUpdater()
+
+	// The queue is now full of updaters. Another updater cannot displace
+	// an equal: plain overload.
+	eq := mustDial(t, addr)
+	defer func() { _ = eq.Close() }()
+	if _, err := eq.Begin("updater"); !wire.IsCode(err, wire.CodeOverload) {
+		t.Fatalf("equal-priority BEGIN into full queue: %v, want CodeOverload", err)
+	}
+
+	// A reader (priority 3) outranks the queued updaters: it displaces the
+	// last-queued one, which gets CodeShed delivered to its session.
+	rd := pending{c: mustDial(t, addr), err: make(chan error, 1)}
+	defer func() { _ = rd.c.Close() }()
+	go func() { _, err := rd.c.Begin("reader"); rd.err <- err }()
+	select {
+	case err := <-updaters[3].err:
+		if !wire.IsCode(err, wire.CodeShed) {
+			t.Fatalf("displaced updater: %v, want CodeShed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("displacement victim never got its CodeShed")
+	}
+	if got := srv.Counters().Shed.Load(); got != 2 {
+		t.Fatalf("shed counter = %d, want 2 (one at-arrival, one displaced)", got)
+	}
+
+	// Unwind: free zonly's slot, then retire the sacrificial zonly conns —
+	// each inherits the slot in turn, and with MaxAdmitting=1 the queued
+	// work only moves once their admissions resolve. Disconnect auto-abort
+	// does the retiring.
+	if err := holder.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	_ = parked.Close()
+	_ = popped.Close()
+	if err := <-rd.err; err != nil {
+		t.Fatalf("displacing reader was never admitted: %v", err)
+	}
+	// The surviving updaters are admitted in FIFO order; each holds the
+	// single updater instance slot, so retire each (disconnect auto-abort)
+	// before expecting the next.
+	for i := 0; i < 3; i++ {
+		if err := <-updaters[i].err; err != nil {
+			t.Fatalf("queued updater %d: %v", i, err)
+		}
+		_ = updaters[i].c.Close()
+	}
+	waitFor(t, "admission pipeline to empty", func() bool { return srv.pending.Load() == 0 })
+}
+
+// TestInfeasibleRejected: with a high queue-wait estimate, a firm-deadline
+// BEGIN whose budget the wait already breaks is refused with
+// CodeInfeasible before touching the queue; a roomy budget still queues.
+func TestInfeasibleRejected(t *testing.T) {
+	mgr, _ := rtm.New(testSet(t))
+	addr, srv := startServer(t, mgr, Config{
+		QueueDepth: 4, HighWater: 1, MaxAdmitting: 1, BatchMax: 1,
+	})
+	holder, parked, popped := blockDispatcher(t, addr, srv, mgr)
+
+	// One queued request gives nonzero occupancy; the seeded EWMA says
+	// recent dispatches waited 200ms.
+	q := pendingBegin(t, addr, "updater")
+	waitFor(t, "occupancy", func() bool { return srv.queue.depthNow() == 1 })
+	srv.queue.ewmaWaitNs.Store(int64(200 * time.Millisecond))
+
+	c := mustDial(t, addr)
+	defer func() { _ = c.Close() }()
+	if _, err := c.BeginBudget("reader", 50*time.Millisecond); !wire.IsCode(err, wire.CodeInfeasible) {
+		t.Fatalf("50ms budget against a 200ms wait estimate: %v, want CodeInfeasible", err)
+	}
+	if got := srv.Counters().RejectedInfeasible.Load(); got != 1 {
+		t.Fatalf("RejectedInfeasible = %d, want 1", got)
+	}
+	// A budget with room above the estimate is admitted normally.
+	ok := pendingBegin(t, addr, "reader")
+	waitFor(t, "feasible budget queued", func() bool { return srv.queue.depthNow() == 2 })
+
+	if err := holder.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	for _, conn := range []*client.Conn{parked, popped, q, ok, holder, c} {
+		_ = conn.Close()
+	}
+	waitFor(t, "admission pipeline to empty", func() bool { return srv.pending.Load() == 0 })
+}
+
+// pendingBegin fires a BEGIN (with a generous deadline budget) in the
+// background and returns the conn; the caller closes it to abandon.
+func pendingBegin(t *testing.T, addr, name string) *client.Conn {
+	t.Helper()
+	c := mustDial(t, addr)
+	go func() { _, _ = c.BeginBudget(name, 10*time.Second) }()
+	return c
+}
+
+// --- watchdog ----------------------------------------------------------------
+
+// TestWatchdogTripsIdleTxn: watchdog-first order. A transaction sits idle
+// holding its template slot past deadline+grace; the watchdog force-aborts
+// it, the manager goes quiescent, and the session survives to report a
+// retryable CodeDeadline and start fresh work.
+func TestWatchdogTripsIdleTxn(t *testing.T) {
+	set := testSet(t)
+	mgr, _ := rtm.New(set)
+	addr, srv := startServer(t, mgr, Config{
+		WatchdogInterval: 2 * time.Millisecond, WatchdogGrace: 10 * time.Millisecond,
+	})
+	c := mustDial(t, addr)
+	defer func() { _ = c.Close() }()
+	if _, err := c.BeginBudget("updater", 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "watchdog trip", func() bool { return srv.Counters().WatchdogTrips.Load() >= 1 })
+	waitFor(t, "manager quiescent", func() bool { return mgr.Stats().Live == 0 })
+	if err := mgr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Counters().WatchdogAuditFails.Load(); got != 0 {
+		t.Fatalf("watchdog audit failures: %d", got)
+	}
+	// The session is alive; its next touch of the dead transaction reports
+	// the force-abort as a retryable deadline miss.
+	if err := c.Write(item(t, set, "x"), 1); !wire.IsCode(err, wire.CodeDeadline) {
+		t.Fatalf("write after watchdog trip: %v, want CodeDeadline", err)
+	}
+	if _, err := c.Begin("updater"); err != nil {
+		t.Fatalf("session must survive a watchdog trip: %v", err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWatchdogUnparksStuckCommit: the stuck transaction is parked inside
+// the manager (commit waiting out a stale reader), where no socket timeout
+// can reach it. The watchdog's context cancellation unwinds the park; the
+// unaffected reader still commits.
+func TestWatchdogUnparksStuckCommit(t *testing.T) {
+	set := testSet(t)
+	mgr, _ := rtm.New(set)
+	addr, srv := startServer(t, mgr, Config{
+		WatchdogInterval: 2 * time.Millisecond, WatchdogGrace: 20 * time.Millisecond,
+	})
+	x, y := item(t, set, "x"), item(t, set, "y")
+
+	up := mustDial(t, addr)
+	defer func() { _ = up.Close() }()
+	if _, err := up.BeginBudget("updater", 30*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := up.Write(x, 5); err != nil {
+		t.Fatal(err)
+	}
+	rd := mustDial(t, addr)
+	defer func() { _ = rd.Close() }()
+	if _, err := rd.Begin("reader"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Read(x); err != nil { // stale read through the write lock
+		t.Fatal(err)
+	}
+	commitErr := make(chan error, 1)
+	go func() { commitErr <- up.Commit() }()
+	waitFor(t, "commit to park", func() bool { return mgr.ParkedWaiters() > 0 })
+
+	// The reader never finishes on its own; the watchdog must unpark the
+	// committer once deadline+grace passes.
+	if err := <-commitErr; !wire.IsCode(err, wire.CodeDeadline) {
+		t.Fatalf("parked commit after watchdog trip: %v, want CodeDeadline", err)
+	}
+	if got := srv.Counters().WatchdogTrips.Load(); got < 1 {
+		t.Fatalf("watchdog trips = %d, want >= 1", got)
+	}
+	if _, err := rd.Read(y); err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Commit(); err != nil {
+		t.Fatalf("innocent reader after watchdog trip: %v", err)
+	}
+	waitFor(t, "manager quiescent", func() bool { return mgr.Stats().Live == 0 })
+	if v := mgr.ReadCommitted(0); v != 0 {
+		t.Fatalf("force-aborted write leaked: x = %v", v)
+	}
+}
+
+// TestWatchdogCommitRace races normal commits against watchdog
+// force-aborts in both orders — commits landing before, around, and after
+// deadline+grace — under -race. Every outcome must be CommitOK or
+// CodeDeadline, and the manager must end clean.
+func TestWatchdogCommitRace(t *testing.T) {
+	set := testSet(t)
+	mgr, _ := rtm.New(set)
+	addr, srv := startServer(t, mgr, Config{
+		WatchdogInterval: time.Millisecond, WatchdogGrace: 5 * time.Millisecond,
+	})
+	c := mustDial(t, addr)
+	defer func() { _ = c.Close() }()
+	x := item(t, set, "x")
+	rng := rand.New(rand.NewSource(11))
+
+	var commits, trips int
+	for i := 0; i < 40; i++ {
+		if _, err := c.BeginBudget("updater", 8*time.Millisecond); err != nil {
+			t.Fatalf("iter %d begin: %v", i, err)
+		}
+		werr := c.Write(x, int64(i))
+		if werr == nil {
+			// Sleep 0–16ms: commits land on both sides of deadline+grace.
+			time.Sleep(time.Duration(rng.Intn(16)) * time.Millisecond)
+			werr = c.Commit()
+		}
+		switch {
+		case werr == nil:
+			commits++
+		case wire.IsCode(werr, wire.CodeDeadline):
+			trips++
+		default:
+			t.Fatalf("iter %d: %v — watchdog races must surface only as CodeDeadline", i, werr)
+		}
+	}
+	t.Logf("watchdog race: %d commits, %d force-aborts", commits, trips)
+	waitFor(t, "manager quiescent", func() bool { return mgr.Stats().Live == 0 })
+	if err := mgr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Counters().WatchdogAuditFails.Load(); got != 0 {
+		t.Fatalf("watchdog audit failures: %d", got)
+	}
+}
+
+// --- slow-client defense and health ------------------------------------------
+
+// TestSlowClientKill: a reply into a pipe nobody drains must be cut off by
+// the write deadline and counted, not block the session goroutine forever.
+func TestSlowClientKill(t *testing.T) {
+	mgr, _ := rtm.New(testSet(t))
+	srv, err := New(Config{Manager: mgr, WriteTimeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	ours, theirs := net.Pipe()
+	defer func() { _ = ours.Close(); _ = theirs.Close() }()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sess := &session{srv: srv, conn: theirs, ctx: ctx, cancel: cancel}
+
+	start := time.Now()
+	if err := sess.reply(&wire.Pong{Nonce: 1}); err != errSessionEnd {
+		t.Fatalf("reply into a stalled pipe: %v, want errSessionEnd", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("reply blocked %v despite the write deadline", took)
+	}
+	if got := srv.Counters().SlowClientKills.Load(); got != 1 {
+		t.Fatalf("SlowClientKills = %d, want 1", got)
+	}
+}
+
+// TestOpenLoopOverload pushes Poisson arrivals well past what the tiny
+// server config can absorb and checks the overload machinery engages:
+// work is shed or refused, the highest-priority tier keeps committing,
+// and the drain audit (in the startServer cleanup) still comes back nil.
+func TestOpenLoopOverload(t *testing.T) {
+	mgr, _ := rtm.New(testSet(t))
+	// A deliberately narrow server: queue of 6 (high water 4) against 32
+	// workers, so contention parks pile BEGINs up past the shed threshold.
+	addr, srv := startServer(t, mgr, Config{
+		QueueDepth: 6, MaxAdmitting: 1, BatchMax: 1,
+		WatchdogInterval: 5 * time.Millisecond, WatchdogGrace: 50 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rep, err := client.RunLoad(ctx, client.LoadConfig{
+		Addr: addr, Conns: 32, Seed: 3,
+		ArrivalRate: 3000, Duration: 2 * time.Second, MaxInFlight: 64,
+		DeadlineBudget: 50 * time.Millisecond, MaxAttempts: 2,
+	})
+	if err != nil {
+		t.Fatalf("open-loop load: %v (report %+v)", err, rep)
+	}
+	t.Logf("open loop: offered=%d committed=%d on_time=%d shed=%d infeasible=%d overrun=%d suppressed=%d goodput=%.0f/s",
+		rep.Offered, rep.Committed, rep.OnTime, rep.Shed, rep.Infeasible,
+		rep.Overrun, rep.RetriesSuppressed, rep.Goodput())
+	if rep.Offered == 0 || rep.Committed == 0 {
+		t.Fatalf("degenerate run: %+v", rep)
+	}
+	if rep.OnTime > rep.Committed {
+		t.Fatalf("on_time %d > committed %d", rep.OnTime, rep.Committed)
+	}
+	if len(rep.Tiers) != 3 {
+		t.Fatalf("tiers: %+v", rep.Tiers)
+	}
+	// 3000/s offered against a narrow MaxAdmitting=1 server must overload:
+	// some typed refusal (shed, infeasible or queue-full) shows up.
+	snap := srv.Counters().Snapshot()
+	if snap.Shed+snap.RejectedInfeasible+snap.RejectedOverload == 0 {
+		t.Fatalf("no overload response at 3000/s offered: %+v", snap)
+	}
+	waitFor(t, "sessions idle", func() bool { return !srv.liveWork() })
+	if err := mgr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNemesisSoak is the acceptance scenario: 64 connections of open-loop
+// load routed through a fault-injecting proxy — latency, resets, silent
+// drops, one-way partitions — with firm deadlines and the watchdog armed.
+// The server must keep committing, and the drain in the startServer
+// cleanup must still end refuse→grace→force→audit with a nil audit.
+func TestNemesisSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short")
+	}
+	mgr, _ := rtm.New(testSet(t))
+	addr, srv := startServer(t, mgr, Config{
+		QueueDepth: 128, WatchdogInterval: 10 * time.Millisecond,
+		WatchdogGrace: 200 * time.Millisecond,
+	})
+	prox, err := nemesis.New(nemesis.Config{
+		Listen: "127.0.0.1:0", Target: addr, Seed: 99,
+		Faults: nemesis.Faults{
+			Latency: time.Millisecond, Jitter: time.Millisecond,
+			PReset: 0.08, PDrop: 0.08, PPartition: 0.04,
+			FaultAfterMin: 1024, FaultAfterMax: 16384,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = prox.Close() }) // before the drain in startServer's cleanup
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	rep, err := client.RunLoad(ctx, client.LoadConfig{
+		Addr: prox.Addr().String(), Conns: 64, Seed: 13,
+		ArrivalRate: 1200, Duration: 4 * time.Second,
+		DeadlineBudget: 250 * time.Millisecond,
+		OpTimeout:      2 * time.Second, MaxAttempts: 3,
+	})
+	if err != nil {
+		t.Fatalf("nemesis soak load: %v (report %+v)", err, rep)
+	}
+	st := prox.Stats()
+	t.Logf("nemesis soak: offered=%d committed=%d on_time=%d failed=%d | proxy conns=%d resets=%d drops=%d partitions=%d",
+		rep.Offered, rep.Committed, rep.OnTime, rep.Failed,
+		st.Conns, st.Resets, st.Drops, st.Partitions)
+	if rep.Committed == 0 {
+		t.Fatalf("nothing committed through the proxy: %+v", rep)
+	}
+	if st.Resets+st.Drops+st.Partitions == 0 {
+		t.Fatalf("proxy injected no faults across %d conns — the soak tested nothing", st.Conns)
+	}
+	// Sessions behind severed or partitioned connections unwind via
+	// disconnect teardown, the watchdog, or drain's force phase; nothing
+	// may remain live before the audit.
+	waitFor(t, "sessions idle", func() bool { return !srv.liveWork() })
+	if err := mgr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHealthTransitions(t *testing.T) {
+	mgr, _ := rtm.New(testSet(t))
+	addr, srv := startServer(t, mgr, Config{HealthWindow: 60 * time.Millisecond})
+	c := mustDial(t, addr)
+	defer func() { _ = c.Close() }()
+
+	if h := srv.Health(); h != "ok" {
+		t.Fatalf("idle health = %q, want ok", h)
+	}
+	srv.noteOverload()
+	if h := srv.Health(); h != "degraded" {
+		t.Fatalf("health after overload event = %q, want degraded", h)
+	}
+	waitFor(t, "health to recover", func() bool { return srv.Health() == "ok" })
+	srv.draining.Store(true) // Drain proper runs in cleanup
+	if h := srv.Health(); h != "draining" {
+		t.Fatalf("health while draining = %q, want draining", h)
+	}
+	srv.draining.Store(false)
+}

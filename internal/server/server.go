@@ -49,8 +49,14 @@ type Config struct {
 	// internally when nil.
 	Counters *metrics.ServerCounters
 	// QueueDepth bounds the admission queue. A BEGIN arriving when the
-	// queue is full is rejected with CodeOverload. Default 64.
+	// queue is full is rejected with CodeOverload — unless it outranks
+	// queued work, in which case the lowest-priority queued BEGIN is shed
+	// to make room. Default 64.
 	QueueDepth int
+	// HighWater is the queue occupancy at which priority shedding starts:
+	// at or past it, a BEGIN ranking below everything already queued is
+	// refused with CodeShed instead of queueing. Default 3/4 of QueueDepth.
+	HighWater int
 	// BatchMax caps how many queued BEGINs one dispatcher round gathers
 	// into BeginBatch groups. Default 16.
 	BatchMax int
@@ -63,6 +69,19 @@ type Config struct {
 	IdleTimeout time.Duration
 	// WriteTimeout is the per-frame write deadline. Default 10s.
 	WriteTimeout time.Duration
+	// WatchdogInterval is how often the stuck-transaction watchdog sweeps
+	// live transactions. Default 100ms; negative disables the watchdog.
+	WatchdogInterval time.Duration
+	// WatchdogGrace is how far past its firm deadline a live transaction
+	// may run before the watchdog force-aborts it. Default 1s.
+	WatchdogGrace time.Duration
+	// StuckTxnAge, when positive, force-aborts any transaction — with or
+	// without a firm deadline — live longer than this. Default 0 (off).
+	StuckTxnAge time.Duration
+	// HealthWindow is how long after the last overload event (shed,
+	// infeasible or overload rejection) Health keeps reporting
+	// "degraded". Default 5s.
+	HealthWindow time.Duration
 	// Logf, when set, receives one line per abnormal session end.
 	Logf func(format string, args ...any)
 }
@@ -77,6 +96,9 @@ func (c *Config) fill() error {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
+	if c.HighWater <= 0 || c.HighWater > c.QueueDepth {
+		c.HighWater = max(1, c.QueueDepth*3/4)
+	}
 	if c.BatchMax <= 0 {
 		c.BatchMax = 16
 	}
@@ -88,6 +110,15 @@ func (c *Config) fill() error {
 	}
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 10 * time.Second
+	}
+	if c.WatchdogInterval == 0 {
+		c.WatchdogInterval = 100 * time.Millisecond
+	}
+	if c.WatchdogGrace <= 0 {
+		c.WatchdogGrace = time.Second
+	}
+	if c.HealthWindow <= 0 {
+		c.HealthWindow = 5 * time.Second
 	}
 	return nil
 }
@@ -102,10 +133,15 @@ type Server struct {
 	ctx    context.Context // lifetime of all sessions and the dispatcher
 	cancel context.CancelFunc
 
-	admitCh  chan *admitReq
+	queue    *admitQueue
 	admitSem chan struct{}
 	pending  atomic.Int64 // BEGINs enqueued but not yet resolved
 	draining atomic.Bool
+
+	// lastOverload is the unix-nano timestamp of the most recent shed,
+	// infeasible or queue-full rejection; Health reports "degraded" for
+	// HealthWindow after it.
+	lastOverload atomic.Int64
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -127,12 +163,16 @@ func New(cfg Config) (*Server, error) {
 		ctr:      cfg.Counters,
 		ctx:      ctx,
 		cancel:   cancel,
-		admitCh:  make(chan *admitReq, cfg.QueueDepth),
+		queue:    newAdmitQueue(cfg.QueueDepth, cfg.HighWater),
 		admitSem: make(chan struct{}, cfg.MaxAdmitting),
 		sessions: make(map[*session]struct{}),
 	}
 	s.dispatchWG.Add(1)
 	go s.dispatch()
+	if cfg.WatchdogInterval > 0 {
+		s.dispatchWG.Add(1)
+		go s.watchdog()
+	}
 	return s, nil
 }
 
@@ -210,11 +250,38 @@ func (s *Server) liveWork() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for sess := range s.sessions {
-		if sess.txLive.Load() {
+		if sess.cur.Load() != nil {
 			return true
 		}
 	}
 	return false
+}
+
+// noteOverload records that an overload decision (shed, infeasible or
+// queue-full rejection) just happened; Health reports degraded for
+// HealthWindow afterwards.
+func (s *Server) noteOverload() {
+	s.lastOverload.Store(timeNow().UnixNano())
+}
+
+// Health classifies the server's current state for the /healthz endpoint:
+// "draining" once Drain has started, "degraded" while the admission queue
+// sits at or past its high-water mark or within HealthWindow of the last
+// shed/infeasible/overload rejection, otherwise "ok". Degraded is still
+// serving — it tells operators (and load balancers that understand it)
+// that low-priority work is being refused right now.
+func (s *Server) Health() string {
+	if s.draining.Load() {
+		return "draining"
+	}
+	if s.queue.depthNow() >= s.cfg.HighWater {
+		return "degraded"
+	}
+	if last := s.lastOverload.Load(); last != 0 &&
+		timeNow().Sub(time.Unix(0, last)) < s.cfg.HealthWindow {
+		return "degraded"
+	}
+	return "ok"
 }
 
 // Drain shuts the server down gracefully: stop accepting, refuse new

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync/atomic"
+	"time"
 
 	"pcpda/internal/db"
 	"pcpda/internal/rt"
@@ -14,6 +15,28 @@ import (
 	"pcpda/internal/txn"
 	"pcpda/internal/wire"
 )
+
+// maxScratch caps how much frame-buffer capacity a session retains between
+// messages (in each direction). A reply or request larger than this still
+// works — the buffer grows for the one frame — but the capacity is released
+// afterwards, so one big schema reply cannot pin memory for the lifetime of
+// every session.
+const maxScratch = 64 << 10
+
+// liveTx is the state of one live transaction on a session. The run
+// goroutine owns it; the watchdog and Drain observe it through the
+// session's cur pointer. Manager calls for the transaction run under
+// lt.ctx (derived from the session context), so the watchdog can force a
+// stuck transaction to unwind — cancel unparks it, Abort releases its
+// locks — without tearing down the whole session.
+type liveTx struct {
+	tx       *rtm.Txn
+	ctx      context.Context
+	cancel   context.CancelFunc
+	start    time.Time
+	deadline time.Time   // firm deadline from BEGIN; zero = none
+	tripped  atomic.Bool // set once by the watchdog before force-aborting
+}
 
 // session is the per-connection state machine. Two goroutines exist per
 // session: run (owns conn writes, the transaction handle and all manager
@@ -26,8 +49,8 @@ type session struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	tx     *rtm.Txn    // live transaction; owned by run
-	txLive atomic.Bool // mirror of tx != nil, readable by Drain
+	lt  *liveTx                // live transaction; owned by run
+	cur atomic.Pointer[liveTx] // mirror of lt, read by Drain and the watchdog
 
 	scratch []byte // frame write buffer, reused across replies
 }
@@ -94,6 +117,9 @@ func (s *session) readLoop(reqs chan<- wire.Message, done chan<- struct{}) {
 			return
 		}
 		scratch = sc
+		if cap(scratch) > maxScratch {
+			scratch = nil
+		}
 		select {
 		case reqs <- m:
 		case <-s.ctx.Done():
@@ -129,36 +155,36 @@ func (s *session) handle(m wire.Message) error {
 	case *wire.Begin:
 		return s.handleBegin(m)
 	case *wire.Read:
-		if s.tx == nil {
+		if s.lt == nil {
 			return s.reply(&wire.ErrMsg{Code: wire.CodeState, Text: "READ outside a transaction"})
 		}
-		v, err := s.tx.Read(s.ctx, rt.Item(int32(m.Item)))
+		v, err := s.lt.tx.Read(s.lt.ctx, rt.Item(int32(m.Item)))
 		if err != nil {
 			return s.txFailed("READ", err)
 		}
 		return s.reply(&wire.ReadOK{Value: int64(v)})
 	case *wire.Write:
-		if s.tx == nil {
+		if s.lt == nil {
 			return s.reply(&wire.ErrMsg{Code: wire.CodeState, Text: "WRITE outside a transaction"})
 		}
-		if err := s.tx.Write(s.ctx, rt.Item(int32(m.Item)), db.Value(m.Value)); err != nil {
+		if err := s.lt.tx.Write(s.lt.ctx, rt.Item(int32(m.Item)), db.Value(m.Value)); err != nil {
 			return s.txFailed("WRITE", err)
 		}
 		return s.reply(&wire.WriteOK{})
 	case *wire.Commit:
-		if s.tx == nil {
+		if s.lt == nil {
 			return s.reply(&wire.ErrMsg{Code: wire.CodeState, Text: "COMMIT outside a transaction"})
 		}
-		if err := s.tx.Commit(s.ctx); err != nil {
+		if err := s.lt.tx.Commit(s.lt.ctx); err != nil {
 			return s.txFailed("COMMIT", err)
 		}
 		s.clearTx()
 		return s.reply(&wire.CommitOK{})
 	case *wire.Abort:
-		if s.tx == nil {
+		if s.lt == nil {
 			return s.reply(&wire.ErrMsg{Code: wire.CodeState, Text: "ABORT outside a transaction"})
 		}
-		s.tx.Abort()
+		s.lt.tx.Abort()
 		s.clearTx()
 		return s.reply(&wire.AbortOK{})
 	case *wire.Hello:
@@ -171,31 +197,50 @@ func (s *session) handle(m wire.Message) error {
 	}
 }
 
+// armTx installs a freshly admitted transaction: a per-transaction context
+// carries the watchdog's force-abort authority, and publishing through cur
+// makes the transaction visible to the watchdog and Drain.
+func (s *session) armTx(tx *rtm.Txn, deadline time.Time) {
+	ctx, cancel := context.WithCancel(s.ctx)
+	lt := &liveTx{tx: tx, ctx: ctx, cancel: cancel, start: timeNow(), deadline: deadline}
+	s.lt = lt
+	s.cur.Store(lt)
+}
+
 // txFailed maps a manager error to an ERR reply and ends the live
 // transaction (Abort is idempotent, so this is safe whether the manager
 // already tore it down or the failure was a validation rejection that left
-// it live). If the session itself is dying, the transaction is kept for
-// cleanup to account as an auto-abort instead.
+// it live). A watchdog force-abort surfaces as ErrCancelled from the
+// per-transaction context; the tripped flag distinguishes it from a dying
+// session so the client sees a retryable CodeDeadline and the session
+// itself survives. If the session context is dead, the transaction is kept
+// for cleanup to account as an auto-abort instead.
 func (s *session) txFailed(op string, err error) error {
 	if s.ctx.Err() != nil {
 		return s.ctx.Err()
 	}
-	s.tx.Abort()
+	tripped := s.lt.tripped.Load()
+	s.lt.tx.Abort()
 	s.clearTx()
+	if tripped {
+		return s.reply(&wire.ErrMsg{Code: wire.CodeDeadline,
+			Text: op + ": force-aborted by stuck-transaction watchdog: " + err.Error()})
+	}
 	return s.reply(&wire.ErrMsg{Code: codeOf(err), Text: op + ": " + err.Error()})
 }
 
 func (s *session) clearTx() {
-	s.tx = nil
-	s.txLive.Store(false)
+	s.lt.cancel()
+	s.lt = nil
+	s.cur.Store(nil)
 }
 
 // cleanup tears the session down: cancel (stops the reader and any parked
 // manager call), auto-abort a still-live transaction, close the socket.
 func (s *session) cleanup() {
 	s.cancel()
-	if s.tx != nil {
-		s.tx.Abort()
+	if s.lt != nil {
+		s.lt.tx.Abort()
 		s.clearTx()
 		if s.srv.draining.Load() {
 			s.srv.ctr.DrainAborted.Add(1)
@@ -208,7 +253,10 @@ func (s *session) cleanup() {
 }
 
 // reply frames and writes one message under the write deadline. A write
-// failure ends the session.
+// failure ends the session; if the failure was the deadline expiring, the
+// peer is a slow (or stalled) reader and the kill is counted — one wedged
+// client costs one session, never a dispatcher or unbounded buffered
+// replies.
 func (s *session) reply(m wire.Message) error {
 	if err := s.conn.SetWriteDeadline(timeNow().Add(s.srv.cfg.WriteTimeout)); err != nil {
 		return errSessionEnd
@@ -221,7 +269,15 @@ func (s *session) reply(m wire.Message) error {
 		return errSessionEnd
 	}
 	s.scratch = buf
+	if cap(s.scratch) > maxScratch {
+		s.scratch = nil
+	}
 	if _, err := s.conn.Write(buf); err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			s.srv.ctr.SlowClientKills.Add(1)
+			s.srv.logf("session %s: write deadline exceeded, killing slow client", s.conn.RemoteAddr())
+		}
 		return errSessionEnd
 	}
 	s.srv.ctr.BytesOut.Add(int64(len(buf)))
@@ -233,6 +289,8 @@ func (s *session) reply(m wire.Message) error {
 // — the client's mistake, hence CodeProtocol.
 func codeOf(err error) wire.ErrorCode {
 	switch {
+	case errors.Is(err, errShed):
+		return wire.CodeShed
 	case errors.Is(err, rtm.ErrAborted):
 		return wire.CodeAborted
 	case errors.Is(err, rtm.ErrDeadlineMissed):

@@ -26,6 +26,9 @@
 //
 //	HELLO  → HELLO_OK (set name + template schema)    — optional, any time
 //	BEGIN  → BEGIN_OK | ERR                           — opens the session txn
+//	         (carries an optional firm deadline budget in milliseconds;
+//	         the server refuses admission with CodeInfeasible when the
+//	         measured queue wait already exceeds it)
 //	READ   → READ_OK(value) | ERR
 //	WRITE  → WRITE_OK | ERR
 //	COMMIT → COMMIT_OK | ERR                          — closes the session txn
@@ -44,7 +47,9 @@ import (
 )
 
 // Version is the protocol version carried in every frame header.
-const Version = 1
+// Version 2 added the firm-deadline budget to BEGIN and the CodeShed /
+// CodeInfeasible overload error codes.
+const Version = 2
 
 // MaxPayload bounds a frame's payload. Decoders reject larger declared
 // lengths before allocating; encoders refuse to produce them.
@@ -122,6 +127,15 @@ const (
 	CodeDraining
 	// CodeInternal: unexpected server-side failure.
 	CodeInternal
+	// CodeShed: the admission queue crossed its high-water mark and this
+	// BEGIN was the lowest-priority work queued (or arriving), so it was
+	// shed to preserve the priority order end to end. Back off and retry.
+	CodeShed
+	// CodeInfeasible: the BEGIN carried a firm deadline budget that the
+	// measured admission queue wait already makes unreachable; the server
+	// refused it instead of queueing work guaranteed to be late. Retry
+	// (with backoff) iff a fresh instance is still useful.
+	CodeInfeasible
 
 	numCodes
 )
@@ -130,6 +144,7 @@ var codeNames = [numCodes]string{
 	CodeProtocol: "protocol", CodeState: "state", CodeOverload: "overload",
 	CodeAborted: "aborted", CodeCancelled: "cancelled", CodeDeadline: "deadline",
 	CodeDraining: "draining", CodeInternal: "internal",
+	CodeShed: "shed", CodeInfeasible: "infeasible",
 }
 
 func (c ErrorCode) String() string {
@@ -140,9 +155,11 @@ func (c ErrorCode) String() string {
 }
 
 // Retryable reports whether a client may retry after this code: overload
-// (after backoff) and sacrifice-style aborts (fresh BEGIN).
+// backpressure (after backoff), sacrifice-style aborts (fresh BEGIN), and
+// admission-control refusals (shed, infeasible deadline).
 func (c ErrorCode) Retryable() bool {
-	return c == CodeOverload || c == CodeAborted || c == CodeDeadline
+	return c == CodeOverload || c == CodeAborted || c == CodeDeadline ||
+		c == CodeShed || c == CodeInfeasible
 }
 
 // RemoteError is the client-side error for an ERR reply: the typed code
@@ -219,8 +236,15 @@ type HelloOK struct {
 }
 
 // Begin opens the session's transaction as an instance of the named
-// template.
-type Begin struct{ Name string }
+// template. Deadline, when nonzero, is a firm wall-clock budget in
+// milliseconds: the transaction is worthless unless it commits within it,
+// so the server may refuse admission outright (CodeInfeasible) and its
+// stuck-transaction watchdog force-aborts the instance once the budget
+// plus a grace period has elapsed.
+type Begin struct {
+	Name     string
+	Deadline uint32 // firm budget in milliseconds; 0 = none
+}
 
 // BeginOK confirms admission; ID is the manager's job id (observability).
 type BeginOK struct{ ID uint64 }
@@ -388,8 +412,18 @@ func (m *HelloOK) decodePayload(d *dec) {
 	}
 }
 
-func (m *Begin) encodePayload(dst []byte) ([]byte, error) { return appendStr(dst, m.Name) }
-func (m *Begin) decodePayload(d *dec)                     { m.Name = d.str() }
+func (m *Begin) encodePayload(dst []byte) ([]byte, error) {
+	dst, err := appendStr(dst, m.Name)
+	if err != nil {
+		return nil, err
+	}
+	return appendU32(dst, m.Deadline), nil
+}
+
+func (m *Begin) decodePayload(d *dec) {
+	m.Name = d.str()
+	m.Deadline = d.u32()
+}
 
 func (m *BeginOK) encodePayload(dst []byte) ([]byte, error) { return appendU64(dst, m.ID), nil }
 func (m *BeginOK) decodePayload(d *dec)                     { m.ID = d.u64() }

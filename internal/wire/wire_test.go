@@ -23,6 +23,7 @@ func sampleMessages() []Message {
 			{Name: "T3", Priority: 1, Steps: []StepInfo{{Op: OpRead, Item: 7, Dur: 2}}},
 		}},
 		&Begin{Name: "T1"},
+		&Begin{Name: "T2", Deadline: 250},
 		&BeginOK{ID: 0xDEADBEEFCAFE},
 		&Read{Item: 42},
 		&ReadOK{Value: -77},
@@ -36,6 +37,8 @@ func sampleMessages() []Message {
 		&Pong{Nonce: 99},
 		&ErrMsg{Code: CodeOverload, Text: "queue full"},
 		&ErrMsg{Code: CodeAborted, Text: ""},
+		&ErrMsg{Code: CodeShed, Text: "priority shed"},
+		&ErrMsg{Code: CodeInfeasible, Text: "deadline infeasible"},
 	}
 }
 
@@ -169,6 +172,7 @@ func TestReadFrameEOF(t *testing.T) {
 func TestRetryableCodes(t *testing.T) {
 	want := map[ErrorCode]bool{
 		CodeOverload: true, CodeAborted: true, CodeDeadline: true,
+		CodeShed: true, CodeInfeasible: true,
 		CodeProtocol: false, CodeState: false, CodeCancelled: false,
 		CodeDraining: false, CodeInternal: false,
 	}

@@ -1,24 +1,49 @@
 #!/usr/bin/env bash
 # loadbench.sh — end-to-end load benchmark of the network transaction
 # service: start pcpdad on a loopback port, drive it with pcpdaload, shut
-# the daemon down with SIGTERM and require a clean drain audit (exit 0),
-# then convert the load driver's benchmark line into a committed
-# performance record via cmd/benchjson.
+# the daemon down with SIGTERM and require a clean drain audit (exit 0).
+#
+# Two modes:
+#
+#   Closed loop (default): drive LOAD_TXNS transactions and convert the
+#   driver's benchmark line into a committed performance record via
+#   cmd/benchjson (the BENCH_5 pipeline).
+#
+#   Overload sweep (LOAD_SWEEP set, e.g. "1,2,3,4"): measure the
+#   closed-loop saturation rate, then run one open-loop Poisson step per
+#   multiplier of it with a firm deadline budget, and write pcpdaload's
+#   sweep document (goodput, deadline-miss ratio, shed counts per step)
+#   to LOAD_OUT — the BENCH_6 overload artifact. The sweep requires the
+#   server to actually shed: the run fails if no step recorded a shed or
+#   infeasible rejection. LOAD_NEMESIS=1 routes the sweep through the
+#   in-process fault-injection proxy.
 #
 # Usage:
-#   scripts/loadbench.sh                      # writes BENCH_5.json + loadbench.txt
-#   LOAD_RACE=1 scripts/loadbench.sh          # daemon built with -race (CI smoke)
+#   scripts/loadbench.sh                                # BENCH_5-style closed loop
+#   LOAD_SWEEP=1,2,3,4 LOAD_OUT=BENCH_6.json scripts/loadbench.sh
+#   LOAD_RACE=1 LOAD_SWEEP=1,2 LOAD_NEMESIS=1 scripts/loadbench.sh   # CI overload smoke
 #
 # Environment knobs:
-#   LOAD_OUT     output JSON path             (default BENCH_5.json)
-#   LOAD_TXT     output text log path         (default loadbench.txt)
-#   LOAD_LABEL   label recorded in the JSON   (default current)
-#   LOAD_CONNS   concurrent connections       (default 64)
-#   LOAD_TXNS    committed transactions       (default 10000)
-#   LOAD_SEED    workload seed                (default 7)
-#   LOAD_ADDR    listen address               (default 127.0.0.1:9723)
-#   LOAD_RACE    1 = build both binaries with -race (slower, CI smoke)
-#   LOAD_FAULTS  1 = run the daemon with fault injection on (default 1)
+#   LOAD_OUT      output JSON path            (default BENCH_5.json)
+#   LOAD_TXT      output text log path        (default loadbench.txt)
+#   LOAD_LABEL    label recorded in the JSON  (default current)
+#   LOAD_CONNS    concurrent connections      (default 64)
+#   LOAD_TXNS     committed transactions      (default 10000; sweep: calibration burst)
+#   LOAD_SEED     workload seed               (default 7)
+#   LOAD_ADDR     listen address              (default 127.0.0.1:9723)
+#   LOAD_RACE     1 = build both binaries with -race (slower, CI smoke)
+#   LOAD_FAULTS   1 = run the daemon with rtm fault injection on
+#                 (default 1 closed loop, 0 sweep — injected rtm delays
+#                 make the saturation calibration too noisy to step from)
+#   LOAD_QUEUE    admission queue depth       (default 128; sweep default
+#                 LOAD_CONNS — deep enough never to blanket-reject, since a
+#                 session has at most one BEGIN outstanding)
+#   LOAD_HW       shedding high-water mark    (sweep default LOAD_CONNS/4;
+#                 0 elsewhere = server default of 3/4 queue depth)
+#   LOAD_SWEEP    saturation multipliers, comma-separated (empty = closed loop)
+#   LOAD_DEADLINE firm deadline per txn in the sweep (default 150ms)
+#   LOAD_DURATION open-loop window per sweep step (default 4s)
+#   LOAD_NEMESIS  1 = route the sweep through the nemesis fault proxy
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,7 +55,32 @@ txns=${LOAD_TXNS:-10000}
 seed=${LOAD_SEED:-7}
 addr=${LOAD_ADDR:-127.0.0.1:9723}
 race=${LOAD_RACE:-0}
-faults=${LOAD_FAULTS:-1}
+sweep=${LOAD_SWEEP:-}
+# rtm fault injection adds run-to-run noise that swamps the saturation
+# calibration, so the sweep defaults it off — the sweep measures the
+# overload path, and network faults come from LOAD_NEMESIS instead.
+if [[ -n "$sweep" ]]; then
+	faults=${LOAD_FAULTS:-0}
+else
+	faults=${LOAD_FAULTS:-1}
+fi
+deadline=${LOAD_DEADLINE:-150ms}
+duration=${LOAD_DURATION:-4s}
+nemesis=${LOAD_NEMESIS:-0}
+# Sweep queue sizing: a session has at most one BEGIN outstanding, so
+# queue occupancy is bounded by LOAD_CONNS. Depth == conns means the
+# queue itself never fills (no blanket overload rejections that would
+# starve even top-priority work), while the low high-water mark (a
+# quarter of conns) engages priority shedding early — overload is
+# resolved by shedding the least important work, which is the protocol
+# under test.
+if [[ -n "$sweep" ]]; then
+	queue=${LOAD_QUEUE:-$conns}
+	hw=${LOAD_HW:-$((conns / 4))}
+else
+	queue=${LOAD_QUEUE:-128}
+	hw=${LOAD_HW:-0}
+fi
 
 build=(go build)
 if [[ "$race" == 1 ]]; then
@@ -41,7 +91,7 @@ trap 'rm -rf "$tmp"' EXIT
 "${build[@]}" -o "$tmp/pcpdad" ./cmd/pcpdad
 "${build[@]}" -o "$tmp/pcpdaload" ./cmd/pcpdaload
 
-daemon_args=(-listen "$addr" -queue 128)
+daemon_args=(-listen "$addr" -queue "$queue" -high-water "$hw")
 if [[ "$faults" == 1 ]]; then
 	daemon_args+=(-fault-abort 0.002 -fault-delay 0.01 -fault-wakeup 0.01)
 fi
@@ -56,8 +106,21 @@ for _ in $(seq 1 100); do
 	sleep 0.1
 done
 
-"$tmp/pcpdaload" -addr "$addr" -conns "$conns" -txns "$txns" -seed "$seed" \
-	-bench -report "$tmp/report.json" | tee "$txt"
+if [[ -n "$sweep" ]]; then
+	# -op-timeout 2s: a nemesis-partitioned connection stalls its worker
+	# only until the op deadline, not the default 10s.
+	load_args=(-addr "$addr" -conns "$conns" -txns "$txns" -seed "$seed"
+		-op-timeout 2s
+		-sweep "$sweep" -deadline-budget "$deadline" -duration "$duration"
+		-label "$label" -report "$out")
+	if [[ "$nemesis" == 1 ]]; then
+		load_args+=(-nemesis)
+	fi
+	"$tmp/pcpdaload" "${load_args[@]}" 2>&1 | tee "$txt"
+else
+	"$tmp/pcpdaload" -addr "$addr" -conns "$conns" -txns "$txns" -seed "$seed" \
+		-bench -report "$tmp/report.json" | tee "$txt"
+fi
 
 # Graceful drain: the daemon's exit code is the leak audit.
 kill -TERM "$daemon"
@@ -69,6 +132,17 @@ if [[ "$drain" != 0 ]]; then
 	exit 1
 fi
 
-grep '^Benchmark' "$txt" | go run ./cmd/benchjson -label "$label" \
-	-note "pcpdad loopback: $conns conns, $txns txns, faults=$faults race=$race" > "$out"
-echo "wrote $out (text log: $txt)"
+if [[ -n "$sweep" ]]; then
+	# Overload protection must have actually engaged somewhere in the
+	# sweep, or the artifact proves nothing about degradation.
+	shed=$(grep -Eo '"(shed|infeasible)": [0-9]+' "$out" | awk '{s+=$2} END {print s+0}')
+	if [[ "$shed" == 0 ]]; then
+		echo "loadbench: sweep recorded zero shed/infeasible rejections" >&2
+		exit 1
+	fi
+	echo "wrote $out (sweep; $shed shed/infeasible rejections; text log: $txt)"
+else
+	grep '^Benchmark' "$txt" | go run ./cmd/benchjson -label "$label" \
+		-note "pcpdad loopback: $conns conns, $txns txns, faults=$faults race=$race" > "$out"
+	echo "wrote $out (text log: $txt)"
+fi
