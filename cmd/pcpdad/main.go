@@ -7,7 +7,8 @@
 //
 //	/healthz  liveness: 200 "ok", 200 "degraded" (serving but shedding),
 //	          503 "draining"
-//	/stats    JSON snapshot: server counters + manager counters
+//	/stats    JSON snapshot: server counters + per-shard admission
+//	          stats (depth, stolen, EWMA wait) + manager counters
 //
 // SIGINT/SIGTERM trigger a graceful drain bounded by -drain-timeout. The
 // exit code is the drain verdict: 0 means the manager shut down provably
@@ -36,6 +37,7 @@ import (
 	"pcpda/internal/metrics"
 	"pcpda/internal/rtm"
 	"pcpda/internal/server"
+	"pcpda/internal/wire"
 	"pcpda/internal/workload"
 )
 
@@ -51,6 +53,9 @@ func run() int {
 		highWater    = flag.Int("high-water", 0, "queue occupancy at which priority shedding starts (0 = 3/4 of -queue)")
 		batchMax     = flag.Int("batch", 16, "max BEGINs folded into one admission batch")
 		admitting    = flag.Int("admitting", 4, "max concurrently running admission batches")
+		shards       = flag.Int("shards", 0, "admission shards with work stealing (0 = scale with GOMAXPROCS)")
+		inflight     = flag.Int("inflight", 0, "max unflushed responses per pipelined session (0 = default)")
+		wireV2       = flag.Bool("wire-v2", false, "pin the wire protocol to v2: refuse tagged frames, force strict clients")
 		idleTimeout  = flag.Duration("idle-timeout", 30*time.Second, "per-session read deadline")
 		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "per-frame write deadline (slow-client kill threshold)")
 		wdInterval   = flag.Duration("watchdog-interval", 100*time.Millisecond, "stuck-transaction watchdog sweep interval (negative = disabled)")
@@ -95,12 +100,18 @@ func run() int {
 		log.Printf("pcpdad: manager: %v", err)
 		return 2
 	}
+	maxWire := wire.Version
+	if *wireV2 {
+		maxWire = wire.V2
+	}
 	ctr := &metrics.ServerCounters{}
 	srv, err := server.New(server.Config{
 		Manager: mgr, Counters: ctr,
 		QueueDepth: *queueDepth, HighWater: *highWater,
 		BatchMax: *batchMax, MaxAdmitting: *admitting,
-		IdleTimeout: *idleTimeout, WriteTimeout: *writeTimeout,
+		AdmitShards: *shards, SessionInflight: *inflight,
+		MaxWireVersion: maxWire,
+		IdleTimeout:    *idleTimeout, WriteTimeout: *writeTimeout,
 		WatchdogInterval: *wdInterval, WatchdogGrace: *wdGrace,
 		StuckTxnAge: *stuckAge, HealthWindow: *healthWindow,
 		Logf: log.Printf,
@@ -172,8 +183,9 @@ func statsServer(addr string, srv *server.Server, mgr *rtm.Manager, ctr *metrics
 		doc := struct {
 			Health  string                 `json:"health"`
 			Server  metrics.ServerSnapshot `json:"server"`
+			Shards  []server.ShardStat     `json:"shards"`
 			Manager rtm.Stats              `json:"manager"`
-		}{srv.Health(), ctr.Snapshot(), mgr.Stats()}
+		}{srv.Health(), ctr.Snapshot(), srv.ShardStats(), mgr.Stats()}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

@@ -13,7 +13,15 @@
 //   - Sweep (-sweep "1,2,4"): measure the closed-loop saturation rate,
 //     then run one open-loop step per multiplier of it and emit a JSON
 //     sweep document (goodput, deadline-miss ratio, shed counts per
-//     step) to -report. This is the BENCH_6 overload artifact.
+//     step) to -report. This is the BENCH_6/BENCH_7 overload artifact.
+//     Sweep mode calibrates both client modes so the document always
+//     records the pipelining speedup.
+//
+// -pipeline switches the driver to the wire-v3 pipelined client: each
+// transaction is flushed as one tagged burst (BEGIN+steps+COMMIT) and
+// responses demultiplex by tag, with up to -window requests in flight
+// per connection. Against a v2-pinned server the client degrades to
+// strict request/response transparently.
 //
 // -nemesis interposes an in-process fault-injection proxy
 // (internal/nemesis) between the driver and -addr, so the workload
@@ -64,6 +72,10 @@ func run() int {
 		bench    = flag.Bool("bench", false, "print a benchjson-compatible benchmark line")
 		attempts = flag.Int("attempts", 16, "max attempts per transaction")
 		label    = flag.String("label", "current", "label recorded in the sweep document")
+
+		pipeline  = flag.Bool("pipeline", false, "use the wire-v3 pipelined client (whole transactions flushed as one tagged burst)")
+		window    = flag.Int("window", 0, "pipelined: max tagged requests in flight per connection (0 = default)")
+		spinUnder = flag.Duration("spin-under", 0, "open loop: spin instead of sleeping for the last stretch of each inter-arrival gap (0 = default; on coarse-timer hosts the default 10ms keeps offered rate honest)")
 
 		arrivalRate = flag.Float64("arrival-rate", 0, "open loop: Poisson arrivals per second (0 = closed loop)")
 		duration    = flag.Duration("duration", 5*time.Second, "open loop: arrival window per run")
@@ -119,6 +131,7 @@ func run() int {
 		OpTimeout: *opTO, MaxAttempts: *attempts,
 		ArrivalRate: *arrivalRate, Duration: *duration,
 		DeadlineBudget: *deadline, MaxInFlight: *maxInFlight,
+		Pipelined: *pipeline, Window: *window, SpinUnder: *spinUnder,
 	}
 
 	if *sweep != "" {
@@ -141,9 +154,13 @@ func run() int {
 		logProxy(proxy)
 	}
 	if *bench && rep.Committed > 0 {
+		mode := "strict"
+		if *pipeline {
+			mode = "pipelined"
+		}
 		nsPerOp := float64(rep.Elapsed.Nanoseconds()) / float64(rep.Committed)
-		fmt.Printf("BenchmarkPcpdaLoad/conns=%d %d %.1f ns/op %.1f txn/s %d p50-ns %d p99-ns %d retries\n",
-			*conns, rep.Committed, nsPerOp, rep.Throughput(),
+		fmt.Printf("BenchmarkPcpdaLoad/conns=%d/%s %d %.1f ns/op %.1f txn/s %d p50-ns %d p99-ns %d retries\n",
+			*conns, mode, rep.Committed, nsPerOp, rep.Throughput(),
 			rep.P50.Nanoseconds(), rep.P99.Nanoseconds(), rep.Retries)
 	}
 	if *report != "" {
@@ -173,6 +190,11 @@ func printReport(rep *client.LoadReport, cfg client.LoadConfig) {
 	if cfg.ArrivalRate > 0 {
 		fmt.Printf("pcpdaload: offered=%d overrun=%d on_time=%d goodput=%.0f txn/s shed=%d infeasible=%d\n",
 			rep.Offered, rep.Overrun, rep.OnTime, rep.Goodput(), rep.Shed, rep.Infeasible)
+		// Achieved-vs-offered exposes pacing error: on coarse-timer hosts a
+		// sleeping arrival loop silently under-offers, which makes every
+		// downstream ratio in the report a lie.
+		fmt.Printf("pcpdaload: arrival rate offered=%.0f/s achieved=%.0f/s\n",
+			rep.OfferedRate, rep.AchievedRate)
 		for _, tr := range rep.Tiers {
 			fmt.Printf("pcpdaload:   tier pri=%d offered=%d committed=%d on_time=%d shed=%d miss=%.3f\n",
 				tr.Priority, tr.Offered, tr.Committed, tr.OnTime, tr.Shed, tr.MissRatio)
@@ -188,9 +210,11 @@ func logProxy(p *nemesis.Proxy) {
 
 // sweepStep is one offered-load step of the overload sweep.
 type sweepStep struct {
-	Multiplier  float64 `json:"multiplier"`
-	ArrivalRate float64 `json:"arrival_rate"`
-	Nemesis     bool    `json:"nemesis"` // step ran through the fault proxy
+	Multiplier   float64 `json:"multiplier"`
+	ArrivalRate  float64 `json:"arrival_rate"`
+	AchievedRate float64 `json:"achieved_rate"` // what the pacer actually delivered
+	Nemesis      bool    `json:"nemesis"`       // step ran through the fault proxy
+	Pipelined    bool    `json:"pipelined"`     // step used the wire-v3 pipelined client
 
 	Offered    int64 `json:"offered"`
 	Overrun    int64 `json:"overrun"`
@@ -220,16 +244,23 @@ type sweepStep struct {
 // graceful-degradation criterion is judged on that curve; nemesis steps
 // document how far the plateau survives injected network faults.
 type sweepDoc struct {
-	Label         string         `json:"label"`
-	Date          string         `json:"date"`
-	Go            string         `json:"go"`
-	Nemesis       bool           `json:"nemesis"`
-	NemesisStats  *nemesis.Stats `json:"nemesis_stats,omitempty"`
-	Conns         int            `json:"conns"`
-	DeadlineMs    float64        `json:"deadline_budget_ms"`
-	SaturationTPS float64        `json:"saturation_txn_s"`
-	PeakGoodput   float64        `json:"peak_goodput_txn_s"`
-	Steps         []sweepStep    `json:"steps"`
+	Label        string         `json:"label"`
+	Date         string         `json:"date"`
+	Go           string         `json:"go"`
+	Nemesis      bool           `json:"nemesis"`
+	NemesisStats *nemesis.Stats `json:"nemesis_stats,omitempty"`
+	Conns        int            `json:"conns"`
+	DeadlineMs   float64        `json:"deadline_budget_ms"`
+	// SaturationTPS is the strict (one request/response in flight) closed-
+	// loop rate; PipelinedSaturationTPS is the same burst with whole
+	// transactions flushed as tagged wire-v3 bursts. Speedup is their
+	// ratio — the headline number for the pipelined protocol.
+	SaturationTPS          float64     `json:"saturation_txn_s"`
+	PipelinedSaturationTPS float64     `json:"pipelined_saturation_txn_s"`
+	Speedup                float64     `json:"pipelined_speedup"`
+	Pipelined              bool        `json:"pipelined"` // open-loop steps used the pipelined client
+	PeakGoodput            float64     `json:"peak_goodput_txn_s"`
+	Steps                  []sweepStep `json:"steps"`
 }
 
 // runSweep measures closed-loop saturation, then runs one open-loop step
@@ -245,69 +276,111 @@ func runSweep(ctx context.Context, base client.LoadConfig, spec, label, out stri
 		return 1
 	}
 
-	// Calibration: a closed-loop burst over the direct path measures what
-	// the system can absorb; every multiplier steps off that rate.
-	cal := base
-	cal.ArrivalRate = 0
-	log.Printf("pcpdaload: sweep: calibrating saturation (%d conns, %d txns)", cal.Conns, cal.Txns)
-	calRep, err := client.RunLoad(ctx, cal)
-	if err != nil || calRep.Committed == 0 {
-		log.Printf("pcpdaload: sweep calibration failed: %v", err)
+	// Calibration: closed-loop bursts over the direct path measure what
+	// the system can absorb. Both client modes are calibrated every time
+	// so the document always carries the pipelining speedup; the open-loop
+	// multipliers then step off the rate of the mode the steps will use.
+	calibrate := func(pipelined bool) (float64, bool) {
+		cal := base
+		cal.ArrivalRate = 0
+		cal.Pipelined = pipelined
+		mode := "strict"
+		if pipelined {
+			mode = "pipelined"
+		}
+		log.Printf("pcpdaload: sweep: calibrating %s saturation (%d conns, %d txns)", mode, cal.Conns, cal.Txns)
+		calRep, err := client.RunLoad(ctx, cal)
+		if err != nil || calRep.Committed == 0 {
+			log.Printf("pcpdaload: sweep %s calibration failed: %v", mode, err)
+			return 0, false
+		}
+		log.Printf("pcpdaload: sweep: %s saturation = %.0f txn/s", mode, calRep.Throughput())
+		return calRep.Throughput(), true
+	}
+	strictSat, ok := calibrate(false)
+	if !ok {
 		return 1
 	}
-	sat := calRep.Throughput()
-	log.Printf("pcpdaload: sweep: saturation = %.0f txn/s", sat)
+	pipeSat, ok := calibrate(true)
+	if !ok {
+		return 1
+	}
+	// With -pipeline the sweep runs every multiplier in both client modes
+	// (paired rows, distinguished by the step's pipelined flag), each
+	// stepping off its own mode's saturation so a 2x step means 2x of what
+	// that client can absorb.
+	modes := []bool{false}
+	if base.Pipelined {
+		modes = append(modes, true)
+	}
+	satOf := func(pipelined bool) float64 {
+		if pipelined {
+			return pipeSat
+		}
+		return strictSat
+	}
 
 	doc := &sweepDoc{
 		Label: label, Date: time.Now().UTC().Format(time.RFC3339),
 		Go: runtime.Version(), Nemesis: proxy != nil,
-		Conns:         base.Conns,
-		DeadlineMs:    float64(base.DeadlineBudget) / float64(time.Millisecond),
-		SaturationTPS: sat,
+		Conns:                  base.Conns,
+		DeadlineMs:             float64(base.DeadlineBudget) / float64(time.Millisecond),
+		SaturationTPS:          strictSat,
+		PipelinedSaturationTPS: pipeSat,
+		Speedup:                pipeSat / strictSat,
+		Pipelined:              base.Pipelined,
 	}
 	for _, m := range mults {
 		variants := []bool{false}
 		if proxy != nil {
 			variants = append(variants, true)
 		}
-		for _, faulted := range variants {
-			step := base
-			step.ArrivalRate = sat * m
-			step.RetryBudget = nil // fresh budget per step
-			tag := ""
-			if faulted {
-				step.Addr = proxy.Addr().String()
-				tag = " [nemesis]"
+		for _, pipelined := range modes {
+			for _, faulted := range variants {
+				step := base
+				step.Pipelined = pipelined
+				step.ArrivalRate = satOf(pipelined) * m
+				step.RetryBudget = nil // fresh budget per step
+				tag := ""
+				if pipelined {
+					tag = " [pipelined]"
+				}
+				if faulted {
+					step.Addr = proxy.Addr().String()
+					tag += " [nemesis]"
+				}
+				log.Printf("pcpdaload: sweep: step %.2fx%s -> %.0f arrivals/s for %v",
+					m, tag, step.ArrivalRate, step.Duration)
+				rep, err := client.RunLoad(ctx, step)
+				if err != nil {
+					log.Printf("pcpdaload: sweep step %.2fx%s: %v", m, tag, err)
+					return 1
+				}
+				st := sweepStep{
+					Multiplier: m, ArrivalRate: step.ArrivalRate,
+					AchievedRate: rep.AchievedRate,
+					Nemesis:      faulted, Pipelined: step.Pipelined,
+					Offered: rep.Offered, Overrun: rep.Overrun,
+					Committed: rep.Committed, OnTime: rep.OnTime,
+					Shed: rep.Shed, Infeasible: rep.Infeasible, Failed: rep.Failed,
+					Retries: rep.Retries, Suppressed: rep.RetriesSuppressed,
+					ThroughputTPS: rep.Throughput(), GoodputTPS: rep.Goodput(),
+					P50Ms: ms(rep.P50), P99Ms: ms(rep.P99), MaxMs: ms(rep.Max),
+					Tiers: rep.Tiers,
+				}
+				if rep.Offered > 0 {
+					st.MissRatio = 1 - float64(rep.OnTime)/float64(rep.Offered)
+				}
+				if len(rep.Tiers) > 0 {
+					st.TopTierMiss = rep.Tiers[0].MissRatio
+				}
+				doc.Steps = append(doc.Steps, st)
+				if !faulted && st.GoodputTPS > doc.PeakGoodput {
+					doc.PeakGoodput = st.GoodputTPS
+				}
+				log.Printf("pcpdaload: sweep: %.2fx%s offered=%d goodput=%.0f txn/s miss=%.3f top-tier-miss=%.3f shed=%d",
+					m, tag, st.Offered, st.GoodputTPS, st.MissRatio, st.TopTierMiss, st.Shed)
 			}
-			log.Printf("pcpdaload: sweep: step %.2fx%s -> %.0f arrivals/s for %v",
-				m, tag, step.ArrivalRate, step.Duration)
-			rep, err := client.RunLoad(ctx, step)
-			if err != nil {
-				log.Printf("pcpdaload: sweep step %.2fx%s: %v", m, tag, err)
-				return 1
-			}
-			st := sweepStep{
-				Multiplier: m, ArrivalRate: step.ArrivalRate, Nemesis: faulted,
-				Offered: rep.Offered, Overrun: rep.Overrun,
-				Committed: rep.Committed, OnTime: rep.OnTime,
-				Shed: rep.Shed, Infeasible: rep.Infeasible, Failed: rep.Failed,
-				Retries: rep.Retries, Suppressed: rep.RetriesSuppressed,
-				ThroughputTPS: rep.Throughput(), GoodputTPS: rep.Goodput(),
-				P50Ms: ms(rep.P50), P99Ms: ms(rep.P99), MaxMs: ms(rep.Max),
-				Tiers: rep.Tiers,
-			}
-			if rep.Offered > 0 {
-				st.MissRatio = 1 - float64(rep.OnTime)/float64(rep.Offered)
-			}
-			if len(rep.Tiers) > 0 {
-				st.TopTierMiss = rep.Tiers[0].MissRatio
-			}
-			doc.Steps = append(doc.Steps, st)
-			if !faulted && st.GoodputTPS > doc.PeakGoodput {
-				doc.PeakGoodput = st.GoodputTPS
-			}
-			log.Printf("pcpdaload: sweep: %.2fx%s offered=%d goodput=%.0f txn/s miss=%.3f top-tier-miss=%.3f shed=%d",
-				m, tag, st.Offered, st.GoodputTPS, st.MissRatio, st.TopTierMiss, st.Shed)
 		}
 	}
 	if proxy != nil {

@@ -112,12 +112,10 @@ func (c *Conn) Begin(name string) (uint64, error) {
 	return c.BeginBudget(name, 0)
 }
 
-// BeginBudget starts a transaction with a firm deadline budget: the server
-// refuses it (CodeInfeasible) if its queue-wait estimate already breaks
-// the budget, and its watchdog force-aborts the transaction if it is still
-// live past budget+grace. budget <= 0 means no deadline; sub-millisecond
-// budgets round up to 1ms rather than silently dropping the deadline.
-func (c *Conn) BeginBudget(name string, budget time.Duration) (uint64, error) {
+// beginMsg builds a BEGIN frame carrying budget as a firm deadline in
+// milliseconds. budget <= 0 means no deadline; sub-millisecond budgets
+// round up to 1ms rather than silently dropping the deadline.
+func beginMsg(name string, budget time.Duration) *wire.Begin {
 	m := &wire.Begin{Name: name}
 	if budget > 0 {
 		ms := (budget + time.Millisecond - 1) / time.Millisecond
@@ -126,7 +124,15 @@ func (c *Conn) BeginBudget(name string, budget time.Duration) (uint64, error) {
 		}
 		m.Deadline = uint32(ms)
 	}
-	reply, err := c.op(m, wire.KindBeginOK)
+	return m
+}
+
+// BeginBudget starts a transaction with a firm deadline budget: the server
+// refuses it (CodeInfeasible) if its queue-wait estimate already breaks
+// the budget, and its watchdog force-aborts the transaction if it is still
+// live past budget+grace. budget <= 0 means no deadline.
+func (c *Conn) BeginBudget(name string, budget time.Duration) (uint64, error) {
+	reply, err := c.op(beginMsg(name, budget), wire.KindBeginOK)
 	if err != nil {
 		return 0, err
 	}
@@ -296,10 +302,10 @@ func (b *RetryBudget) Suppressed() int64 {
 	return b.suppressed
 }
 
-// Client wraps a Pool with seeded-jitter retries on the protocol's
-// retryable error codes.
-type Client struct {
-	pool *Pool
+// retryPolicy is the retry skeleton shared by the strict Client and the
+// pipelined PipeClient: seeded full-jitter exponential backoff on the
+// protocol's retryable error codes, optionally capped by a RetryBudget.
+type retryPolicy struct {
 	// MaxAttempts bounds tries per Do call (default 8).
 	MaxAttempts int
 	// BackoffBase is the first retry's sleep ceiling; it doubles per
@@ -321,11 +327,74 @@ type Client struct {
 	rng *rand.Rand
 }
 
+// run drives attempt under the policy: retryable typed failures back off
+// and try again (budget permitting); anything else ends the call.
+func (rp *retryPolicy) run(name string, attempt func() error) error {
+	attempts := rp.MaxAttempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	if rp.Budget != nil {
+		rp.Budget.credit()
+	}
+	var last error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			if rp.Budget != nil && !rp.Budget.take() {
+				return fmt.Errorf("client: %s: retry budget exhausted: %w", name, last)
+			}
+			if rp.Retries != nil {
+				atomic.AddInt64(rp.Retries, 1)
+			}
+			rp.sleepBackoff(a)
+		}
+		err := attempt()
+		if err == nil {
+			return nil
+		}
+		last = err
+		var remote *wire.RemoteError
+		if errors.As(err, &remote) {
+			if rp.CodeHook != nil {
+				rp.CodeHook(remote.Code)
+			}
+			if remote.Code.Retryable() {
+				continue
+			}
+		}
+		return err
+	}
+	return fmt.Errorf("client: %s: attempts exhausted: %w", name, last)
+}
+
+func (rp *retryPolicy) sleepBackoff(attempt int) {
+	base := rp.BackoffBase
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	ceil := base << uint(attempt-1)
+	if limit := 100 * time.Millisecond; ceil > limit {
+		ceil = limit
+	}
+	rp.mu.Lock()
+	d := time.Duration(rp.rng.Int63n(int64(ceil) + 1))
+	rp.mu.Unlock()
+	time.Sleep(d)
+}
+
+// Client wraps a Pool with seeded-jitter retries on the protocol's
+// retryable error codes.
+type Client struct {
+	pool *Pool
+	retryPolicy
+}
+
 // NewClient builds a retrying client over pool. seed drives backoff
 // jitter deterministically.
 func NewClient(pool *Pool, seed int64) *Client {
-	return &Client{pool: pool, MaxAttempts: 8, BackoffBase: time.Millisecond,
-		rng: rand.New(rand.NewSource(seed))}
+	return &Client{pool: pool, retryPolicy: retryPolicy{
+		MaxAttempts: 8, BackoffBase: time.Millisecond,
+		rng: rand.New(rand.NewSource(seed))}}
 }
 
 // Do runs fn as one transaction attempt of the named type: Begin, fn,
@@ -342,41 +411,7 @@ func (cl *Client) Do(name string, fn func(c *Conn) error) error {
 // Conn.BeginBudget); budget <= 0 is plain Do. Retries reuse the same
 // budget value — the server re-evaluates feasibility per attempt.
 func (cl *Client) DoDeadline(name string, budget time.Duration, fn func(c *Conn) error) error {
-	attempts := cl.MaxAttempts
-	if attempts <= 0 {
-		attempts = 1
-	}
-	if cl.Budget != nil {
-		cl.Budget.credit()
-	}
-	var last error
-	for a := 0; a < attempts; a++ {
-		if a > 0 {
-			if cl.Budget != nil && !cl.Budget.take() {
-				return fmt.Errorf("client: %s: retry budget exhausted: %w", name, last)
-			}
-			if cl.Retries != nil {
-				atomic.AddInt64(cl.Retries, 1)
-			}
-			cl.sleepBackoff(a)
-		}
-		err := cl.attempt(name, budget, fn)
-		if err == nil {
-			return nil
-		}
-		last = err
-		var remote *wire.RemoteError
-		if errors.As(err, &remote) {
-			if cl.CodeHook != nil {
-				cl.CodeHook(remote.Code)
-			}
-			if remote.Code.Retryable() {
-				continue
-			}
-		}
-		return err
-	}
-	return fmt.Errorf("client: %s: attempts exhausted: %w", name, last)
+	return cl.run(name, func() error { return cl.attempt(name, budget, fn) })
 }
 
 func (cl *Client) attempt(name string, budget time.Duration, fn func(c *Conn) error) error {
@@ -398,19 +433,4 @@ func (cl *Client) attempt(name string, budget time.Duration, fn func(c *Conn) er
 		return err
 	}
 	return c.Commit()
-}
-
-func (cl *Client) sleepBackoff(attempt int) {
-	base := cl.BackoffBase
-	if base <= 0 {
-		base = time.Millisecond
-	}
-	ceil := base << uint(attempt-1)
-	if limit := 100 * time.Millisecond; ceil > limit {
-		ceil = limit
-	}
-	cl.mu.Lock()
-	d := time.Duration(cl.rng.Int63n(int64(ceil) + 1))
-	cl.mu.Unlock()
-	time.Sleep(d)
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -45,6 +46,21 @@ type LoadConfig struct {
 	// generation under deliberate overload needs more patience than the
 	// Client default.
 	MaxAttempts int
+	// Pipelined switches every worker from strict request/reply to the
+	// wire-v3 pipelined client: each transaction is one flushed burst
+	// (BEGIN+steps+COMMIT) instead of one round trip per frame. Falls back
+	// to strict automatically against a server that pins wire v2.
+	Pipelined bool
+	// Window bounds requests in flight per pipelined connection.
+	// Default 32.
+	Window int
+	// SpinUnder is the open-loop pacing threshold: inter-arrival gaps
+	// shorter than this are paced by a yield-spin instead of the sleeper
+	// (whose granularity on a coarse-timer host is ~10ms, far wider than
+	// the sub-millisecond gaps of a multi-thousand/s arrival process).
+	// Longer gaps sleep until SpinUnder remains, then spin the residue.
+	// Default 10ms.
+	SpinUnder time.Duration
 
 	// ArrivalRate switches to open loop: mean arrivals per second of the
 	// Poisson process. 0 selects the closed loop.
@@ -96,13 +112,15 @@ type LoadReport struct {
 	Max time.Duration `json:"max_ns"`
 
 	// Open-loop and overload accounting.
-	Offered           int64        `json:"offered,omitempty"`    // open loop: arrivals generated
-	Overrun           int64        `json:"overrun,omitempty"`    // arrivals dropped client-side at MaxInFlight
-	OnTime            int64        `json:"on_time,omitempty"`    // commits within DeadlineBudget (== Committed when no budget)
-	Shed              int64        `json:"shed,omitempty"`       // CodeShed rejections observed
-	Infeasible        int64        `json:"infeasible,omitempty"` // CodeInfeasible rejections observed
-	RetriesSuppressed int64        `json:"retries_suppressed"`   // retries the budget refused
-	Tiers             []TierReport `json:"tiers,omitempty"`      // per-priority breakdown, highest first
+	Offered           int64        `json:"offered,omitempty"`       // open loop: arrivals generated
+	OfferedRate       float64      `json:"offered_rate,omitempty"`  // open loop: configured arrivals/s
+	AchievedRate      float64      `json:"achieved_rate,omitempty"` // open loop: arrivals actually generated per second of the arrival window
+	Overrun           int64        `json:"overrun,omitempty"`       // arrivals dropped client-side at MaxInFlight
+	OnTime            int64        `json:"on_time,omitempty"`       // commits within DeadlineBudget (== Committed when no budget)
+	Shed              int64        `json:"shed,omitempty"`          // CodeShed rejections observed
+	Infeasible        int64        `json:"infeasible,omitempty"`    // CodeInfeasible rejections observed
+	RetriesSuppressed int64        `json:"retries_suppressed"`      // retries the budget refused
+	Tiers             []TierReport `json:"tiers,omitempty"`         // per-priority breakdown, highest first
 }
 
 // Throughput returns committed transactions per second.
@@ -140,6 +158,12 @@ func (cfg *LoadConfig) fill() {
 	}
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 4 * cfg.Conns
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 32
+	}
+	if cfg.SpinUnder <= 0 {
+		cfg.SpinUnder = 10 * time.Millisecond
 	}
 	if cfg.RetryBudget == nil {
 		cfg.RetryBudget = NewRetryBudget(0.2, float64(10*cfg.Conns))
@@ -180,7 +204,11 @@ func runClosedLoop(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK) (*
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			errs[w] = loadWorker(ctx, cfg, schema, tiers, int64(w), &remaining, rep, &lats[w])
+			if cfg.Pipelined {
+				errs[w] = pipelinedWorker(ctx, cfg, schema, tiers, int64(w), &remaining, rep, &lats[w])
+			} else {
+				errs[w] = loadWorker(ctx, cfg, schema, tiers, int64(w), &remaining, rep, &lats[w])
+			}
 		}(w)
 	}
 	wg.Wait()
@@ -193,20 +221,52 @@ func runClosedLoop(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK) (*
 	return rep, ctx.Err()
 }
 
+// loadRunner is one worker's transaction driver — strict request/reply or
+// pipelined bursts, behind the same do() shape — with the shared retry
+// policy wired to the run's counters.
+type loadRunner struct {
+	do    func(tmpl wire.TemplateInfo, budget time.Duration) error
+	close func()
+}
+
+func newLoadRunner(cfg LoadConfig, rep *LoadReport, id int64, rng *rand.Rand,
+	hook func(wire.ErrorCode)) loadRunner {
+	if cfg.Pipelined {
+		pc := NewPipeClient(cfg.Addr, cfg.OpTimeout, cfg.Window, cfg.Seed^id)
+		pc.MaxAttempts = cfg.MaxAttempts
+		pc.Retries = &rep.Retries
+		pc.Budget = cfg.RetryBudget
+		pc.CodeHook = hook
+		return loadRunner{
+			do: func(tmpl wire.TemplateInfo, budget time.Duration) error {
+				return pc.DoTxn(tmpl.Name, budget, pipelineSteps(tmpl, rng))
+			},
+			close: pc.Close,
+		}
+	}
+	pool := NewPool(cfg.Addr, cfg.OpTimeout, 1)
+	cl := NewClient(pool, cfg.Seed^id)
+	cl.MaxAttempts = cfg.MaxAttempts
+	cl.Retries = &rep.Retries
+	cl.Budget = cfg.RetryBudget
+	cl.CodeHook = hook
+	return loadRunner{
+		do: func(tmpl wire.TemplateInfo, budget time.Duration) error {
+			return cl.DoDeadline(tmpl.Name, budget, runSteps(tmpl, rng))
+		},
+		close: pool.Close,
+	}
+}
+
 // loadWorker is one closed-loop connection: claim a transaction from the
 // shared budget, run it to commit (retrying retryable failures), record
 // the latency, repeat.
 func loadWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, tiers *tierStats,
 	id int64, remaining *atomic.Int64, rep *LoadReport, lats *[]time.Duration) error {
 	rng := rand.New(rand.NewSource(cfg.Seed + id))
-	pool := NewPool(cfg.Addr, cfg.OpTimeout, 1)
-	defer pool.Close()
-	cl := NewClient(pool, cfg.Seed^id)
-	cl.MaxAttempts = cfg.MaxAttempts
-	cl.Retries = &rep.Retries
-	cl.Budget = cfg.RetryBudget
 	var curTier *tierCounters
-	cl.CodeHook = func(code wire.ErrorCode) { countCode(rep, curTier, code) }
+	r := newLoadRunner(cfg, rep, id, rng, func(code wire.ErrorCode) { countCode(rep, curTier, code) })
+	defer r.close()
 
 	for remaining.Add(-1) >= 0 {
 		if ctx.Err() != nil {
@@ -216,7 +276,7 @@ func loadWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, tiers
 		curTier = tiers.of(tmpl.Priority)
 		curTier.offered.Add(1)
 		begin := time.Now()
-		err := cl.Do(tmpl.Name, runSteps(tmpl, rng))
+		err := r.do(tmpl, 0)
 		atomic.AddInt64(&rep.Attempts, 1)
 		if err != nil {
 			atomic.AddInt64(&rep.Failed, 1)
@@ -242,6 +302,182 @@ func loadWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, tiers
 		curTier.committed.Add(1)
 		curTier.onTime.Add(1) // no deadline budget in the closed loop
 		*lats = append(*lats, time.Since(begin))
+	}
+	return nil
+}
+
+// pipelinedWorker is the closed-loop worker in pipelined mode. Where
+// loadWorker runs one transaction at a time, this keeps a bounded queue
+// of whole-transaction bursts in flight on one connection — the server
+// executes bursts in arrival order, so back-to-back transactions overlap
+// on the wire without changing their serialization. The common case costs
+// one write and zero waits per transaction; failures fall back to the
+// shared retry policy, synchronously, so overload behaves exactly like
+// the strict worker (budgeted retries, counted sheds, orderly stop on
+// drain).
+func pipelinedWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, tiers *tierStats,
+	id int64, remaining *atomic.Int64, rep *LoadReport, lats *[]time.Duration) error {
+	rng := rand.New(rand.NewSource(cfg.Seed + id))
+	var curTier *tierCounters
+	pc := NewPipeClient(cfg.Addr, cfg.OpTimeout, cfg.Window, cfg.Seed^id)
+	pc.MaxAttempts = cfg.MaxAttempts
+	pc.Retries = &rep.Retries
+	pc.Budget = cfg.RetryBudget
+	pc.CodeHook = func(code wire.ErrorCode) { countCode(rep, curTier, code) }
+	defer pc.Close()
+
+	type inflight struct {
+		tmpl  wire.TemplateInfo
+		tier  *tierCounters
+		begin time.Time
+		fut   *TxnFuture
+	}
+	// Transactions in flight per connection: a quarter of the request
+	// window (a burst is BEGIN+steps+COMMIT, typically ~4 frames), at
+	// least one.
+	depth := max(1, cfg.Window/4)
+	queue := make([]inflight, 0, depth)
+	errStop := errors.New("load: orderly stop")
+
+	// settle resolves the oldest in-flight burst: account the commit, or
+	// run the whole retry chain synchronously (the overlap is for the
+	// common case; a failed transaction is worth a stall).
+	settle := func(t inflight) error {
+		err := t.fut.Wait()
+		atomic.AddInt64(&rep.Attempts, 1)
+		if err == nil {
+			atomic.AddInt64(&rep.Committed, 1)
+			t.tier.committed.Add(1)
+			t.tier.onTime.Add(1) // no deadline budget in the closed loop
+			*lats = append(*lats, time.Since(t.begin))
+			return nil
+		}
+		var remote *wire.RemoteError
+		if ctx.Err() != nil || !errors.As(err, &remote) {
+			if ctx.Err() != nil {
+				return errStop
+			}
+			return err // transport or desync: fatal, as in loadWorker
+		}
+		countCode(rep, t.tier, remote.Code)
+		switch {
+		case remote.Code == wire.CodeDraining || remote.Code == wire.CodeCancelled:
+			return errStop
+		case !remote.Code.Retryable():
+			return err
+		}
+		// The burst was attempt one; hand the rest of the chain to DoTxn
+		// under the shared budget.
+		if cfg.RetryBudget != nil && !cfg.RetryBudget.take() {
+			atomic.AddInt64(&rep.Failed, 1)
+			remaining.Add(1)
+			return nil
+		}
+		atomic.AddInt64(&rep.Retries, 1)
+		curTier = t.tier
+		err = pc.DoTxn(t.tmpl.Name, 0, pipelineSteps(t.tmpl, rng))
+		if err == nil {
+			atomic.AddInt64(&rep.Committed, 1)
+			t.tier.committed.Add(1)
+			t.tier.onTime.Add(1)
+			*lats = append(*lats, time.Since(t.begin))
+			return nil
+		}
+		atomic.AddInt64(&rep.Failed, 1)
+		if errors.As(err, &remote) {
+			if remote.Code == wire.CodeDraining || remote.Code == wire.CodeCancelled {
+				return errStop
+			}
+			if remote.Code.Retryable() {
+				remaining.Add(1) // abandoned: return the budget entry
+				return nil
+			}
+		}
+		return fmt.Errorf("client: worker %d: %w", id, err)
+	}
+	drain := func() error {
+		for len(queue) > 0 {
+			t := queue[0]
+			queue = queue[1:]
+			if err := settle(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for remaining.Add(-1) >= 0 {
+		if ctx.Err() != nil {
+			break
+		}
+		tmpl := schema.Templates[rng.Intn(len(schema.Templates))]
+		tier := tiers.of(tmpl.Priority)
+		tier.offered.Add(1)
+		if cfg.RetryBudget != nil {
+			cfg.RetryBudget.credit() // each transaction earns, as a Do call would
+		}
+		c, err := pc.get()
+		if err != nil {
+			return fmt.Errorf("client: worker %d: %w", id, err)
+		}
+		if !c.Pipelined() {
+			// v2-pinned server: strict fallback, one transaction at a time.
+			curTier = tier
+			begin := time.Now()
+			err := pc.DoTxn(tmpl.Name, 0, pipelineSteps(tmpl, rng))
+			atomic.AddInt64(&rep.Attempts, 1)
+			if err != nil {
+				atomic.AddInt64(&rep.Failed, 1)
+				var remote *wire.RemoteError
+				if ctx.Err() != nil {
+					return nil
+				}
+				if errors.As(err, &remote) &&
+					(remote.Code == wire.CodeDraining || remote.Code == wire.CodeCancelled) {
+					return nil
+				}
+				if errors.As(err, &remote) && remote.Code.Retryable() {
+					remaining.Add(1)
+					continue
+				}
+				return fmt.Errorf("client: worker %d: %w", id, err)
+			}
+			atomic.AddInt64(&rep.Committed, 1)
+			tier.committed.Add(1)
+			tier.onTime.Add(1)
+			*lats = append(*lats, time.Since(begin))
+			continue
+		}
+		fut, err := c.SubmitTxn(tmpl.Name, 0, pipelineSteps(tmpl, rng))
+		if err != nil {
+			// The connection died with bursts in flight: resolve what we can,
+			// then report (drain's verdict wins — it sees the same error with
+			// per-transaction context).
+			if dErr := drain(); dErr != nil {
+				if errors.Is(dErr, errStop) {
+					return nil
+				}
+				return dErr
+			}
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("client: worker %d: %w", id, err)
+		}
+		queue = append(queue, inflight{tmpl: tmpl, tier: tier, begin: time.Now(), fut: fut})
+		if len(queue) >= depth {
+			t := queue[0]
+			queue = queue[1:]
+			if err := settle(t); err != nil {
+				if errors.Is(err, errStop) {
+					return nil
+				}
+				return err
+			}
+		}
+	}
+	if err := drain(); err != nil && !errors.Is(err, errStop) {
+		return err
 	}
 	return nil
 }
@@ -360,6 +596,14 @@ func runOpenLoop(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK) (*Lo
 	// outstanding is dropped here: open-loop latency must be measured
 	// against the server's queueing, not a client-side backlog of stale
 	// arrivals.
+	// Pacing is hybrid sleep-then-spin: the sleeper handles the bulk of a
+	// long gap, but the last SpinUnder of every gap is paced by a yield
+	// loop. On a host whose timer granularity is ~10ms a pure sleeper
+	// cannot hit the sub-millisecond gaps of a multi-thousand/s Poisson
+	// process — it oversleeps, then dumps the overdue arrivals in bursts.
+	// The spin costs one core's worth of yields but makes the achieved
+	// rate track the offered rate (both are reported, so the sweep shows
+	// when it does not).
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	deadline := start.Add(cfg.Duration)
 	next := start
@@ -372,11 +616,19 @@ arrivals:
 			break
 		}
 		if wait := time.Until(next); wait > 0 {
-			timer.Reset(wait)
-			select {
-			case <-ctx.Done():
-				break arrivals
-			case <-timer.C:
+			if wait > cfg.SpinUnder {
+				timer.Reset(wait - cfg.SpinUnder)
+				select {
+				case <-ctx.Done():
+					break arrivals
+				case <-timer.C:
+				}
+			}
+			for time.Until(next) > 0 {
+				if ctx.Err() != nil {
+					break arrivals
+				}
+				runtime.Gosched()
 			}
 		} else if ctx.Err() != nil {
 			break
@@ -387,6 +639,14 @@ arrivals:
 		if !jobs.push(openJob{tmpl: tmpl, arrival: time.Now()}) {
 			rep.Overrun++
 		}
+	}
+	// The achieved rate is measured over the arrival window only (before
+	// waiting out the in-flight tail), against the configured rate: a gap
+	// between the two means the generator, not the server, was the
+	// bottleneck.
+	rep.OfferedRate = cfg.ArrivalRate
+	if w := time.Since(start); w > 0 {
+		rep.AchievedRate = float64(rep.Offered) / w.Seconds()
 	}
 	jobs.close()
 	wg.Wait()
@@ -401,14 +661,9 @@ arrivals:
 func openWorker(ctx context.Context, cfg LoadConfig, tiers *tierStats,
 	id int64, jobs *openQueue, rep *LoadReport, lats *[]time.Duration) {
 	rng := rand.New(rand.NewSource(cfg.Seed + id))
-	pool := NewPool(cfg.Addr, cfg.OpTimeout, 1)
-	defer pool.Close()
-	cl := NewClient(pool, cfg.Seed^id)
-	cl.MaxAttempts = cfg.MaxAttempts
-	cl.Retries = &rep.Retries
-	cl.Budget = cfg.RetryBudget
 	var curTier *tierCounters
-	cl.CodeHook = func(code wire.ErrorCode) { countCode(rep, curTier, code) }
+	r := newLoadRunner(cfg, rep, id, rng, func(code wire.ErrorCode) { countCode(rep, curTier, code) })
+	defer r.close()
 
 	for {
 		j, ok := jobs.pop()
@@ -430,7 +685,7 @@ func openWorker(ctx context.Context, cfg LoadConfig, tiers *tierStats,
 				continue
 			}
 		}
-		err := cl.DoDeadline(j.tmpl.Name, budget, runSteps(j.tmpl, rng))
+		err := r.do(j.tmpl, budget)
 		atomic.AddInt64(&rep.Attempts, 1)
 		if err != nil {
 			atomic.AddInt64(&rep.Failed, 1)
@@ -463,6 +718,21 @@ func runSteps(tmpl wire.TemplateInfo, rng *rand.Rand) func(c *Conn) error {
 		}
 		return nil
 	}
+}
+
+// pipelineSteps renders a template's declared steps as wire messages for
+// one pipelined burst (compute steps have no wire op, as in runSteps).
+func pipelineSteps(tmpl wire.TemplateInfo, rng *rand.Rand) []wire.Message {
+	steps := make([]wire.Message, 0, len(tmpl.Steps))
+	for _, st := range tmpl.Steps {
+		switch st.Op {
+		case wire.OpRead:
+			steps = append(steps, &wire.Read{Item: st.Item})
+		case wire.OpWrite:
+			steps = append(steps, &wire.Write{Item: st.Item, Value: rng.Int63n(1 << 30)})
+		}
+	}
+	return steps
 }
 
 // countCode tallies typed overload rejections the Client observes

@@ -18,9 +18,14 @@ type ServerCounters struct {
 	DrainAborted       atomic.Int64 // live transactions aborted by server drain
 	WatchdogTrips      atomic.Int64 // transactions force-aborted by the stuck-transaction watchdog
 	WatchdogAuditFails atomic.Int64 // CheckInvariants failures observed after a watchdog trip
-	SlowClientKills    atomic.Int64 // sessions torn down because a reply write hit the write deadline
+	SlowClientKills    atomic.Int64 // sessions torn down because a reply flush hit the write deadline
 	SessionsOpened     atomic.Int64 // connections that completed the hello handshake
 	SessionsClosed     atomic.Int64 // sessions torn down (any reason)
+	PipelinedSessions  atomic.Int64 // sessions that sent at least one tagged (wire v3) frame
+	ResponseFlushes    atomic.Int64 // writer wakeups that wrote at least one response
+	ResponsesFlushed   atomic.Int64 // responses written (ResponsesFlushed/ResponseFlushes = mean flush batch)
+	StolenAdmissions   atomic.Int64 // admission requests popped from a sibling shard's queue by an idle dispatcher
+	InflightHWM        atomic.Int64 // highest per-session inflight (requests read, response not yet flushed) seen on any session
 	BytesIn            atomic.Int64 // payload bytes read off the wire
 	BytesOut           atomic.Int64 // payload bytes written to the wire
 }
@@ -39,6 +44,11 @@ type ServerSnapshot struct {
 	SlowClientKills    int64 `json:"slow_client_kills"`
 	SessionsOpened     int64 `json:"sessions_opened"`
 	SessionsClosed     int64 `json:"sessions_closed"`
+	PipelinedSessions  int64 `json:"pipelined_sessions"`
+	ResponseFlushes    int64 `json:"response_flushes"`
+	ResponsesFlushed   int64 `json:"responses_flushed"`
+	StolenAdmissions   int64 `json:"stolen_admissions"`
+	InflightHWM        int64 `json:"inflight_hwm"`
 	BytesIn            int64 `json:"bytes_in"`
 	BytesOut           int64 `json:"bytes_out"`
 }
@@ -57,6 +67,11 @@ func (c *ServerCounters) Snapshot() ServerSnapshot {
 		SlowClientKills:    c.SlowClientKills.Load(),
 		SessionsOpened:     c.SessionsOpened.Load(),
 		SessionsClosed:     c.SessionsClosed.Load(),
+		PipelinedSessions:  c.PipelinedSessions.Load(),
+		ResponseFlushes:    c.ResponseFlushes.Load(),
+		ResponsesFlushed:   c.ResponsesFlushed.Load(),
+		StolenAdmissions:   c.StolenAdmissions.Load(),
+		InflightHWM:        c.InflightHWM.Load(),
 		BytesIn:            c.BytesIn.Load(),
 		BytesOut:           c.BytesOut.Load(),
 	}
@@ -69,4 +84,14 @@ func (c *ServerCounters) SessionsLive() int64 {
 	// only overcount, never yield a negative live figure.
 	closed := c.SessionsClosed.Load()
 	return c.SessionsOpened.Load() - closed
+}
+
+// MaxInt64 raises a to at least v (a monotone high-water mark update).
+func MaxInt64(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }

@@ -13,7 +13,7 @@ import (
 
 // admitReq is one BEGIN travelling through the admission queue.
 //
-// The claim word arbitrates the race between the dispatcher delivering a
+// The claim word arbitrates the race between a dispatcher delivering a
 // result and the requesting session abandoning the wait (disconnect,
 // drain): 0 = unclaimed, 1 = dispatcher delivering, 2 = session gone.
 // Exactly one side wins the CAS from 0. If the dispatcher wins, the
@@ -22,7 +22,9 @@ import (
 // wins, the dispatcher owns any admitted transaction and aborts it, so a
 // handle is never stranded between the two goroutines. Shedding reuses the
 // same protocol: the queue delivers errShed through the reply channel, so
-// a stalled victim session can never block the shedder.
+// a stalled victim session can never block the shedder. Work-stealing
+// composes for free: whichever shard's dispatcher pops the request
+// delivers through the same claim word.
 type admitReq struct {
 	name     string
 	pri      rt.Priority // template base priority; higher = more urgent
@@ -52,14 +54,28 @@ var errShed = errors.New("server: shed as lowest-priority work past the admissio
 // wire.CodeOverload.
 var errQueueFull = errors.New("server: admission queue full")
 
-// admitQueue is the bounded, priority-ordered admission queue. Unlike the
-// FIFO channel it replaced, it keeps requests sorted by (priority desc,
-// arrival seq asc), so under pressure the dispatcher always admits the
-// most urgent queued work next and the shedding policy always knows which
-// request is the least urgent — PCP-DA's priority semantics extended to
-// the network edge, where the protocol itself cannot see yet.
+// admitShard is one slice of the sharded admission path: its own bounded
+// priority queue and its own dispatcher goroutine. Sessions are assigned
+// to shards round-robin at accept time, so each shard sees a stable
+// subset of the connection population; an idle dispatcher steals from the
+// deepest sibling queue (see Server.stealFrom), so a skewed assignment
+// cannot strand queued work behind one busy dispatcher.
+type admitShard struct {
+	id     int
+	queue  *admitQueue
+	stolen atomic.Int64 // requests this shard's dispatcher stole from siblings
+}
+
+// admitQueue is the bounded, priority-ordered admission queue (one per
+// shard). Unlike the FIFO channel it replaced, it keeps requests sorted by
+// (priority desc, arrival seq asc), so under pressure the dispatcher
+// always admits the most urgent queued work next and the shedding policy
+// always knows which request is the least urgent — PCP-DA's priority
+// semantics extended to the network edge, where the protocol itself
+// cannot see yet.
 //
-// Shedding policy:
+// Shedding policy (applied per shard; each shard's depth and high-water
+// mark are the configured totals divided across shards):
 //
 //   - Queue full: an arrival that outranks the lowest-priority queued
 //     request displaces it (the victim's session gets errShed); an arrival
@@ -80,7 +96,7 @@ type admitQueue struct {
 	depth     int
 	highWater int
 
-	wake chan struct{} // buffered(1); signals the dispatcher
+	wake chan struct{} // buffered(1); signals the shard's dispatcher
 
 	// ewmaWaitNs estimates the queue wait of recently dispatched requests
 	// (exponential moving average, α = 1/8). estimateWait scales it by the
@@ -96,21 +112,23 @@ func newAdmitQueue(depth, highWater int) *admitQueue {
 }
 
 // enqueue files r, applying the shedding policy. It returns the displaced
-// victim (to be failed with errShed by the caller) and/or an error for r
-// itself; exactly one of (queued, err) outcomes holds for r.
-func (q *admitQueue) enqueue(r *admitReq) (victim *admitReq, err error) {
+// victim (to be failed with errShed by the caller), the queue depth after
+// the operation (the caller nudges the work-stealing signal on backlog),
+// and/or an error for r itself; exactly one of (queued, err) outcomes
+// holds for r.
+func (q *admitQueue) enqueue(r *admitReq) (victim *admitReq, depth int, err error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	n := len(q.items)
 	if n >= q.depth {
 		low := q.items[n-1] // lowest priority, latest arrival
 		if r.pri <= low.pri {
-			return nil, errQueueFull
+			return nil, n, errQueueFull
 		}
 		q.items = q.items[:n-1]
 		victim = low
 	} else if n >= q.highWater && n > 0 && r.pri < q.items[n-1].pri {
-		return nil, errShed
+		return nil, n, errShed
 	}
 	r.seq = q.seq
 	q.seq++
@@ -127,7 +145,7 @@ func (q *admitQueue) enqueue(r *admitReq) (victim *admitReq, err error) {
 	case q.wake <- struct{}{}:
 	default:
 	}
-	return victim, nil
+	return victim, len(q.items), nil
 }
 
 // pop removes up to max requests in priority order and feeds the wait
@@ -188,37 +206,38 @@ func (q *admitQueue) estimateWait() time.Duration {
 	return time.Duration(est)
 }
 
-// handleBegin runs in the session goroutine: validate state, apply
-// deadline-aware admission control, enqueue onto the bounded priority
-// queue (applying the shedding policy), then wait for the dispatcher's
-// verdict or session death.
-func (s *session) handleBegin(m *wire.Begin) error {
+// handleBegin runs in the session's exec goroutine: validate state, apply
+// deadline-aware admission control against the session's shard, enqueue
+// onto its bounded priority queue (applying the shedding policy), then
+// wait for a dispatcher's verdict or session death.
+func (s *session) handleBegin(req request, m *wire.Begin) error {
 	if s.lt != nil {
-		return s.reply(&wire.ErrMsg{Code: wire.CodeState, Text: "BEGIN with a transaction already live"})
+		return s.replyTo(req, &wire.ErrMsg{Code: wire.CodeState, Text: "BEGIN with a transaction already live"})
 	}
 	if s.srv.draining.Load() {
-		return s.reply(&wire.ErrMsg{Code: wire.CodeDraining, Text: "server draining"})
+		return s.replyTo(req, &wire.ErrMsg{Code: wire.CodeDraining, Text: "server draining"})
 	}
 	tmpl := s.srv.mgr.Set().ByName(m.Name)
 	if tmpl == nil {
-		return s.reply(&wire.ErrMsg{Code: wire.CodeProtocol, Text: "unknown transaction type " + m.Name})
+		return s.replyTo(req, &wire.ErrMsg{Code: wire.CodeProtocol, Text: "unknown transaction type " + m.Name})
 	}
+	q := s.shard.queue
 	var deadline time.Time
 	if m.Deadline > 0 {
 		deadline = timeNow().Add(time.Duration(m.Deadline) * time.Millisecond)
 		// Deadline-aware admission: a firm-deadline transaction the queue
 		// wait already makes late is worthless — refuse it now instead of
 		// queueing work guaranteed to miss.
-		if est := s.srv.queue.estimateWait(); est > 0 && timeNow().Add(est).After(deadline) {
+		if est := q.estimateWait(); est > 0 && timeNow().Add(est).After(deadline) {
 			s.srv.ctr.RejectedInfeasible.Add(1)
 			s.srv.noteOverload()
-			return s.reply(&wire.ErrMsg{Code: wire.CodeInfeasible,
+			return s.replyTo(req, &wire.ErrMsg{Code: wire.CodeInfeasible,
 				Text: "queue wait estimate " + est.Round(time.Millisecond).String() + " exceeds deadline budget"})
 		}
 	}
-	req := &admitReq{name: m.Name, pri: tmpl.Priority, reply: make(chan admitResult, 1)}
+	ar := &admitReq{name: m.Name, pri: tmpl.Priority, reply: make(chan admitResult, 1)}
 	s.srv.pending.Add(1)
-	victim, err := s.srv.queue.enqueue(req)
+	victim, depth, err := q.enqueue(ar)
 	if victim != nil {
 		s.srv.shed(victim)
 	}
@@ -227,26 +246,30 @@ func (s *session) handleBegin(m *wire.Begin) error {
 		if errors.Is(err, errShed) {
 			s.srv.ctr.Shed.Add(1)
 			s.srv.noteOverload()
-			return s.reply(&wire.ErrMsg{Code: wire.CodeShed, Text: "BEGIN: " + err.Error()})
+			return s.replyTo(req, &wire.ErrMsg{Code: wire.CodeShed, Text: "BEGIN: " + err.Error()})
 		}
 		s.srv.ctr.RejectedOverload.Add(1)
 		s.srv.noteOverload()
-		return s.reply(&wire.ErrMsg{Code: wire.CodeOverload, Text: "admission queue full"})
+		return s.replyTo(req, &wire.ErrMsg{Code: wire.CodeOverload, Text: "admission queue full"})
+	}
+	if depth > 1 {
+		// Backlog behind this request: offer it to idle sibling dispatchers.
+		s.srv.nudgeSteal()
 	}
 	select {
-	case res := <-req.reply:
+	case res := <-ar.reply:
 		defer s.srv.pending.Add(-1)
 		if res.err != nil {
-			return s.reply(&wire.ErrMsg{Code: codeOf(res.err), Text: "BEGIN: " + res.err.Error()})
+			return s.replyTo(req, &wire.ErrMsg{Code: codeOf(res.err), Text: "BEGIN: " + res.err.Error()})
 		}
 		s.armTx(res.tx, deadline)
 		s.srv.ctr.Accepted.Add(1)
-		return s.reply(&wire.BeginOK{ID: uint64(res.tx.ID())})
+		return s.replyTo(req, &wire.BeginOK{ID: uint64(res.tx.ID())})
 	case <-s.ctx.Done():
-		if !req.claim.CompareAndSwap(claimFree, claimAbandoned) {
+		if !ar.claim.CompareAndSwap(claimFree, claimAbandoned) {
 			// Dispatcher won the race: the result is in flight on the
 			// buffered channel. Take ownership and discard it.
-			if res := <-req.reply; res.tx != nil {
+			if res := <-ar.reply; res.tx != nil {
 				res.tx.Abort()
 			}
 		}
@@ -267,26 +290,71 @@ func (s *Server) shed(victim *admitReq) {
 	}
 }
 
-// dispatch is the admission pump: it drains the priority queue into groups
-// of distinct template names and admits each group through one
-// rtm.BeginBatch call. The semaphore bounds concurrently running groups;
-// when all slots are busy the pump stalls, the queue fills past its
-// high-water mark, and the shedding policy starts refusing the
-// lowest-priority work — the backpressure chain the bounded queue
-// promises, now priority-aware.
-func (s *Server) dispatch() {
+// nudgeSteal wakes (at most) one idle dispatcher to look for stealable
+// backlog on sibling shards. Best-effort: the token is shared across all
+// shards and every enqueue also wakes its own shard, so losing a nudge
+// costs opportunistic parallelism, never liveness.
+func (s *Server) nudgeSteal() {
+	if len(s.shards) == 1 {
+		return
+	}
+	select {
+	case s.stealWake <- struct{}{}:
+	default:
+	}
+}
+
+// stealFrom pops a batch from the deepest sibling queue on behalf of
+// shard sh, whose own queue is empty. The claim protocol makes delivery
+// shard-agnostic, so stolen requests flow through the same admitGroup
+// path; the per-shard counter records the traffic for /stats.
+func (s *Server) stealFrom(sh *admitShard) []*admitReq {
+	var victim *admitShard
+	best := 0
+	for _, o := range s.shards {
+		if o == sh {
+			continue
+		}
+		if d := o.queue.depthNow(); d > best {
+			best, victim = d, o
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	batch := victim.queue.pop(s.cfg.BatchMax)
+	if len(batch) > 0 {
+		sh.stolen.Add(int64(len(batch)))
+		s.ctr.StolenAdmissions.Add(int64(len(batch)))
+	}
+	return batch
+}
+
+// dispatch is one shard's admission pump: it drains the shard's priority
+// queue into groups of distinct template names and admits each group
+// through one rtm.BeginBatch call; with its own queue empty it steals
+// from the deepest sibling. The shared semaphore bounds concurrently
+// running groups across all shards; when all slots are busy the pumps
+// stall, the queues fill past their high-water marks, and the shedding
+// policy starts refusing the lowest-priority work — the backpressure
+// chain the bounded queue promises, now priority-aware and per-core.
+func (s *Server) dispatch(sh *admitShard) {
 	defer s.dispatchWG.Done()
-	defer func() { abandonGroup(s.queue.drainAll()) }()
+	defer func() { abandonGroup(sh.queue.drainAll()) }()
 	for {
 		select {
 		case <-s.ctx.Done():
 			return
-		case <-s.queue.wake:
+		case <-sh.queue.wake:
+		case <-s.stealWake:
 		}
 		for {
-			batch := s.queue.pop(s.cfg.BatchMax)
+			batch := sh.queue.pop(s.cfg.BatchMax)
 			if len(batch) == 0 {
-				break
+				batch = s.stealFrom(sh)
+				if len(batch) == 0 {
+					break
+				}
 			}
 			for _, group := range splitDistinct(batch) {
 				select {

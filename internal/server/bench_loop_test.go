@@ -1,0 +1,59 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"pcpda/internal/client"
+	"pcpda/internal/rtm"
+	"pcpda/internal/workload"
+)
+
+// BenchmarkLoopback measures end-to-end closed-loop transaction
+// throughput over loopback TCP — server and load generator in one
+// process, which is exactly the BENCH_5/BENCH_7 topology — for the
+// strict and pipelined clients side by side. b.N counts committed
+// transactions, so ns/op is the whole-stack cost per transaction and
+// the strict/pipelined ratio is the pipelining speedup.
+func BenchmarkLoopback(b *testing.B) {
+	for _, pipelined := range []bool{false, true} {
+		name := "strict"
+		if pipelined {
+			name = "pipelined"
+		}
+		for _, conns := range []int{16, 64} {
+			b.Run(fmt.Sprintf("%s/conns=%d", name, conns), func(b *testing.B) {
+				set, err := workload.Generate(workload.Config{
+					N: 8, Items: 12, Utilization: 0.5,
+					PeriodMin: 40, PeriodMax: 400,
+					OpsMin: 2, OpsMax: 4, WriteProb: 0.5, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mgr, err := rtm.New(set)
+				if err != nil {
+					b.Fatal(err)
+				}
+				addr, _ := startServer(b, mgr, Config{QueueDepth: 128})
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+				defer cancel()
+				b.ResetTimer()
+				rep, err := client.RunLoad(ctx, client.LoadConfig{
+					Addr: addr, Conns: conns, Txns: b.N, Seed: 7,
+					OpTimeout: 10 * time.Second, Pipelined: pipelined,
+				})
+				b.StopTimer()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Committed < int64(b.N) {
+					b.Fatalf("committed %d of %d", rep.Committed, b.N)
+				}
+				b.ReportMetric(rep.Throughput(), "txn/s")
+			})
+		}
+	}
+}

@@ -26,7 +26,7 @@ func TestAdmitQueueOrdering(t *testing.T) {
 		mkReq("low-a", 1), mkReq("hi-a", 3), mkReq("mid", 2),
 		mkReq("low-b", 1), mkReq("hi-b", 3),
 	} {
-		if v, err := q.enqueue(r); v != nil || err != nil {
+		if v, _, err := q.enqueue(r); v != nil || err != nil {
 			t.Fatalf("enqueue %s: victim=%v err=%v", r.name, v, err)
 		}
 	}
@@ -47,18 +47,18 @@ func TestAdmitQueueDisplacement(t *testing.T) {
 	lowA, lowB := mkReq("low-a", 1), mkReq("low-b", 1)
 	mustEnq := func(r *admitReq) {
 		t.Helper()
-		if v, err := q.enqueue(r); v != nil || err != nil {
+		if v, _, err := q.enqueue(r); v != nil || err != nil {
 			t.Fatalf("enqueue %s: victim=%v err=%v", r.name, v, err)
 		}
 	}
 	mustEnq(lowA)
 	mustEnq(lowB)
 	// Equal priority cannot displace: plain overload.
-	if _, err := q.enqueue(mkReq("low-c", 1)); err != errQueueFull {
+	if _, _, err := q.enqueue(mkReq("low-c", 1)); err != errQueueFull {
 		t.Fatalf("equal-priority arrival into full queue: err=%v, want errQueueFull", err)
 	}
 	// Higher priority displaces the lowest, latest-arrived request.
-	v, err := q.enqueue(mkReq("hi", 3))
+	v, _, err := q.enqueue(mkReq("hi", 3))
 	if err != nil || v != lowB {
 		t.Fatalf("displacement: victim=%v err=%v, want low-b", v, err)
 	}
@@ -70,20 +70,20 @@ func TestAdmitQueueDisplacement(t *testing.T) {
 
 func TestAdmitQueueHighWaterShed(t *testing.T) {
 	q := newAdmitQueue(8, 2)
-	if _, err := q.enqueue(mkReq("mid-a", 2)); err != nil {
+	if _, _, err := q.enqueue(mkReq("mid-a", 2)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := q.enqueue(mkReq("mid-b", 2)); err != nil {
+	if _, _, err := q.enqueue(mkReq("mid-b", 2)); err != nil {
 		t.Fatal(err)
 	}
 	// At the high-water mark and strictly below everything queued: shed on
 	// arrival even though the queue has room.
-	if _, err := q.enqueue(mkReq("low", 1)); err != errShed {
+	if _, _, err := q.enqueue(mkReq("low", 1)); err != errShed {
 		t.Fatalf("below-min arrival past high water: err=%v, want errShed", err)
 	}
 	// Equal to the queued minimum still rides along (FIFO fairness within a
 	// priority is preserved; only strictly-lower work is refused early).
-	if _, err := q.enqueue(mkReq("mid-c", 2)); err != nil {
+	if _, _, err := q.enqueue(mkReq("mid-c", 2)); err != nil {
 		t.Fatalf("equal-priority arrival past high water: %v", err)
 	}
 	if n := q.depthNow(); n != 3 {
@@ -100,7 +100,7 @@ func TestAdmitQueueWaitEstimate(t *testing.T) {
 	// (= high water): the estimate must be the full EWMA.
 	q.ewmaWaitNs.Store(int64(100 * time.Millisecond))
 	for i := 0; i < 4; i++ {
-		if _, err := q.enqueue(mkReq("r", 2)); err != nil {
+		if _, _, err := q.enqueue(mkReq("r", 2)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -142,7 +142,7 @@ func blockDispatcher(t *testing.T, addr string, srv *Server, mgr *rtm.Manager) (
 	popped = mustDial(t, addr)
 	go func() { _, _ = popped.Begin("zonly") }()
 	waitFor(t, "dispatcher to block on the admit semaphore", func() bool {
-		return srv.pending.Load() == 2 && srv.queue.depthNow() == 0
+		return srv.pending.Load() == 2 && srv.queueDepth() == 0
 	})
 	return holder, parked, popped
 }
@@ -153,8 +153,10 @@ func blockDispatcher(t *testing.T, addr string, srv *Server, mgr *rtm.Manager) (
 // high-priority burst — priorities honored end to end.
 func TestShedUnderBurst(t *testing.T) {
 	mgr, _ := rtm.New(testSet(t))
+	// AdmitShards pinned to 1: the test asserts globally exact shed and
+	// displacement order, which only a single shared queue guarantees.
 	addr, srv := startServer(t, mgr, Config{
-		QueueDepth: 4, HighWater: 1, MaxAdmitting: 1, BatchMax: 1,
+		QueueDepth: 4, HighWater: 1, MaxAdmitting: 1, BatchMax: 1, AdmitShards: 1,
 	})
 	holder, parked, popped := blockDispatcher(t, addr, srv, mgr)
 	defer func() { _ = holder.Close(); _ = parked.Close(); _ = popped.Close() }()
@@ -171,7 +173,7 @@ func TestShedUnderBurst(t *testing.T) {
 		p := pending{c: mustDial(t, addr), err: make(chan error, 1)}
 		go func() { _, err := p.c.Begin("updater"); p.err <- err }()
 		updaters = append(updaters, p)
-		waitFor(t, "updater queued", func() bool { return srv.queue.depthNow() == len(updaters) })
+		waitFor(t, "updater queued", func() bool { return srv.queueDepth() == len(updaters) })
 	}
 	addUpdater()
 	addUpdater()
@@ -246,15 +248,15 @@ func TestShedUnderBurst(t *testing.T) {
 func TestInfeasibleRejected(t *testing.T) {
 	mgr, _ := rtm.New(testSet(t))
 	addr, srv := startServer(t, mgr, Config{
-		QueueDepth: 4, HighWater: 1, MaxAdmitting: 1, BatchMax: 1,
+		QueueDepth: 4, HighWater: 1, MaxAdmitting: 1, BatchMax: 1, AdmitShards: 1,
 	})
 	holder, parked, popped := blockDispatcher(t, addr, srv, mgr)
 
 	// One queued request gives nonzero occupancy; the seeded EWMA says
 	// recent dispatches waited 200ms.
 	q := pendingBegin(t, addr, "updater")
-	waitFor(t, "occupancy", func() bool { return srv.queue.depthNow() == 1 })
-	srv.queue.ewmaWaitNs.Store(int64(200 * time.Millisecond))
+	waitFor(t, "occupancy", func() bool { return srv.queueDepth() == 1 })
+	srv.shards[0].queue.ewmaWaitNs.Store(int64(200 * time.Millisecond))
 
 	c := mustDial(t, addr)
 	defer func() { _ = c.Close() }()
@@ -266,7 +268,7 @@ func TestInfeasibleRejected(t *testing.T) {
 	}
 	// A budget with room above the estimate is admitted normally.
 	ok := pendingBegin(t, addr, "reader")
-	waitFor(t, "feasible budget queued", func() bool { return srv.queue.depthNow() == 2 })
+	waitFor(t, "feasible budget queued", func() bool { return srv.queueDepth() == 2 })
 
 	if err := holder.Abort(); err != nil {
 		t.Fatal(err)
@@ -423,8 +425,9 @@ func TestWatchdogCommitRace(t *testing.T) {
 
 // --- slow-client defense and health ------------------------------------------
 
-// TestSlowClientKill: a reply into a pipe nobody drains must be cut off by
-// the write deadline and counted, not block the session goroutine forever.
+// TestSlowClientKill: a reply flushed into a pipe nobody drains must be
+// cut off by the write deadline, counted, and cancel the session — it must
+// never wedge the writer goroutine.
 func TestSlowClientKill(t *testing.T) {
 	mgr, _ := rtm.New(testSet(t))
 	srv, err := New(Config{Manager: mgr, WriteTimeout: 30 * time.Millisecond})
@@ -436,17 +439,34 @@ func TestSlowClientKill(t *testing.T) {
 	defer func() { _ = ours.Close(); _ = theirs.Close() }()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	sess := &session{srv: srv, conn: theirs, ctx: ctx, cancel: cancel}
+	sess := &session{
+		srv: srv, conn: theirs, ctx: ctx, cancel: cancel,
+		outSem:     make(chan struct{}, srv.cfg.SessionInflight),
+		outWake:    make(chan struct{}, 1),
+		writerDone: make(chan struct{}),
+	}
+	go sess.writeLoop()
 
 	start := time.Now()
-	if err := sess.reply(&wire.Pong{Nonce: 1}); err != errSessionEnd {
-		t.Fatalf("reply into a stalled pipe: %v, want errSessionEnd", err)
+	if err := sess.replyTo(request{ver: wire.V2}, &wire.Pong{Nonce: 1}); err != nil {
+		t.Fatalf("replyTo must queue without error: %v", err)
 	}
+	// The flush into the stalled pipe hits the write deadline; the writer
+	// classifies it as a slow client, counts it and cancels the session.
+	<-sess.writerDone
 	if took := time.Since(start); took > 5*time.Second {
-		t.Fatalf("reply blocked %v despite the write deadline", took)
+		t.Fatalf("writer blocked %v despite the write deadline", took)
 	}
 	if got := srv.Counters().SlowClientKills.Load(); got != 1 {
 		t.Fatalf("SlowClientKills = %d, want 1", got)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("a write-deadline kill must cancel the session context")
+	}
+	// Replies attempted after the kill fail on the dead context instead of
+	// piling onto a queue nobody will flush.
+	if err := sess.replyTo(request{ver: wire.V2}, &wire.Pong{Nonce: 2}); err == nil {
+		t.Fatal("replyTo after a slow-client kill must fail")
 	}
 }
 

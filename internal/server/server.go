@@ -32,12 +32,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pcpda/internal/metrics"
 	"pcpda/internal/rtm"
+	"pcpda/internal/wire"
 )
 
 // Config parameterizes a Server. Manager is required; zero values
@@ -48,15 +50,24 @@ type Config struct {
 	// Counters receives session and admission statistics. Allocated
 	// internally when nil.
 	Counters *metrics.ServerCounters
-	// QueueDepth bounds the admission queue. A BEGIN arriving when the
-	// queue is full is rejected with CodeOverload — unless it outranks
-	// queued work, in which case the lowest-priority queued BEGIN is shed
-	// to make room. Default 64.
+	// QueueDepth bounds the admission queue, summed across shards. A BEGIN
+	// arriving when its shard's queue is full is rejected with CodeOverload
+	// — unless it outranks queued work, in which case the lowest-priority
+	// queued BEGIN is shed to make room. Default 64.
 	QueueDepth int
-	// HighWater is the queue occupancy at which priority shedding starts:
-	// at or past it, a BEGIN ranking below everything already queued is
-	// refused with CodeShed instead of queueing. Default 3/4 of QueueDepth.
+	// HighWater is the queue occupancy (summed across shards) at which
+	// priority shedding starts: at or past it, a BEGIN ranking below
+	// everything already queued is refused with CodeShed instead of
+	// queueing. Default 3/4 of QueueDepth.
 	HighWater int
+	// AdmitShards is the number of admission shards, each with its own
+	// queue slice (depth QueueDepth/shards) and dispatcher goroutine.
+	// Sessions are assigned round-robin; idle dispatchers steal from the
+	// deepest sibling queue. Default: min(GOMAXPROCS, QueueDepth/16),
+	// at least 1 — small queues get exactly one shard, which keeps the
+	// shedding/displacement policy globally exact (the PR 6 semantics);
+	// sharding trades that global exactness for parallel admission.
+	AdmitShards int
 	// BatchMax caps how many queued BEGINs one dispatcher round gathers
 	// into BeginBatch groups. Default 16.
 	BatchMax int
@@ -64,10 +75,22 @@ type Config struct {
 	// arrivals beyond it wait in the queue (and overflow to CodeOverload).
 	// Default 4.
 	MaxAdmitting int
+	// SessionInflight bounds one session's pipelined requests in flight:
+	// both the request channel between reader and exec and the outbound
+	// reply queue between exec and writer. A pipelining client past the
+	// bound sees TCP backpressure (the reader stops reading). Default 32.
+	SessionInflight int
+	// MaxWireVersion pins the highest wire protocol version the server
+	// advertises and accepts (wire.V2 disables pipelining; tagged frames
+	// are then a protocol error). Default wire.Version.
+	MaxWireVersion uint8
 	// IdleTimeout is the per-frame read deadline: a session whose client
 	// sends nothing for this long is torn down. Default 30s.
 	IdleTimeout time.Duration
-	// WriteTimeout is the per-frame write deadline. Default 10s.
+	// WriteTimeout is the per-flush write deadline: one writer flush — all
+	// replies ready at the wakeup, coalesced into a single write — must
+	// complete within it or the session is killed as a slow client.
+	// Default 10s.
 	WriteTimeout time.Duration
 	// WatchdogInterval is how often the stuck-transaction watchdog sweeps
 	// live transactions. Default 100ms; negative disables the watchdog.
@@ -99,11 +122,27 @@ func (c *Config) fill() error {
 	if c.HighWater <= 0 || c.HighWater > c.QueueDepth {
 		c.HighWater = max(1, c.QueueDepth*3/4)
 	}
+	if c.AdmitShards <= 0 {
+		c.AdmitShards = min(runtime.GOMAXPROCS(0), max(1, c.QueueDepth/16))
+	}
+	if c.AdmitShards > c.QueueDepth {
+		c.AdmitShards = c.QueueDepth
+	}
 	if c.BatchMax <= 0 {
 		c.BatchMax = 16
 	}
 	if c.MaxAdmitting <= 0 {
 		c.MaxAdmitting = 4
+	}
+	if c.SessionInflight <= 0 {
+		c.SessionInflight = 32
+	}
+	if c.MaxWireVersion == 0 {
+		c.MaxWireVersion = wire.Version
+	}
+	if c.MaxWireVersion < wire.V2 || c.MaxWireVersion > wire.Version {
+		return fmt.Errorf("server: Config.MaxWireVersion %d outside %d..%d",
+			c.MaxWireVersion, wire.V2, wire.Version)
 	}
 	if c.IdleTimeout <= 0 {
 		c.IdleTimeout = 30 * time.Second
@@ -133,10 +172,12 @@ type Server struct {
 	ctx    context.Context // lifetime of all sessions and the dispatcher
 	cancel context.CancelFunc
 
-	queue    *admitQueue
-	admitSem chan struct{}
-	pending  atomic.Int64 // BEGINs enqueued but not yet resolved
-	draining atomic.Bool
+	shards    []*admitShard
+	stealWake chan struct{} // buffered(1); shared work-stealing nudge
+	nextShard atomic.Uint64 // round-robin session→shard assignment
+	admitSem  chan struct{} // bounds concurrent BeginBatch groups, all shards
+	pending   atomic.Int64  // BEGINs enqueued but not yet resolved
+	draining  atomic.Bool
 
 	// lastOverload is the unix-nano timestamp of the most recent shed,
 	// infeasible or queue-full rejection; Health reports "degraded" for
@@ -158,17 +199,26 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:      cfg,
-		mgr:      cfg.Manager,
-		ctr:      cfg.Counters,
-		ctx:      ctx,
-		cancel:   cancel,
-		queue:    newAdmitQueue(cfg.QueueDepth, cfg.HighWater),
-		admitSem: make(chan struct{}, cfg.MaxAdmitting),
-		sessions: make(map[*session]struct{}),
+		cfg:       cfg,
+		mgr:       cfg.Manager,
+		ctr:       cfg.Counters,
+		ctx:       ctx,
+		cancel:    cancel,
+		stealWake: make(chan struct{}, 1),
+		admitSem:  make(chan struct{}, cfg.MaxAdmitting),
+		sessions:  make(map[*session]struct{}),
 	}
-	s.dispatchWG.Add(1)
-	go s.dispatch()
+	// Each shard gets an equal slice of the configured totals, rounded up
+	// so the sum never loses capacity to integer division.
+	n := cfg.AdmitShards
+	depth := (cfg.QueueDepth + n - 1) / n
+	hw := max(1, (cfg.HighWater+n-1)/n)
+	for i := 0; i < n; i++ {
+		sh := &admitShard{id: i, queue: newAdmitQueue(depth, hw)}
+		s.shards = append(s.shards, sh)
+		s.dispatchWG.Add(1)
+		go s.dispatch(sh)
+	}
 	if cfg.WatchdogInterval > 0 {
 		s.dispatchWG.Add(1)
 		go s.watchdog()
@@ -222,7 +272,13 @@ func (s *Server) Addr() net.Addr {
 
 func (s *Server) startSession(conn net.Conn) {
 	ctx, cancel := context.WithCancel(s.ctx)
-	sess := &session{srv: s, conn: conn, ctx: ctx, cancel: cancel}
+	sess := &session{
+		srv: s, conn: conn, ctx: ctx, cancel: cancel,
+		shard:      s.shards[int(s.nextShard.Add(1)-1)%len(s.shards)],
+		outSem:     make(chan struct{}, s.cfg.SessionInflight),
+		outWake:    make(chan struct{}, 1),
+		writerDone: make(chan struct{}),
+	}
 	s.mu.Lock()
 	s.sessions[sess] = struct{}{}
 	s.mu.Unlock()
@@ -274,7 +330,7 @@ func (s *Server) Health() string {
 	if s.draining.Load() {
 		return "draining"
 	}
-	if s.queue.depthNow() >= s.cfg.HighWater {
+	if s.queueDepth() >= s.cfg.HighWater {
 		return "degraded"
 	}
 	if last := s.lastOverload.Load(); last != 0 &&
@@ -333,6 +389,35 @@ func (s *Server) Close() error {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	return s.Drain(ctx)
+}
+
+// queueDepth sums the current occupancy of every shard's admission queue.
+func (s *Server) queueDepth() int {
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.queue.depthNow()
+	}
+	return total
+}
+
+// ShardStat is one admission shard's point-in-time state for /stats.
+type ShardStat struct {
+	Depth      int     `json:"depth"`        // current queue occupancy
+	Stolen     int64   `json:"stolen"`       // requests this shard's dispatcher stole from siblings
+	EWMAWaitMs float64 `json:"ewma_wait_ms"` // recent-dispatch queue-wait estimate
+}
+
+// ShardStats snapshots every admission shard, indexed by shard id.
+func (s *Server) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = ShardStat{
+			Depth:      sh.queue.depthNow(),
+			Stolen:     sh.stolen.Load(),
+			EWMAWaitMs: float64(sh.queue.ewmaWaitNs.Load()) / 1e6,
+		}
+	}
+	return out
 }
 
 // timeNow is indirected for deadline tests.

@@ -32,7 +32,7 @@ func testSet(t *testing.T) *txn.Set {
 // startServer spins up a server over loopback and returns its address.
 // The cleanup closes it and fails the test if the drain audit fails —
 // every test therefore ends with a leak check for free.
-func startServer(t *testing.T, mgr *rtm.Manager, cfg Config) (string, *Server) {
+func startServer(t testing.TB, mgr *rtm.Manager, cfg Config) (string, *Server) {
 	t.Helper()
 	cfg.Manager = mgr
 	srv, err := New(cfg)

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"pcpda/internal/db"
+	"pcpda/internal/metrics"
 	"pcpda/internal/rt"
 	"pcpda/internal/rtm"
 	"pcpda/internal/txn"
@@ -23,7 +25,7 @@ import (
 // every session.
 const maxScratch = 64 << 10
 
-// liveTx is the state of one live transaction on a session. The run
+// liveTx is the state of one live transaction on a session. The exec
 // goroutine owns it; the watchdog and Drain observe it through the
 // session's cur pointer. Manager calls for the transaction run under
 // lt.ctx (derived from the session context), so the watchdog can force a
@@ -38,21 +40,55 @@ type liveTx struct {
 	tripped  atomic.Bool // set once by the watchdog before force-aborting
 }
 
-// session is the per-connection state machine. Two goroutines exist per
-// session: run (owns conn writes, the transaction handle and all manager
-// calls) and readLoop (owns conn reads). They share nothing mutable except
-// the context and the request channel; disconnects propagate as a context
+// request is one decoded frame plus the framing needed to address its
+// reply: the version the request arrived at (replies echo it, so a v1
+// client never sees a v2-only error code) and, for tagged v3 frames, the
+// client-chosen tag the reply must carry.
+type request struct {
+	m   wire.Message
+	ver uint8
+	tag uint32
+}
+
+// session is the per-connection state machine. Three goroutines exist per
+// session:
+//
+//   - run (exec) owns the transaction handle and all manager calls; it
+//     consumes requests in arrival order (FIFO execution, even when
+//     pipelined) and queues replies;
+//   - readLoop owns conn reads: it decodes frames, feeds run through a
+//     bounded channel (the inflight table — a full table blocks the
+//     reader, which is TCP backpressure to a pipelining client), and
+//     cancels the session context the moment the connection dies;
+//   - writeLoop owns conn writes: it coalesces every queued reply into
+//     one writev-style net.Buffers flush per wakeup, under the write
+//     deadline (the slow-client defense — see flushOut).
+//
+// They share nothing mutable except the context, the request channel and
+// the outbound reply queue; disconnects propagate as a context
 // cancellation, never as shared state.
 type session struct {
 	srv    *Server
 	conn   net.Conn
 	ctx    context.Context
 	cancel context.CancelFunc
+	shard  *admitShard // admission shard this session's BEGINs enqueue to
 
 	lt  *liveTx                // live transaction; owned by run
 	cur atomic.Pointer[liveTx] // mirror of lt, read by Drain and the watchdog
 
-	scratch []byte // frame write buffer, reused across replies
+	// Outbound reply path (writeLoop). outSem bounds queued-but-unflushed
+	// replies: replyTo acquires a slot, flushOut releases. outQ holds
+	// pooled encoded frames in queue order.
+	outMu      sync.Mutex
+	outQ       []*[]byte
+	outSem     chan struct{} // capacity SessionInflight
+	outWake    chan struct{} // buffered(1); signals the writer
+	writerDone chan struct{}
+	wbufs      net.Buffers // flush scratch, reused across flushes
+
+	inflight  atomic.Int64 // requests read minus replies flushed
+	pipelined atomic.Bool  // session has sent at least one tagged frame
 }
 
 // countReader adds every byte read from the connection to the shared
@@ -69,15 +105,16 @@ func (c countReader) Read(p []byte) (int, error) {
 }
 
 // errSessionEnd tells run to exit after a reply that terminates the
-// conversation (protocol violation or write failure).
+// conversation (protocol violation or encode failure).
 var errSessionEnd = errors.New("session end")
 
 func (s *session) run() {
-	reqs := make(chan wire.Message)
+	reqs := make(chan request, s.srv.cfg.SessionInflight)
 	readerDone := make(chan struct{})
+	go s.writeLoop()
 	go s.readLoop(reqs, readerDone)
 	// LIFO: cleanup closes the connection first, which unblocks a reader
-	// stuck mid-ReadFrame; only then wait for it to exit.
+	// stuck mid-ReadAny; only then wait for it to exit.
 	defer func() { <-readerDone }()
 	defer s.cleanup()
 
@@ -88,9 +125,9 @@ func (s *session) run() {
 		select {
 		case <-s.ctx.Done():
 			return
-		case m := <-reqs:
-			if err := s.handle(m); err != nil {
-				if !errors.Is(err, errSessionEnd) {
+		case req := <-reqs:
+			if err := s.handle(req); err != nil {
+				if !errors.Is(err, errSessionEnd) && !errors.Is(err, context.Canceled) {
 					s.srv.logf("session %s: %v", s.conn.RemoteAddr(), err)
 				}
 				return
@@ -102,17 +139,22 @@ func (s *session) run() {
 // readLoop decodes frames off the connection and feeds run. Any read
 // failure — disconnect, idle timeout, malformed frame — cancels the
 // session context, which unparks run from whatever manager call it is
-// blocked in.
-func (s *session) readLoop(reqs chan<- wire.Message, done chan<- struct{}) {
+// blocked in. Tagged PINGs are answered here directly, out of order: a
+// pipelined client's liveness probe must not wait behind a BEGIN parked
+// in admission.
+func (s *session) readLoop(reqs chan<- request, done chan<- struct{}) {
 	defer close(done)
 	defer s.cancel()
 	cr := countReader{r: s.conn, n: &s.srv.ctr.BytesIn}
 	var scratch []byte
+	var hwm int64
+	defer func() { metrics.MaxInt64(&s.srv.ctr.InflightHWM, hwm) }()
+	maxVer := s.srv.cfg.MaxWireVersion
 	for {
 		if err := s.conn.SetReadDeadline(timeNow().Add(s.srv.cfg.IdleTimeout)); err != nil {
 			return
 		}
-		m, sc, err := wire.ReadFrame(cr, scratch)
+		m, ver, tag, sc, err := wire.ReadAny(cr, scratch)
 		if err != nil {
 			return
 		}
@@ -120,79 +162,254 @@ func (s *session) readLoop(reqs chan<- wire.Message, done chan<- struct{}) {
 		if cap(scratch) > maxScratch {
 			scratch = nil
 		}
+		req := request{m: m, ver: ver, tag: tag}
+		if ver >= wire.V3 {
+			if maxVer < wire.V3 {
+				// Pinned to v2: a tagged frame is a protocol violation. The
+				// reply is queued untagged and the final writer flush
+				// delivers it before cleanup closes the connection.
+				_ = s.replyTo(request{ver: wire.V2}, &wire.ErrMsg{Code: wire.CodeProtocol,
+					Text: "pipelining (wire v3) not enabled on this server"})
+				return
+			}
+			if !s.pipelined.Swap(true) {
+				s.srv.ctr.PipelinedSessions.Add(1)
+			}
+		}
+		if v := s.inflight.Add(1); v > hwm {
+			hwm = v
+		}
+		if p, ok := m.(*wire.Ping); ok && ver >= wire.V3 {
+			if s.replyTo(req, &wire.Pong{Nonce: p.Nonce}) != nil {
+				return
+			}
+			continue
+		}
 		select {
-		case reqs <- m:
+		case reqs <- req:
 		case <-s.ctx.Done():
 			return
 		}
 	}
 }
 
+// writeLoop owns conn writes: every wakeup drains the whole outbound
+// reply queue into one flush. On session cancellation it performs one
+// final flush — still bounded by the write deadline — so terminal ERR
+// replies and drain notices reach clients that are still reading.
+func (s *session) writeLoop() {
+	defer close(s.writerDone)
+	for {
+		select {
+		case <-s.outWake:
+			if err := s.flushOut(); err != nil {
+				s.noteWriteError(err)
+				return
+			}
+		case <-s.ctx.Done():
+			if err := s.flushOut(); err != nil {
+				s.noteWriteError(err)
+			}
+			return
+		}
+	}
+}
+
+// flushOut swaps out the queued replies and writes them with a single
+// writev-style net.Buffers write under the write deadline. Batching does
+// not weaken the slow-client defense: the deadline covers the whole
+// coalesced write, and the bytes a batch carries are exactly the replies
+// the old one-write-per-reply path would have written under N deadlines —
+// a client that cannot drain one batched write within WriteTimeout could
+// not have drained the same bytes unbatched either, and is killed the
+// same way.
+func (s *session) flushOut() error {
+	s.outMu.Lock()
+	q := s.outQ
+	s.outQ = nil
+	s.outMu.Unlock()
+	if len(q) == 0 {
+		return nil
+	}
+	release := func() {
+		for _, b := range q {
+			wire.PutBuf(b)
+		}
+		s.inflight.Add(-int64(len(q)))
+		for range q {
+			<-s.outSem
+		}
+	}
+	if err := s.conn.SetWriteDeadline(timeNow().Add(s.srv.cfg.WriteTimeout)); err != nil {
+		release()
+		return err
+	}
+	var total int64
+	var err error
+	if len(q) == 1 {
+		total = int64(len(*q[0]))
+		_, err = s.conn.Write(*q[0])
+	} else {
+		bufs := s.wbufs[:0]
+		for _, b := range q {
+			total += int64(len(*b))
+			bufs = append(bufs, *b)
+		}
+		s.wbufs = bufs
+		_, err = bufs.WriteTo(s.conn)
+		clear(s.wbufs) // drop references into pooled buffers
+		s.wbufs = s.wbufs[:0]
+	}
+	release()
+	if err != nil {
+		return err
+	}
+	s.srv.ctr.BytesOut.Add(total)
+	s.srv.ctr.ResponseFlushes.Add(1)
+	s.srv.ctr.ResponsesFlushed.Add(int64(len(q)))
+	return nil
+}
+
+// noteWriteError classifies a flush failure (deadline expiry = slow
+// client), cancels the session and discards any replies queued after the
+// failed flush.
+func (s *session) noteWriteError(err error) {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		s.srv.ctr.SlowClientKills.Add(1)
+		s.srv.logf("session %s: write deadline exceeded, killing slow client", s.conn.RemoteAddr())
+	}
+	s.cancel()
+	s.outMu.Lock()
+	q := s.outQ
+	s.outQ = nil
+	s.outMu.Unlock()
+	for _, b := range q {
+		wire.PutBuf(b)
+	}
+	s.inflight.Add(-int64(len(q)))
+	for range q {
+		<-s.outSem
+	}
+}
+
+// replyTo frames m as the reply to req — tagged at the request's tag for
+// v3 requests, untagged at the request's version otherwise, with error
+// codes degraded to the version's code space — and queues it for the
+// writer. It blocks when SessionInflight replies are already queued
+// (bounded outbound buffering; the writer drains under its deadline).
+func (s *session) replyTo(req request, m wire.Message) error {
+	// A dead session must refuse new replies deterministically — once the
+	// writer has killed it the semaphore may have free slots again, and
+	// the select below would enqueue onto a queue nobody flushes.
+	if err := s.ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case s.outSem <- struct{}{}:
+	case <-s.ctx.Done():
+		return s.ctx.Err()
+	}
+	buf := wire.GetBuf()
+	var out []byte
+	var err error
+	if req.ver >= wire.V3 {
+		out, err = wire.AppendTagged((*buf)[:0], req.tag, m)
+	} else {
+		if em, ok := m.(*wire.ErrMsg); ok {
+			if mapped := wire.CodeForVersion(em.Code, req.ver); mapped != em.Code {
+				m = &wire.ErrMsg{Code: mapped, Text: em.Text}
+			}
+		}
+		out, err = wire.AppendCompat((*buf)[:0], req.ver, m)
+	}
+	if err != nil {
+		// Encoding failures are server bugs (oversized schema); drop the
+		// session rather than desync the stream.
+		wire.PutBuf(buf)
+		<-s.outSem
+		s.srv.logf("session %s: encode %s: %v", s.conn.RemoteAddr(), m.Kind(), err)
+		return errSessionEnd
+	}
+	*buf = out
+	s.outMu.Lock()
+	s.outQ = append(s.outQ, buf)
+	s.outMu.Unlock()
+	select {
+	case s.outWake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
 // handshake requires the first frame to be HELLO and answers with the
 // manager's transaction-set schema.
-func (s *session) handshake(reqs <-chan wire.Message) error {
+func (s *session) handshake(reqs <-chan request) error {
 	select {
 	case <-s.ctx.Done():
 		return s.ctx.Err()
-	case m := <-reqs:
-		if _, ok := m.(*wire.Hello); !ok {
-			_ = s.reply(&wire.ErrMsg{Code: wire.CodeProtocol,
-				Text: fmt.Sprintf("expected HELLO, got %s", m.Kind())})
+	case req := <-reqs:
+		if _, ok := req.m.(*wire.Hello); !ok {
+			_ = s.replyTo(req, &wire.ErrMsg{Code: wire.CodeProtocol,
+				Text: fmt.Sprintf("expected HELLO, got %s", req.m.Kind())})
 			return errSessionEnd
 		}
-		return s.reply(schemaOf(s.srv.mgr.Set()))
+		return s.replyTo(req, schemaOf(s.srv.mgr.Set(), s.srv.cfg.MaxWireVersion))
 	}
 }
 
 // handle processes one request. The session-state contract kept here:
 // every reply to BEGIN is BEGIN_OK or ERR; every ERR reply to
 // READ/WRITE/COMMIT also ends the live transaction, so after any ERR the
-// client knows it holds nothing.
-func (s *session) handle(m wire.Message) error {
-	switch m := m.(type) {
+// client knows it holds nothing. Pipelined requests are executed strictly
+// in arrival order, so a client may speculate (send BEGIN+steps+COMMIT in
+// one flush): if BEGIN fails, the trailing steps each draw the
+// "outside a transaction" CodeState reply — expected fallout, not drift.
+func (s *session) handle(req request) error {
+	switch m := req.m.(type) {
 	case *wire.Ping:
-		return s.reply(&wire.Pong{Nonce: m.Nonce})
+		return s.replyTo(req, &wire.Pong{Nonce: m.Nonce})
 	case *wire.Begin:
-		return s.handleBegin(m)
+		return s.handleBegin(req, m)
 	case *wire.Read:
 		if s.lt == nil {
-			return s.reply(&wire.ErrMsg{Code: wire.CodeState, Text: "READ outside a transaction"})
+			return s.replyTo(req, &wire.ErrMsg{Code: wire.CodeState, Text: "READ outside a transaction"})
 		}
 		v, err := s.lt.tx.Read(s.lt.ctx, rt.Item(int32(m.Item)))
 		if err != nil {
-			return s.txFailed("READ", err)
+			return s.txFailed(req, "READ", err)
 		}
-		return s.reply(&wire.ReadOK{Value: int64(v)})
+		return s.replyTo(req, &wire.ReadOK{Value: int64(v)})
 	case *wire.Write:
 		if s.lt == nil {
-			return s.reply(&wire.ErrMsg{Code: wire.CodeState, Text: "WRITE outside a transaction"})
+			return s.replyTo(req, &wire.ErrMsg{Code: wire.CodeState, Text: "WRITE outside a transaction"})
 		}
 		if err := s.lt.tx.Write(s.lt.ctx, rt.Item(int32(m.Item)), db.Value(m.Value)); err != nil {
-			return s.txFailed("WRITE", err)
+			return s.txFailed(req, "WRITE", err)
 		}
-		return s.reply(&wire.WriteOK{})
+		return s.replyTo(req, &wire.WriteOK{})
 	case *wire.Commit:
 		if s.lt == nil {
-			return s.reply(&wire.ErrMsg{Code: wire.CodeState, Text: "COMMIT outside a transaction"})
+			return s.replyTo(req, &wire.ErrMsg{Code: wire.CodeState, Text: "COMMIT outside a transaction"})
 		}
 		if err := s.lt.tx.Commit(s.lt.ctx); err != nil {
-			return s.txFailed("COMMIT", err)
+			return s.txFailed(req, "COMMIT", err)
 		}
 		s.clearTx()
-		return s.reply(&wire.CommitOK{})
+		return s.replyTo(req, &wire.CommitOK{})
 	case *wire.Abort:
 		if s.lt == nil {
-			return s.reply(&wire.ErrMsg{Code: wire.CodeState, Text: "ABORT outside a transaction"})
+			return s.replyTo(req, &wire.ErrMsg{Code: wire.CodeState, Text: "ABORT outside a transaction"})
 		}
 		s.lt.tx.Abort()
 		s.clearTx()
-		return s.reply(&wire.AbortOK{})
+		return s.replyTo(req, &wire.AbortOK{})
 	case *wire.Hello:
-		_ = s.reply(&wire.ErrMsg{Code: wire.CodeProtocol, Text: "duplicate HELLO"})
+		_ = s.replyTo(req, &wire.ErrMsg{Code: wire.CodeProtocol, Text: "duplicate HELLO"})
 		return errSessionEnd
 	default:
-		_ = s.reply(&wire.ErrMsg{Code: wire.CodeProtocol,
-			Text: fmt.Sprintf("unexpected %s from client", m.Kind())})
+		_ = s.replyTo(req, &wire.ErrMsg{Code: wire.CodeProtocol,
+			Text: fmt.Sprintf("unexpected %s from client", req.m.Kind())})
 		return errSessionEnd
 	}
 }
@@ -215,7 +432,7 @@ func (s *session) armTx(tx *rtm.Txn, deadline time.Time) {
 // session so the client sees a retryable CodeDeadline and the session
 // itself survives. If the session context is dead, the transaction is kept
 // for cleanup to account as an auto-abort instead.
-func (s *session) txFailed(op string, err error) error {
+func (s *session) txFailed(req request, op string, err error) error {
 	if s.ctx.Err() != nil {
 		return s.ctx.Err()
 	}
@@ -223,10 +440,10 @@ func (s *session) txFailed(op string, err error) error {
 	s.lt.tx.Abort()
 	s.clearTx()
 	if tripped {
-		return s.reply(&wire.ErrMsg{Code: wire.CodeDeadline,
+		return s.replyTo(req, &wire.ErrMsg{Code: wire.CodeDeadline,
 			Text: op + ": force-aborted by stuck-transaction watchdog: " + err.Error()})
 	}
-	return s.reply(&wire.ErrMsg{Code: codeOf(err), Text: op + ": " + err.Error()})
+	return s.replyTo(req, &wire.ErrMsg{Code: codeOf(err), Text: op + ": " + err.Error()})
 }
 
 func (s *session) clearTx() {
@@ -236,7 +453,8 @@ func (s *session) clearTx() {
 }
 
 // cleanup tears the session down: cancel (stops the reader and any parked
-// manager call), auto-abort a still-live transaction, close the socket.
+// manager call), auto-abort a still-live transaction, let the writer
+// finish its final deadline-bounded flush, close the socket.
 func (s *session) cleanup() {
 	s.cancel()
 	if s.lt != nil {
@@ -248,40 +466,9 @@ func (s *session) cleanup() {
 			s.srv.ctr.AutoAborted.Add(1)
 		}
 	}
+	<-s.writerDone
 	_ = s.conn.Close()
 	s.srv.removeSession(s)
-}
-
-// reply frames and writes one message under the write deadline. A write
-// failure ends the session; if the failure was the deadline expiring, the
-// peer is a slow (or stalled) reader and the kill is counted — one wedged
-// client costs one session, never a dispatcher or unbounded buffered
-// replies.
-func (s *session) reply(m wire.Message) error {
-	if err := s.conn.SetWriteDeadline(timeNow().Add(s.srv.cfg.WriteTimeout)); err != nil {
-		return errSessionEnd
-	}
-	buf, err := wire.AppendFrame(s.scratch[:0], m)
-	if err != nil {
-		// Encoding failures are server bugs (oversized schema); drop the
-		// session rather than desync the stream.
-		s.srv.logf("session %s: encode %s: %v", s.conn.RemoteAddr(), m.Kind(), err)
-		return errSessionEnd
-	}
-	s.scratch = buf
-	if cap(s.scratch) > maxScratch {
-		s.scratch = nil
-	}
-	if _, err := s.conn.Write(buf); err != nil {
-		var ne net.Error
-		if errors.As(err, &ne) && ne.Timeout() {
-			s.srv.ctr.SlowClientKills.Add(1)
-			s.srv.logf("session %s: write deadline exceeded, killing slow client", s.conn.RemoteAddr())
-		}
-		return errSessionEnd
-	}
-	s.srv.ctr.BytesOut.Add(int64(len(buf)))
-	return nil
 }
 
 // codeOf maps manager errors onto wire error codes. Anything that is not a
@@ -305,8 +492,10 @@ func codeOf(err error) wire.ErrorCode {
 }
 
 // schemaOf renders the manager's transaction set as the HELLO_OK schema.
-func schemaOf(set *txn.Set) *wire.HelloOK {
-	h := &wire.HelloOK{Proto: wire.Version, Set: set.Name}
+// proto advertises the highest wire version the server will speak on this
+// connection; a client pipelines only when proto ≥ 3.
+func schemaOf(set *txn.Set, proto uint8) *wire.HelloOK {
+	h := &wire.HelloOK{Proto: proto, Set: set.Name}
 	for _, tmpl := range set.Templates {
 		ti := wire.TemplateInfo{Name: tmpl.Name, Priority: int32(tmpl.Priority)}
 		for _, st := range tmpl.Steps {

@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// The steady-state frames of a pipelined session: small fixed-size
+// request/reply pairs. The benchmarks pin their allocs/op — encode into a
+// reused buffer is 0 allocs/op, decode allocates only the message value.
+
+func benchFrames(b *testing.B) []byte {
+	var stream []byte
+	var err error
+	for i, m := range []Message{
+		&Begin{Name: "T1", Deadline: 150},
+		&BeginOK{ID: 7},
+		&Read{Item: 3},
+		&ReadOK{Value: -1},
+		&Write{Item: 4, Value: 9},
+		&WriteOK{},
+		&Commit{},
+		&CommitOK{},
+	} {
+		stream, err = AppendTagged(stream, uint32(i), m)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return stream
+}
+
+func BenchmarkAppendFrame(b *testing.B) {
+	msg := &Write{Item: 4, Value: 9}
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendFrame(buf[:0], msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendTagged(b *testing.B) {
+	msg := &Write{Item: 4, Value: 9}
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendTagged(buf[:0], uint32(i), msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendTaggedPooled(b *testing.B) {
+	msg := &Write{Item: 4, Value: 9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := GetBuf()
+		out, err := AppendTagged((*buf)[:0], uint32(i), msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		*buf = out
+		PutBuf(buf)
+	}
+}
+
+func BenchmarkDecodeAny(b *testing.B) {
+	frame, err := AppendTagged(nil, 42, &Write{Item: 4, Value: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, _, err := DecodeAny(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadAnyStream(b *testing.B) {
+	stream := benchFrames(b)
+	r := bytes.NewReader(stream)
+	var scratch []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, _, _, scratch, err = ReadAny(r, scratch)
+		if err == io.EOF {
+			r.Reset(stream)
+			continue
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

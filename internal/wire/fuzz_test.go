@@ -11,9 +11,9 @@ import (
 //
 //   - decoding never panics, whatever the input;
 //   - a malformed frame errors with ErrMalformed/ErrTooLarge;
-//   - a frame that decodes re-encodes to exactly the bytes consumed
-//     (canonical encoding), and decoding the re-encoding yields an equal
-//     message (round trip);
+//   - a frame that decodes re-encodes at its own version and tag to
+//     exactly the bytes consumed (per-version canonical encoding), and
+//     decoding the re-encoding yields an equal message (round trip);
 //   - the decoder never allocates beyond the declared, bounded payload
 //     (enforced structurally: element counts are checked against the
 //     remaining payload before any allocation).
@@ -42,12 +42,21 @@ func FuzzWireRoundTrip(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(frame)
+		// The same message as a tagged v3 frame and an untagged v1 frame.
+		if tagged, err := AppendTagged(nil, 0xABCD1234, m); err == nil {
+			f.Add(tagged)
+		}
+		if v1, err := AppendCompat(nil, V1, m); err == nil {
+			f.Add(v1)
+		}
 	}
-	f.Add([]byte{Version, uint8(KindHelloOK), 0, 0, 0, 4, 1, 0, 0, 0})
-	f.Add([]byte{Version, uint8(KindErr), 0xFF, 0, 0, 0})
+	f.Add([]byte{V2, uint8(KindHelloOK), 0, 0, 0, 4, 1, 0, 0, 0})
+	f.Add([]byte{V2, uint8(KindErr), 0xFF, 0, 0, 0})
+	f.Add([]byte{V3, uint8(KindPing), 0, 0, 0, 9, 0, 0, 0, 8, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add([]byte{V1, uint8(KindBegin), 0, 0, 0, 4, 0, 2, 'T', '1'})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		m, rest, err := DecodeFrame(data)
+		m, ver, tag, rest, err := DecodeAny(data)
 		if err != nil {
 			if !errors.Is(err, ErrMalformed) && !errors.Is(err, ErrTooLarge) {
 				t.Fatalf("decode error %v wraps neither ErrMalformed nor ErrTooLarge", err)
@@ -55,20 +64,25 @@ func FuzzWireRoundTrip(f *testing.F) {
 			return
 		}
 		consumed := data[:len(data)-len(rest)]
-		re, err := AppendFrame(nil, m)
+		re, err := appendFrameAt(nil, ver, tag, m)
 		if err != nil {
-			t.Fatalf("re-encode of decoded %s failed: %v", m.Kind(), err)
+			t.Fatalf("re-encode of decoded %s (v%d) failed: %v", m.Kind(), ver, err)
 		}
 		if !bytes.Equal(re, consumed) {
-			t.Fatalf("%s not canonical:\n consumed %x\n re-encoded %x", m.Kind(), consumed, re)
+			t.Fatalf("%s (v%d) not canonical:\n consumed %x\n re-encoded %x", m.Kind(), ver, consumed, re)
 		}
-		m2, rest2, err := DecodeFrame(re)
-		if err != nil || len(rest2) != 0 {
-			t.Fatalf("decode of re-encoding failed: %v (%d rest)", err, len(rest2))
+		m2, ver2, tag2, rest2, err := DecodeAny(re)
+		if err != nil || len(rest2) != 0 || ver2 != ver || tag2 != tag {
+			t.Fatalf("decode of re-encoding failed: %v (%d rest, v%d tag %d)", err, len(rest2), ver2, tag2)
 		}
-		f2, err := AppendFrame(nil, m2)
+		f2, err := appendFrameAt(nil, ver2, tag2, m2)
 		if err != nil || !bytes.Equal(f2, re) {
 			t.Fatalf("second round trip diverged: %v", err)
+		}
+		// The strict untagged path must agree with DecodeAny on v1/v2
+		// frames and reject tagged ones.
+		if _, _, err := DecodeFrame(data); (err == nil) != (ver < V3) {
+			t.Fatalf("DecodeFrame(v%d frame): err = %v", ver, err)
 		}
 	})
 }

@@ -6,23 +6,47 @@
 //
 // # Framing
 //
-// Every message travels as one frame:
+// An untagged frame (versions 1 and 2) is:
 //
 //	+---------+---------+---------------+-----------------+
 //	| version |  kind   |  payload len  |     payload     |
-//	|  u8=1   |   u8    |   u32 (BE)    |  len(payload)   |
+//	| u8=1|2  |   u8    |   u32 (BE)    |  len(payload)   |
 //	+---------+---------+---------------+-----------------+
+//
+// A tagged frame (version 3, pipelining) inserts a request tag between the
+// kind and the payload length:
+//
+//	+---------+---------+-----------+---------------+-----------------+
+//	| version |  kind   |    tag    |  payload len  |     payload     |
+//	|  u8=3   |   u8    |  u32 (BE) |   u32 (BE)    |  len(payload)   |
+//	+---------+---------+-----------+---------------+-----------------+
+//
+// The tag is an opaque client-chosen request identifier; the server echoes
+// it on the reply frame, which lets a connection keep many requests in
+// flight and receive responses out of order (in practice the server
+// executes a session's requests in arrival order, but replies — PONG in
+// particular — may overtake). Untagged and tagged frames may be mixed on
+// one connection; an untagged request always gets an untagged reply at the
+// request's version, preserving strict request/response for v1/v2 clients.
 //
 // Integers are big-endian. Strings are a u16 length followed by raw bytes.
 // The payload length is bounded by MaxPayload; a decoder rejects larger
 // frames before allocating anything, so a hostile peer cannot force memory
 // growth with a forged header. Decoding is exact: a payload with trailing
-// bytes is malformed, which makes encoding canonical (decode∘encode is the
-// identity on valid frames — the property FuzzWireRoundTrip checks).
+// bytes is malformed, which makes encoding canonical per version
+// (decode∘encode at the decoded version is the identity on valid frames —
+// the property FuzzWireRoundTrip checks).
+//
+// # Versions
+//
+//	V1: base protocol (BEGIN has no deadline; codes through CodeInternal)
+//	V2: BEGIN carries a firm-deadline budget; CodeShed / CodeInfeasible
+//	V3: tagged frames (pipelining); payload encodings identical to V2
 //
 // # Conversation
 //
-// The client side of one session is strictly sequential request/reply:
+// The client side of one session is request/reply (strictly sequential
+// when untagged, pipelined FIFO when tagged):
 //
 //	HELLO  → HELLO_OK (set name + template schema)    — optional, any time
 //	BEGIN  → BEGIN_OK | ERR                           — opens the session txn
@@ -44,12 +68,21 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
-// Version is the protocol version carried in every frame header.
-// Version 2 added the firm-deadline budget to BEGIN and the CodeShed /
-// CodeInfeasible overload error codes.
-const Version = 2
+// Protocol versions. The version byte of a frame header selects the header
+// shape (V3 frames carry a request tag) and the payload encoding (V1 BEGIN
+// has no deadline field, V1 error codes stop at CodeInternal).
+const (
+	V1 uint8 = 1
+	V2 uint8 = 2
+	V3 uint8 = 3
+
+	// Version is the highest protocol version this build speaks; servers
+	// advertise it (possibly pinned lower) in HelloOK.Proto.
+	Version = V3
+)
 
 // MaxPayload bounds a frame's payload. Decoders reject larger declared
 // lengths before allocating; encoders refuse to produce them.
@@ -58,8 +91,11 @@ const MaxPayload = 1 << 20
 // MaxString bounds any encoded string (template/set names, error text).
 const MaxString = 4096
 
-// headerLen is the fixed frame header size: version, kind, payload length.
-const headerLen = 6
+// Header sizes: untagged (v1/v2) and tagged (v3) frames.
+const (
+	headerLen       = 6  // version, kind, payload length
+	taggedHeaderLen = 10 // version, kind, tag, payload length
+)
 
 // Kind identifies a message type. Requests are low values, replies have the
 // high bit set, errors are 0xFF.
@@ -140,6 +176,10 @@ const (
 	numCodes
 )
 
+// numCodesV1 is the error-code space of protocol version 1: CodeShed and
+// CodeInfeasible arrived with v2, so frames at v1 cannot carry them.
+const numCodesV1 = CodeShed
+
 var codeNames = [numCodes]string{
 	CodeProtocol: "protocol", CodeState: "state", CodeOverload: "overload",
 	CodeAborted: "aborted", CodeCancelled: "cancelled", CodeDeadline: "deadline",
@@ -160,6 +200,17 @@ func (c ErrorCode) String() string {
 func (c ErrorCode) Retryable() bool {
 	return c == CodeOverload || c == CodeAborted || c == CodeDeadline ||
 		c == CodeShed || c == CodeInfeasible
+}
+
+// CodeForVersion maps c to the nearest code expressible at wire version
+// ver: a v1 peer has no CodeShed/CodeInfeasible, so both degrade to
+// CodeOverload (the correct client reaction — back off and retry — is the
+// same). Codes within the version's space pass through unchanged.
+func CodeForVersion(c ErrorCode, ver uint8) ErrorCode {
+	if ver <= V1 && c >= numCodesV1 {
+		return CodeOverload
+	}
+	return c
 }
 
 // RemoteError is the client-side error for an ERR reply: the typed code
@@ -186,6 +237,11 @@ var ErrMalformed = errors.New("wire: malformed frame")
 // ErrTooLarge is wrapped when a header declares a payload beyond MaxPayload
 // (decode) or a message would encode beyond the limits (encode).
 var ErrTooLarge = errors.New("wire: frame exceeds size limits")
+
+// errShortPayload is the sticky error for a payload cursor running out of
+// bytes. It is preformatted so the primitive readers stay allocation-free
+// on both paths.
+var errShortPayload = fmt.Errorf("%w: payload too short", ErrMalformed)
 
 // --- schema -------------------------------------------------------------------
 
@@ -218,10 +274,12 @@ type TemplateInfo struct {
 
 // --- messages -----------------------------------------------------------------
 
-// Message is one protocol message, encodable as a frame payload.
+// Message is one protocol message, encodable as a frame payload. Payload
+// encodings may depend on the frame version (BEGIN's deadline and the
+// overload error codes arrived with v2), so both directions thread it.
 type Message interface {
 	Kind() Kind
-	encodePayload(dst []byte) ([]byte, error)
+	encodePayload(dst []byte, ver uint8) ([]byte, error)
 	decodePayload(d *dec)
 }
 
@@ -230,7 +288,7 @@ type Hello struct{}
 
 // HelloOK is the schema reply.
 type HelloOK struct {
-	Proto     uint8 // server wire version (== Version)
+	Proto     uint8 // highest wire version the server speaks (≤ Version)
 	Set       string
 	Templates []TemplateInfo
 }
@@ -240,7 +298,8 @@ type HelloOK struct {
 // milliseconds: the transaction is worthless unless it commits within it,
 // so the server may refuse admission outright (CodeInfeasible) and its
 // stuck-transaction watchdog force-aborts the instance once the budget
-// plus a grace period has elapsed.
+// plus a grace period has elapsed. The field exists from v2 on; a v1
+// frame cannot carry it.
 type Begin struct {
 	Name     string
 	Deadline uint32 // firm budget in milliseconds; 0 = none
@@ -344,10 +403,10 @@ func newMessage(k Kind) Message {
 
 // --- payload encodings --------------------------------------------------------
 
-func (*Hello) encodePayload(dst []byte) ([]byte, error) { return dst, nil }
-func (*Hello) decodePayload(*dec)                       {}
+func (*Hello) encodePayload(dst []byte, _ uint8) ([]byte, error) { return dst, nil }
+func (*Hello) decodePayload(*dec)                                {}
 
-func (m *HelloOK) encodePayload(dst []byte) ([]byte, error) {
+func (m *HelloOK) encodePayload(dst []byte, _ uint8) ([]byte, error) {
 	dst = append(dst, m.Proto)
 	var err error
 	if dst, err = appendStr(dst, m.Set); err != nil {
@@ -412,31 +471,41 @@ func (m *HelloOK) decodePayload(d *dec) {
 	}
 }
 
-func (m *Begin) encodePayload(dst []byte) ([]byte, error) {
+func (m *Begin) encodePayload(dst []byte, ver uint8) ([]byte, error) {
 	dst, err := appendStr(dst, m.Name)
 	if err != nil {
 		return nil, err
+	}
+	if ver <= V1 {
+		if m.Deadline != 0 {
+			return nil, fmt.Errorf("%w: BEGIN deadline requires wire v2", ErrMalformed)
+		}
+		return dst, nil
 	}
 	return appendU32(dst, m.Deadline), nil
 }
 
 func (m *Begin) decodePayload(d *dec) {
 	m.Name = d.str()
-	m.Deadline = d.u32()
+	if d.ver >= V2 {
+		m.Deadline = d.u32()
+	}
 }
 
-func (m *BeginOK) encodePayload(dst []byte) ([]byte, error) { return appendU64(dst, m.ID), nil }
-func (m *BeginOK) decodePayload(d *dec)                     { m.ID = d.u64() }
+func (m *BeginOK) encodePayload(dst []byte, _ uint8) ([]byte, error) {
+	return appendU64(dst, m.ID), nil
+}
+func (m *BeginOK) decodePayload(d *dec) { m.ID = d.u64() }
 
-func (m *Read) encodePayload(dst []byte) ([]byte, error) { return appendU32(dst, m.Item), nil }
-func (m *Read) decodePayload(d *dec)                     { m.Item = d.u32() }
+func (m *Read) encodePayload(dst []byte, _ uint8) ([]byte, error) { return appendU32(dst, m.Item), nil }
+func (m *Read) decodePayload(d *dec)                              { m.Item = d.u32() }
 
-func (m *ReadOK) encodePayload(dst []byte) ([]byte, error) {
+func (m *ReadOK) encodePayload(dst []byte, _ uint8) ([]byte, error) {
 	return appendU64(dst, uint64(m.Value)), nil
 }
 func (m *ReadOK) decodePayload(d *dec) { m.Value = int64(d.u64()) }
 
-func (m *Write) encodePayload(dst []byte) ([]byte, error) {
+func (m *Write) encodePayload(dst []byte, _ uint8) ([]byte, error) {
 	dst = appendU32(dst, m.Item)
 	return appendU64(dst, uint64(m.Value)), nil
 }
@@ -445,25 +514,29 @@ func (m *Write) decodePayload(d *dec) {
 	m.Value = int64(d.u64())
 }
 
-func (*WriteOK) encodePayload(dst []byte) ([]byte, error)  { return dst, nil }
-func (*WriteOK) decodePayload(*dec)                        {}
-func (*Commit) encodePayload(dst []byte) ([]byte, error)   { return dst, nil }
-func (*Commit) decodePayload(*dec)                         {}
-func (*CommitOK) encodePayload(dst []byte) ([]byte, error) { return dst, nil }
-func (*CommitOK) decodePayload(*dec)                       {}
-func (*Abort) encodePayload(dst []byte) ([]byte, error)    { return dst, nil }
-func (*Abort) decodePayload(*dec)                          {}
-func (*AbortOK) encodePayload(dst []byte) ([]byte, error)  { return dst, nil }
-func (*AbortOK) decodePayload(*dec)                        {}
+func (*WriteOK) encodePayload(dst []byte, _ uint8) ([]byte, error)  { return dst, nil }
+func (*WriteOK) decodePayload(*dec)                                 {}
+func (*Commit) encodePayload(dst []byte, _ uint8) ([]byte, error)   { return dst, nil }
+func (*Commit) decodePayload(*dec)                                  {}
+func (*CommitOK) encodePayload(dst []byte, _ uint8) ([]byte, error) { return dst, nil }
+func (*CommitOK) decodePayload(*dec)                                {}
+func (*Abort) encodePayload(dst []byte, _ uint8) ([]byte, error)    { return dst, nil }
+func (*Abort) decodePayload(*dec)                                   {}
+func (*AbortOK) encodePayload(dst []byte, _ uint8) ([]byte, error)  { return dst, nil }
+func (*AbortOK) decodePayload(*dec)                                 {}
 
-func (m *Ping) encodePayload(dst []byte) ([]byte, error) { return appendU64(dst, m.Nonce), nil }
-func (m *Ping) decodePayload(d *dec)                     { m.Nonce = d.u64() }
-func (m *Pong) encodePayload(dst []byte) ([]byte, error) { return appendU64(dst, m.Nonce), nil }
-func (m *Pong) decodePayload(d *dec)                     { m.Nonce = d.u64() }
+func (m *Ping) encodePayload(dst []byte, _ uint8) ([]byte, error) {
+	return appendU64(dst, m.Nonce), nil
+}
+func (m *Ping) decodePayload(d *dec) { m.Nonce = d.u64() }
+func (m *Pong) encodePayload(dst []byte, _ uint8) ([]byte, error) {
+	return appendU64(dst, m.Nonce), nil
+}
+func (m *Pong) decodePayload(d *dec) { m.Nonce = d.u64() }
 
-func (m *ErrMsg) encodePayload(dst []byte) ([]byte, error) {
-	if m.Code >= numCodes {
-		return nil, fmt.Errorf("%w: unknown error code %d", ErrMalformed, m.Code)
+func (m *ErrMsg) encodePayload(dst []byte, ver uint8) ([]byte, error) {
+	if m.Code >= numCodes || (ver <= V1 && m.Code >= numCodesV1) {
+		return nil, fmt.Errorf("%w: error code %d not encodable at v%d", ErrMalformed, m.Code, ver)
 	}
 	dst = append(dst, uint8(m.Code))
 	return appendStr(dst, m.Text)
@@ -471,7 +544,7 @@ func (m *ErrMsg) encodePayload(dst []byte) ([]byte, error) {
 
 func (m *ErrMsg) decodePayload(d *dec) {
 	c := ErrorCode(d.u8())
-	if c >= numCodes {
+	if c >= numCodes || (d.ver <= V1 && c >= numCodesV1) {
 		d.failf("unknown error code %d", c)
 		return
 	}
@@ -481,63 +554,146 @@ func (m *ErrMsg) decodePayload(d *dec) {
 
 // --- framing ------------------------------------------------------------------
 
-// AppendFrame encodes m as one frame appended to dst.
+// AppendFrame encodes m as one untagged v2 frame appended to dst — the
+// framing every pre-pipelining peer speaks.
 func AppendFrame(dst []byte, m Message) ([]byte, error) {
+	return appendFrameAt(dst, V2, 0, m)
+}
+
+// AppendCompat encodes m as one untagged frame at wire version ver (V1 or
+// V2). Servers use it to answer an untagged request at the version the
+// request arrived in.
+func AppendCompat(dst []byte, ver uint8, m Message) ([]byte, error) {
+	if ver != V1 && ver != V2 {
+		return nil, fmt.Errorf("%w: no untagged framing at version %d", ErrMalformed, ver)
+	}
+	return appendFrameAt(dst, ver, 0, m)
+}
+
+// AppendTagged encodes m as one tagged v3 frame carrying tag appended to
+// dst. The receiver echoes the tag on the matching reply.
+func AppendTagged(dst []byte, tag uint32, m Message) ([]byte, error) {
+	return appendFrameAt(dst, V3, tag, m)
+}
+
+func appendFrameAt(dst []byte, ver uint8, tag uint32, m Message) ([]byte, error) {
 	start := len(dst)
-	dst = append(dst, Version, uint8(m.Kind()), 0, 0, 0, 0)
-	body, err := m.encodePayload(dst)
+	var hlen int
+	switch ver {
+	case V1, V2:
+		hlen = headerLen
+		dst = append(dst, ver, uint8(m.Kind()), 0, 0, 0, 0)
+	case V3:
+		hlen = taggedHeaderLen
+		dst = append(dst, ver, uint8(m.Kind()),
+			byte(tag>>24), byte(tag>>16), byte(tag>>8), byte(tag), 0, 0, 0, 0)
+	default:
+		return nil, fmt.Errorf("%w: cannot encode at version %d", ErrMalformed, ver)
+	}
+	body, err := m.encodePayload(dst, ver)
 	if err != nil {
 		return nil, err
 	}
 	dst = body
-	plen := len(dst) - start - headerLen
+	plen := len(dst) - start - hlen
 	if plen > MaxPayload {
 		return nil, fmt.Errorf("%w: payload %d > %d", ErrTooLarge, plen, MaxPayload)
 	}
-	putU32(dst[start+2:], uint32(plen))
+	putU32(dst[start+hlen-4:], uint32(plen))
 	return dst, nil
 }
 
-// DecodeFrame decodes the first frame in b, returning the message and the
+// DecodeFrame decodes the first frame in b, requiring untagged (v1/v2)
+// framing — the strict request/response path. A tagged frame is an error
+// here; pipelined endpoints use DecodeAny. Returns the message and the
 // unconsumed remainder. All failures wrap ErrMalformed or ErrTooLarge; the
 // decoder never panics and never allocates more than the declared (bounded)
 // payload.
 func DecodeFrame(b []byte) (Message, []byte, error) {
-	if len(b) < headerLen {
-		return nil, b, fmt.Errorf("%w: short header (%d bytes)", ErrMalformed, len(b))
+	m, ver, _, rest, err := DecodeAny(b)
+	if err != nil {
+		return nil, b, err
 	}
-	if b[0] != Version {
-		return nil, b, fmt.Errorf("%w: version %d, want %d", ErrMalformed, b[0], Version)
+	if ver >= V3 {
+		return nil, b, fmt.Errorf("%w: tagged frame on untagged decode path", ErrMalformed)
 	}
-	kind := Kind(b[1])
-	plen := int(u32(b[2:]))
-	if plen > MaxPayload {
-		return nil, b, fmt.Errorf("%w: declared payload %d > %d", ErrTooLarge, plen, MaxPayload)
-	}
-	if len(b) < headerLen+plen {
-		return nil, b, fmt.Errorf("%w: payload truncated (%d of %d bytes)", ErrMalformed, len(b)-headerLen, plen)
-	}
-	m := newMessage(kind)
-	if m == nil {
-		return nil, b, fmt.Errorf("%w: unknown kind 0x%02x", ErrMalformed, uint8(kind))
-	}
-	d := &dec{b: b[headerLen : headerLen+plen]}
-	m.decodePayload(d)
-	if d.err != nil {
-		return nil, b, d.err
-	}
-	if d.off != len(d.b) {
-		return nil, b, fmt.Errorf("%w: %d trailing payload bytes after %s", ErrMalformed, len(d.b)-d.off, kind)
-	}
-	return m, b[headerLen+plen:], nil
+	return m, rest, nil
 }
 
-// ReadFrame reads exactly one frame from r, using (and growing) scratch as
-// the read buffer; it returns the message and the buffer for reuse. A clean
-// EOF before any header byte is returned as io.EOF; every other failure is
-// either a transport error from r or wraps ErrMalformed/ErrTooLarge.
+// DecodeAny decodes the first frame in b at any protocol version,
+// returning the message, the frame's version, its tag (0 when untagged:
+// ver < V3), and the unconsumed remainder.
+func DecodeAny(b []byte) (m Message, ver uint8, tag uint32, rest []byte, err error) {
+	if len(b) < headerLen {
+		return nil, 0, 0, b, fmt.Errorf("%w: short header (%d bytes)", ErrMalformed, len(b))
+	}
+	ver = b[0]
+	hlen := headerLen
+	switch ver {
+	case V1, V2:
+	case V3:
+		hlen = taggedHeaderLen
+		if len(b) < hlen {
+			return nil, 0, 0, b, fmt.Errorf("%w: short tagged header (%d bytes)", ErrMalformed, len(b))
+		}
+		tag = u32(b[2:])
+	default:
+		return nil, 0, 0, b, fmt.Errorf("%w: version %d, want 1..%d", ErrMalformed, ver, Version)
+	}
+	kind := Kind(b[1])
+	plen := int(u32(b[hlen-4:]))
+	if plen > MaxPayload {
+		return nil, 0, 0, b, fmt.Errorf("%w: declared payload %d > %d", ErrTooLarge, plen, MaxPayload)
+	}
+	if len(b) < hlen+plen {
+		return nil, 0, 0, b, fmt.Errorf("%w: payload truncated (%d of %d bytes)", ErrMalformed, len(b)-hlen, plen)
+	}
+	m, err = decodeBody(kind, ver, b[hlen:hlen+plen])
+	if err != nil {
+		return nil, 0, 0, b, err
+	}
+	return m, ver, tag, b[hlen+plen:], nil
+}
+
+// decodeBody decodes one payload at the given frame version.
+func decodeBody(kind Kind, ver uint8, payload []byte) (Message, error) {
+	m := newMessage(kind)
+	if m == nil {
+		return nil, fmt.Errorf("%w: unknown kind 0x%02x", ErrMalformed, uint8(kind))
+	}
+	d := &dec{b: payload, ver: ver}
+	m.decodePayload(d)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes after %s", ErrMalformed, len(d.b)-d.off, kind)
+	}
+	return m, nil
+}
+
+// ReadFrame reads exactly one untagged frame from r, using (and growing)
+// scratch as the read buffer; it returns the message and the buffer for
+// reuse. A clean EOF before any header byte is returned as io.EOF; every
+// other failure is either a transport error from r or wraps
+// ErrMalformed/ErrTooLarge. A tagged (v3) frame is an error on this path.
 func ReadFrame(r io.Reader, scratch []byte) (Message, []byte, error) {
-	if cap(scratch) < headerLen {
+	m, ver, _, scratch, err := ReadAny(r, scratch)
+	if err != nil {
+		return nil, scratch, err
+	}
+	if ver >= V3 {
+		return nil, scratch, fmt.Errorf("%w: tagged frame on untagged read path", ErrMalformed)
+	}
+	return m, scratch, nil
+}
+
+// ReadAny reads exactly one frame at any protocol version from r, using
+// (and growing) scratch as the read buffer; it returns the message, the
+// frame's version and tag (0 when untagged), and the buffer for reuse. A
+// clean EOF before any header byte is returned as io.EOF.
+func ReadAny(r io.Reader, scratch []byte) (Message, uint8, uint32, []byte, error) {
+	if cap(scratch) < taggedHeaderLen {
 		scratch = make([]byte, 0, 512)
 	}
 	hdr := scratch[:headerLen]
@@ -545,41 +701,53 @@ func ReadFrame(r io.Reader, scratch []byte) (Message, []byte, error) {
 		if err == io.ErrUnexpectedEOF {
 			err = fmt.Errorf("%w: header truncated", ErrMalformed)
 		}
-		return nil, scratch, err
+		return nil, 0, 0, scratch, err
 	}
-	if hdr[0] != Version {
-		return nil, scratch, fmt.Errorf("%w: version %d, want %d", ErrMalformed, hdr[0], Version)
+	ver := hdr[0]
+	hlen := headerLen
+	var tag uint32
+	switch ver {
+	case V1, V2:
+	case V3:
+		hlen = taggedHeaderLen
+		ext := scratch[headerLen:taggedHeaderLen]
+		if _, err := io.ReadFull(r, ext); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				err = fmt.Errorf("%w: tagged header truncated", ErrMalformed)
+			}
+			return nil, 0, 0, scratch, err
+		}
+		tag = u32(hdr[2:])
+	default:
+		return nil, 0, 0, scratch, fmt.Errorf("%w: version %d, want 1..%d", ErrMalformed, ver, Version)
 	}
-	plen := int(u32(hdr[2:]))
+	plen := int(u32(scratch[hlen-4 : hlen]))
 	if plen > MaxPayload {
-		return nil, scratch, fmt.Errorf("%w: declared payload %d > %d", ErrTooLarge, plen, MaxPayload)
+		return nil, 0, 0, scratch, fmt.Errorf("%w: declared payload %d > %d", ErrTooLarge, plen, MaxPayload)
 	}
-	need := headerLen + plen
+	need := hlen + plen
 	if cap(scratch) < need {
 		grown := make([]byte, need)
-		copy(grown, hdr)
+		copy(grown, scratch[:hlen])
 		scratch = grown[:0]
-		hdr = grown[:headerLen]
 	}
 	buf := scratch[:need]
-	if _, err := io.ReadFull(r, buf[headerLen:]); err != nil {
+	if _, err := io.ReadFull(r, buf[hlen:]); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			err = fmt.Errorf("%w: payload truncated", ErrMalformed)
 		}
-		return nil, scratch, err
+		return nil, 0, 0, scratch, err
 	}
-	m, rest, err := DecodeFrame(buf)
+	kind := Kind(buf[1])
+	m, err := decodeBody(kind, ver, buf[hlen:need])
 	if err != nil {
-		return nil, scratch, err
+		return nil, 0, 0, scratch, err
 	}
-	if len(rest) != 0 { // cannot happen: buf holds exactly one frame
-		return nil, scratch, fmt.Errorf("%w: internal framing error", ErrMalformed)
-	}
-	return m, scratch, nil
+	return m, ver, tag, scratch, nil
 }
 
 // WriteFrame encodes m into scratch and writes the frame to w, returning
-// the (possibly grown) buffer for reuse.
+// the (possibly grown) buffer for reuse. Untagged v2 framing.
 func WriteFrame(w io.Writer, scratch []byte, m Message) ([]byte, error) {
 	buf, err := AppendFrame(scratch[:0], m)
 	if err != nil {
@@ -589,6 +757,36 @@ func WriteFrame(w io.Writer, scratch []byte, m Message) ([]byte, error) {
 		return buf, err
 	}
 	return buf, nil
+}
+
+// --- buffer pool --------------------------------------------------------------
+
+// maxPooledBuf caps the capacity of buffers returned to the pool, so one
+// giant frame (schema replies can reach MaxPayload) doesn't pin memory for
+// the steady state, whose frames are tens of bytes.
+const maxPooledBuf = 64 << 10
+
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// GetBuf returns a pooled frame buffer (length 0, capacity ≥ 512). Encode
+// into (*buf)[:0] with the Append* framing functions, store the result
+// back through the pointer, and release it with PutBuf when the frame has
+// been written.
+func GetBuf() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// PutBuf returns a buffer obtained from GetBuf to the pool. Oversized
+// buffers are dropped instead of pooled.
+func PutBuf(b *[]byte) {
+	if b == nil || cap(*b) > maxPooledBuf {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
 }
 
 // --- primitive encoding -------------------------------------------------------
@@ -612,10 +810,12 @@ func appendStr(b []byte, s string) ([]byte, error) {
 	return append(b, s...), nil
 }
 
+//pcpda:alloc-free
 func putU32(b []byte, v uint32) {
 	b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
 }
 
+//pcpda:alloc-free
 func u32(b []byte) uint32 {
 	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
 }
@@ -625,9 +825,11 @@ func u32(b []byte) uint32 {
 type dec struct {
 	b   []byte
 	off int
+	ver uint8
 	err error
 }
 
+//pcpda:alloc-free
 func (d *dec) ok() bool { return d.err == nil }
 
 func (d *dec) failf(format string, args ...any) {
@@ -636,14 +838,25 @@ func (d *dec) failf(format string, args ...any) {
 	}
 }
 
+// short records running out of payload without allocating an error.
+//
+//pcpda:alloc-free
+func (d *dec) short() {
+	if d.err == nil {
+		d.err = errShortPayload
+	}
+}
+
+//pcpda:alloc-free
 func (d *dec) remaining() int { return len(d.b) - d.off }
 
+//pcpda:alloc-free
 func (d *dec) take(n int) []byte {
 	if d.err != nil {
 		return nil
 	}
 	if d.remaining() < n {
-		d.failf("need %d bytes, have %d", n, d.remaining())
+		d.short()
 		return nil
 	}
 	out := d.b[d.off : d.off+n]
@@ -651,6 +864,7 @@ func (d *dec) take(n int) []byte {
 	return out
 }
 
+//pcpda:alloc-free
 func (d *dec) u8() uint8 {
 	b := d.take(1)
 	if b == nil {
@@ -659,6 +873,7 @@ func (d *dec) u8() uint8 {
 	return b[0]
 }
 
+//pcpda:alloc-free
 func (d *dec) u16() uint16 {
 	b := d.take(2)
 	if b == nil {
@@ -667,6 +882,7 @@ func (d *dec) u16() uint16 {
 	return uint16(b[0])<<8 | uint16(b[1])
 }
 
+//pcpda:alloc-free
 func (d *dec) u32() uint32 {
 	b := d.take(4)
 	if b == nil {
@@ -675,6 +891,7 @@ func (d *dec) u32() uint32 {
 	return u32(b)
 }
 
+//pcpda:alloc-free
 func (d *dec) u64() uint64 {
 	b := d.take(8)
 	if b == nil {

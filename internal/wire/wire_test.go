@@ -61,6 +61,81 @@ func TestRoundTripAllKinds(t *testing.T) {
 	}
 }
 
+func TestTaggedRoundTrip(t *testing.T) {
+	for i, m := range sampleMessages() {
+		tag := uint32(i * 1000003)
+		frame, err := AppendTagged(nil, tag, m)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", m.Kind(), err)
+		}
+		got, ver, gotTag, rest, err := DecodeAny(frame)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", m.Kind(), err)
+		}
+		if ver != V3 || gotTag != tag || len(rest) != 0 {
+			t.Fatalf("%s: ver=%d tag=%d rest=%d, want v3 tag=%d rest=0",
+				m.Kind(), ver, gotTag, len(rest), tag)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("%s: round trip mismatch:\n have %#v\n want %#v", m.Kind(), got, m)
+		}
+		// Tagged frames are rejected by the strict untagged decode paths.
+		if _, _, err := DecodeFrame(frame); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("%s: DecodeFrame on tagged frame: err = %v, want ErrMalformed", m.Kind(), err)
+		}
+		if _, _, err := ReadFrame(bytes.NewReader(frame), nil); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("%s: ReadFrame on tagged frame: err = %v, want ErrMalformed", m.Kind(), err)
+		}
+	}
+}
+
+// TestCompatVersions pins the cross-version encoding rules: v1 BEGIN has
+// no deadline field, v1 cannot carry the v2 overload codes, and
+// CodeForVersion degrades them to plain overload.
+func TestCompatVersions(t *testing.T) {
+	v1begin, err := AppendCompat(nil, V1, &Begin{Name: "T1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2begin, err := AppendCompat(nil, V2, &Begin{Name: "T1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v1begin) != len(v2begin)-4 {
+		t.Fatalf("v1 BEGIN is %d bytes, v2 is %d; want exactly 4 fewer (no deadline)",
+			len(v1begin), len(v2begin))
+	}
+	m, ver, _, _, err := DecodeAny(v1begin)
+	if err != nil || ver != V1 {
+		t.Fatalf("v1 BEGIN decode: %v (ver %d)", err, ver)
+	}
+	if b := m.(*Begin); b.Name != "T1" || b.Deadline != 0 {
+		t.Fatalf("v1 BEGIN decoded as %+v", b)
+	}
+	if _, err := AppendCompat(nil, V1, &Begin{Name: "T1", Deadline: 9}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("v1 BEGIN with deadline: err = %v, want ErrMalformed", err)
+	}
+	if _, err := AppendCompat(nil, V1, &ErrMsg{Code: CodeShed, Text: "x"}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("v1 ERR with CodeShed: err = %v, want ErrMalformed", err)
+	}
+	if _, err := AppendCompat(nil, V3, &Ping{}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("AppendCompat at v3: err = %v, want ErrMalformed", err)
+	}
+	for c, want := range map[ErrorCode]ErrorCode{
+		CodeShed:       CodeOverload,
+		CodeInfeasible: CodeOverload,
+		CodeOverload:   CodeOverload,
+		CodeAborted:    CodeAborted,
+	} {
+		if got := CodeForVersion(c, V1); got != want {
+			t.Errorf("CodeForVersion(%s, v1) = %s, want %s", c, got, want)
+		}
+		if got := CodeForVersion(c, V2); got != c {
+			t.Errorf("CodeForVersion(%s, v2) = %s, want %s", c, got, c)
+		}
+	}
+}
+
 func TestStreamRoundTrip(t *testing.T) {
 	var stream []byte
 	var err error
@@ -106,6 +181,55 @@ func TestStreamRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMixedVersionStream interleaves untagged v1/v2 frames with tagged v3
+// frames on one stream — what a server's reader sees from a client that
+// upgrades to pipelining mid-connection.
+func TestMixedVersionStream(t *testing.T) {
+	type frameSpec struct {
+		ver uint8
+		tag uint32
+		m   Message
+	}
+	specs := []frameSpec{
+		{V2, 0, &Hello{}},
+		{V3, 1, &Begin{Name: "T1", Deadline: 50}},
+		{V1, 0, &Ping{Nonce: 4}},
+		{V3, 2, &Write{Item: 1, Value: -9}},
+		{V3, 0xFFFFFFFF, &Commit{}},
+		{V2, 0, &Abort{}},
+	}
+	var stream []byte
+	var err error
+	for _, s := range specs {
+		if s.ver == V3 {
+			stream, err = AppendTagged(stream, s.tag, s.m)
+		} else {
+			stream, err = AppendCompat(stream, s.ver, s.m)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(stream)
+	var scratch []byte
+	for i, s := range specs {
+		var m Message
+		var ver uint8
+		var tag uint32
+		m, ver, tag, scratch, err = ReadAny(r, scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if ver != s.ver || tag != s.tag || !reflect.DeepEqual(m, s.m) {
+			t.Fatalf("frame %d: got (v%d, tag %d, %#v), want (v%d, tag %d, %#v)",
+				i, ver, tag, m, s.ver, s.tag, s.m)
+		}
+	}
+	if _, _, _, _, err = ReadAny(r, scratch); err != io.EOF {
+		t.Fatalf("stream end: err = %v, want io.EOF", err)
+	}
+}
+
 func TestDecodeMalformed(t *testing.T) {
 	valid, err := AppendFrame(nil, &Begin{Name: "T1"})
 	if err != nil {
@@ -115,20 +239,25 @@ func TestDecodeMalformed(t *testing.T) {
 		"empty":             {},
 		"short header":      valid[:4],
 		"bad version":       append([]byte{9}, valid[1:]...),
-		"unknown kind":      {Version, 0x70, 0, 0, 0, 0},
+		"unknown kind":      {V2, 0x70, 0, 0, 0, 0},
 		"truncated payload": valid[:len(valid)-1],
 		"trailing payload":  withLen(append(bytes.Clone(valid), 0), len(valid)-headerLen+1),
-		"oversized decl":    {Version, uint8(KindPing), 0xFF, 0xFF, 0xFF, 0xFF},
-		"string overrun":    withLen([]byte{Version, uint8(KindBegin), 0, 0, 0, 2, 0, 9}, 2),
-		"bad error code":    withLen([]byte{Version, uint8(KindErr), 0, 0, 0, 3, 200, 0, 0}, 3),
-		"bad step op": withLen([]byte{Version, uint8(KindHelloOK), 0, 0, 0, 0,
-			Version, 0, 0, 0, 1, // proto, set "", one template
+		"oversized decl":    {V2, uint8(KindPing), 0xFF, 0xFF, 0xFF, 0xFF},
+		"string overrun":    withLen([]byte{V2, uint8(KindBegin), 0, 0, 0, 2, 0, 9}, 2),
+		"bad error code":    withLen([]byte{V2, uint8(KindErr), 0, 0, 0, 3, 200, 0, 0}, 3),
+		"v1 shed code":      withLen([]byte{V1, uint8(KindErr), 0, 0, 0, 3, uint8(CodeShed), 0, 0}, 3),
+		"bad step op": withLen([]byte{V2, uint8(KindHelloOK), 0, 0, 0, 0,
+			V2, 0, 0, 0, 1, // proto, set "", one template
 			0, 0, 0, 0, 0, 3, 0, 1, // name "", pri 3, one step
 			9, 0, 0, 0, 0, 0, 0, 0, 1, // op 9 (invalid)
 		}, 22),
+		"short tagged header":    {V3, uint8(KindPing), 0, 0, 0, 1, 0},
+		"tagged oversized decl":  {V3, uint8(KindPing), 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF},
+		"tagged truncated":       {V3, uint8(KindPing), 0, 0, 0, 1, 0, 0, 0, 8, 1, 2},
+		"v1 begin with deadline": withLen([]byte{V1, uint8(KindBegin), 0, 0, 0, 8, 0, 2, 'T', '1', 0, 0, 0, 5}, 8),
 	}
 	for name, b := range cases {
-		if _, _, err := DecodeFrame(b); err == nil {
+		if _, _, _, _, err := DecodeAny(b); err == nil {
 			t.Errorf("%s: decode succeeded, want error", name)
 		} else if !errors.Is(err, ErrMalformed) && !errors.Is(err, ErrTooLarge) {
 			t.Errorf("%s: error %v does not wrap ErrMalformed/ErrTooLarge", name, err)
@@ -136,7 +265,7 @@ func TestDecodeMalformed(t *testing.T) {
 	}
 }
 
-// withLen rewrites the header's payload-length field.
+// withLen rewrites an untagged header's payload-length field.
 func withLen(b []byte, n int) []byte {
 	putU32(b[2:], uint32(n))
 	return b
@@ -164,9 +293,35 @@ func TestReadFrameEOF(t *testing.T) {
 	if _, _, err := ReadFrame(bytes.NewReader(nil), nil); err != io.EOF {
 		t.Fatalf("empty stream: err = %v, want io.EOF", err)
 	}
-	if _, _, err := ReadFrame(bytes.NewReader([]byte{Version, 1}), nil); !errors.Is(err, ErrMalformed) {
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{V2, 1}), nil); !errors.Is(err, ErrMalformed) {
 		t.Fatalf("cut header: err = %v, want ErrMalformed", err)
 	}
+	// A tagged header cut between the common prefix and the length field.
+	if _, _, _, _, err := ReadAny(bytes.NewReader([]byte{V3, 1, 0, 0, 0, 0, 0}), nil); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("cut tagged header: err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestBufPool(t *testing.T) {
+	b := GetBuf()
+	if b == nil || len(*b) != 0 {
+		t.Fatalf("GetBuf returned %v", b)
+	}
+	var err error
+	*b, err = AppendTagged((*b)[:0], 7, &Ping{Nonce: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	PutBuf(b)
+	// Oversized buffers must be dropped, not pooled; nil is a no-op.
+	huge := make([]byte, 0, maxPooledBuf*2)
+	PutBuf(&huge)
+	PutBuf(nil)
+	b2 := GetBuf()
+	if cap(*b2) > maxPooledBuf {
+		t.Fatalf("pool returned oversized buffer (cap %d)", cap(*b2))
+	}
+	PutBuf(b2)
 }
 
 func TestRetryableCodes(t *testing.T) {

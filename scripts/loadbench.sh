@@ -18,9 +18,15 @@
 #   infeasible rejection. LOAD_NEMESIS=1 routes the sweep through the
 #   in-process fault-injection proxy.
 #
+# LOAD_PIPELINE=1 switches the driver to the tagged wire-v3 pipelined
+# client. In the sweep this runs paired strict and pipelined rows per
+# multiplier and records both saturation rates plus their ratio — the
+# BENCH_7 artifact.
+#
 # Usage:
 #   scripts/loadbench.sh                                # BENCH_5-style closed loop
 #   LOAD_SWEEP=1,2,3,4 LOAD_OUT=BENCH_6.json scripts/loadbench.sh
+#   LOAD_PIPELINE=1 LOAD_SWEEP=1,2,3,4 LOAD_OUT=BENCH_7.json scripts/loadbench.sh
 #   LOAD_RACE=1 LOAD_SWEEP=1,2 LOAD_NEMESIS=1 scripts/loadbench.sh   # CI overload smoke
 #
 # Environment knobs:
@@ -44,6 +50,9 @@
 #   LOAD_DEADLINE firm deadline per txn in the sweep (default 150ms)
 #   LOAD_DURATION open-loop window per sweep step (default 4s)
 #   LOAD_NEMESIS  1 = route the sweep through the nemesis fault proxy
+#   LOAD_PIPELINE 1 = use the pipelined wire-v3 client (sweep: paired
+#                 strict + pipelined rows per multiplier)
+#   LOAD_WINDOW   pipelined in-flight window per connection (default 48)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -67,6 +76,8 @@ fi
 deadline=${LOAD_DEADLINE:-150ms}
 duration=${LOAD_DURATION:-4s}
 nemesis=${LOAD_NEMESIS:-0}
+pipeline=${LOAD_PIPELINE:-0}
+window=${LOAD_WINDOW:-48}
 # Sweep queue sizing: a session has at most one BEGIN outstanding, so
 # queue occupancy is bounded by LOAD_CONNS. Depth == conns means the
 # queue itself never fills (no blanket overload rejections that would
@@ -116,10 +127,17 @@ if [[ -n "$sweep" ]]; then
 	if [[ "$nemesis" == 1 ]]; then
 		load_args+=(-nemesis)
 	fi
+	if [[ "$pipeline" == 1 ]]; then
+		load_args+=(-pipeline -window "$window")
+	fi
 	"$tmp/pcpdaload" "${load_args[@]}" 2>&1 | tee "$txt"
 else
-	"$tmp/pcpdaload" -addr "$addr" -conns "$conns" -txns "$txns" -seed "$seed" \
-		-bench -report "$tmp/report.json" | tee "$txt"
+	closed_args=(-addr "$addr" -conns "$conns" -txns "$txns" -seed "$seed"
+		-bench -report "$tmp/report.json")
+	if [[ "$pipeline" == 1 ]]; then
+		closed_args+=(-pipeline -window "$window")
+	fi
+	"$tmp/pcpdaload" "${closed_args[@]}" | tee "$txt"
 fi
 
 # Graceful drain: the daemon's exit code is the leak audit.
@@ -143,6 +161,6 @@ if [[ -n "$sweep" ]]; then
 	echo "wrote $out (sweep; $shed shed/infeasible rejections; text log: $txt)"
 else
 	grep '^Benchmark' "$txt" | go run ./cmd/benchjson -label "$label" \
-		-note "pcpdad loopback: $conns conns, $txns txns, faults=$faults race=$race" > "$out"
+		-note "pcpdad loopback: $conns conns, $txns txns, faults=$faults race=$race pipeline=$pipeline" > "$out"
 	echo "wrote $out (text log: $txt)"
 fi
