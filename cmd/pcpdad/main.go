@@ -55,6 +55,7 @@ func run() int {
 		admitting    = flag.Int("admitting", 4, "max concurrently running admission batches")
 		shards       = flag.Int("shards", 0, "admission shards with work stealing (0 = scale with GOMAXPROCS)")
 		inflight     = flag.Int("inflight", 0, "max unflushed responses per pipelined session (0 = default)")
+		maxConns     = flag.Int("max-conns", 0, "max concurrent sessions; excess connections are refused at accept with a retryable busy error (0 = unlimited)")
 		wireV2       = flag.Bool("wire-v2", false, "pin the wire protocol to v2: refuse tagged frames, force strict clients")
 		idleTimeout  = flag.Duration("idle-timeout", 30*time.Second, "per-session read deadline")
 		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "per-frame write deadline (slow-client kill threshold)")
@@ -110,6 +111,7 @@ func run() int {
 		QueueDepth: *queueDepth, HighWater: *highWater,
 		BatchMax: *batchMax, MaxAdmitting: *admitting,
 		AdmitShards: *shards, SessionInflight: *inflight,
+		MaxConns:       *maxConns,
 		MaxWireVersion: maxWire,
 		IdleTimeout:    *idleTimeout, WriteTimeout: *writeTimeout,
 		WatchdogInterval: *wdInterval, WatchdogGrace: *wdGrace,

@@ -23,6 +23,15 @@
 // per connection. Against a v2-pinned server the client degrades to
 // strict request/response transparently.
 //
+// -read-frac f (requires -pipeline) runs that fraction of transactions as
+// declared read-only snapshot transactions: BEGIN(read-only) bypasses
+// admission server-side and the reads execute lock-free against the
+// version chains. With -stats (pcpdad's HTTP base URL) a 100%-read proof
+// phase runs after the main load and asserts the manager's logical clock,
+// lock-table ops and update counters did not move while the RO counters
+// advanced. Sweep mode calibrates a third "mixed" saturation and embeds
+// the proof in the document — the BENCH_8 read-path artifact.
+//
 // -nemesis interposes an in-process fault-injection proxy
 // (internal/nemesis) between the driver and -addr, so the workload
 // traverses seeded latency, resets, drops and one-way partitions.
@@ -44,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -54,6 +64,7 @@ import (
 
 	"pcpda/internal/client"
 	"pcpda/internal/nemesis"
+	"pcpda/internal/rtm"
 )
 
 func main() {
@@ -74,6 +85,8 @@ func run() int {
 		label    = flag.String("label", "current", "label recorded in the sweep document")
 
 		pipeline  = flag.Bool("pipeline", false, "use the wire-v3 pipelined client (whole transactions flushed as one tagged burst)")
+		readFrac  = flag.Float64("read-frac", 0, "fraction of transactions issued as declared read-only snapshot transactions (requires -pipeline and a wire-v4 server)")
+		statsURL  = flag.String("stats", "", "pcpdad stats HTTP base URL (e.g. http://127.0.0.1:9724); with -read-frac > 0, brackets a 100%-read proof phase asserting zero lock/mutex traffic")
 		window    = flag.Int("window", 0, "pipelined: max tagged requests in flight per connection (0 = default)")
 		spinUnder = flag.Duration("spin-under", 0, "open loop: spin instead of sleeping for the last stretch of each inter-arrival gap (0 = default; on coarse-timer hosts the default 10ms keeps offered rate honest)")
 
@@ -132,6 +145,7 @@ func run() int {
 		ArrivalRate: *arrivalRate, Duration: *duration,
 		DeadlineBudget: *deadline, MaxInFlight: *maxInFlight,
 		Pipelined: *pipeline, Window: *window, SpinUnder: *spinUnder,
+		ReadFrac: *readFrac,
 	}
 
 	if *sweep != "" {
@@ -139,7 +153,7 @@ func run() int {
 		// path; with -nemesis each multiplier is additionally run through
 		// the proxy so the document carries both curves.
 		base.Addr = *addr
-		return runSweep(ctx, base, *sweep, *label, *report, proxy)
+		return runSweep(ctx, base, *sweep, *label, *report, proxy, *statsURL)
 	}
 
 	rep, err := client.RunLoad(ctx, base)
@@ -169,6 +183,17 @@ func run() int {
 			return 1
 		}
 	}
+	if *statsURL != "" && *readFrac > 0 {
+		proof, err := runROProof(ctx, base, *statsURL)
+		if err != nil {
+			log.Printf("pcpdaload: ro-proof: %v", err)
+			return 1
+		}
+		logROProof(proof)
+		if !proof.Passed {
+			return 1
+		}
+	}
 	if base.ArrivalRate > 0 {
 		if rep.Committed == 0 {
 			return 1
@@ -185,6 +210,10 @@ func printReport(rep *client.LoadReport, cfg client.LoadConfig) {
 	fmt.Printf("pcpdaload: %d committed (%d attempts, %d retries, %d suppressed, %d failed) in %v\n",
 		rep.Committed, rep.Attempts, rep.Retries, rep.RetriesSuppressed, rep.Failed,
 		rep.Elapsed.Round(time.Millisecond))
+	if rep.ROCommitted > 0 {
+		fmt.Printf("pcpdaload: read mix: %d read-only committed, %d updates\n",
+			rep.ROCommitted, rep.Committed-rep.ROCommitted)
+	}
 	fmt.Printf("pcpdaload: %.0f txn/s  p50=%v p90=%v p99=%v max=%v\n",
 		rep.Throughput(), rep.P50, rep.P90, rep.P99, rep.Max)
 	if cfg.ArrivalRate > 0 {
@@ -215,16 +244,18 @@ type sweepStep struct {
 	AchievedRate float64 `json:"achieved_rate"` // what the pacer actually delivered
 	Nemesis      bool    `json:"nemesis"`       // step ran through the fault proxy
 	Pipelined    bool    `json:"pipelined"`     // step used the wire-v3 pipelined client
+	ReadFrac     float64 `json:"read_frac,omitempty"` // fraction of arrivals run as read-only snapshots
 
-	Offered    int64 `json:"offered"`
-	Overrun    int64 `json:"overrun"`
-	Committed  int64 `json:"committed"`
-	OnTime     int64 `json:"on_time"`
-	Shed       int64 `json:"shed"`
-	Infeasible int64 `json:"infeasible"`
-	Failed     int64 `json:"failed"`
-	Retries    int64 `json:"retries"`
-	Suppressed int64 `json:"retries_suppressed"`
+	Offered     int64 `json:"offered"`
+	Overrun     int64 `json:"overrun"`
+	Committed   int64 `json:"committed"`
+	ROCommitted int64 `json:"ro_committed,omitempty"`
+	OnTime      int64 `json:"on_time"`
+	Shed        int64 `json:"shed"`
+	Infeasible  int64 `json:"infeasible"`
+	Failed      int64 `json:"failed"`
+	Retries     int64 `json:"retries"`
+	Suppressed  int64 `json:"retries_suppressed"`
 
 	ThroughputTPS float64 `json:"throughput_txn_s"`
 	GoodputTPS    float64 `json:"goodput_txn_s"`
@@ -255,17 +286,27 @@ type sweepDoc struct {
 	// loop rate; PipelinedSaturationTPS is the same burst with whole
 	// transactions flushed as tagged wire-v3 bursts. Speedup is their
 	// ratio — the headline number for the pipelined protocol.
-	SaturationTPS          float64     `json:"saturation_txn_s"`
-	PipelinedSaturationTPS float64     `json:"pipelined_saturation_txn_s"`
-	Speedup                float64     `json:"pipelined_speedup"`
-	Pipelined              bool        `json:"pipelined"` // open-loop steps used the pipelined client
-	PeakGoodput            float64     `json:"peak_goodput_txn_s"`
-	Steps                  []sweepStep `json:"steps"`
+	SaturationTPS          float64 `json:"saturation_txn_s"`
+	PipelinedSaturationTPS float64 `json:"pipelined_saturation_txn_s"`
+	Speedup                float64 `json:"pipelined_speedup"`
+	Pipelined              bool    `json:"pipelined"` // open-loop steps used the pipelined client
+	// ReadFrac > 0 adds a third calibrated mode: the pipelined client with
+	// that fraction of transactions run as declared read-only snapshots.
+	// MixedSaturationTPS against PipelinedSaturationTPS is the headline
+	// read-path number (same build, same connection count, only the mix
+	// differs); ROSpeedup is their ratio.
+	ReadFrac           float64     `json:"read_frac,omitempty"`
+	MixedSaturationTPS float64     `json:"mixed_saturation_txn_s,omitempty"`
+	ROSpeedup          float64     `json:"ro_speedup,omitempty"`
+	ROProof            *roProofDoc `json:"ro_proof,omitempty"`
+	PeakGoodput        float64     `json:"peak_goodput_txn_s"`
+	Steps              []sweepStep `json:"steps"`
 }
 
 // runSweep measures closed-loop saturation, then runs one open-loop step
 // per multiplier and writes the sweep document.
-func runSweep(ctx context.Context, base client.LoadConfig, spec, label, out string, proxy *nemesis.Proxy) int {
+func runSweep(ctx context.Context, base client.LoadConfig, spec, label, out string,
+	proxy *nemesis.Proxy, statsURL string) int {
 	mults, err := parseMults(spec)
 	if err != nil {
 		log.Printf("pcpdaload: -sweep: %v", err)
@@ -275,49 +316,60 @@ func runSweep(ctx context.Context, base client.LoadConfig, spec, label, out stri
 		log.Printf("pcpdaload: -sweep requires -deadline-budget (goodput needs a deadline)")
 		return 1
 	}
+	if base.ReadFrac > 0 && !base.Pipelined {
+		log.Printf("pcpdaload: -read-frac requires -pipeline")
+		return 1
+	}
 
 	// Calibration: closed-loop bursts over the direct path measure what
 	// the system can absorb. Both client modes are calibrated every time
 	// so the document always carries the pipelining speedup; the open-loop
 	// multipliers then step off the rate of the mode the steps will use.
-	calibrate := func(pipelined bool) (float64, bool) {
+	// Strict and pipelined calibrations are always write-only so the
+	// write-path numbers stay comparable across builds; -read-frac adds a
+	// third calibrated mode, pipelined with the requested read mix.
+	type runMode struct {
+		name      string
+		pipelined bool
+		readFrac  float64
+		sat       float64
+	}
+	calibrate := func(mode *runMode) bool {
 		cal := base
 		cal.ArrivalRate = 0
-		cal.Pipelined = pipelined
-		mode := "strict"
-		if pipelined {
-			mode = "pipelined"
-		}
-		log.Printf("pcpdaload: sweep: calibrating %s saturation (%d conns, %d txns)", mode, cal.Conns, cal.Txns)
+		cal.Pipelined = mode.pipelined
+		cal.ReadFrac = mode.readFrac
+		log.Printf("pcpdaload: sweep: calibrating %s saturation (%d conns, %d txns)", mode.name, cal.Conns, cal.Txns)
 		calRep, err := client.RunLoad(ctx, cal)
 		if err != nil || calRep.Committed == 0 {
-			log.Printf("pcpdaload: sweep %s calibration failed: %v", mode, err)
-			return 0, false
+			log.Printf("pcpdaload: sweep %s calibration failed: %v", mode.name, err)
+			return false
 		}
-		log.Printf("pcpdaload: sweep: %s saturation = %.0f txn/s", mode, calRep.Throughput())
-		return calRep.Throughput(), true
+		mode.sat = calRep.Throughput()
+		log.Printf("pcpdaload: sweep: %s saturation = %.0f txn/s", mode.name, mode.sat)
+		return true
 	}
-	strictSat, ok := calibrate(false)
-	if !ok {
+	strict := &runMode{name: "strict"}
+	pipe := &runMode{name: "pipelined", pipelined: true}
+	if !calibrate(strict) || !calibrate(pipe) {
 		return 1
 	}
-	pipeSat, ok := calibrate(true)
-	if !ok {
-		return 1
-	}
-	// With -pipeline the sweep runs every multiplier in both client modes
-	// (paired rows, distinguished by the step's pipelined flag), each
-	// stepping off its own mode's saturation so a 2x step means 2x of what
-	// that client can absorb.
-	modes := []bool{false}
+	// With -pipeline the sweep runs every multiplier in each client mode
+	// (paired rows, distinguished by the step's pipelined/read_frac
+	// fields), each stepping off its own mode's saturation so a 2x step
+	// means 2x of what that client can absorb.
+	modes := []*runMode{strict}
+	var mixed *runMode
 	if base.Pipelined {
-		modes = append(modes, true)
-	}
-	satOf := func(pipelined bool) float64 {
-		if pipelined {
-			return pipeSat
+		modes = append(modes, pipe)
+		if base.ReadFrac > 0 {
+			mixed = &runMode{name: fmt.Sprintf("mixed(%.0f%% read)", base.ReadFrac*100),
+				pipelined: true, readFrac: base.ReadFrac}
+			if !calibrate(mixed) {
+				return 1
+			}
+			modes = append(modes, mixed)
 		}
-		return strictSat
 	}
 
 	doc := &sweepDoc{
@@ -325,25 +377,31 @@ func runSweep(ctx context.Context, base client.LoadConfig, spec, label, out stri
 		Go: runtime.Version(), Nemesis: proxy != nil,
 		Conns:                  base.Conns,
 		DeadlineMs:             float64(base.DeadlineBudget) / float64(time.Millisecond),
-		SaturationTPS:          strictSat,
-		PipelinedSaturationTPS: pipeSat,
-		Speedup:                pipeSat / strictSat,
+		SaturationTPS:          strict.sat,
+		PipelinedSaturationTPS: pipe.sat,
+		Speedup:                pipe.sat / strict.sat,
 		Pipelined:              base.Pipelined,
+	}
+	if mixed != nil {
+		doc.ReadFrac = base.ReadFrac
+		doc.MixedSaturationTPS = mixed.sat
+		doc.ROSpeedup = mixed.sat / pipe.sat
 	}
 	for _, m := range mults {
 		variants := []bool{false}
 		if proxy != nil {
 			variants = append(variants, true)
 		}
-		for _, pipelined := range modes {
+		for _, mode := range modes {
 			for _, faulted := range variants {
 				step := base
-				step.Pipelined = pipelined
-				step.ArrivalRate = satOf(pipelined) * m
+				step.Pipelined = mode.pipelined
+				step.ReadFrac = mode.readFrac
+				step.ArrivalRate = mode.sat * m
 				step.RetryBudget = nil // fresh budget per step
 				tag := ""
-				if pipelined {
-					tag = " [pipelined]"
+				if mode.pipelined {
+					tag = " [" + mode.name + "]"
 				}
 				if faulted {
 					step.Addr = proxy.Addr().String()
@@ -360,9 +418,11 @@ func runSweep(ctx context.Context, base client.LoadConfig, spec, label, out stri
 					Multiplier: m, ArrivalRate: step.ArrivalRate,
 					AchievedRate: rep.AchievedRate,
 					Nemesis:      faulted, Pipelined: step.Pipelined,
-					Offered: rep.Offered, Overrun: rep.Overrun,
-					Committed: rep.Committed, OnTime: rep.OnTime,
-					Shed: rep.Shed, Infeasible: rep.Infeasible, Failed: rep.Failed,
+					ReadFrac:     step.ReadFrac,
+					Offered:      rep.Offered, Overrun: rep.Overrun,
+					Committed: rep.Committed, ROCommitted: rep.ROCommitted,
+					OnTime: rep.OnTime,
+					Shed:   rep.Shed, Infeasible: rep.Infeasible, Failed: rep.Failed,
 					Retries: rep.Retries, Suppressed: rep.RetriesSuppressed,
 					ThroughputTPS: rep.Throughput(), GoodputTPS: rep.Goodput(),
 					P50Ms: ms(rep.P50), P99Ms: ms(rep.P99), MaxMs: ms(rep.Max),
@@ -381,6 +441,18 @@ func runSweep(ctx context.Context, base client.LoadConfig, spec, label, out stri
 				log.Printf("pcpdaload: sweep: %.2fx%s offered=%d goodput=%.0f txn/s miss=%.3f top-tier-miss=%.3f shed=%d",
 					m, tag, st.Offered, st.GoodputTPS, st.MissRatio, st.TopTierMiss, st.Shed)
 			}
+		}
+	}
+	if statsURL != "" && base.ReadFrac > 0 {
+		proof, err := runROProof(ctx, base, statsURL)
+		if err != nil {
+			log.Printf("pcpdaload: ro-proof: %v", err)
+			return 1
+		}
+		logROProof(proof)
+		doc.ROProof = proof
+		if !proof.Passed {
+			return 1
 		}
 	}
 	if proxy != nil {
@@ -402,6 +474,108 @@ func runSweep(ctx context.Context, base client.LoadConfig, spec, label, out stri
 		}
 	}
 	return 0
+}
+
+// roProofDoc is the zero-traffic witness for the read-only path: a
+// closed-loop phase of 100% declared read-only transactions, bracketed by
+// two /stats fetches. The update-path deltas (logical clock, lock-table
+// mutations, update begins/commits, lock waits) must all be exactly zero
+// while the RO counters advanced by at least the committed count — the
+// manager ticks its clock under its mutex on every update-path operation,
+// so a zero clock delta is a zero-mutex-acquisition proof, and a zero
+// lock-table ops delta is a zero-lock-traffic proof.
+type roProofDoc struct {
+	Txns              int64 `json:"txns"` // read-only commits observed by the client
+	ROBeginsDelta     int64 `json:"ro_begins_delta"`
+	ROReadsDelta      int64 `json:"ro_reads_delta"`
+	ROCommitsDelta    int64 `json:"ro_commits_delta"`
+	ClockDelta        int64 `json:"clock_delta"`          // manager-mutex-held operations: must be 0
+	LockTableOpsDelta int64 `json:"lock_table_ops_delta"` // lock acquire/release mutations: must be 0
+	BeginsDelta       int64 `json:"begins_delta"`         // update-path begins: must be 0
+	CommitsDelta      int64 `json:"commits_delta"`        // update-path commits: must be 0
+	LockWaitsDelta    int64 `json:"lock_waits_delta"`     // blocking episodes: must be 0
+	Passed            bool  `json:"passed"`
+}
+
+// statsDoc mirrors the slice of pcpdad's /stats document the proof needs.
+type statsDoc struct {
+	Manager rtm.Stats `json:"manager"`
+}
+
+func fetchStats(ctx context.Context, baseURL string) (*statsDoc, error) {
+	url := strings.TrimSuffix(baseURL, "/") + "/stats"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var doc statsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("GET %s: %w", url, err)
+	}
+	return &doc, nil
+}
+
+// runROProof runs the 100%-read closed-loop phase between two /stats
+// fetches. The server must otherwise be idle (the caller runs it after
+// its load phases have fully drained).
+func runROProof(ctx context.Context, base client.LoadConfig, statsURL string) (*roProofDoc, error) {
+	before, err := fetchStats(ctx, statsURL)
+	if err != nil {
+		return nil, err
+	}
+	cfg := base
+	cfg.ArrivalRate = 0
+	cfg.Pipelined = true
+	cfg.ReadFrac = 1
+	cfg.RetryBudget = nil
+	if cfg.Txns > 5000 {
+		cfg.Txns = 5000 // a short burst is proof enough
+	}
+	log.Printf("pcpdaload: ro-proof: %d read-only transactions, bracketed by %s/stats", cfg.Txns, statsURL)
+	rep, err := client.RunLoad(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	after, err := fetchStats(ctx, statsURL)
+	if err != nil {
+		return nil, err
+	}
+	b, a := before.Manager, after.Manager
+	p := &roProofDoc{
+		Txns:              rep.ROCommitted,
+		ROBeginsDelta:     a.ROBegins - b.ROBegins,
+		ROReadsDelta:      a.ROReads - b.ROReads,
+		ROCommitsDelta:    a.ROCommits - b.ROCommits,
+		ClockDelta:        a.Clock - b.Clock,
+		LockTableOpsDelta: a.LockTableOps - b.LockTableOps,
+		BeginsDelta:       int64(a.Begins - b.Begins),
+		CommitsDelta:      int64(a.Commits - b.Commits),
+		LockWaitsDelta:    int64(a.LockWaits - b.LockWaits),
+	}
+	p.Passed = p.Txns > 0 &&
+		p.ROCommitsDelta >= p.Txns &&
+		p.ClockDelta == 0 && p.LockTableOpsDelta == 0 &&
+		p.BeginsDelta == 0 && p.CommitsDelta == 0 && p.LockWaitsDelta == 0
+	return p, nil
+}
+
+func logROProof(p *roProofDoc) {
+	verdict := "PASSED"
+	if !p.Passed {
+		verdict = "FAILED"
+	}
+	log.Printf("pcpdaload: ro-proof %s: %d ro commits (server deltas: ro_begins=%d ro_reads=%d ro_commits=%d)",
+		verdict, p.Txns, p.ROBeginsDelta, p.ROReadsDelta, p.ROCommitsDelta)
+	log.Printf("pcpdaload: ro-proof deltas (all must be 0): clock=%d lock_table_ops=%d begins=%d commits=%d lock_waits=%d",
+		p.ClockDelta, p.LockTableOpsDelta, p.BeginsDelta, p.CommitsDelta, p.LockWaitsDelta)
 }
 
 func parseMults(spec string) ([]float64, error) {

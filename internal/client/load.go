@@ -61,6 +61,12 @@ type LoadConfig struct {
 	// Longer gaps sleep until SpinUnder remains, then spin the residue.
 	// Default 10ms.
 	SpinUnder time.Duration
+	// ReadFrac is the fraction of transactions issued as declared
+	// read-only snapshot transactions (lock-free server-side, admission
+	// bypassed). Each reads 1–4 random items from the schema's item
+	// space. Requires Pipelined and a server speaking wire v4. 0 = all
+	// updates.
+	ReadFrac float64
 
 	// ArrivalRate switches to open loop: mean arrivals per second of the
 	// Poisson process. 0 selects the closed loop.
@@ -110,6 +116,11 @@ type LoadReport struct {
 	P90 time.Duration `json:"p90_ns"`
 	P99 time.Duration `json:"p99_ns"`
 	Max time.Duration `json:"max_ns"`
+
+	// ROCommitted counts committed read-only snapshot transactions
+	// (included in Committed); Committed - ROCommitted is the update
+	// throughput of a mixed run.
+	ROCommitted int64 `json:"ro_committed,omitempty"`
 
 	// Open-loop and overload accounting.
 	Offered           int64        `json:"offered,omitempty"`       // open loop: arrivals generated
@@ -168,6 +179,12 @@ func (cfg *LoadConfig) fill() {
 	if cfg.RetryBudget == nil {
 		cfg.RetryBudget = NewRetryBudget(0.2, float64(10*cfg.Conns))
 	}
+	if cfg.ReadFrac < 0 {
+		cfg.ReadFrac = 0
+	}
+	if cfg.ReadFrac > 1 {
+		cfg.ReadFrac = 1
+	}
 }
 
 // RunLoad drives the server at cfg.Addr with a seeded workload — closed
@@ -184,6 +201,14 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	_ = probe.Close()
 	if len(schema.Templates) == 0 {
 		return nil, errors.New("client: server exports no transaction types")
+	}
+	if cfg.ReadFrac > 0 {
+		if !cfg.Pipelined {
+			return nil, errors.New("client: ReadFrac requires Pipelined (read-only bursts are wire v4 tagged frames)")
+		}
+		if len(schemaItems(schema)) == 0 {
+			return nil, errors.New("client: ReadFrac set but the schema declares no items")
+		}
 	}
 	if cfg.ArrivalRate > 0 {
 		return runOpenLoop(ctx, cfg, schema)
@@ -226,6 +251,7 @@ func runClosedLoop(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK) (*
 // policy wired to the run's counters.
 type loadRunner struct {
 	do    func(tmpl wire.TemplateInfo, budget time.Duration) error
+	doRO  func(items []uint32) error // nil in strict mode (read-only bursts need wire v4)
 	close func()
 }
 
@@ -241,6 +267,7 @@ func newLoadRunner(cfg LoadConfig, rep *LoadReport, id int64, rng *rand.Rand,
 			do: func(tmpl wire.TemplateInfo, budget time.Duration) error {
 				return pc.DoTxn(tmpl.Name, budget, pipelineSteps(tmpl, rng))
 			},
+			doRO:  pc.DoReadTxn,
 			close: pc.Close,
 		}
 	}
@@ -326,9 +353,13 @@ func pipelinedWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, 
 	pc.CodeHook = func(code wire.ErrorCode) { countCode(rep, curTier, code) }
 	defer pc.Close()
 
+	roItems := schemaItems(schema)
+
 	type inflight struct {
 		tmpl  wire.TemplateInfo
-		tier  *tierCounters
+		tier  *tierCounters // nil for read-only bursts
+		ro    bool
+		items []uint32 // read-only: the snapshot read set, for the retry path
 		begin time.Time
 		fut   *TxnFuture
 	}
@@ -342,14 +373,22 @@ func pipelinedWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, 
 	// settle resolves the oldest in-flight burst: account the commit, or
 	// run the whole retry chain synchronously (the overlap is for the
 	// common case; a failed transaction is worth a stall).
+	account := func(t inflight) {
+		atomic.AddInt64(&rep.Committed, 1)
+		if t.ro {
+			atomic.AddInt64(&rep.ROCommitted, 1)
+			atomic.AddInt64(&rep.OnTime, 1) // read-only has no tier; tally directly
+		} else {
+			t.tier.committed.Add(1)
+			t.tier.onTime.Add(1) // no deadline budget in the closed loop
+		}
+		*lats = append(*lats, time.Since(t.begin))
+	}
 	settle := func(t inflight) error {
 		err := t.fut.Wait()
 		atomic.AddInt64(&rep.Attempts, 1)
 		if err == nil {
-			atomic.AddInt64(&rep.Committed, 1)
-			t.tier.committed.Add(1)
-			t.tier.onTime.Add(1) // no deadline budget in the closed loop
-			*lats = append(*lats, time.Since(t.begin))
+			account(t)
 			return nil
 		}
 		var remote *wire.RemoteError
@@ -374,13 +413,14 @@ func pipelinedWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, 
 			return nil
 		}
 		atomic.AddInt64(&rep.Retries, 1)
-		curTier = t.tier
-		err = pc.DoTxn(t.tmpl.Name, 0, pipelineSteps(t.tmpl, rng))
+		curTier = t.tier // nil for read-only: countCode skips tier tallies
+		if t.ro {
+			err = pc.DoReadTxn(t.items)
+		} else {
+			err = pc.DoTxn(t.tmpl.Name, 0, pipelineSteps(t.tmpl, rng))
+		}
 		if err == nil {
-			atomic.AddInt64(&rep.Committed, 1)
-			t.tier.committed.Add(1)
-			t.tier.onTime.Add(1)
-			*lats = append(*lats, time.Since(t.begin))
+			account(t)
 			return nil
 		}
 		atomic.AddInt64(&rep.Failed, 1)
@@ -410,15 +450,55 @@ func pipelinedWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, 
 		if ctx.Err() != nil {
 			break
 		}
+		ro := cfg.ReadFrac > 0 && rng.Float64() < cfg.ReadFrac
 		tmpl := schema.Templates[rng.Intn(len(schema.Templates))]
 		tier := tiers.of(tmpl.Priority)
-		tier.offered.Add(1)
+		if !ro {
+			tier.offered.Add(1)
+		}
 		if cfg.RetryBudget != nil {
 			cfg.RetryBudget.credit() // each transaction earns, as a Do call would
 		}
 		c, err := pc.get()
 		if err != nil {
 			return fmt.Errorf("client: worker %d: %w", id, err)
+		}
+		if ro && c.Pipelined() {
+			// Declared read-only snapshot burst: BEGIN(read-only) + reads +
+			// COMMIT, one tagged write, no admission wait server-side.
+			its := roPick(rng, roItems)
+			fut, err := c.SubmitReadTxn(its)
+			if err != nil {
+				if dErr := drain(); dErr != nil {
+					if errors.Is(dErr, errStop) {
+						return nil
+					}
+					return dErr
+				}
+				if ctx.Err() != nil {
+					return nil
+				}
+				return fmt.Errorf("client: worker %d: %w", id, err)
+			}
+			queue = append(queue, inflight{ro: true, items: its, begin: time.Now(), fut: fut})
+			if len(queue) >= depth {
+				t := queue[0]
+				queue = queue[1:]
+				if err := settle(t); err != nil {
+					if errors.Is(err, errStop) {
+						return nil
+					}
+					return err
+				}
+			}
+			continue
+		}
+		if ro {
+			// v2-pinned server cannot run snapshot transactions; the read mix
+			// is part of the run's contract, so fail loudly rather than
+			// silently substituting updates.
+			return fmt.Errorf("client: worker %d: read mix requires a wire v%d server (strict fallback active)",
+				id, wire.V4)
 		}
 		if !c.Pipelined() {
 			// v2-pinned server: strict fallback, one transaction at a time.
@@ -485,6 +565,8 @@ func pipelinedWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, 
 // openJob is one open-loop arrival awaiting a worker.
 type openJob struct {
 	tmpl    wire.TemplateInfo
+	ro      bool     // declared read-only snapshot transaction
+	items   []uint32 // read-only: the snapshot read set
 	arrival time.Time
 	seq     uint64
 }
@@ -605,6 +687,16 @@ func runOpenLoop(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK) (*Lo
 	// rate track the offered rate (both are reported, so the sweep shows
 	// when it does not).
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	items := schemaItems(schema)
+	// Read-only arrivals queue at the top priority: they bypass server-side
+	// admission entirely, so holding them behind updates in the client
+	// queue would manufacture a wait the server never imposes.
+	roPri := int32(0)
+	for _, tmpl := range schema.Templates {
+		if tmpl.Priority > roPri {
+			roPri = tmpl.Priority
+		}
+	}
 	deadline := start.Add(cfg.Duration)
 	next := start
 	timer := time.NewTimer(0)
@@ -632,6 +724,19 @@ arrivals:
 			}
 		} else if ctx.Err() != nil {
 			break
+		}
+		if cfg.ReadFrac > 0 && rng.Float64() < cfg.ReadFrac {
+			rep.Offered++
+			j := openJob{
+				tmpl:    wire.TemplateInfo{Name: "read-only", Priority: roPri},
+				ro:      true,
+				items:   roPick(rng, items),
+				arrival: time.Now(),
+			}
+			if !jobs.push(j) {
+				rep.Overrun++
+			}
+			continue
 		}
 		tmpl := schema.Templates[rng.Intn(len(schema.Templates))]
 		rep.Offered++
@@ -673,7 +778,11 @@ func openWorker(ctx context.Context, cfg LoadConfig, tiers *tierStats,
 		if ctx.Err() != nil {
 			continue // drain the queue so nothing is left behind
 		}
-		curTier = tiers.of(j.tmpl.Priority)
+		if j.ro {
+			curTier = nil // read-only has no tier; countCode skips tier tallies
+		} else {
+			curTier = tiers.of(j.tmpl.Priority)
+		}
 		budget := cfg.DeadlineBudget
 		if budget > 0 {
 			// The deadline is anchored at arrival; hand the server only
@@ -685,7 +794,12 @@ func openWorker(ctx context.Context, cfg LoadConfig, tiers *tierStats,
 				continue
 			}
 		}
-		err := r.do(j.tmpl, budget)
+		var err error
+		if j.ro {
+			err = r.doRO(j.items)
+		} else {
+			err = r.do(j.tmpl, budget)
+		}
 		atomic.AddInt64(&rep.Attempts, 1)
 		if err != nil {
 			atomic.AddInt64(&rep.Failed, 1)
@@ -693,9 +807,17 @@ func openWorker(ctx context.Context, cfg LoadConfig, tiers *tierStats,
 		}
 		lat := time.Since(j.arrival)
 		atomic.AddInt64(&rep.Committed, 1)
-		curTier.committed.Add(1)
-		if cfg.DeadlineBudget <= 0 || lat <= cfg.DeadlineBudget {
-			curTier.onTime.Add(1)
+		onTime := cfg.DeadlineBudget <= 0 || lat <= cfg.DeadlineBudget
+		if j.ro {
+			atomic.AddInt64(&rep.ROCommitted, 1)
+			if onTime {
+				atomic.AddInt64(&rep.OnTime, 1) // no tier: tally directly
+			}
+		} else {
+			curTier.committed.Add(1)
+			if onTime {
+				curTier.onTime.Add(1)
+			}
 		}
 		*lats = append(*lats, lat)
 	}
@@ -733,6 +855,38 @@ func pipelineSteps(tmpl wire.TemplateInfo, rng *rand.Rand) []wire.Message {
 		}
 	}
 	return steps
+}
+
+// schemaItems collects the distinct items named by the schema's template
+// steps, ascending — the item space a read-only mix draws its snapshot
+// read sets from (so reads land on the keys updates are contending on).
+func schemaItems(schema *wire.HelloOK) []uint32 {
+	seen := make(map[uint32]bool)
+	var items []uint32
+	for _, tmpl := range schema.Templates {
+		for _, st := range tmpl.Steps {
+			switch st.Op {
+			case wire.OpRead, wire.OpWrite:
+				if !seen[st.Item] {
+					seen[st.Item] = true
+					items = append(items, st.Item)
+				}
+			}
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	return items
+}
+
+// roPick draws the read set for one read-only snapshot transaction:
+// 1–4 items, sampled with replacement from the schema's item space.
+func roPick(rng *rand.Rand, items []uint32) []uint32 {
+	n := 1 + rng.Intn(min(4, len(items)))
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = items[rng.Intn(len(items))]
+	}
+	return out
 }
 
 // countCode tallies typed overload rejections the Client observes

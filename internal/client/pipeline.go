@@ -27,6 +27,7 @@ type PipeConn struct {
 	c       net.Conn
 	schema  *wire.HelloOK
 	timeout time.Duration
+	ver     uint8 // negotiated tagged framing version: min(wire.Version, server Proto)
 	strict  *Conn // non-nil: v2 fallback, all fields below unused
 
 	// Owned by the submitting goroutine (never touched by demux).
@@ -96,7 +97,7 @@ func DialPipelined(addr string, opTimeout time.Duration, window int) (*PipeConn,
 		return nil, fmt.Errorf("client: handshake reply %s", reply.Kind())
 	}
 	sc.schema = ok
-	p := &PipeConn{c: nc, schema: ok, timeout: opTimeout}
+	p := &PipeConn{c: nc, schema: ok, timeout: opTimeout, ver: min(wire.Version, ok.Proto)}
 	if ok.Proto < wire.V3 {
 		p.strict = sc
 		return p, nil
@@ -301,7 +302,7 @@ func (p *PipeConn) submitSlot(m wire.Message, slot pendSlot) error {
 	}
 	tag := p.nextTag
 	p.nextTag++
-	buf, err := wire.AppendTagged(p.wbuf, tag, m)
+	buf, err := wire.AppendTagged(p.wbuf, p.ver, tag, m)
 	if err != nil {
 		<-p.winCh
 		return err
@@ -460,8 +461,33 @@ func (p *PipeConn) SubmitTxn(name string, budget time.Duration, steps []wire.Mes
 	if p.strict != nil {
 		return nil, errors.New("client: SubmitTxn on a non-pipelined connection")
 	}
+	return p.submitBurst(beginMsg(name, budget), steps)
+}
+
+// SubmitReadTxn submits one declared read-only snapshot transaction as a
+// single pipelined burst — BEGIN with the read-only flag, one READ per
+// item, COMMIT — flushes it, and returns without waiting. The server
+// routes the transaction around admission entirely; requires a server
+// speaking wire v4.
+func (p *PipeConn) SubmitReadTxn(items []uint32) (*TxnFuture, error) {
+	if p.strict != nil {
+		return nil, errors.New("client: SubmitReadTxn on a non-pipelined connection")
+	}
+	if p.ver < wire.V4 {
+		return nil, fmt.Errorf("client: read-only transactions require wire v4 (server speaks v%d)", p.schema.Proto)
+	}
+	steps := make([]wire.Message, len(items))
+	for i, it := range items {
+		steps[i] = &wire.Read{Item: it}
+	}
+	return p.submitBurst(&wire.Begin{ReadOnly: true}, steps)
+}
+
+// submitBurst registers begin + steps + COMMIT under one TxnFuture,
+// flushes, and seals the future.
+func (p *PipeConn) submitBurst(begin wire.Message, steps []wire.Message) (*TxnFuture, error) {
 	fut := &TxnFuture{p: p, done: make(chan error, 1)}
-	if err := p.submitSlot(beginMsg(name, budget), pendSlot{want: wire.KindBeginOK, group: fut}); err != nil {
+	if err := p.submitSlot(begin, pendSlot{want: wire.KindBeginOK, group: fut}); err != nil {
 		return nil, err
 	}
 	for _, m := range steps {
@@ -526,6 +552,16 @@ func (p *PipeConn) RunTxn(name string, budget time.Duration, steps []wire.Messag
 	return fut.Wait()
 }
 
+// RunReadTxn runs one read-only snapshot transaction as a single
+// pipelined burst and waits for its outcome.
+func (p *PipeConn) RunReadTxn(items []uint32) error {
+	fut, err := p.SubmitReadTxn(items)
+	if err != nil {
+		return err
+	}
+	return fut.Wait()
+}
+
 // runStrict is RunTxn over the v2 fallback: the same transaction, one
 // round trip per frame.
 func (p *PipeConn) runStrict(name string, budget time.Duration, steps []wire.Message) error {
@@ -584,6 +620,28 @@ func (pc *PipeClient) attempt(name string, budget time.Duration, steps []wire.Me
 		return err
 	}
 	err = c.RunTxn(name, budget, steps)
+	if c.Broken() {
+		_ = c.Close()
+		pc.conn = nil
+	}
+	return err
+}
+
+// DoReadTxn runs one read-only snapshot transaction under the retry
+// policy. The only retryable failure specific to this path is a snapshot
+// evicted from a version chain (CodeAborted); a fresh attempt begins on a
+// fresh snapshot, so the retry re-reads committed state — idempotent by
+// construction.
+func (pc *PipeClient) DoReadTxn(items []uint32) error {
+	return pc.run("read-only", func() error { return pc.attemptRead(items) })
+}
+
+func (pc *PipeClient) attemptRead(items []uint32) error {
+	c, err := pc.get()
+	if err != nil {
+		return err
+	}
+	err = c.RunReadTxn(items)
 	if c.Broken() {
 		_ = c.Close()
 		pc.conn = nil

@@ -18,6 +18,7 @@ package db
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"pcpda/internal/rt"
 )
@@ -60,6 +61,15 @@ type undoRecord struct {
 type Store struct {
 	cells map[rt.Item]cell
 	undo  map[RunID][]undoRecord
+
+	// Multiversion read support (mvcc.go). chains holds one chainHead per
+	// item, indexed by item id; the slice grows copy-on-write under the
+	// caller's writer lock while lock-free readers keep whatever slice they
+	// loaded (head cells are shared by identity, so an old slice still sees
+	// new versions of the items it covers). chainLimit bounds the reachable
+	// chain length per item; 0 means DefaultChainLimit.
+	chains     atomic.Pointer[[]*chainHead]
+	chainLimit int
 }
 
 // NewStore returns a store where every item implicitly holds Value(0) at

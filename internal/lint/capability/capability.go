@@ -62,6 +62,13 @@ var LayerAllow = map[string][]string{
 	},
 }
 
+// LockfreeMarker is a file-scoped capability marker: a file whose header
+// (before the package clause) contains this comment line promises its
+// code never touches a sync lock or the lock table — the read-only
+// snapshot path's isolation contract (DESIGN.md §14). The analyzer
+// enforces it in every package, not just protocol packages.
+const LockfreeMarker = "//pcpda:lockfree"
+
 // lockTableMutators are lock.Table methods that change table state. The
 // table itself is reachable read-only via cc.Env.Locks(), so the import ban
 // alone cannot stop a protocol from mutating it.
@@ -84,6 +91,11 @@ var Analyzer = &lint.Analyzer{
 func run(pass *lint.Pass) error {
 	if allowed, confined := LayerAllow[pass.PkgPath]; confined {
 		checkLayerImports(pass, allowed)
+	}
+	for _, f := range pass.Files {
+		if hasLockfreeMarker(f) {
+			checkLockfree(pass, f)
+		}
 	}
 	if !isProtocolPkg(pass.PkgPath) {
 		return nil
@@ -145,6 +157,74 @@ func checkLayerImports(pass *lint.Pass, allowed []string) {
 				pass.PkgPath, path, list)
 		}
 	}
+}
+
+// hasLockfreeMarker reports whether the file carries the LockfreeMarker
+// in its header (any comment line before the package clause).
+func hasLockfreeMarker(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() > f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if strings.TrimSpace(c.Text) == LockfreeMarker {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkLockfree enforces the lockfree file contract: no lock-table
+// import, no sync.Mutex/RWMutex type usage, no method call on a sync lock
+// or on the lock table.
+func checkLockfree(pass *lint.Pass, f *ast.File) {
+	for _, imp := range f.Imports {
+		if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "pcpda/internal/lock" {
+			pass.Reportf(imp.Pos(), "lockfree file imports %q; the snapshot read path must not see the lock table", path)
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if named := namedOf(pass.TypesInfo.TypeOf(sel.X)); named != nil {
+				if isLockTable(named) {
+					pass.Reportf(n.Pos(), "lockfree file calls lock-table method %s.%s", exprString(sel.X), sel.Sel.Name)
+				}
+				if isSyncLock(named) {
+					pass.Reportf(n.Pos(), "lockfree file calls %s.%s on a sync lock", exprString(sel.X), sel.Sel.Name)
+				}
+			}
+		case *ast.SelectorExpr:
+			// Qualified type references: sync.Mutex fields/vars, lock.Table
+			// parameters — ban the types themselves, not just calls.
+			id, ok := n.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkg.Imported().Path() == "sync" && (n.Sel.Name == "Mutex" || n.Sel.Name == "RWMutex"):
+				pass.Reportf(n.Pos(), "lockfree file uses sync.%s", n.Sel.Name)
+			case strings.HasSuffix(pkg.Imported().Path(), "internal/lock"):
+				pass.Reportf(n.Pos(), "lockfree file references lock.%s", n.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+func isSyncLock(named *types.Named) bool {
+	obj := named.Obj()
+	return (obj.Name() == "Mutex" || obj.Name() == "RWMutex") &&
+		obj.Pkg() != nil && obj.Pkg().Path() == "sync"
 }
 
 func isProtocolPkg(path string) bool {

@@ -14,5 +14,6 @@ func TestCapability(t *testing.T) {
 		"pcpda/internal/wire",   // layer rule: codec must not import module internals
 		"pcpda/internal/client", // layer rule: client sees only the codec
 		"pcpda/internal/server", // layer rule: manager+codec sanctioned, kernel internals not
+		"pcpda/internal/rosnap", // lockfree file marker: sync locks and the lock table banned
 	)
 }

@@ -48,6 +48,12 @@ type Table struct {
 
 	freeEntries []*entry
 	freeHeld    []*heldSet
+
+	// ops counts mutating calls (Acquire and every Release variant),
+	// lifetime. It shares the caller's synchronization like the rest of
+	// the table; rtm reads it via Stats to prove the read-only snapshot
+	// path generated zero lock-table traffic.
+	ops int64
 }
 
 // NewTable returns an empty lock table.
@@ -133,6 +139,7 @@ func removeItem(items []rt.Item, x rt.Item) []rt.Item {
 // was newly taken (false: this mode was already held, a no-op). It is the
 // caller's (protocol's) responsibility to have decided the grant is legal.
 func (t *Table) Acquire(o rt.JobID, x rt.Item, m rt.Mode) bool {
+	t.ops++
 	e := t.entryFor(x)
 	h := t.heldFor(o)
 	if m == rt.Read {
@@ -154,6 +161,7 @@ func (t *Table) Acquire(o rt.JobID, x rt.Item, m rt.Mode) bool {
 // Release drops o's lock on x in mode m. Releasing a lock not held is a
 // no-op.
 func (t *Table) Release(o rt.JobID, x rt.Item, m rt.Mode) {
+	t.ops++
 	e, ok := t.items[x]
 	if !ok {
 		return
@@ -186,6 +194,7 @@ func (t *Table) ReleaseItem(o rt.JobID, x rt.Item) {
 // ReleaseAll drops every lock held by o and returns the affected items
 // (deduplicated, in first-acquisition order).
 func (t *Table) ReleaseAll(o rt.JobID) []rt.Item {
+	t.ops++
 	h, ok := t.held[o]
 	if !ok {
 		return nil
@@ -215,6 +224,7 @@ func (t *Table) ReleaseAll(o rt.JobID) []rt.Item {
 // affected item list; it allocates nothing. Callers that need the released
 // items (for history records) use ReleaseAll instead.
 func (t *Table) ReleaseAllUnordered(o rt.JobID) {
+	t.ops++
 	h, ok := t.held[o]
 	if !ok {
 		return
@@ -425,6 +435,11 @@ func (t *Table) EachWriteLock(fn func(x rt.Item, holder rt.JobID)) {
 		}
 	}
 }
+
+// Ops returns the lifetime count of mutating table calls (Acquire and
+// the Release variants). A span over which Ops is unchanged performed no
+// lock-table traffic at all.
+func (t *Table) Ops() int64 { return t.ops }
 
 // LockCount returns the total number of (job, item, mode) locks held.
 func (t *Table) LockCount() int {

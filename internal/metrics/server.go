@@ -11,7 +11,9 @@ import "sync/atomic"
 // Contains atomics: must be used through a pointer, never copied.
 type ServerCounters struct {
 	Accepted           atomic.Int64 // transactions admitted (BEGIN granted)
+	ROAccepted         atomic.Int64 // read-only snapshot transactions begun (bypass admission)
 	RejectedOverload   atomic.Int64 // BEGINs refused because the admission queue was full
+	RejectedConnLimit  atomic.Int64 // connections refused at accept time by the -max-conns limit
 	RejectedInfeasible atomic.Int64 // BEGINs refused because the queue-wait estimate already broke their firm deadline
 	Shed               atomic.Int64 // BEGINs shed (displaced from or refused by the queue) as lowest-priority work past the high-water mark
 	AutoAborted        atomic.Int64 // live transactions aborted because their session disconnected
@@ -34,7 +36,9 @@ type ServerCounters struct {
 // compare and marshal.
 type ServerSnapshot struct {
 	Accepted           int64 `json:"accepted"`
+	ROAccepted         int64 `json:"ro_accepted"`
 	RejectedOverload   int64 `json:"rejected_overload"`
+	RejectedConnLimit  int64 `json:"rejected_conn_limit"`
 	RejectedInfeasible int64 `json:"rejected_infeasible"`
 	Shed               int64 `json:"shed"`
 	AutoAborted        int64 `json:"auto_aborted"`
@@ -57,7 +61,9 @@ type ServerSnapshot struct {
 func (c *ServerCounters) Snapshot() ServerSnapshot {
 	return ServerSnapshot{
 		Accepted:           c.Accepted.Load(),
+		ROAccepted:         c.ROAccepted.Load(),
 		RejectedOverload:   c.RejectedOverload.Load(),
+		RejectedConnLimit:  c.RejectedConnLimit.Load(),
 		RejectedInfeasible: c.RejectedInfeasible.Load(),
 		Shed:               c.Shed.Load(),
 		AutoAborted:        c.AutoAborted.Load(),

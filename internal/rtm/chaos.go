@@ -10,6 +10,8 @@ import (
 
 	"pcpda/internal/db"
 	"pcpda/internal/fault"
+	"pcpda/internal/history"
+	"pcpda/internal/rt"
 	"pcpda/internal/txn"
 )
 
@@ -39,6 +41,12 @@ type ChaosConfig struct {
 	// CancelProb is the probability that a worker races a real context
 	// cancellation against one of its transactions (default 0.2).
 	CancelProb float64
+	// ReadOnlyProb is the probability that a worker iteration runs a
+	// read-only snapshot transaction instead of an update. Every committed
+	// RO transaction's observations are validated post-quiescence against
+	// the committed state at its snapshot tick (history.CheckSnapshot);
+	// a snapshot evicted by the chain bound is a tolerated typed refusal.
+	ReadOnlyProb float64
 }
 
 // ChaosReport aggregates manager statistics across every schedule.
@@ -54,6 +62,10 @@ type ChaosReport struct {
 	InjectedFaults int
 	LockWaits      int
 	CommitWaits    int
+	ROBegins       int64
+	ROCommits      int64
+	ROEvictions    int64
+	ROReadsChecked int // snapshot observations validated against the history
 }
 
 func (r *ChaosReport) add(s Stats) {
@@ -67,6 +79,9 @@ func (r *ChaosReport) add(s Stats) {
 	r.InjectedFaults += s.InjectedFaults
 	r.LockWaits += s.LockWaits
 	r.CommitWaits += s.CommitWaits
+	r.ROBegins += s.ROBegins
+	r.ROCommits += s.ROCommits
+	r.ROEvictions += s.ROEvictions
 }
 
 // String renders the report, one counter per line.
@@ -74,10 +89,12 @@ func (r *ChaosReport) String() string {
 	return fmt.Sprintf(
 		"schedules %d: begins %d, commits %d, aborts %d, cycle-aborts %d, "+
 			"cancellations %d, deadline-aborts %d, retries %d, injected faults %d, "+
-			"lock-waits %d, commit-waits %d",
+			"lock-waits %d, commit-waits %d, ro-begins %d, ro-commits %d, "+
+			"ro-evictions %d, ro-reads-checked %d",
 		r.Schedules, r.Begins, r.Commits, r.Aborts, r.CycleAborts,
 		r.Cancellations, r.DeadlineAborts, r.Retries, r.InjectedFaults,
-		r.LockWaits, r.CommitWaits)
+		r.LockWaits, r.CommitWaits, r.ROBegins, r.ROCommits,
+		r.ROEvictions, r.ROReadsChecked)
 }
 
 // RunChaos hammers a fresh manager per schedule with concurrent workers
@@ -134,6 +151,11 @@ func runSchedule(set *txn.Set, cfg ChaosConfig, seed int64, rep *ChaosReport) er
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
 	defer cancel()
 
+	// Committed RO transactions record their observations here; they are
+	// validated after quiescence, once the history is stable.
+	var roMu sync.Mutex
+	var roObs []roObservation
+
 	var wg sync.WaitGroup
 	errs := make(chan error, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
@@ -143,7 +165,17 @@ func runSchedule(set *txn.Set, cfg ChaosConfig, seed int64, rep *ChaosReport) er
 			rng := rand.New(rand.NewSource(wseed))
 			for i := 0; i < cfg.Iters; i++ {
 				tmpl := set.Templates[rng.Intn(len(set.Templates))]
-				if err := chaosOnce(ctx, m, rng, tmpl, cfg.CancelProb); err != nil {
+				var err error
+				if cfg.ReadOnlyProb > 0 && rng.Float64() < cfg.ReadOnlyProb {
+					err = chaosRO(ctx, m, rng, tmpl, func(ob roObservation) {
+						roMu.Lock()
+						roObs = append(roObs, ob)
+						roMu.Unlock()
+					})
+				} else {
+					err = chaosOnce(ctx, m, rng, tmpl, cfg.CancelProb)
+				}
+				if err != nil {
 					errs <- err
 					return
 				}
@@ -167,7 +199,56 @@ func runSchedule(set *txn.Set, cfg ChaosConfig, seed int64, rep *ChaosReport) er
 	if err := m.CheckInvariants(); err != nil {
 		return err
 	}
+	hist := m.History()
+	for _, ob := range roObs {
+		if vs := hist.CheckSnapshot(ob.snap, ob.reads); len(vs) > 0 {
+			return fmt.Errorf("snapshot-read violation at tick %d: %s", ob.snap, vs[0].Detail)
+		}
+		rep.ROReadsChecked += len(ob.reads)
+	}
 	rep.add(m.Stats())
+	return nil
+}
+
+// roObservation is one committed read-only transaction's evidence: its
+// snapshot tick and everything it read.
+type roObservation struct {
+	snap  rt.Ticks
+	reads []history.SnapshotRead
+}
+
+// chaosRO drives one read-only snapshot transaction over tmpl's declared
+// access sets and records the full observation for post-quiescence
+// validation. A snapshot evicted by the chain bound under the concurrent
+// update hammer is the designed-for refusal and is tolerated (the handle
+// is already aborted); a wrong answer would surface later in
+// CheckSnapshot.
+func chaosRO(ctx context.Context, m *Manager, rng *rand.Rand, tmpl *txn.Template, record func(roObservation)) error {
+	ro, err := m.BeginReadOnly(ctx)
+	if err != nil {
+		return tolerate(ctx, err)
+	}
+	items := make([]rt.Item, 0, 8)
+	items = append(items, tmpl.ReadSet().Items()...)
+	items = append(items, tmpl.WriteSet().Items()...)
+	rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+
+	ob := roObservation{snap: ro.Snapshot()}
+	for _, x := range items {
+		_, ver, from, err := ro.ReadVersion(ctx, x)
+		if err != nil {
+			if errors.Is(err, db.ErrSnapshotEvicted) {
+				return nil // typed retryable refusal; Read already aborted the handle
+			}
+			ro.Abort()
+			return tolerate(ctx, err)
+		}
+		ob.reads = append(ob.reads, history.SnapshotRead{Item: x, Ver: ver, From: from})
+	}
+	if err := ro.Commit(ctx); err != nil {
+		return err
+	}
+	record(ob)
 	return nil
 }
 

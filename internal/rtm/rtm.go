@@ -76,6 +76,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"pcpda/internal/cc"
 	"pcpda/internal/db"
@@ -182,6 +183,20 @@ type Manager struct {
 
 	aborts int   // cycle-breaking aborts, for introspection
 	stats  Stats // lifetime counters (CycleAborts/Live filled on read)
+
+	// Multiversion snapshot state (snapshot.go). snapTick is the commit
+	// tick of the newest fully installed commit, stored (release) at the
+	// end of Commit while m.mu is still held; read-only transactions load
+	// it (acquire) with no lock and are then guaranteed to see every
+	// version chained at or before it. The ro* counters are atomics
+	// because the read-only path never touches m.mu.
+	snapTick    atomic.Int64
+	nextROID    atomic.Int64
+	roBegins    atomic.Int64
+	roReads     atomic.Int64
+	roCommits   atomic.Int64
+	roAborts    atomic.Int64
+	roEvictions atomic.Int64
 }
 
 // Txn is a live transaction handle, owned by a single goroutine.
@@ -481,13 +496,17 @@ func (t *Txn) Commit(ctx context.Context) error {
 		return err
 	}
 	m.clock++
-	for _, ins := range t.job.WS.InstallInto(m.store, t.job.Run) {
+	for _, ins := range t.job.WS.InstallIntoAt(m.store, t.job.Run, int64(m.clock)) {
 		m.hist.Write(m.clock, t.job.Run, t.job.Tmpl.ID, ins.Item, ins.Version)
 	}
 	m.hist.Commit(m.clock, t.job.Run, t.job.Tmpl.ID)
 	t.job.FinishTick = m.clock
 	t.job.Status = cc.Done
 	m.stats.Commits++
+	// Publish the snapshot horizon only after every version of this commit
+	// is chained: a read-only transaction that loads snapTick >= m.clock
+	// (acquire) is then guaranteed to observe all of them (release).
+	m.snapTick.Store(int64(m.clock))
 	m.finish(t)
 	return nil
 }
@@ -531,6 +550,19 @@ type Stats struct {
 	Live           int // currently active transactions
 	LockWaits      int // blocking episodes on lock requests
 	CommitWaits    int // blocking episodes waiting out stale readers
+
+	// Clock and LockTableOps witness the read-only path's isolation: every
+	// operation that holds the manager mutex ticks the clock, and every
+	// lock-table mutation bumps the ops counter, so a pure read-only phase
+	// leaves both exactly unchanged while the RO* counters advance.
+	Clock        int64 // logical clock (ticks once per mutex-held manager operation)
+	LockTableOps int64 // lock-table acquire/release mutations, lifetime
+
+	ROBegins    int64 // read-only snapshot transactions started
+	ROReads     int64 // snapshot reads answered from the version chains
+	ROCommits   int64 // read-only transactions finished via Commit
+	ROAborts    int64 // read-only transactions finished via Abort
+	ROEvictions int64 // snapshot reads refused because the version was truncated
 }
 
 // Stats returns the current counter snapshot.
@@ -540,6 +572,13 @@ func (m *Manager) Stats() Stats {
 	s := m.stats
 	s.CycleAborts = m.aborts
 	s.Live = len(m.active)
+	s.Clock = int64(m.clock)
+	s.LockTableOps = m.locks.Ops()
+	s.ROBegins = m.roBegins.Load()
+	s.ROReads = m.roReads.Load()
+	s.ROCommits = m.roCommits.Load()
+	s.ROAborts = m.roAborts.Load()
+	s.ROEvictions = m.roEvictions.Load()
 	return s
 }
 
@@ -727,6 +766,40 @@ func (m *Manager) CheckInvariants() error {
 			}
 		}
 	}
+
+	// The multiversion chain index must agree with the flat store and the
+	// lock table: every item's newest chain node is exactly the cell state,
+	// chain ticks never outrun the clock, the published snapshot horizon
+	// covers every chained commit, no chain exceeds its bound, and no
+	// chain head was written by a still-live run (versions are installed
+	// only at commit, after which the writer's locks are gone).
+	snap := m.snapTick.Load()
+	if snap > int64(m.clock) {
+		badf("published snapshot tick %d ahead of clock %d", snap, m.clock)
+	}
+	liveRuns := make(map[db.RunID]rt.JobID, len(m.actList))
+	for _, t := range m.actList {
+		liveRuns[t.job.Run] = t.job.ID
+	}
+	m.store.EachNewestVersion(func(x rt.Item, v db.Value, ver db.Version, writer db.RunID, tick int64) {
+		cv, cver, cw := m.store.Read(x)
+		if cv != v || cver != ver || cw != writer {
+			badf("item %d chain head %d@v%d by run %d disagrees with store cell %d@v%d by run %d",
+				x, v, ver, writer, cv, cver, cw)
+		}
+		if tick > int64(m.clock) {
+			badf("item %d chain head stamped tick %d ahead of clock %d", x, tick, m.clock)
+		}
+		if tick > snap {
+			badf("item %d chain head (tick %d) not covered by published snapshot tick %d", x, tick, snap)
+		}
+		if id, live := liveRuns[writer]; live {
+			badf("item %d chain head written by run %d of still-live job %d", x, writer, id)
+		}
+		if n := m.store.ChainLen(x); n > m.store.ChainLimit() {
+			badf("item %d chain length %d exceeds limit %d", x, n, m.store.ChainLimit())
+		}
+	})
 
 	rep := m.hist.Check()
 	if !rep.Serializable {

@@ -1,0 +1,271 @@
+package rtm
+
+import (
+	"errors"
+	"testing"
+
+	"pcpda/internal/db"
+	"pcpda/internal/history"
+	"pcpda/internal/rt"
+)
+
+func TestReadOnlyBasics(t *testing.T) {
+	s, x, y := demoSet(t)
+	m, _ := New(s)
+	c := ctx(t)
+
+	// Before any commit: initial state.
+	ro, err := m.BeginReadOnly(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := ro.Read(c, x); err != nil || v != 0 {
+		t.Fatalf("initial snapshot read = (%v, %v)", v, err)
+	}
+	if err := ro.Write(c, x, 1); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("write on RO txn: %v, want ErrReadOnly", err)
+	}
+	if err := ro.Commit(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := ro.Commit(c); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double commit: %v, want ErrClosed", err)
+	}
+	if _, err := ro.Read(c, x); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after commit: %v, want ErrClosed", err)
+	}
+
+	// Snapshot isolation: a transaction begun before a commit keeps
+	// reading the old state; one begun after sees the new state.
+	before, _ := m.BeginReadOnly(c)
+	tx, err := m.Begin(c, "updater")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(c, x, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(c, y, 43); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(c); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := before.Read(c, x); err != nil || v != 0 {
+		t.Fatalf("pre-commit snapshot sees (%v, %v), want old state", v, err)
+	}
+	after, _ := m.BeginReadOnly(c)
+	if v, err := after.Read(c, x); err != nil || v != 42 {
+		t.Fatalf("post-commit snapshot sees (%v, %v), want 42", v, err)
+	}
+	before.Abort()
+	after.Abort()
+	after.Abort() // idempotent
+
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.ROBegins != 3 || st.ROCommits != 1 || st.ROAborts != 2 {
+		t.Fatalf("RO counters = begins %d commits %d aborts %d", st.ROBegins, st.ROCommits, st.ROAborts)
+	}
+}
+
+// TestReadOnlyZeroLockTraffic is the isolation proof at the manager API:
+// a read-only phase moves neither the logical clock (ticked by every
+// mutex-held manager operation) nor the lock-table ops counter.
+func TestReadOnlyZeroLockTraffic(t *testing.T) {
+	s, x, y := demoSet(t)
+	m, _ := New(s)
+	c := ctx(t)
+	tx, err := m.Begin(c, "updater")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tx.Write(c, x, 7)
+	_ = tx.Write(c, y, 8)
+	if err := tx.Commit(c); err != nil {
+		t.Fatal(err)
+	}
+
+	before := m.Stats()
+	const txns = 500
+	for i := 0; i < txns; i++ {
+		ro, err := m.BeginReadOnly(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, err := ro.Read(c, x); err != nil || v != 7 {
+			t.Fatalf("snapshot read = (%v, %v)", v, err)
+		}
+		if v, err := ro.Read(c, y); err != nil || v != 8 {
+			t.Fatalf("snapshot read = (%v, %v)", v, err)
+		}
+		if err := ro.Commit(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := m.Stats()
+	if d := after.Clock - before.Clock; d != 0 {
+		t.Errorf("clock moved by %d during a pure read-only phase (mutex-held operations!)", d)
+	}
+	if d := after.LockTableOps - before.LockTableOps; d != 0 {
+		t.Errorf("lock table mutated %d times during a pure read-only phase", d)
+	}
+	if d := after.Begins - before.Begins; d != 0 {
+		t.Errorf("update begins moved by %d", d)
+	}
+	if d := after.ROCommits - before.ROCommits; d != txns {
+		t.Errorf("ro commits moved by %d, want %d", d, txns)
+	}
+	if d := after.ROReads - before.ROReads; d != 2*txns {
+		t.Errorf("ro reads moved by %d, want %d", d, 2*txns)
+	}
+}
+
+// TestSnapshotReadsMatchHistory is the property test: every read-only
+// transaction's observations are exactly the committed state at its
+// snapshot tick, validated by history.CheckSnapshot after quiescence.
+func TestSnapshotReadsMatchHistory(t *testing.T) {
+	s, x, y := demoSet(t)
+	m, _ := New(s)
+	c := ctx(t)
+
+	type obs struct {
+		snap  rt.Ticks
+		reads []history.SnapshotRead
+	}
+	var all []obs
+
+	const commits = 40
+	for i := 0; i < commits; i++ {
+		ro, err := m.BeginReadOnly(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob := obs{snap: ro.Snapshot()}
+		_, verX, fromX, err := ro.ReadVersion(c, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, verY, fromY, err := ro.ReadVersion(c, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob.reads = append(ob.reads,
+			history.SnapshotRead{Item: x, Ver: verX, From: fromX},
+			history.SnapshotRead{Item: y, Ver: verY, From: fromY})
+		if err := ro.Commit(c); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, ob)
+
+		tx, err := m.Begin(c, "updater")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = tx.Write(c, x, db.Value(i))
+		_ = tx.Write(c, y, db.Value(i*2))
+		if err := tx.Commit(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hist := m.History()
+	for _, ob := range all {
+		if vs := hist.CheckSnapshot(ob.snap, ob.reads); len(vs) > 0 {
+			t.Fatalf("snapshot at tick %d: %s", ob.snap, vs[0].Detail)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotEvictionRetry pins a snapshot, hammers one item past the
+// chain bound, and demands the pinned reader gets the typed retryable
+// refusal while a fresh transaction succeeds — the retry-is-idempotent
+// contract at the manager API.
+func TestSnapshotEvictionRetry(t *testing.T) {
+	s, x, y := demoSet(t)
+	m, _ := New(s)
+	c := ctx(t)
+
+	tx, _ := m.Begin(c, "updater")
+	_ = tx.Write(c, x, 1)
+	_ = tx.Write(c, y, 1)
+	if err := tx.Commit(c); err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := m.BeginReadOnly(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := m.store.ChainLimit()
+	for i := 0; i < limit+4; i++ {
+		tx, err := m.Begin(c, "updater")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = tx.Write(c, x, db.Value(100+i))
+		_ = tx.Write(c, y, db.Value(100+i))
+		if err := tx.Commit(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := pinned.Read(c, x); !errors.Is(err, db.ErrSnapshotEvicted) {
+		t.Fatalf("pinned read past chain bound: %v, want ErrSnapshotEvicted", err)
+	}
+	// The handle auto-aborted; a fresh BEGIN (the retry) reads cleanly.
+	retry, err := m.BeginReadOnly(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := retry.Read(c, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != db.Value(100+limit+3) {
+		t.Fatalf("retry read = %v, want %v", v, 100+limit+3)
+	}
+	if err := retry.Commit(c); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.ROEvictions != 1 {
+		t.Fatalf("ROEvictions = %d, want 1", st.ROEvictions)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosReadOnlyMix runs the chaos harness with a read-only mix: RO
+// snapshot transactions race the faulted update hammer, and every
+// committed one is validated against the history at its snapshot tick.
+func TestChaosReadOnlyMix(t *testing.T) {
+	schedules := 200
+	if testing.Short() {
+		schedules = 40
+	}
+	set := chaosSet(t, 8181, 50, 500)
+	rep, err := RunChaos(set, ChaosConfig{
+		Schedules:    schedules,
+		Seed:         20260807,
+		Workers:      4,
+		Iters:        4,
+		PDelay:       0.2,
+		PWakeup:      0.2,
+		PAbort:       0.1,
+		PCancel:      0.1,
+		ReadOnlyProb: 0.4,
+	})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, rep)
+	}
+	if rep.ROCommits == 0 {
+		t.Fatalf("chaos mix committed no read-only transactions:\n%s", rep)
+	}
+	if rep.ROReadsChecked == 0 {
+		t.Fatalf("chaos mix validated no snapshot reads:\n%s", rep)
+	}
+	t.Logf("%s", rep)
+}

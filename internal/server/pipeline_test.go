@@ -164,7 +164,7 @@ func TestPipelinedAgainstV2PinnedServer(t *testing.T) {
 	if _, _, err := wire.ReadFrame(nc, nil); err != nil {
 		t.Fatal(err)
 	}
-	tagged, err := wire.AppendTagged(nil, 1, &wire.Ping{Nonce: 1})
+	tagged, err := wire.AppendTagged(nil, wire.V3, 1, &wire.Ping{Nonce: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,8 +190,8 @@ func TestV2ClientAgainstPipelinedServer(t *testing.T) {
 	addr, srv := startServer(t, mgr, Config{})
 	c := mustDial(t, addr)
 	defer func() { _ = c.Close() }()
-	if got := c.Schema().Proto; got != wire.V3 {
-		t.Fatalf("advertised proto = %d, want %d", got, wire.V3)
+	if got := c.Schema().Proto; got != wire.Version {
+		t.Fatalf("advertised proto = %d, want %d", got, wire.Version)
 	}
 	if _, err := c.Begin("updater"); err != nil {
 		t.Fatal(err)

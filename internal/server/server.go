@@ -84,6 +84,13 @@ type Config struct {
 	// advertises and accepts (wire.V2 disables pipelining; tagged frames
 	// are then a protocol error). Default wire.Version.
 	MaxWireVersion uint8
+	// MaxConns, when positive, bounds concurrently attached sessions.
+	// Accepts past the limit are refused at the socket — one untagged
+	// CodeOverload ERR, then close — before any session state exists, so
+	// a connection storm costs a write and a close, not three goroutines
+	// each. CodeOverload is retryable: clients back off and redial.
+	// Default 0 (unlimited).
+	MaxConns int
 	// IdleTimeout is the per-frame read deadline: a session whose client
 	// sends nothing for this long is torn down. Default 30s.
 	IdleTimeout time.Duration
@@ -246,6 +253,10 @@ func (s *Server) Serve(ln net.Listener) error {
 			_ = conn.Close()
 			continue
 		}
+		if s.cfg.MaxConns > 0 && s.sessionCount() >= s.cfg.MaxConns {
+			s.refuseConn(conn)
+			continue
+		}
 		s.startSession(conn)
 	}
 }
@@ -287,6 +298,33 @@ func (s *Server) startSession(conn net.Conn) {
 	go func() {
 		defer s.sessWG.Done()
 		sess.run()
+	}()
+}
+
+// sessionCount returns the number of currently attached sessions.
+func (s *Server) sessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// refuseConn rejects an accept that crossed MaxConns: one untagged
+// retryable ERR under a short write deadline, then close. Run off the
+// accept loop so a peer that never reads cannot stall further accepts.
+func (s *Server) refuseConn(conn net.Conn) {
+	s.ctr.RejectedConnLimit.Add(1)
+	s.noteOverload()
+	go func() {
+		defer func() { _ = conn.Close() }()
+		frame, err := wire.AppendCompat(nil, wire.V2, &wire.ErrMsg{
+			Code: wire.CodeOverload,
+			Text: fmt.Sprintf("connection limit %d reached; retry later", s.cfg.MaxConns),
+		})
+		if err != nil {
+			return
+		}
+		_ = conn.SetWriteDeadline(timeNow().Add(time.Second))
+		_, _ = conn.Write(frame)
 	}()
 }
 

@@ -25,6 +25,17 @@ import (
 // every session.
 const maxScratch = 64 << 10
 
+// txnHandle is what a session needs from a transaction: the common
+// surface of an update transaction (*rtm.Txn, locking PCP-DA) and a
+// read-only snapshot transaction (*rtm.ROTxn, lock-free). The session
+// state machine is identical for both; only BEGIN routing differs.
+type txnHandle interface {
+	Read(ctx context.Context, item rt.Item) (db.Value, error)
+	Write(ctx context.Context, item rt.Item, v db.Value) error
+	Commit(ctx context.Context) error
+	Abort()
+}
+
 // liveTx is the state of one live transaction on a session. The exec
 // goroutine owns it; the watchdog and Drain observe it through the
 // session's cur pointer. Manager calls for the transaction run under
@@ -32,12 +43,24 @@ const maxScratch = 64 << 10
 // stuck transaction to unwind — cancel unparks it, Abort releases its
 // locks — without tearing down the whole session.
 type liveTx struct {
-	tx       *rtm.Txn
+	tx       txnHandle
 	ctx      context.Context
 	cancel   context.CancelFunc
 	start    time.Time
 	deadline time.Time   // firm deadline from BEGIN; zero = none
 	tripped  atomic.Bool // set once by the watchdog before force-aborting
+}
+
+// txDesc names a transaction for logs: job id and template for an update
+// transaction, the RO sequence number for a snapshot transaction.
+func txDesc(h txnHandle) (id int64, name string) {
+	switch t := h.(type) {
+	case *rtm.Txn:
+		return int64(t.ID()), t.Template().Name
+	case *rtm.ROTxn:
+		return t.ID(), "read-only"
+	}
+	return 0, "?"
 }
 
 // request is one decoded frame plus the framing needed to address its
@@ -163,18 +186,22 @@ func (s *session) readLoop(reqs chan<- request, done chan<- struct{}) {
 			scratch = nil
 		}
 		req := request{m: m, ver: ver, tag: tag}
-		if ver >= wire.V3 {
+		if ver > maxVer {
+			// A frame newer than this server is configured to speak is a
+			// protocol violation. The reply is framed at the newest version
+			// the server allows — untagged v2 on a pinned server, tagged at
+			// maxVer otherwise — queued, and delivered by the final writer
+			// flush before cleanup closes the connection.
+			rv := request{ver: maxVer, tag: tag}
 			if maxVer < wire.V3 {
-				// Pinned to v2: a tagged frame is a protocol violation. The
-				// reply is queued untagged and the final writer flush
-				// delivers it before cleanup closes the connection.
-				_ = s.replyTo(request{ver: wire.V2}, &wire.ErrMsg{Code: wire.CodeProtocol,
-					Text: "pipelining (wire v3) not enabled on this server"})
-				return
+				rv = request{ver: wire.V2}
 			}
-			if !s.pipelined.Swap(true) {
-				s.srv.ctr.PipelinedSessions.Add(1)
-			}
+			_ = s.replyTo(rv, &wire.ErrMsg{Code: wire.CodeProtocol,
+				Text: fmt.Sprintf("wire v%d not enabled on this server (max v%d)", ver, maxVer)})
+			return
+		}
+		if ver >= wire.V3 && !s.pipelined.Swap(true) {
+			s.srv.ctr.PipelinedSessions.Add(1)
 		}
 		if v := s.inflight.Add(1); v > hwm {
 			hwm = v
@@ -314,7 +341,7 @@ func (s *session) replyTo(req request, m wire.Message) error {
 	var out []byte
 	var err error
 	if req.ver >= wire.V3 {
-		out, err = wire.AppendTagged((*buf)[:0], req.tag, m)
+		out, err = wire.AppendTagged((*buf)[:0], req.ver, req.tag, m)
 	} else {
 		if em, ok := m.(*wire.ErrMsg); ok {
 			if mapped := wire.CodeForVersion(em.Code, req.ver); mapped != em.Code {
@@ -370,6 +397,9 @@ func (s *session) handle(req request) error {
 	case *wire.Ping:
 		return s.replyTo(req, &wire.Pong{Nonce: m.Nonce})
 	case *wire.Begin:
+		if m.ReadOnly {
+			return s.handleBeginRO(req)
+		}
 		return s.handleBegin(req, m)
 	case *wire.Read:
 		if s.lt == nil {
@@ -414,10 +444,37 @@ func (s *session) handle(req request) error {
 	}
 }
 
+// roIDFlag tags a BEGIN_OK id as coming from the read-only sequence
+// namespace, which is disjoint from update-transaction job ids.
+const roIDFlag = uint64(1) << 63
+
+// handleBeginRO admits a declared read-only snapshot transaction. It
+// bypasses the admission shards entirely — no queue wait, no shed or
+// infeasibility eligibility, no pending accounting — because BeginReadOnly
+// never blocks and takes no locks: admission control exists to ration the
+// lock manager, and this path never touches it. The template name and any
+// deadline budget on the BEGIN are ignored; a snapshot transaction has no
+// template slot and cannot be late in admission.
+func (s *session) handleBeginRO(req request) error {
+	if s.lt != nil {
+		return s.replyTo(req, &wire.ErrMsg{Code: wire.CodeState, Text: "BEGIN with a transaction already live"})
+	}
+	if s.srv.draining.Load() {
+		return s.replyTo(req, &wire.ErrMsg{Code: wire.CodeDraining, Text: "server draining"})
+	}
+	tx, err := s.srv.mgr.BeginReadOnly(s.ctx)
+	if err != nil {
+		return s.replyTo(req, &wire.ErrMsg{Code: codeOf(err), Text: "BEGIN: " + err.Error()})
+	}
+	s.armTx(tx, time.Time{})
+	s.srv.ctr.ROAccepted.Add(1)
+	return s.replyTo(req, &wire.BeginOK{ID: roIDFlag | uint64(tx.ID())})
+}
+
 // armTx installs a freshly admitted transaction: a per-transaction context
 // carries the watchdog's force-abort authority, and publishing through cur
 // makes the transaction visible to the watchdog and Drain.
-func (s *session) armTx(tx *rtm.Txn, deadline time.Time) {
+func (s *session) armTx(tx txnHandle, deadline time.Time) {
 	ctx, cancel := context.WithCancel(s.ctx)
 	lt := &liveTx{tx: tx, ctx: ctx, cancel: cancel, start: timeNow(), deadline: deadline}
 	s.lt = lt
@@ -478,6 +535,11 @@ func codeOf(err error) wire.ErrorCode {
 	switch {
 	case errors.Is(err, errShed):
 		return wire.CodeShed
+	case errors.Is(err, db.ErrSnapshotEvicted):
+		// The snapshot pinned a version the chain bound dropped; a fresh
+		// BEGIN gets a fresh snapshot, so this is retryable like a
+		// sacrifice.
+		return wire.CodeAborted
 	case errors.Is(err, rtm.ErrAborted):
 		return wire.CodeAborted
 	case errors.Is(err, rtm.ErrDeadlineMissed):

@@ -70,8 +70,9 @@ func (s *Server) sweepStuck() {
 		lt.tx.Abort()
 		tripped++
 		s.ctr.WatchdogTrips.Add(1)
+		id, name := txDesc(lt.tx)
 		s.logf("watchdog: force-aborted txn %d (%s) live %v, deadline %v ago",
-			lt.tx.ID(), lt.tx.Template().Name, now.Sub(lt.start).Round(time.Millisecond),
+			id, name, now.Sub(lt.start).Round(time.Millisecond),
 			now.Sub(lt.deadline).Round(time.Millisecond))
 	}
 	if tripped > 0 {

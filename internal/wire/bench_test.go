@@ -23,7 +23,7 @@ func benchFrames(b *testing.B) []byte {
 		&Commit{},
 		&CommitOK{},
 	} {
-		stream, err = AppendTagged(stream, uint32(i), m)
+		stream, err = AppendTagged(stream, Version, uint32(i), m)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -52,7 +52,7 @@ func BenchmarkAppendTagged(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
-		buf, err = AppendTagged(buf[:0], uint32(i), msg)
+		buf, err = AppendTagged(buf[:0], Version, uint32(i), msg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -65,7 +65,7 @@ func BenchmarkAppendTaggedPooled(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf := GetBuf()
-		out, err := AppendTagged((*buf)[:0], uint32(i), msg)
+		out, err := AppendTagged((*buf)[:0], Version, uint32(i), msg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,7 +75,7 @@ func BenchmarkAppendTaggedPooled(b *testing.B) {
 }
 
 func BenchmarkDecodeAny(b *testing.B) {
-	frame, err := AppendTagged(nil, 42, &Write{Item: 4, Value: 9})
+	frame, err := AppendTagged(nil, Version, 42, &Write{Item: 4, Value: 9})
 	if err != nil {
 		b.Fatal(err)
 	}

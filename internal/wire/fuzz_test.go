@@ -42,8 +42,11 @@ func FuzzWireRoundTrip(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(frame)
-		// The same message as a tagged v3 frame and an untagged v1 frame.
-		if tagged, err := AppendTagged(nil, 0xABCD1234, m); err == nil {
+		// The same message as tagged v3/v4 frames and an untagged v1 frame.
+		if tagged, err := AppendTagged(nil, V3, 0xABCD1234, m); err == nil {
+			f.Add(tagged)
+		}
+		if tagged, err := AppendTagged(nil, V4, 0xABCD1234, m); err == nil {
 			f.Add(tagged)
 		}
 		if v1, err := AppendCompat(nil, V1, m); err == nil {
@@ -54,6 +57,9 @@ func FuzzWireRoundTrip(f *testing.F) {
 	f.Add([]byte{V2, uint8(KindErr), 0xFF, 0, 0, 0})
 	f.Add([]byte{V3, uint8(KindPing), 0, 0, 0, 9, 0, 0, 0, 8, 0, 0, 0, 0, 0, 0, 0, 1})
 	f.Add([]byte{V1, uint8(KindBegin), 0, 0, 0, 4, 0, 2, 'T', '1'})
+	if ro, err := AppendTagged(nil, V4, 5, &Begin{Name: "T1", ReadOnly: true}); err == nil {
+		f.Add(ro)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, ver, tag, rest, err := DecodeAny(data)

@@ -13,12 +13,12 @@
 //	| u8=1|2  |   u8    |   u32 (BE)    |  len(payload)   |
 //	+---------+---------+---------------+-----------------+
 //
-// A tagged frame (version 3, pipelining) inserts a request tag between the
-// kind and the payload length:
+// A tagged frame (versions 3 and 4, pipelining) inserts a request tag
+// between the kind and the payload length:
 //
 //	+---------+---------+-----------+---------------+-----------------+
 //	| version |  kind   |    tag    |  payload len  |     payload     |
-//	|  u8=3   |   u8    |  u32 (BE) |   u32 (BE)    |  len(payload)   |
+//	| u8=3|4  |   u8    |  u32 (BE) |   u32 (BE)    |  len(payload)   |
 //	+---------+---------+-----------+---------------+-----------------+
 //
 // The tag is an opaque client-chosen request identifier; the server echoes
@@ -42,6 +42,8 @@
 //	V1: base protocol (BEGIN has no deadline; codes through CodeInternal)
 //	V2: BEGIN carries a firm-deadline budget; CodeShed / CodeInfeasible
 //	V3: tagged frames (pipelining); payload encodings identical to V2
+//	V4: BEGIN carries a read-only flag (snapshot transactions); framing
+//	    identical to V3
 //
 // # Conversation
 //
@@ -78,10 +80,11 @@ const (
 	V1 uint8 = 1
 	V2 uint8 = 2
 	V3 uint8 = 3
+	V4 uint8 = 4
 
 	// Version is the highest protocol version this build speaks; servers
 	// advertise it (possibly pinned lower) in HelloOK.Proto.
-	Version = V3
+	Version = V4
 )
 
 // MaxPayload bounds a frame's payload. Decoders reject larger declared
@@ -91,7 +94,7 @@ const MaxPayload = 1 << 20
 // MaxString bounds any encoded string (template/set names, error text).
 const MaxString = 4096
 
-// Header sizes: untagged (v1/v2) and tagged (v3) frames.
+// Header sizes: untagged (v1/v2) and tagged (v3/v4) frames.
 const (
 	headerLen       = 6  // version, kind, payload length
 	taggedHeaderLen = 10 // version, kind, tag, payload length
@@ -300,9 +303,17 @@ type HelloOK struct {
 // stuck-transaction watchdog force-aborts the instance once the budget
 // plus a grace period has elapsed. The field exists from v2 on; a v1
 // frame cannot carry it.
+//
+// ReadOnly, when set, declares the transaction a read-only snapshot
+// transaction: the server routes it around admission entirely (no queue
+// wait, no shed eligibility, no locks) and answers its reads from the
+// multiversion snapshot path. Writes on such a transaction fail with
+// CodeProtocol. The flag exists from v4 on; earlier frames cannot carry
+// it.
 type Begin struct {
 	Name     string
 	Deadline uint32 // firm budget in milliseconds; 0 = none
+	ReadOnly bool   // snapshot transaction; requires wire v4
 }
 
 // BeginOK confirms admission; ID is the manager's job id (observability).
@@ -480,15 +491,39 @@ func (m *Begin) encodePayload(dst []byte, ver uint8) ([]byte, error) {
 		if m.Deadline != 0 {
 			return nil, fmt.Errorf("%w: BEGIN deadline requires wire v2", ErrMalformed)
 		}
+		if m.ReadOnly {
+			return nil, fmt.Errorf("%w: BEGIN read-only requires wire v4", ErrMalformed)
+		}
 		return dst, nil
 	}
-	return appendU32(dst, m.Deadline), nil
+	dst = appendU32(dst, m.Deadline)
+	if ver < V4 {
+		if m.ReadOnly {
+			return nil, fmt.Errorf("%w: BEGIN read-only requires wire v4", ErrMalformed)
+		}
+		return dst, nil
+	}
+	ro := uint8(0)
+	if m.ReadOnly {
+		ro = 1
+	}
+	return append(dst, ro), nil
 }
 
 func (m *Begin) decodePayload(d *dec) {
 	m.Name = d.str()
 	if d.ver >= V2 {
 		m.Deadline = d.u32()
+	}
+	if d.ver >= V4 {
+		switch d.u8() {
+		case 0:
+		case 1:
+			m.ReadOnly = true
+		default:
+			// Reject junk so encoding stays canonical per version.
+			d.failf("bad BEGIN read-only flag")
+		}
 	}
 }
 
@@ -570,10 +605,14 @@ func AppendCompat(dst []byte, ver uint8, m Message) ([]byte, error) {
 	return appendFrameAt(dst, ver, 0, m)
 }
 
-// AppendTagged encodes m as one tagged v3 frame carrying tag appended to
-// dst. The receiver echoes the tag on the matching reply.
-func AppendTagged(dst []byte, tag uint32, m Message) ([]byte, error) {
-	return appendFrameAt(dst, V3, tag, m)
+// AppendTagged encodes m as one tagged frame at wire version ver (V3 or
+// V4) carrying tag appended to dst. The receiver echoes the tag on the
+// matching reply, which it encodes at the request's version.
+func AppendTagged(dst []byte, ver uint8, tag uint32, m Message) ([]byte, error) {
+	if ver < V3 || ver > Version {
+		return nil, fmt.Errorf("%w: no tagged framing at version %d", ErrMalformed, ver)
+	}
+	return appendFrameAt(dst, ver, tag, m)
 }
 
 func appendFrameAt(dst []byte, ver uint8, tag uint32, m Message) ([]byte, error) {
@@ -583,7 +622,7 @@ func appendFrameAt(dst []byte, ver uint8, tag uint32, m Message) ([]byte, error)
 	case V1, V2:
 		hlen = headerLen
 		dst = append(dst, ver, uint8(m.Kind()), 0, 0, 0, 0)
-	case V3:
+	case V3, V4:
 		hlen = taggedHeaderLen
 		dst = append(dst, ver, uint8(m.Kind()),
 			byte(tag>>24), byte(tag>>16), byte(tag>>8), byte(tag), 0, 0, 0, 0)
@@ -631,7 +670,7 @@ func DecodeAny(b []byte) (m Message, ver uint8, tag uint32, rest []byte, err err
 	hlen := headerLen
 	switch ver {
 	case V1, V2:
-	case V3:
+	case V3, V4:
 		hlen = taggedHeaderLen
 		if len(b) < hlen {
 			return nil, 0, 0, b, fmt.Errorf("%w: short tagged header (%d bytes)", ErrMalformed, len(b))
@@ -708,7 +747,7 @@ func ReadAny(r io.Reader, scratch []byte) (Message, uint8, uint32, []byte, error
 	var tag uint32
 	switch ver {
 	case V1, V2:
-	case V3:
+	case V3, V4:
 		hlen = taggedHeaderLen
 		ext := scratch[headerLen:taggedHeaderLen]
 		if _, err := io.ReadFull(r, ext); err != nil {

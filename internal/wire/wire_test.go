@@ -62,30 +62,79 @@ func TestRoundTripAllKinds(t *testing.T) {
 }
 
 func TestTaggedRoundTrip(t *testing.T) {
-	for i, m := range sampleMessages() {
-		tag := uint32(i * 1000003)
-		frame, err := AppendTagged(nil, tag, m)
-		if err != nil {
-			t.Fatalf("%s: encode: %v", m.Kind(), err)
+	for _, tagVer := range []uint8{V3, V4} {
+		for i, m := range sampleMessages() {
+			tag := uint32(i * 1000003)
+			frame, err := AppendTagged(nil, tagVer, tag, m)
+			if err != nil {
+				t.Fatalf("%s: encode: %v", m.Kind(), err)
+			}
+			got, ver, gotTag, rest, err := DecodeAny(frame)
+			if err != nil {
+				t.Fatalf("%s: decode: %v", m.Kind(), err)
+			}
+			if ver != tagVer || gotTag != tag || len(rest) != 0 {
+				t.Fatalf("%s: ver=%d tag=%d rest=%d, want v%d tag=%d rest=0",
+					m.Kind(), ver, gotTag, len(rest), tagVer, tag)
+			}
+			if !reflect.DeepEqual(m, got) {
+				t.Fatalf("%s: round trip mismatch:\n have %#v\n want %#v", m.Kind(), got, m)
+			}
+			// Tagged frames are rejected by the strict untagged decode paths.
+			if _, _, err := DecodeFrame(frame); !errors.Is(err, ErrMalformed) {
+				t.Fatalf("%s: DecodeFrame on tagged frame: err = %v, want ErrMalformed", m.Kind(), err)
+			}
+			if _, _, err := ReadFrame(bytes.NewReader(frame), nil); !errors.Is(err, ErrMalformed) {
+				t.Fatalf("%s: ReadFrame on tagged frame: err = %v, want ErrMalformed", m.Kind(), err)
+			}
 		}
-		got, ver, gotTag, rest, err := DecodeAny(frame)
-		if err != nil {
-			t.Fatalf("%s: decode: %v", m.Kind(), err)
+	}
+	if _, err := AppendTagged(nil, V2, 1, &Ping{}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("AppendTagged at v2: err = %v, want ErrMalformed", err)
+	}
+}
+
+// TestReadOnlyVersions pins the v4 rule: BEGIN's read-only flag encodes
+// only at v4 and is refused (not silently dropped) at every earlier
+// version.
+func TestReadOnlyVersions(t *testing.T) {
+	ro := &Begin{Name: "T1", ReadOnly: true}
+	frame, err := AppendTagged(nil, V4, 9, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ver, tag, _, err := DecodeAny(frame)
+	if err != nil || ver != V4 || tag != 9 {
+		t.Fatalf("v4 RO BEGIN decode: %v (ver %d tag %d)", err, ver, tag)
+	}
+	if b := got.(*Begin); !b.ReadOnly || b.Name != "T1" {
+		t.Fatalf("v4 RO BEGIN decoded as %+v", b)
+	}
+	rw, err := AppendTagged(nil, V4, 9, &Begin{Name: "T1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != len(rw) {
+		t.Fatalf("v4 BEGIN sizes differ by flag value: %d vs %d", len(frame), len(rw))
+	}
+	for _, ver := range []uint8{V1, V2, V3} {
+		var err error
+		if ver == V3 {
+			_, err = AppendTagged(nil, ver, 1, ro)
+		} else {
+			_, err = AppendCompat(nil, ver, ro)
 		}
-		if ver != V3 || gotTag != tag || len(rest) != 0 {
-			t.Fatalf("%s: ver=%d tag=%d rest=%d, want v3 tag=%d rest=0",
-				m.Kind(), ver, gotTag, len(rest), tag)
+		if !errors.Is(err, ErrMalformed) {
+			t.Errorf("v%d RO BEGIN: err = %v, want ErrMalformed", ver, err)
 		}
-		if !reflect.DeepEqual(m, got) {
-			t.Fatalf("%s: round trip mismatch:\n have %#v\n want %#v", m.Kind(), got, m)
-		}
-		// Tagged frames are rejected by the strict untagged decode paths.
-		if _, _, err := DecodeFrame(frame); !errors.Is(err, ErrMalformed) {
-			t.Fatalf("%s: DecodeFrame on tagged frame: err = %v, want ErrMalformed", m.Kind(), err)
-		}
-		if _, _, err := ReadFrame(bytes.NewReader(frame), nil); !errors.Is(err, ErrMalformed) {
-			t.Fatalf("%s: ReadFrame on tagged frame: err = %v, want ErrMalformed", m.Kind(), err)
-		}
+	}
+	// A v3 BEGIN carries no flag byte: one byte shorter than v4.
+	v3, err := AppendTagged(nil, V3, 9, &Begin{Name: "T1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v3) != len(rw)-1 {
+		t.Fatalf("v3 BEGIN is %d bytes, v4 is %d; want exactly 1 fewer (no flag)", len(v3), len(rw))
 	}
 }
 
@@ -194,15 +243,16 @@ func TestMixedVersionStream(t *testing.T) {
 		{V2, 0, &Hello{}},
 		{V3, 1, &Begin{Name: "T1", Deadline: 50}},
 		{V1, 0, &Ping{Nonce: 4}},
-		{V3, 2, &Write{Item: 1, Value: -9}},
-		{V3, 0xFFFFFFFF, &Commit{}},
+		{V4, 2, &Begin{Name: "T2", ReadOnly: true}},
+		{V3, 3, &Write{Item: 1, Value: -9}},
+		{V4, 0xFFFFFFFF, &Commit{}},
 		{V2, 0, &Abort{}},
 	}
 	var stream []byte
 	var err error
 	for _, s := range specs {
-		if s.ver == V3 {
-			stream, err = AppendTagged(stream, s.tag, s.m)
+		if s.ver >= V3 {
+			stream, err = AppendTagged(stream, s.ver, s.tag, s.m)
 		} else {
 			stream, err = AppendCompat(stream, s.ver, s.m)
 		}
@@ -255,6 +305,10 @@ func TestDecodeMalformed(t *testing.T) {
 		"tagged oversized decl":  {V3, uint8(KindPing), 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF},
 		"tagged truncated":       {V3, uint8(KindPing), 0, 0, 0, 1, 0, 0, 0, 8, 1, 2},
 		"v1 begin with deadline": withLen([]byte{V1, uint8(KindBegin), 0, 0, 0, 8, 0, 2, 'T', '1', 0, 0, 0, 5}, 8),
+		"v4 begin bad ro flag": {V4, uint8(KindBegin), 0, 0, 0, 0, 0, 0, 0, 7,
+			0, 0, 0, 0, 0, 0, 2}, // name "", deadline 0, flag 2 (only 0/1 valid)
+		"v3 begin with ro byte": {V3, uint8(KindBegin), 0, 0, 0, 0, 0, 0, 0, 7,
+			0, 0, 0, 0, 0, 0, 1}, // the flag byte is trailing junk below v4
 	}
 	for name, b := range cases {
 		if _, _, _, _, err := DecodeAny(b); err == nil {
@@ -308,7 +362,7 @@ func TestBufPool(t *testing.T) {
 		t.Fatalf("GetBuf returned %v", b)
 	}
 	var err error
-	*b, err = AppendTagged((*b)[:0], 7, &Ping{Nonce: 1})
+	*b, err = AppendTagged((*b)[:0], V3, 7, &Ping{Nonce: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,7 +21,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 BASELINE=scripts/escapes.baseline
-PKGS="./internal/lock ./internal/sched ./internal/rtm ./internal/wire"
+PKGS="./internal/lock ./internal/sched ./internal/rtm ./internal/wire ./internal/db"
 GOVER=$(go env GOVERSION)
 
 snapshot() {

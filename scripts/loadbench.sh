@@ -18,15 +18,21 @@
 #   infeasible rejection. LOAD_NEMESIS=1 routes the sweep through the
 #   in-process fault-injection proxy.
 #
-# LOAD_PIPELINE=1 switches the driver to the tagged wire-v3 pipelined
-# client. In the sweep this runs paired strict and pipelined rows per
-# multiplier and records both saturation rates plus their ratio — the
-# BENCH_7 artifact.
+# LOAD_PIPELINE=1 switches the driver to the tagged wire client. In the
+# sweep this runs paired strict and pipelined rows per multiplier and
+# records both saturation rates plus their ratio — the BENCH_7 artifact.
+#
+# LOAD_READMIX (requires LOAD_PIPELINE=1) declares that fraction of
+# transactions read-only: they run on the lock-free multiversion snapshot
+# path. The sweep then adds a mixed row per multiplier plus the zero-
+# traffic proof (manager clock / lock table deltas over a read-only
+# burst, fetched from pcpdad's stats endpoint) — the BENCH_8 artifact.
 #
 # Usage:
 #   scripts/loadbench.sh                                # BENCH_5-style closed loop
 #   LOAD_SWEEP=1,2,3,4 LOAD_OUT=BENCH_6.json scripts/loadbench.sh
 #   LOAD_PIPELINE=1 LOAD_SWEEP=1,2,3,4 LOAD_OUT=BENCH_7.json scripts/loadbench.sh
+#   LOAD_PIPELINE=1 LOAD_READMIX=0.9 LOAD_SWEEP=1,2,3 LOAD_OUT=BENCH_8.json scripts/loadbench.sh
 #   LOAD_RACE=1 LOAD_SWEEP=1,2 LOAD_NEMESIS=1 scripts/loadbench.sh   # CI overload smoke
 #
 # Environment knobs:
@@ -53,6 +59,12 @@
 #   LOAD_PIPELINE 1 = use the pipelined wire-v3 client (sweep: paired
 #                 strict + pipelined rows per multiplier)
 #   LOAD_WINDOW   pipelined in-flight window per connection (default 48)
+#   LOAD_READMIX  fraction of transactions declared read-only (default 0;
+#                 requires LOAD_PIPELINE=1; also starts pcpdad's stats
+#                 endpoint and records the zero-lock-traffic proof)
+#   LOAD_MAXCONNS pcpdad -max-conns session cap (default 0 = unlimited)
+#   LOAD_HTTP     pcpdad stats/health listen address
+#                 (default 127.0.0.1:9724 when LOAD_READMIX > 0)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -78,6 +90,18 @@ duration=${LOAD_DURATION:-4s}
 nemesis=${LOAD_NEMESIS:-0}
 pipeline=${LOAD_PIPELINE:-0}
 window=${LOAD_WINDOW:-48}
+readmix=${LOAD_READMIX:-0}
+maxconns=${LOAD_MAXCONNS:-0}
+if [[ "$readmix" != 0 && "$pipeline" != 1 ]]; then
+	echo "loadbench: LOAD_READMIX requires LOAD_PIPELINE=1 (read-only txns ride the tagged wire protocol)" >&2
+	exit 1
+fi
+# The read mix needs pcpdad's stats endpoint for the zero-traffic proof.
+if [[ "$readmix" != 0 ]]; then
+	http=${LOAD_HTTP:-127.0.0.1:9724}
+else
+	http=${LOAD_HTTP:-}
+fi
 # Sweep queue sizing: a session has at most one BEGIN outstanding, so
 # queue occupancy is bounded by LOAD_CONNS. Depth == conns means the
 # queue itself never fills (no blanket overload rejections that would
@@ -106,6 +130,12 @@ daemon_args=(-listen "$addr" -queue "$queue" -high-water "$hw")
 if [[ "$faults" == 1 ]]; then
 	daemon_args+=(-fault-abort 0.002 -fault-delay 0.01 -fault-wakeup 0.01)
 fi
+if [[ -n "$http" ]]; then
+	daemon_args+=(-http "$http")
+fi
+if [[ "$maxconns" != 0 ]]; then
+	daemon_args+=(-max-conns "$maxconns")
+fi
 "$tmp/pcpdad" "${daemon_args[@]}" > "$tmp/pcpdad.log" 2>&1 &
 daemon=$!
 
@@ -130,12 +160,18 @@ if [[ -n "$sweep" ]]; then
 	if [[ "$pipeline" == 1 ]]; then
 		load_args+=(-pipeline -window "$window")
 	fi
+	if [[ "$readmix" != 0 ]]; then
+		load_args+=(-read-frac "$readmix" -stats "http://$http")
+	fi
 	"$tmp/pcpdaload" "${load_args[@]}" 2>&1 | tee "$txt"
 else
 	closed_args=(-addr "$addr" -conns "$conns" -txns "$txns" -seed "$seed"
 		-bench -report "$tmp/report.json")
 	if [[ "$pipeline" == 1 ]]; then
 		closed_args+=(-pipeline -window "$window")
+	fi
+	if [[ "$readmix" != 0 ]]; then
+		closed_args+=(-read-frac "$readmix" -stats "http://$http")
 	fi
 	"$tmp/pcpdaload" "${closed_args[@]}" | tee "$txt"
 fi
@@ -161,6 +197,6 @@ if [[ -n "$sweep" ]]; then
 	echo "wrote $out (sweep; $shed shed/infeasible rejections; text log: $txt)"
 else
 	grep '^Benchmark' "$txt" | go run ./cmd/benchjson -label "$label" \
-		-note "pcpdad loopback: $conns conns, $txns txns, faults=$faults race=$race pipeline=$pipeline" > "$out"
+		-note "pcpdad loopback: $conns conns, $txns txns, faults=$faults race=$race pipeline=$pipeline readmix=$readmix" > "$out"
 	echo "wrote $out (text log: $txt)"
 fi
