@@ -15,11 +15,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"pcpda/internal/lint"
 	"pcpda/internal/lint/all"
@@ -53,6 +55,8 @@ func run(args []string) int {
 		listOnly = fs.Bool("list", false, "list the analyzers and exit")
 		suppress = fs.String("suppressions", "", "suppression file (default: <module root>/"+lint.SuppressFile+")")
 		verbose  = fs.Bool("v", false, "also print suppressed findings")
+		jsonOut  = fs.Bool("json", false, "emit findings as a JSON array (machine-readable; suppressed findings included, marked)")
+		ghOut    = fs.Bool("gh", false, "also emit GitHub Actions ::error workflow annotations for unsuppressed findings")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pcpdalint [flags] [packages]\n\nAnalyzers:\n")
@@ -96,6 +100,7 @@ func run(args []string) int {
 		return 2
 	}
 
+	start := time.Now()
 	loader := lint.NewLoader(lint.ModuleResolver(modPath, modDir))
 	pkgs, err := loader.LoadPatterns(modPath, modDir, patterns)
 	if err != nil {
@@ -107,14 +112,29 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "pcpdalint:", err)
 		return 2
 	}
+	elapsed := time.Since(start)
 	kept, suppressed := sup.Filter(findings)
-	if *verbose {
-		for _, f := range suppressed {
-			fmt.Printf("suppressed: %s\n", f)
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, kept, suppressed); err != nil {
+			fmt.Fprintln(os.Stderr, "pcpdalint:", err)
+			return 2
+		}
+	} else {
+		if *verbose {
+			for _, f := range suppressed {
+				fmt.Printf("suppressed: %s\n", f)
+			}
+		}
+		for _, f := range kept {
+			fmt.Println(f)
 		}
 	}
-	for _, f := range kept {
-		fmt.Println(f)
+	if *ghOut {
+		for _, f := range kept {
+			// %0A etc. need no escaping here: messages are single-line.
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=pcpdalint %s::%s\n",
+				f.Position.Filename, f.Position.Line, f.Position.Column, f.Analyzer, f.Message)
+		}
 	}
 	bad := len(kept) > 0
 	// Stale-entry auditing only makes sense when every package the
@@ -135,6 +155,42 @@ func run(args []string) int {
 	if bad {
 		return 1
 	}
-	fmt.Printf("pcpdalint: %d packages clean (%d findings suppressed with justification)\n", len(pkgs), len(suppressed))
+	if !*jsonOut {
+		fmt.Printf("pcpdalint: %d packages clean in %v (%d findings suppressed with justification)\n",
+			len(pkgs), elapsed.Round(time.Millisecond), len(suppressed))
+	}
 	return 0
+}
+
+// jsonFinding is the machine-readable form of one diagnostic.
+type jsonFinding struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+}
+
+// writeJSON emits every finding — kept first, then suppressed (marked) —
+// as one indented JSON array, so CI tooling can consume the run without
+// scraping the human format.
+func writeJSON(w *os.File, kept, suppressed []lint.Finding) error {
+	out := make([]jsonFinding, 0, len(kept)+len(suppressed))
+	for _, f := range kept {
+		out = append(out, jsonFinding{
+			Analyzer: f.Analyzer, File: f.Position.Filename,
+			Line: f.Position.Line, Column: f.Position.Column, Message: f.Message,
+		})
+	}
+	for _, f := range suppressed {
+		out = append(out, jsonFinding{
+			Analyzer: f.Analyzer, File: f.Position.Filename,
+			Line: f.Position.Line, Column: f.Position.Column, Message: f.Message,
+			Suppressed: true,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

@@ -2,6 +2,7 @@ package client
 
 import (
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -61,7 +62,7 @@ func TestClientStopsAtExhaustedBudget(t *testing.T) {
 	defer pool.Close()
 	cl := NewClient(pool, 1)
 	cl.Budget = b
-	var retries int64
+	var retries atomic.Int64
 	cl.Retries = &retries
 	cl.CodeHook = func(code wire.ErrorCode) {
 		if code == wire.CodeShed {
@@ -73,8 +74,8 @@ func TestClientStopsAtExhaustedBudget(t *testing.T) {
 	if err == nil {
 		t.Fatal("Do succeeded against an always-shedding server")
 	}
-	if begins != 1 || retries != 0 {
-		t.Fatalf("begins = %d retries = %d, want 1/0 (budget must refuse before the sleep)", begins, retries)
+	if begins != 1 || retries.Load() != 0 {
+		t.Fatalf("begins = %d retries = %d, want 1/0 (budget must refuse before the sleep)", begins, retries.Load())
 	}
 	if sawShed != 1 {
 		t.Fatalf("CodeHook saw %d sheds, want 1", sawShed)

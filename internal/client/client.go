@@ -311,8 +311,8 @@ type retryPolicy struct {
 	// BackoffBase is the first retry's sleep ceiling; it doubles per
 	// attempt (full jitter, default 1ms).
 	BackoffBase time.Duration
-	// Retries, when set, is atomically incremented once per retry attempt.
-	Retries *int64
+	// Retries, when set, is incremented once per retry attempt.
+	Retries *atomic.Int64
 	// Budget, when set, globally caps retries: a retry the budget refuses
 	// ends the Do call with the last error instead of sleeping and trying
 	// again. Share one budget across all clients of a workload.
@@ -344,7 +344,7 @@ func (rp *retryPolicy) run(name string, attempt func() error) error {
 				return fmt.Errorf("client: %s: retry budget exhausted: %w", name, last)
 			}
 			if rp.Retries != nil {
-				atomic.AddInt64(rp.Retries, 1)
+				rp.Retries.Add(1)
 			}
 			rp.sleepBackoff(a)
 		}

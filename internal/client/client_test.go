@@ -3,6 +3,7 @@ package client
 import (
 	"errors"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -102,13 +103,13 @@ func TestDoRetriesOverload(t *testing.T) {
 	pool := NewPool(addr, 2*time.Second, 2)
 	defer pool.Close()
 	cl := NewClient(pool, 1)
-	var retries int64
+	var retries atomic.Int64
 	cl.Retries = &retries
 	if err := cl.Do("T1", func(c *Conn) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
-	if begins != 2 || retries != 1 {
-		t.Fatalf("begins = %d, retries = %d", begins, retries)
+	if begins != 2 || retries.Load() != 1 {
+		t.Fatalf("begins = %d, retries = %d", begins, retries.Load())
 	}
 }
 

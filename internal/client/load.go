@@ -134,6 +134,21 @@ type LoadReport struct {
 	Tiers             []TierReport `json:"tiers,omitempty"`         // per-priority breakdown, highest first
 }
 
+// loadCounters is the hot-path (atomic) form of LoadReport's shared
+// tallies — the counters worker goroutines bump concurrently. Like
+// tierCounters, it exists so the JSON-facing report stays plain:
+// finishReport folds it in once the workers have joined.
+type loadCounters struct {
+	committed   atomic.Int64
+	attempts    atomic.Int64
+	retries     atomic.Int64
+	failed      atomic.Int64
+	roCommitted atomic.Int64
+	onTime      atomic.Int64 // read-only commits only; tier commits tally in tierCounters
+	shed        atomic.Int64
+	infeasible  atomic.Int64
+}
+
 // Throughput returns committed transactions per second.
 func (r *LoadReport) Throughput() float64 {
 	if r.Elapsed <= 0 {
@@ -218,6 +233,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 
 func runClosedLoop(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK) (*LoadReport, error) {
 	rep := &LoadReport{}
+	cnt := &loadCounters{}
 	tiers := newTierStats(schema)
 	var remaining atomic.Int64
 	remaining.Store(int64(cfg.Txns))
@@ -230,14 +246,14 @@ func runClosedLoop(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK) (*
 		go func(w int) {
 			defer wg.Done()
 			if cfg.Pipelined {
-				errs[w] = pipelinedWorker(ctx, cfg, schema, tiers, int64(w), &remaining, rep, &lats[w])
+				errs[w] = pipelinedWorker(ctx, cfg, schema, tiers, int64(w), &remaining, cnt, &lats[w])
 			} else {
-				errs[w] = loadWorker(ctx, cfg, schema, tiers, int64(w), &remaining, rep, &lats[w])
+				errs[w] = loadWorker(ctx, cfg, schema, tiers, int64(w), &remaining, cnt, &lats[w])
 			}
 		}(w)
 	}
 	wg.Wait()
-	finishReport(rep, cfg, tiers, lats, start)
+	finishReport(rep, cfg, tiers, cnt, lats, start)
 	for _, err := range errs {
 		if err != nil {
 			return rep, err
@@ -255,12 +271,12 @@ type loadRunner struct {
 	close func()
 }
 
-func newLoadRunner(cfg LoadConfig, rep *LoadReport, id int64, rng *rand.Rand,
+func newLoadRunner(cfg LoadConfig, cnt *loadCounters, id int64, rng *rand.Rand,
 	hook func(wire.ErrorCode)) loadRunner {
 	if cfg.Pipelined {
 		pc := NewPipeClient(cfg.Addr, cfg.OpTimeout, cfg.Window, cfg.Seed^id)
 		pc.MaxAttempts = cfg.MaxAttempts
-		pc.Retries = &rep.Retries
+		pc.Retries = &cnt.retries
 		pc.Budget = cfg.RetryBudget
 		pc.CodeHook = hook
 		return loadRunner{
@@ -274,7 +290,7 @@ func newLoadRunner(cfg LoadConfig, rep *LoadReport, id int64, rng *rand.Rand,
 	pool := NewPool(cfg.Addr, cfg.OpTimeout, 1)
 	cl := NewClient(pool, cfg.Seed^id)
 	cl.MaxAttempts = cfg.MaxAttempts
-	cl.Retries = &rep.Retries
+	cl.Retries = &cnt.retries
 	cl.Budget = cfg.RetryBudget
 	cl.CodeHook = hook
 	return loadRunner{
@@ -289,10 +305,10 @@ func newLoadRunner(cfg LoadConfig, rep *LoadReport, id int64, rng *rand.Rand,
 // shared budget, run it to commit (retrying retryable failures), record
 // the latency, repeat.
 func loadWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, tiers *tierStats,
-	id int64, remaining *atomic.Int64, rep *LoadReport, lats *[]time.Duration) error {
+	id int64, remaining *atomic.Int64, cnt *loadCounters, lats *[]time.Duration) error {
 	rng := rand.New(rand.NewSource(cfg.Seed + id))
 	var curTier *tierCounters
-	r := newLoadRunner(cfg, rep, id, rng, func(code wire.ErrorCode) { countCode(rep, curTier, code) })
+	r := newLoadRunner(cfg, cnt, id, rng, func(code wire.ErrorCode) { countCode(cnt, curTier, code) })
 	defer r.close()
 
 	for remaining.Add(-1) >= 0 {
@@ -304,9 +320,9 @@ func loadWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, tiers
 		curTier.offered.Add(1)
 		begin := time.Now()
 		err := r.do(tmpl, 0)
-		atomic.AddInt64(&rep.Attempts, 1)
+		cnt.attempts.Add(1)
 		if err != nil {
-			atomic.AddInt64(&rep.Failed, 1)
+			cnt.failed.Add(1)
 			var remote *wire.RemoteError
 			if ctx.Err() != nil {
 				return nil
@@ -325,7 +341,7 @@ func loadWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, tiers
 			}
 			return fmt.Errorf("client: worker %d: %w", id, err)
 		}
-		atomic.AddInt64(&rep.Committed, 1)
+		cnt.committed.Add(1)
 		curTier.committed.Add(1)
 		curTier.onTime.Add(1) // no deadline budget in the closed loop
 		*lats = append(*lats, time.Since(begin))
@@ -343,14 +359,14 @@ func loadWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, tiers
 // the strict worker (budgeted retries, counted sheds, orderly stop on
 // drain).
 func pipelinedWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, tiers *tierStats,
-	id int64, remaining *atomic.Int64, rep *LoadReport, lats *[]time.Duration) error {
+	id int64, remaining *atomic.Int64, cnt *loadCounters, lats *[]time.Duration) error {
 	rng := rand.New(rand.NewSource(cfg.Seed + id))
 	var curTier *tierCounters
 	pc := NewPipeClient(cfg.Addr, cfg.OpTimeout, cfg.Window, cfg.Seed^id)
 	pc.MaxAttempts = cfg.MaxAttempts
-	pc.Retries = &rep.Retries
+	pc.Retries = &cnt.retries
 	pc.Budget = cfg.RetryBudget
-	pc.CodeHook = func(code wire.ErrorCode) { countCode(rep, curTier, code) }
+	pc.CodeHook = func(code wire.ErrorCode) { countCode(cnt, curTier, code) }
 	defer pc.Close()
 
 	roItems := schemaItems(schema)
@@ -374,10 +390,10 @@ func pipelinedWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, 
 	// run the whole retry chain synchronously (the overlap is for the
 	// common case; a failed transaction is worth a stall).
 	account := func(t inflight) {
-		atomic.AddInt64(&rep.Committed, 1)
+		cnt.committed.Add(1)
 		if t.ro {
-			atomic.AddInt64(&rep.ROCommitted, 1)
-			atomic.AddInt64(&rep.OnTime, 1) // read-only has no tier; tally directly
+			cnt.roCommitted.Add(1)
+			cnt.onTime.Add(1) // read-only has no tier; tally directly
 		} else {
 			t.tier.committed.Add(1)
 			t.tier.onTime.Add(1) // no deadline budget in the closed loop
@@ -386,7 +402,7 @@ func pipelinedWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, 
 	}
 	settle := func(t inflight) error {
 		err := t.fut.Wait()
-		atomic.AddInt64(&rep.Attempts, 1)
+		cnt.attempts.Add(1)
 		if err == nil {
 			account(t)
 			return nil
@@ -398,7 +414,7 @@ func pipelinedWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, 
 			}
 			return err // transport or desync: fatal, as in loadWorker
 		}
-		countCode(rep, t.tier, remote.Code)
+		countCode(cnt, t.tier, remote.Code)
 		switch {
 		case remote.Code == wire.CodeDraining || remote.Code == wire.CodeCancelled:
 			return errStop
@@ -408,11 +424,11 @@ func pipelinedWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, 
 		// The burst was attempt one; hand the rest of the chain to DoTxn
 		// under the shared budget.
 		if cfg.RetryBudget != nil && !cfg.RetryBudget.take() {
-			atomic.AddInt64(&rep.Failed, 1)
+			cnt.failed.Add(1)
 			remaining.Add(1)
 			return nil
 		}
-		atomic.AddInt64(&rep.Retries, 1)
+		cnt.retries.Add(1)
 		curTier = t.tier // nil for read-only: countCode skips tier tallies
 		if t.ro {
 			err = pc.DoReadTxn(t.items)
@@ -423,7 +439,7 @@ func pipelinedWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, 
 			account(t)
 			return nil
 		}
-		atomic.AddInt64(&rep.Failed, 1)
+		cnt.failed.Add(1)
 		if errors.As(err, &remote) {
 			if remote.Code == wire.CodeDraining || remote.Code == wire.CodeCancelled {
 				return errStop
@@ -505,9 +521,9 @@ func pipelinedWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, 
 			curTier = tier
 			begin := time.Now()
 			err := pc.DoTxn(tmpl.Name, 0, pipelineSteps(tmpl, rng))
-			atomic.AddInt64(&rep.Attempts, 1)
+			cnt.attempts.Add(1)
 			if err != nil {
-				atomic.AddInt64(&rep.Failed, 1)
+				cnt.failed.Add(1)
 				var remote *wire.RemoteError
 				if ctx.Err() != nil {
 					return nil
@@ -522,7 +538,7 @@ func pipelinedWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, 
 				}
 				return fmt.Errorf("client: worker %d: %w", id, err)
 			}
-			atomic.AddInt64(&rep.Committed, 1)
+			cnt.committed.Add(1)
 			tier.committed.Add(1)
 			tier.onTime.Add(1)
 			*lats = append(*lats, time.Since(begin))
@@ -654,6 +670,7 @@ func (q *openQueue) close() {
 
 func runOpenLoop(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK) (*LoadReport, error) {
 	rep := &LoadReport{}
+	cnt := &loadCounters{}
 	tiers := newTierStats(schema)
 	jobs := newOpenQueue(cfg.MaxInFlight)
 	lats := make([][]time.Duration, cfg.Conns)
@@ -663,7 +680,7 @@ func runOpenLoop(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK) (*Lo
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			openWorker(ctx, cfg, tiers, int64(w), jobs, rep, &lats[w])
+			openWorker(ctx, cfg, tiers, int64(w), jobs, cnt, &lats[w])
 		}(w)
 	}
 
@@ -755,7 +772,7 @@ arrivals:
 	}
 	jobs.close()
 	wg.Wait()
-	finishReport(rep, cfg, tiers, lats, start)
+	finishReport(rep, cfg, tiers, cnt, lats, start)
 	return rep, ctx.Err()
 }
 
@@ -764,10 +781,10 @@ arrivals:
 // attempts are expected outcomes to count, not reasons to stop offering
 // load.
 func openWorker(ctx context.Context, cfg LoadConfig, tiers *tierStats,
-	id int64, jobs *openQueue, rep *LoadReport, lats *[]time.Duration) {
+	id int64, jobs *openQueue, cnt *loadCounters, lats *[]time.Duration) {
 	rng := rand.New(rand.NewSource(cfg.Seed + id))
 	var curTier *tierCounters
-	r := newLoadRunner(cfg, rep, id, rng, func(code wire.ErrorCode) { countCode(rep, curTier, code) })
+	r := newLoadRunner(cfg, cnt, id, rng, func(code wire.ErrorCode) { countCode(cnt, curTier, code) })
 	defer r.close()
 
 	for {
@@ -790,7 +807,7 @@ func openWorker(ctx context.Context, cfg LoadConfig, tiers *tierStats,
 			// worker is dropped without a round trip.
 			budget -= time.Since(j.arrival)
 			if budget <= 0 {
-				atomic.AddInt64(&rep.Failed, 1)
+				cnt.failed.Add(1)
 				continue
 			}
 		}
@@ -800,18 +817,18 @@ func openWorker(ctx context.Context, cfg LoadConfig, tiers *tierStats,
 		} else {
 			err = r.do(j.tmpl, budget)
 		}
-		atomic.AddInt64(&rep.Attempts, 1)
+		cnt.attempts.Add(1)
 		if err != nil {
-			atomic.AddInt64(&rep.Failed, 1)
+			cnt.failed.Add(1)
 			continue
 		}
 		lat := time.Since(j.arrival)
-		atomic.AddInt64(&rep.Committed, 1)
+		cnt.committed.Add(1)
 		onTime := cfg.DeadlineBudget <= 0 || lat <= cfg.DeadlineBudget
 		if j.ro {
-			atomic.AddInt64(&rep.ROCommitted, 1)
+			cnt.roCommitted.Add(1)
 			if onTime {
-				atomic.AddInt64(&rep.OnTime, 1) // no tier: tally directly
+				cnt.onTime.Add(1) // no tier: tally directly
 			}
 		} else {
 			curTier.committed.Add(1)
@@ -891,15 +908,15 @@ func roPick(rng *rand.Rand, items []uint32) []uint32 {
 
 // countCode tallies typed overload rejections the Client observes
 // (including retried ones). Called from worker goroutines via CodeHook.
-func countCode(rep *LoadReport, tier *tierCounters, code wire.ErrorCode) {
+func countCode(cnt *loadCounters, tier *tierCounters, code wire.ErrorCode) {
 	switch code {
 	case wire.CodeShed:
-		atomic.AddInt64(&rep.Shed, 1)
+		cnt.shed.Add(1)
 		if tier != nil {
 			tier.shed.Add(1)
 		}
 	case wire.CodeInfeasible:
-		atomic.AddInt64(&rep.Infeasible, 1)
+		cnt.infeasible.Add(1)
 	}
 }
 
@@ -931,8 +948,16 @@ func (t *tierStats) of(pri int32) *tierCounters { return t.byPri[pri] }
 // finishReport computes elapsed time, latency percentiles, tier summaries
 // and aggregate on-time/suppressed counts. Shared by both loop modes.
 func finishReport(rep *LoadReport, cfg LoadConfig, tiers *tierStats,
-	lats [][]time.Duration, start time.Time) {
+	cnt *loadCounters, lats [][]time.Duration, start time.Time) {
 	rep.Elapsed = time.Since(start)
+	rep.Committed = cnt.committed.Load()
+	rep.Attempts = cnt.attempts.Load()
+	rep.Retries = cnt.retries.Load()
+	rep.Failed = cnt.failed.Load()
+	rep.ROCommitted = cnt.roCommitted.Load()
+	rep.OnTime = cnt.onTime.Load() // read-only tallies; tier commits add below
+	rep.Shed = cnt.shed.Load()
+	rep.Infeasible = cnt.infeasible.Load()
 	rep.RetriesSuppressed = cfg.RetryBudget.Suppressed()
 	var all []time.Duration
 	for _, l := range lats {

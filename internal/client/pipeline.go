@@ -24,16 +24,16 @@ import (
 // get the protocol semantics they asked for either way, just without the
 // overlap.
 type PipeConn struct {
-	c       net.Conn
-	schema  *wire.HelloOK
-	timeout time.Duration
-	ver     uint8 // negotiated tagged framing version: min(wire.Version, server Proto)
-	strict  *Conn // non-nil: v2 fallback, all fields below unused
+	c       net.Conn      //pcpda:guardedby immutable
+	schema  *wire.HelloOK //pcpda:guardedby immutable
+	timeout time.Duration //pcpda:guardedby immutable
+	ver     uint8         //pcpda:guardedby immutable — negotiated tagged framing version: min(wire.Version, server Proto)
+	strict  *Conn         //pcpda:guardedby immutable — non-nil: v2 fallback, all fields below unused
 
 	// Owned by the submitting goroutine (never touched by demux).
-	wbuf      []byte // encoded-but-unflushed frames
-	unflushed int    // frames in wbuf
-	nextTag   uint32
+	wbuf      []byte        //pcpda:guardedby none — encoded-but-unflushed frames
+	unflushed int           //pcpda:guardedby none — frames in wbuf
+	nextTag   uint32        //pcpda:guardedby none
 	winCh     chan struct{} // window semaphore: one slot per unreplied submit
 
 	// Shared with the demux goroutine.

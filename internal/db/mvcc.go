@@ -53,10 +53,10 @@ var ErrSnapshotEvicted = errors.New("db: snapshot version evicted from chain")
 // publication except for prev, which truncation may redirect to the
 // eviction sentinel.
 type versionNode struct {
-	val    Value
-	ver    Version
-	writer RunID
-	tick   int64 // manager commit tick that installed this version
+	val    Value   //pcpda:guardedby immutable
+	ver    Version //pcpda:guardedby immutable
+	writer RunID   //pcpda:guardedby immutable
+	tick   int64   //pcpda:guardedby immutable — manager commit tick that installed this version
 	prev   atomic.Pointer[versionNode]
 }
 
@@ -139,81 +139,6 @@ func (s *Store) truncateChain(head *versionNode) {
 	}
 	if p := n.prev.Load(); p != nil && p != evictedNode {
 		n.prev.Store(evictedNode)
-	}
-}
-
-// ReadAt answers a snapshot read: the newest committed version of x with
-// tick <= snap. Items never written by then read as the initial state
-// (Value 0, Version 0, InitRun). If truncation dropped the version the
-// snapshot needed, ReadAt returns ErrSnapshotEvicted rather than a wrong
-// answer. Lock-free and allocation-free; see the package comment for the
-// ordering contract.
-//
-//pcpda:alloc-free
-func (s *Store) ReadAt(x rt.Item, snap int64) (Value, Version, RunID, error) {
-	chains := s.chains.Load()
-	if chains == nil || int(x) >= len(*chains) {
-		// No version of x committed before the caller's snapshot was
-		// published (release/acquire: a version with tick <= snap would
-		// have made its slab slot visible to this load).
-		return 0, 0, InitRun, nil
-	}
-	n := (*chains)[x].head.Load()
-	for n != nil {
-		if n == evictedNode {
-			return 0, 0, NoRun, ErrSnapshotEvicted
-		}
-		if n.tick <= snap {
-			return n.val, n.ver, n.writer, nil
-		}
-		n = n.prev.Load()
-	}
-	return 0, 0, InitRun, nil // snapshot predates the first committed write
-}
-
-// ChainLen returns the number of reachable committed versions of x
-// (excluding the eviction sentinel). For tests and invariant checks.
-func (s *Store) ChainLen(x rt.Item) int {
-	chains := s.chains.Load()
-	if chains == nil || int(x) >= len(*chains) {
-		return 0
-	}
-	n := 0
-	for v := (*chains)[x].head.Load(); v != nil && v != evictedNode; v = v.prev.Load() {
-		n++
-	}
-	return n
-}
-
-// ChainEvicted reports whether x's chain has been truncated (its oldest
-// reachable node points at the eviction sentinel).
-func (s *Store) ChainEvicted(x rt.Item) bool {
-	chains := s.chains.Load()
-	if chains == nil || int(x) >= len(*chains) {
-		return false
-	}
-	for v := (*chains)[x].head.Load(); v != nil; v = v.prev.Load() {
-		if v == evictedNode {
-			return true
-		}
-	}
-	return false
-}
-
-// EachNewestVersion calls fn for every item with a nonempty chain, passing
-// the newest node's observation. Iteration is in item order. Invariant
-// checks use this to demand chain/cell agreement.
-func (s *Store) EachNewestVersion(fn func(x rt.Item, v Value, ver Version, writer RunID, tick int64)) {
-	chains := s.chains.Load()
-	if chains == nil {
-		return
-	}
-	for i, h := range *chains {
-		n := h.head.Load()
-		if n == nil || n == evictedNode {
-			continue
-		}
-		fn(rt.Item(i), n.val, n.ver, n.writer, n.tick)
 	}
 }
 

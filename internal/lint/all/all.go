@@ -6,9 +6,11 @@ package all
 import (
 	"pcpda/internal/lint"
 	"pcpda/internal/lint/allocfree"
+	"pcpda/internal/lint/atomics"
 	"pcpda/internal/lint/capability"
 	"pcpda/internal/lint/determinism"
 	"pcpda/internal/lint/errcheck"
+	"pcpda/internal/lint/guardedby"
 	"pcpda/internal/lint/lockorder"
 	"pcpda/internal/lint/waitnode"
 )
@@ -16,9 +18,11 @@ import (
 // Analyzers is the suite in stable (reporting) order.
 var Analyzers = []*lint.Analyzer{
 	allocfree.Analyzer,
+	atomics.Analyzer,
 	capability.Analyzer,
 	determinism.Analyzer,
 	errcheck.Analyzer,
+	guardedby.Analyzer,
 	lockorder.Analyzer,
 	waitnode.Analyzer,
 }

@@ -1,0 +1,12 @@
+package atomics_test
+
+import (
+	"testing"
+
+	"pcpda/internal/lint/atomics"
+	"pcpda/internal/lint/linttest"
+)
+
+func TestAtomics(t *testing.T) {
+	linttest.Run(t, "testdata", atomics.Analyzer, "pcpda/internal/atomictest")
+}

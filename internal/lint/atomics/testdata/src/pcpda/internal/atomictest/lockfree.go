@@ -1,0 +1,41 @@
+//pcpda:lockfree
+
+// Lockfree is the access-level verification bed for marked files: reads
+// must resolve to an atomic load, an immutable-after-publication field, or
+// a value still under construction; package-level writes are banned.
+
+package atomictest
+
+import "sync/atomic"
+
+type Snap struct {
+	head atomic.Int64
+	tick int64 //pcpda:guardedby immutable — pinned at construction
+	tag  int64 // mutable, unguarded: unreadable from a lockfree file
+}
+
+// NewSnap is exempt throughout: the value is still under construction.
+func NewSnap(tick int64) *Snap {
+	s := &Snap{tick: tick}
+	s.tag = 1
+	return s
+}
+
+// Read resolves every field to an atomic load or an immutable.
+func (s *Snap) Read() int64 {
+	return s.head.Load() + s.tick
+}
+
+func (s *Snap) BadRead() int64 {
+	return s.tag // want "lockfree file reads field Snap.tag"
+}
+
+func (s *Snap) BadImmutableWrite(v int64) {
+	s.tick = v // want "lockfree file writes immutable field Snap.tick"
+}
+
+var published int64
+
+func BadGlobal() {
+	published = 1 // want "lockfree file writes package-level variable published"
+}

@@ -1,0 +1,54 @@
+// Package atomictest is the atomics analyzer's test bed: the mixed
+// plain/atomic access ban, the no-overwrite rule on typed atomics, and
+// access-level verification of //pcpda:lockfree files.
+package atomictest
+
+import "sync/atomic"
+
+// Mixed has a plain int64 driven through sync/atomic: every other access
+// must be atomic too.
+type Mixed struct {
+	n int64
+}
+
+func (m *Mixed) Inc() { atomic.AddInt64(&m.n, 1) }
+
+func (m *Mixed) Load() int64 { return atomic.LoadInt64(&m.n) }
+
+func (m *Mixed) BadRead() int64 {
+	return m.n // want "Mixed.n is accessed via sync/atomic elsewhere but plainly here"
+}
+
+func (m *Mixed) BadWrite() {
+	m.n = 0 // want "Mixed.n is accessed via sync/atomic elsewhere but plainly here"
+}
+
+// NewMixed is exempt: a fresh value has no concurrent observers yet.
+func NewMixed() *Mixed {
+	m := &Mixed{}
+	m.n = 1
+	return m
+}
+
+// Typed uses a typed atomic: atomic by construction, but assigning over
+// it bypasses the synchronization.
+type Typed struct {
+	c atomic.Int64
+}
+
+func (t *Typed) Bump() { t.c.Add(1) }
+
+func (t *Typed) BadReset() {
+	t.c = atomic.Int64{} // want "plain write over atomic field Typed.c"
+}
+
+// Handout is fine: the address of a typed atomic can only be used through
+// its methods, so the escape itself is atomic.
+func Handout(t *Typed) *atomic.Int64 { return &t.c }
+
+// Plain is untouched by sync/atomic anywhere; plain access stays legal.
+type Plain struct {
+	v int64
+}
+
+func (p *Plain) Set(v int64) { p.v = v }

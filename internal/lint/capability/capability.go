@@ -159,6 +159,14 @@ func checkLayerImports(pass *lint.Pass, allowed []string) {
 	}
 }
 
+// HasLockfreeMarker reports whether the file carries the LockfreeMarker
+// in its header (any comment line before the package clause). Exported
+// for the atomics analyzer, which re-verifies marked files at field
+// access level.
+func HasLockfreeMarker(f *ast.File) bool {
+	return hasLockfreeMarker(f)
+}
+
 // hasLockfreeMarker reports whether the file carries the LockfreeMarker
 // in its header (any comment line before the package clause).
 func hasLockfreeMarker(f *ast.File) bool {

@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"pcpda/internal/lint/guardedby"
+	"pcpda/internal/lint/linttest"
+)
+
+func TestGuardedby(t *testing.T) {
+	linttest.Run(t, "testdata", guardedby.Analyzer, "pcpda/internal/guardtest")
+}

@@ -1,0 +1,144 @@
+// Package guardtest is the guardedby analyzer's test bed: annotated and
+// inferred guards, the constructor exemption, deferred unlocks, RLock
+// versus Lock holds, temporary releases, lock-acquiring helpers, and the
+// //pcpda:holds entry contract.
+package guardtest
+
+import "sync"
+
+type Counter struct {
+	mu      sync.Mutex
+	n       int //pcpda:guardedby mu
+	id      int //pcpda:guardedby immutable
+	scratch int //pcpda:guardedby none — single-owner
+}
+
+// New exercises the constructor exemption: every access to a fresh value
+// is exempt, including through the returned pointer.
+func New(id int) *Counter {
+	c := &Counter{id: id}
+	c.n = 1
+	return c
+}
+
+// Inc holds the mutex via a deferred unlock for the whole body.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// BadRead touches the guarded field with no lock at all.
+func (c *Counter) BadRead() int {
+	return c.n // want "Counter.n is //pcpda:guardedby mu but read here"
+}
+
+// BadWrite mutates an immutable field after construction.
+func (c *Counter) BadWrite() {
+	c.id = 7 // want "Counter.id is //pcpda:guardedby immutable but written after construction"
+}
+
+// Scratch is fine: //pcpda:guardedby none opts the field out entirely.
+func (c *Counter) Scratch() { c.scratch++ }
+
+// incLocked is a kernel helper: every same-package caller enters with mu
+// held, so the entry fixpoint proves the access.
+func (c *Counter) incLocked() { c.n++ }
+
+func (c *Counter) AddTwo() {
+	c.mu.Lock()
+	c.incLocked()
+	c.incLocked()
+	c.mu.Unlock()
+}
+
+// lock/unlock are lock-acquiring helpers: their summaries carry the net
+// effect to the caller.
+func (c *Counter) lock()   { c.mu.Lock() }
+func (c *Counter) unlock() { c.mu.Unlock() }
+
+func (c *Counter) ViaHelpers() {
+	c.lock()
+	c.n++
+	c.unlock()
+}
+
+// BadTemporaryRelease drops the mutex mid-function; the access in the gap
+// is unguarded even though the function both starts and ends locked.
+func (c *Counter) BadTemporaryRelease() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.n++ // want "Counter.n is //pcpda:guardedby mu but written here"
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// peek declares the caller-side contract: mu must already be held.
+//
+//pcpda:holds mu
+func (c *Counter) peek() int { return c.n }
+
+func (c *Counter) GoodPeek() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peek()
+}
+
+func (c *Counter) BadPeek() int {
+	return c.peek() // want "call to peek, which is //pcpda:holds mu, without the mutex held"
+}
+
+// RW exercises read-versus-write holds under an RWMutex.
+type RW struct {
+	mu sync.RWMutex
+	v  int //pcpda:guardedby mu
+}
+
+func (r *RW) Get() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v
+}
+
+// BadSet writes under a read hold, which does not exclude other readers'
+// writers.
+func (r *RW) BadSet() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.v = 1 // want "RW.v is //pcpda:guardedby mu but written here"
+}
+
+func (r *RW) Set(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.v = v
+}
+
+// Inferred has no annotations: the table is consistently accessed under
+// mu, so the guard is inferred and the outlier flagged.
+type Inferred struct {
+	mu    sync.Mutex
+	table map[int]int
+}
+
+func NewInferred() *Inferred {
+	return &Inferred{table: map[int]int{}}
+}
+
+func (i *Inferred) Put(k, v int) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.table[k] = v
+}
+
+func (i *Inferred) Del(k int) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	delete(i.table, k)
+}
+
+func (i *Inferred) BadGet(k int) int {
+	return i.table[k] // want "Inferred.table is accessed under mu elsewhere but not here"
+}

@@ -140,6 +140,7 @@ func (m *Manager) ceilRelease(t *Txn) {
 // Passing an id that is not live (rt.NoJob included) excludes nothing.
 //
 //pcpda:alloc-free
+//pcpda:holds mu
 func (m *Manager) SysceilExcluding(o rt.JobID) rt.Priority {
 	var own []int32
 	if t, ok := m.active[o]; ok {
@@ -161,6 +162,7 @@ func (m *Manager) SysceilExcluding(o rt.JobID) rt.Priority {
 // than o holding a read lock on an item with Wceil == c, in job-id order.
 //
 //pcpda:alloc-free
+//pcpda:holds mu
 func (m *Manager) EachCeilingHolder(c rt.Priority, o rt.JobID, fn func(holder rt.JobID)) {
 	r, ok := m.dom.Rank(c)
 	if !ok {

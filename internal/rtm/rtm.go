@@ -144,45 +144,45 @@ type Options struct {
 type Manager struct {
 	mu sync.Mutex
 
-	set   *txn.Set
-	ceil  *txn.Ceilings
-	proto *pcpda.Protocol
-	locks *lock.Table
-	store *db.Store
-	hist  *history.History
+	set   *txn.Set         //pcpda:guardedby immutable
+	ceil  *txn.Ceilings    //pcpda:guardedby immutable
+	proto *pcpda.Protocol  //pcpda:guardedby immutable
+	locks *lock.Table      //pcpda:guardedby immutable
+	store *db.Store        //pcpda:guardedby immutable
+	hist  *history.History //pcpda:guardedby immutable
 
-	opts Options
-	inj  fault.Injector // copy of opts.Injector; nil ⇒ injection disabled
+	opts Options        //pcpda:guardedby immutable
+	inj  fault.Injector //pcpda:guardedby immutable — copy of opts.Injector; nil ⇒ injection disabled
 
-	active  map[rt.JobID]*Txn
-	byTmpl  map[txn.ID]*Txn // one live instance per template
-	actList []*Txn          // live transactions in ascending job-id order
-	nextJob rt.JobID
-	nextRun db.RunID
-	clock   rt.Ticks // logical time: one tick per manager operation
+	active  map[rt.JobID]*Txn //pcpda:guardedby mu
+	byTmpl  map[txn.ID]*Txn   //pcpda:guardedby mu — one live instance per template
+	actList []*Txn            //pcpda:guardedby mu — live transactions in ascending job-id order
+	nextJob rt.JobID          //pcpda:guardedby mu
+	nextRun db.RunID          //pcpda:guardedby mu
+	clock   rt.Ticks          //pcpda:guardedby mu — logical time: one tick per manager operation
 
 	// Incremental read-lock ceiling index (see index.go).
-	dom       *rt.PriorityDomain
-	wceilRank []int16 // per item: dense rank of Wceil(x); -1 for dummy
-	readCeil  []int32 // live read locks per ceiling rank, all holders
-	ceilTop   int     // highest rank with readCeil > 0; -1 when none
+	dom       *rt.PriorityDomain //pcpda:guardedby immutable
+	wceilRank []int16            //pcpda:guardedby immutable — per item: dense rank of Wceil(x); -1 for dummy
+	readCeil  []int32            //pcpda:guardedby mu — live read locks per ceiling rank, all holders
+	ceilTop   int                //pcpda:guardedby mu — highest rank with readCeil > 0; -1 when none
 
 	// Targeted-wakeup machinery (see wait.go).
-	waitOn     map[rt.JobID][]*waitNode // parked waiters per blocking job
-	tmplWait   map[txn.ID][]*waitNode   // Begin waiters per template slot
-	allWaiters []*waitNode              // every parked waiter (injected wakeups)
-	freeNodes  []*waitNode              // pooled Begin-waiter nodes
-	freeLists  [][]*waitNode            // retired waits-on index lists
-	freeRes    []*txnRes                // pooled per-transaction resources
+	waitOn     map[rt.JobID][]*waitNode //pcpda:guardedby mu — parked waiters per blocking job
+	tmplWait   map[txn.ID][]*waitNode   //pcpda:guardedby mu — Begin waiters per template slot
+	allWaiters []*waitNode              //pcpda:guardedby mu — every parked waiter (injected wakeups)
+	freeNodes  []*waitNode              //pcpda:guardedby mu — pooled Begin-waiter nodes
+	freeLists  [][]*waitNode            //pcpda:guardedby mu — retired waits-on index lists
+	freeRes    []*txnRes                //pcpda:guardedby mu — pooled per-transaction resources
 
 	// resolveCycle scratch, reused across parks.
-	cycleColor map[rt.JobID]int
-	cycleStack []rt.JobID
+	cycleColor map[rt.JobID]int //pcpda:guardedby mu
+	cycleStack []rt.JobID       //pcpda:guardedby mu
 
-	rng *rand.Rand // Exec backoff jitter; guarded by mu
+	rng *rand.Rand //pcpda:guardedby mu — Exec backoff jitter
 
-	aborts int   // cycle-breaking aborts, for introspection
-	stats  Stats // lifetime counters (CycleAborts/Live filled on read)
+	aborts int   //pcpda:guardedby mu — cycle-breaking aborts, for introspection
+	stats  Stats //pcpda:guardedby mu — lifetime counters (CycleAborts/Live filled on read)
 
 	// Multiversion snapshot state (snapshot.go). snapTick is the commit
 	// tick of the newest fully installed commit, stored (release) at the
@@ -255,12 +255,17 @@ func NewWithOptions(set *txn.Set, opts Options) (*Manager, error) {
 // --- cc.Env over the live state ---------------------------------------------
 
 // Now returns the logical clock (one tick per manager operation).
+// Called by protocol hooks while the kernel runs under the manager lock.
+//
+//pcpda:holds mu
 func (m *Manager) Now() rt.Ticks { return m.clock }
 
 // Locks returns the shared lock table.
 func (m *Manager) Locks() *lock.Table { return m.locks }
 
 // Job resolves a live job id.
+//
+//pcpda:holds mu
 func (m *Manager) Job(id rt.JobID) *cc.Job {
 	if t, ok := m.active[id]; ok {
 		return t.job
@@ -271,6 +276,8 @@ func (m *Manager) Job(id rt.JobID) *cc.Job {
 // ActiveJobs returns the live jobs in id order. The live list is maintained
 // in that order already (job ids are assigned monotonically and removals
 // splice), so no sort is needed.
+//
+//pcpda:holds mu
 func (m *Manager) ActiveJobs() []*cc.Job {
 	out := make([]*cc.Job, 0, len(m.actList))
 	for _, t := range m.actList {

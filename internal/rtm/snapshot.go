@@ -53,9 +53,9 @@ var ErrReadOnly = errors.New("rtm: write on read-only snapshot transaction")
 // goroutine; Abort may be called concurrently with an in-flight Read
 // (the server's teardown path), which at worst lets that Read complete.
 type ROTxn struct {
-	mgr  *Manager
-	id   int64 // RO sequence number; a namespace separate from rt.JobID
-	snap int64 // snapshot tick: reads see commits at or before it
+	mgr  *Manager //pcpda:guardedby immutable
+	id   int64    //pcpda:guardedby immutable — RO sequence number; a namespace separate from rt.JobID
+	snap int64    //pcpda:guardedby immutable — snapshot tick: reads see commits at or before it
 	done atomic.Bool
 }
 

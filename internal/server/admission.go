@@ -61,8 +61,8 @@ var errQueueFull = errors.New("server: admission queue full")
 // deepest sibling queue (see Server.stealFrom), so a skewed assignment
 // cannot strand queued work behind one busy dispatcher.
 type admitShard struct {
-	id     int
-	queue  *admitQueue
+	id     int          //pcpda:guardedby immutable
+	queue  *admitQueue  //pcpda:guardedby immutable
 	stolen atomic.Int64 // requests this shard's dispatcher stole from siblings
 }
 
@@ -90,11 +90,11 @@ type admitShard struct {
 // priority).
 type admitQueue struct {
 	mu    sync.Mutex
-	items []*admitReq // sorted: priority desc, seq asc
-	seq   uint64
+	items []*admitReq //pcpda:guardedby mu — sorted: priority desc, seq asc
+	seq   uint64      //pcpda:guardedby mu
 
-	depth     int
-	highWater int
+	depth     int //pcpda:guardedby immutable
+	highWater int //pcpda:guardedby immutable
 
 	wake chan struct{} // buffered(1); signals the shard's dispatcher
 

@@ -91,24 +91,24 @@ type request struct {
 // the outbound reply queue; disconnects propagate as a context
 // cancellation, never as shared state.
 type session struct {
-	srv    *Server
-	conn   net.Conn
-	ctx    context.Context
-	cancel context.CancelFunc
-	shard  *admitShard // admission shard this session's BEGINs enqueue to
+	srv    *Server            //pcpda:guardedby immutable
+	conn   net.Conn           //pcpda:guardedby immutable
+	ctx    context.Context    //pcpda:guardedby immutable
+	cancel context.CancelFunc //pcpda:guardedby immutable
+	shard  *admitShard        //pcpda:guardedby immutable — admission shard this session's BEGINs enqueue to
 
-	lt  *liveTx                // live transaction; owned by run
+	lt  *liveTx                //pcpda:guardedby none — live transaction; owned by run
 	cur atomic.Pointer[liveTx] // mirror of lt, read by Drain and the watchdog
 
 	// Outbound reply path (writeLoop). outSem bounds queued-but-unflushed
 	// replies: replyTo acquires a slot, flushOut releases. outQ holds
 	// pooled encoded frames in queue order.
 	outMu      sync.Mutex
-	outQ       []*[]byte
+	outQ       []*[]byte     //pcpda:guardedby outMu — pooled encoded frames in queue order
 	outSem     chan struct{} // capacity SessionInflight
 	outWake    chan struct{} // buffered(1); signals the writer
 	writerDone chan struct{}
-	wbufs      net.Buffers // flush scratch, reused across flushes
+	wbufs      net.Buffers //pcpda:guardedby none — flush scratch, owned by writeLoop
 
 	inflight  atomic.Int64 // requests read minus replies flushed
 	pipelined atomic.Bool  // session has sent at least one tagged frame

@@ -21,7 +21,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 BASELINE=scripts/escapes.baseline
-PKGS="./internal/lock ./internal/sched ./internal/rtm ./internal/wire ./internal/db"
+PKGS="./internal/lock ./internal/sched ./internal/rtm ./internal/wire ./internal/db ./internal/server ./internal/client"
 GOVER=$(go env GOVERSION)
 
 snapshot() {
