@@ -224,6 +224,12 @@ func printReport(rep *client.LoadReport, cfg client.LoadConfig) {
 		// downstream ratio in the report a lie.
 		fmt.Printf("pcpdaload: arrival rate offered=%.0f/s achieved=%.0f/s\n",
 			rep.OfferedRate, rep.AchievedRate)
+		// Whole-run achieved-vs-offered hides a collapse confined to one
+		// stretch of the window; the slices localize it.
+		for _, ps := range rep.Pacing {
+			fmt.Printf("pcpdaload:   pace [%4.1fs,%4.1fs) offered=%.0f/s achieved=%.0f/s max_lag=%.1fms\n",
+				ps.StartS, ps.EndS, ps.OfferedRate, ps.AchievedRate, ps.MaxLagMS)
+		}
 		for _, tr := range rep.Tiers {
 			fmt.Printf("pcpdaload:   tier pri=%d offered=%d committed=%d on_time=%d shed=%d miss=%.3f\n",
 				tr.Priority, tr.Offered, tr.Committed, tr.OnTime, tr.Shed, tr.MissRatio)
@@ -267,6 +273,10 @@ type sweepStep struct {
 	MaxMs float64 `json:"max_ms"`
 
 	Tiers []client.TierReport `json:"tiers"`
+	// Pacing carries the per-slice achieved-vs-offered arrival rates, so a
+	// sweep row shows where in the window the pacer collapsed — the
+	// whole-run AchievedRate averages such a collapse away.
+	Pacing []client.PaceSlice `json:"pacing,omitempty"`
 }
 
 // sweepDoc is the BENCH_6 artifact: goodput and deadline misses as a
@@ -426,7 +436,7 @@ func runSweep(ctx context.Context, base client.LoadConfig, spec, label, out stri
 					Retries: rep.Retries, Suppressed: rep.RetriesSuppressed,
 					ThroughputTPS: rep.Throughput(), GoodputTPS: rep.Goodput(),
 					P50Ms: ms(rep.P50), P99Ms: ms(rep.P99), MaxMs: ms(rep.Max),
-					Tiers: rep.Tiers,
+					Tiers: rep.Tiers, Pacing: rep.Pacing,
 				}
 				if rep.Offered > 0 {
 					st.MissRatio = 1 - float64(rep.OnTime)/float64(rep.Offered)

@@ -88,6 +88,36 @@ type LoadConfig struct {
 	// RetryBudget caps retries across all workers; allocated internally
 	// (0.2 tokens per transaction, burst 10×Conns) when nil.
 	RetryBudget *RetryBudget
+
+	// ArrivalTimes, when non-nil, replaces the open loop's Poisson draw
+	// with an explicit schedule: ascending offsets from the start of the
+	// arrival window at which arrivals fire. The absolute-time
+	// sleep-then-spin pacer is unchanged, so generalized arrival processes
+	// (periodic, bursty on/off, ramps — see internal/scenario) reuse the
+	// same overload machinery. Offsets past Duration are dropped.
+	// ArrivalRate must still be > 0 (it selects the open loop and is
+	// reported as the nominal offered rate).
+	ArrivalTimes []time.Duration
+	// PickTemplate, when non-nil, chooses the template of each update
+	// transaction instead of the uniform draw. It receives the RNG that
+	// would have drawn uniformly and, in the open loop, the arrival's
+	// fraction through the arrival window in [0,1) (closed-loop calls
+	// pass 0). The returned index must be in [0, len(schema.Templates)).
+	PickTemplate func(rng *rand.Rand, frac float64) int
+	// ReadFracAt, when non-nil, overrides ReadFrac per open-loop arrival
+	// as a function of the arrival's fraction through the window — a
+	// read-mix shift inside one run. Requires Pipelined, like ReadFrac.
+	ReadFracAt func(frac float64) float64
+	// SeriesBuckets, when > 0, splits the open-loop arrival window into
+	// this many equal time buckets and reports per-bucket commit counts
+	// (LoadReport.Series) — the throughput-over-time series.
+	SeriesBuckets int
+	// PaceSlices splits the open-loop arrival window into this many
+	// slices, each reporting offered-vs-achieved arrival rates and the
+	// worst pacing lag (LoadReport.Pacing) — so an overload run shows
+	// WHERE the generator collapsed, not just that it did over the whole
+	// run. Default 5 in open-loop mode; negative disables.
+	PaceSlices int
 }
 
 // TierReport aggregates one priority tier (all templates sharing one base
@@ -101,6 +131,29 @@ type TierReport struct {
 	MissRatio float64 `json:"deadline_miss_ratio"` // 1 - OnTime/Offered
 }
 
+// SeriesBucket is one time bucket of the throughput-over-time series.
+type SeriesBucket struct {
+	StartS    float64 `json:"start_s"` // bucket bounds, seconds from run start
+	EndS      float64 `json:"end_s"`
+	Committed int64   `json:"committed"`
+	OnTime    int64   `json:"on_time"`
+}
+
+// PaceSlice reports one slice of the open-loop arrival window: how many
+// arrivals were scheduled in the slice versus actually emitted during it,
+// and the worst emission lag of the slice's scheduled arrivals. A healthy
+// generator has AchievedRate tracking OfferedRate and sub-millisecond lag;
+// on a coarse-timer 1-core box the slices localize where pacing collapses.
+type PaceSlice struct {
+	StartS       float64 `json:"start_s"` // slice bounds, seconds from run start
+	EndS         float64 `json:"end_s"`
+	Scheduled    int64   `json:"scheduled"`     // arrivals the process scheduled in the slice
+	Emitted      int64   `json:"emitted"`       // arrivals actually emitted during the slice
+	OfferedRate  float64 `json:"offered_rate"`  // Scheduled / slice width
+	AchievedRate float64 `json:"achieved_rate"` // Emitted / slice width
+	MaxLagMS     float64 `json:"max_lag_ms"`    // worst (emission − schedule) of the slice
+}
+
 // LoadReport aggregates one load run.
 type LoadReport struct {
 	Committed int64         `json:"committed"`
@@ -112,10 +165,11 @@ type LoadReport struct {
 	// Latency percentiles over committed transactions: begin→commit in the
 	// closed loop, arrival→commit in the open loop (queueing included —
 	// that is the latency a deadline is spent against).
-	P50 time.Duration `json:"p50_ns"`
-	P90 time.Duration `json:"p90_ns"`
-	P99 time.Duration `json:"p99_ns"`
-	Max time.Duration `json:"max_ns"`
+	P50  time.Duration `json:"p50_ns"`
+	P90  time.Duration `json:"p90_ns"`
+	P99  time.Duration `json:"p99_ns"`
+	P999 time.Duration `json:"p999_ns"`
+	Max  time.Duration `json:"max_ns"`
 
 	// ROCommitted counts committed read-only snapshot transactions
 	// (included in Committed); Committed - ROCommitted is the update
@@ -132,6 +186,12 @@ type LoadReport struct {
 	Infeasible        int64        `json:"infeasible,omitempty"`    // CodeInfeasible rejections observed
 	RetriesSuppressed int64        `json:"retries_suppressed"`      // retries the budget refused
 	Tiers             []TierReport `json:"tiers,omitempty"`         // per-priority breakdown, highest first
+
+	// Series is the throughput-over-time view (Config.SeriesBuckets);
+	// Pacing the per-slice offered-vs-achieved view (Config.PaceSlices).
+	// Both open loop only.
+	Series []SeriesBucket `json:"series,omitempty"`
+	Pacing []PaceSlice    `json:"pacing,omitempty"`
 }
 
 // loadCounters is the hot-path (atomic) form of LoadReport's shared
@@ -200,6 +260,9 @@ func (cfg *LoadConfig) fill() {
 	if cfg.ReadFrac > 1 {
 		cfg.ReadFrac = 1
 	}
+	if cfg.ArrivalRate > 0 && cfg.PaceSlices == 0 {
+		cfg.PaceSlices = 5
+	}
 }
 
 // RunLoad drives the server at cfg.Addr with a seeded workload — closed
@@ -217,7 +280,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	if len(schema.Templates) == 0 {
 		return nil, errors.New("client: server exports no transaction types")
 	}
-	if cfg.ReadFrac > 0 {
+	if cfg.ReadFrac > 0 || cfg.ReadFracAt != nil {
 		if !cfg.Pipelined {
 			return nil, errors.New("client: ReadFrac requires Pipelined (read-only bursts are wire v4 tagged frames)")
 		}
@@ -315,7 +378,7 @@ func loadWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, tiers
 		if ctx.Err() != nil {
 			return nil
 		}
-		tmpl := schema.Templates[rng.Intn(len(schema.Templates))]
+		tmpl := pickTemplate(&cfg, schema, rng, 0)
 		curTier = tiers.of(tmpl.Priority)
 		curTier.offered.Add(1)
 		begin := time.Now()
@@ -467,7 +530,7 @@ func pipelinedWorker(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK, 
 			break
 		}
 		ro := cfg.ReadFrac > 0 && rng.Float64() < cfg.ReadFrac
-		tmpl := schema.Templates[rng.Intn(len(schema.Templates))]
+		tmpl := pickTemplate(&cfg, schema, rng, 0)
 		tier := tiers.of(tmpl.Priority)
 		if !ro {
 			tier.offered.Add(1)
@@ -668,6 +731,118 @@ func (q *openQueue) close() {
 	q.cond.Broadcast()
 }
 
+// pickTemplate draws the next update transaction's template: the
+// PickTemplate hook when set, the uniform draw otherwise. frac is the
+// arrival's position in the open-loop window (0 in the closed loop).
+func pickTemplate(cfg *LoadConfig, schema *wire.HelloOK, rng *rand.Rand, frac float64) wire.TemplateInfo {
+	if cfg.PickTemplate != nil {
+		return schema.Templates[cfg.PickTemplate(rng, frac)]
+	}
+	return schema.Templates[rng.Intn(len(schema.Templates))]
+}
+
+// seriesTracker buckets commits over the arrival window. Workers record
+// concurrently, so the buckets are atomics; commits landing after the
+// window (the in-flight tail) clamp into the last bucket.
+type seriesTracker struct {
+	start  time.Time
+	width  time.Duration
+	commit []atomic.Int64
+	onTime []atomic.Int64
+}
+
+func newSeriesTracker(start time.Time, window time.Duration, n int) *seriesTracker {
+	return &seriesTracker{
+		start:  start,
+		width:  window / time.Duration(n),
+		commit: make([]atomic.Int64, n),
+		onTime: make([]atomic.Int64, n),
+	}
+}
+
+func (s *seriesTracker) record(onTime bool) {
+	if s == nil {
+		return
+	}
+	i := int(time.Since(s.start) / s.width)
+	if i >= len(s.commit) {
+		i = len(s.commit) - 1
+	}
+	s.commit[i].Add(1)
+	if onTime {
+		s.onTime[i].Add(1)
+	}
+}
+
+func (s *seriesTracker) report() []SeriesBucket {
+	out := make([]SeriesBucket, len(s.commit))
+	for i := range out {
+		out[i] = SeriesBucket{
+			StartS:    (time.Duration(i) * s.width).Seconds(),
+			EndS:      (time.Duration(i+1) * s.width).Seconds(),
+			Committed: s.commit[i].Load(),
+			OnTime:    s.onTime[i].Load(),
+		}
+	}
+	return out
+}
+
+// paceTracker accumulates per-slice pacing statistics. Only the arrival
+// goroutine touches it, so the counters are plain.
+type paceTracker struct {
+	width     time.Duration
+	scheduled []int64
+	emitted   []int64
+	maxLag    []time.Duration
+}
+
+func newPaceTracker(window time.Duration, n int) *paceTracker {
+	return &paceTracker{
+		width:     window / time.Duration(n),
+		scheduled: make([]int64, n),
+		emitted:   make([]int64, n),
+		maxLag:    make([]time.Duration, n),
+	}
+}
+
+// arrival records one emitted arrival: sched is its scheduled offset from
+// the run start, actual the offset it was actually emitted at.
+func (p *paceTracker) arrival(sched, actual time.Duration) {
+	clamp := func(d time.Duration) int {
+		i := int(d / p.width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(p.scheduled) {
+			i = len(p.scheduled) - 1
+		}
+		return i
+	}
+	si := clamp(sched)
+	p.scheduled[si]++
+	p.emitted[clamp(actual)]++
+	if lag := actual - sched; lag > p.maxLag[si] {
+		p.maxLag[si] = lag
+	}
+}
+
+func (p *paceTracker) report() []PaceSlice {
+	out := make([]PaceSlice, len(p.scheduled))
+	w := p.width.Seconds()
+	for i := range out {
+		out[i] = PaceSlice{
+			StartS:       float64(i) * w,
+			EndS:         float64(i+1) * w,
+			Scheduled:    p.scheduled[i],
+			Emitted:      p.emitted[i],
+			MaxLagMS:     float64(p.maxLag[i]) / float64(time.Millisecond),
+			OfferedRate:  float64(p.scheduled[i]) / w,
+			AchievedRate: float64(p.emitted[i]) / w,
+		}
+	}
+	return out
+}
+
 func runOpenLoop(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK) (*LoadReport, error) {
 	rep := &LoadReport{}
 	cnt := &loadCounters{}
@@ -676,11 +851,19 @@ func runOpenLoop(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK) (*Lo
 	lats := make([][]time.Duration, cfg.Conns)
 	var wg sync.WaitGroup
 	start := time.Now()
+	var series *seriesTracker
+	if cfg.SeriesBuckets > 0 {
+		series = newSeriesTracker(start, cfg.Duration, cfg.SeriesBuckets)
+	}
+	var pace *paceTracker
+	if cfg.PaceSlices > 0 {
+		pace = newPaceTracker(cfg.Duration, cfg.PaceSlices)
+	}
 	for w := 0; w < cfg.Conns; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			openWorker(ctx, cfg, tiers, int64(w), jobs, cnt, &lats[w])
+			openWorker(ctx, cfg, tiers, int64(w), jobs, cnt, &lats[w], series)
 		}(w)
 	}
 
@@ -718,9 +901,21 @@ func runOpenLoop(ctx context.Context, cfg LoadConfig, schema *wire.HelloOK) (*Lo
 	next := start
 	timer := time.NewTimer(0)
 	defer timer.Stop()
+	schedIdx := 0
 arrivals:
 	for {
-		next = next.Add(time.Duration(rng.ExpFloat64() / cfg.ArrivalRate * float64(time.Second)))
+		if cfg.ArrivalTimes != nil {
+			// Explicit schedule: offsets computed up front by the caller
+			// (internal/scenario's arrival processes). Same absolute-time
+			// pacing below; overdue arrivals still fire immediately.
+			if schedIdx >= len(cfg.ArrivalTimes) {
+				break
+			}
+			next = start.Add(cfg.ArrivalTimes[schedIdx])
+			schedIdx++
+		} else {
+			next = next.Add(time.Duration(rng.ExpFloat64() / cfg.ArrivalRate * float64(time.Second)))
+		}
 		if next.After(deadline) {
 			break
 		}
@@ -742,7 +937,15 @@ arrivals:
 		} else if ctx.Err() != nil {
 			break
 		}
-		if cfg.ReadFrac > 0 && rng.Float64() < cfg.ReadFrac {
+		frac := float64(next.Sub(start)) / float64(cfg.Duration)
+		if pace != nil {
+			pace.arrival(next.Sub(start), time.Since(start))
+		}
+		rf := cfg.ReadFrac
+		if cfg.ReadFracAt != nil {
+			rf = cfg.ReadFracAt(frac)
+		}
+		if rf > 0 && rng.Float64() < rf {
 			rep.Offered++
 			j := openJob{
 				tmpl:    wire.TemplateInfo{Name: "read-only", Priority: roPri},
@@ -755,7 +958,7 @@ arrivals:
 			}
 			continue
 		}
-		tmpl := schema.Templates[rng.Intn(len(schema.Templates))]
+		tmpl := pickTemplate(&cfg, schema, rng, frac)
 		rep.Offered++
 		tiers.of(tmpl.Priority).offered.Add(1)
 		if !jobs.push(openJob{tmpl: tmpl, arrival: time.Now()}) {
@@ -770,9 +973,15 @@ arrivals:
 	if w := time.Since(start); w > 0 {
 		rep.AchievedRate = float64(rep.Offered) / w.Seconds()
 	}
+	if pace != nil {
+		rep.Pacing = pace.report()
+	}
 	jobs.close()
 	wg.Wait()
 	finishReport(rep, cfg, tiers, cnt, lats, start)
+	if series != nil {
+		rep.Series = series.report()
+	}
 	return rep, ctx.Err()
 }
 
@@ -781,7 +990,7 @@ arrivals:
 // attempts are expected outcomes to count, not reasons to stop offering
 // load.
 func openWorker(ctx context.Context, cfg LoadConfig, tiers *tierStats,
-	id int64, jobs *openQueue, cnt *loadCounters, lats *[]time.Duration) {
+	id int64, jobs *openQueue, cnt *loadCounters, lats *[]time.Duration, series *seriesTracker) {
 	rng := rand.New(rand.NewSource(cfg.Seed + id))
 	var curTier *tierCounters
 	r := newLoadRunner(cfg, cnt, id, rng, func(code wire.ErrorCode) { countCode(cnt, curTier, code) })
@@ -825,6 +1034,7 @@ func openWorker(ctx context.Context, cfg LoadConfig, tiers *tierStats,
 		lat := time.Since(j.arrival)
 		cnt.committed.Add(1)
 		onTime := cfg.DeadlineBudget <= 0 || lat <= cfg.DeadlineBudget
+		series.record(onTime)
 		if j.ro {
 			cnt.roCommitted.Add(1)
 			if onTime {
@@ -968,8 +1178,12 @@ func finishReport(rep *LoadReport, cfg LoadConfig, tiers *tierStats,
 		rep.P50 = all[n*50/100]
 		rep.P90 = all[n*90/100]
 		rep.P99 = all[n*99/100]
+		rep.P999 = all[n*999/1000]
 		if rep.P99 == 0 { // tiny runs: index n*99/100 may clamp to 0th
 			rep.P99 = all[n-1]
+		}
+		if rep.P999 == 0 {
+			rep.P999 = all[n-1]
 		}
 		rep.Max = all[n-1]
 	}

@@ -47,7 +47,11 @@ var BannedImports = []string{
 // is a raw TCP relay that must stay ignorant of even the codec (it
 // corrupts byte streams, so letting it parse them would invite
 // protocol-aware "faults" that hide real bugs); server is the sole
-// package allowed to hold both a socket and the manager.
+// package allowed to hold both a socket and the manager; scenario drives
+// both backends from outside — it may hold the sim entry points and the
+// client, but never rtm or server (a workload engine that could reach
+// into the manager would stop being a black-box client, and its live
+// numbers would stop being honest).
 var LayerAllow = map[string][]string{
 	"pcpda/internal/wire":    {},
 	"pcpda/internal/nemesis": {},
@@ -59,6 +63,16 @@ var LayerAllow = map[string][]string{
 		"pcpda/internal/txn",
 		"pcpda/internal/rt",
 		"pcpda/internal/db",
+	},
+	"pcpda/internal/scenario": {
+		"pcpda/internal/client",
+		"pcpda/internal/nemesis",
+		"pcpda/internal/wire",
+		"pcpda/internal/sim",
+		"pcpda/internal/sched",
+		"pcpda/internal/txn",
+		"pcpda/internal/rt",
+		"pcpda/internal/workload",
 	},
 }
 

@@ -1,0 +1,126 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// TemplateProfile is what the access-skew picker knows about one template:
+// its index in the backend's template table, its base priority and its
+// read fraction (share of data operations that are reads). The sim runner
+// derives profiles from the txn.Set, the live runner from the wire schema
+// — the same numbers either way, so both backends skew identically.
+type TemplateProfile struct {
+	Index    int
+	Priority int32
+	ReadFrac float64
+}
+
+// Picker realizes one phase's access skew as template selection. Pick is
+// called once per update arrival with the arrival's fraction through the
+// phase in [0,1); every random draw comes from the caller's rng, keeping
+// the whole phase a pure function of the seed.
+type Picker struct {
+	spec AccessSpec
+	prof []TemplateProfile
+	// order ranks profiles by priority descending (ties by index): rank 0
+	// is the hottest slot of a Zipf ranking, and the slot hotshift
+	// rotation moves through.
+	order []int
+	// cum is the Zipf cumulative weight table over ranks (zipf/hotshift).
+	cum []float64
+	// shiftEvery is the hotshift rotation interval as a fraction of the
+	// phase (ShiftEveryS / DurationS).
+	shiftEvery float64
+}
+
+// NewPicker builds the picker for one phase over the backend's template
+// profiles. durS is the phase duration (hotshift needs it to convert its
+// rotation interval into phase fractions).
+func NewPicker(spec AccessSpec, prof []TemplateProfile, durS float64) *Picker {
+	p := &Picker{spec: spec, prof: prof}
+	p.order = make([]int, len(prof))
+	for i := range p.order {
+		p.order[i] = i
+	}
+	sort.SliceStable(p.order, func(a, b int) bool {
+		pa, pb := prof[p.order[a]], prof[p.order[b]]
+		if pa.Priority != pb.Priority {
+			return pa.Priority > pb.Priority
+		}
+		return pa.Index < pb.Index
+	})
+	switch spec.Kind {
+	case AccessZipf, AccessHotShift:
+		// Inverse-CDF Zipf over ranks: w_r = 1/(r+1)^θ. math/rand.Zipf
+		// requires s > 1 and cannot express the θ ≤ 1 regime the RTDBS
+		// literature sweeps, so the table is built directly.
+		p.cum = make([]float64, len(prof))
+		total := 0.0
+		for r := range p.cum {
+			total += 1 / math.Pow(float64(r+1), spec.Theta)
+			p.cum[r] = total
+		}
+		if spec.Kind == AccessHotShift {
+			p.shiftEvery = spec.ShiftEveryS / durS
+		}
+	}
+	return p
+}
+
+// Pick selects the template for one arrival and returns its Index.
+func (p *Picker) Pick(rng *rand.Rand, frac float64) int {
+	n := len(p.prof)
+	switch p.spec.Kind {
+	case AccessZipf:
+		return p.prof[p.order[p.zipfRank(rng)]].Index
+	case AccessHotShift:
+		// The ranking rotates: after k shifts, the template at rank slot
+		// (r+k) mod n receives rank r's Zipf mass — the hot spot walks
+		// through the template table while the marginal skew stays fixed.
+		k := int(frac / p.shiftEvery)
+		r := (p.zipfRank(rng) + k) % n
+		return p.prof[p.order[r]].Index
+	case AccessMixShift:
+		// Selection mass shifts from write-heavy templates (frac 0) to
+		// read-heavy ones (frac 1). The ε floor keeps every template
+		// reachable so no tier's offered count collapses to zero.
+		const eps = 0.05
+		weights := make([]float64, n)
+		total := 0.0
+		for i, tp := range p.prof {
+			w := eps + (1-frac)*(1-tp.ReadFrac) + frac*tp.ReadFrac
+			weights[i] = w
+			total += w
+		}
+		u := rng.Float64() * total
+		acc := 0.0
+		for i, w := range weights {
+			acc += w
+			if u < acc {
+				return p.prof[i].Index
+			}
+		}
+		return p.prof[n-1].Index
+	default: // uniform
+		return p.prof[rng.Intn(n)].Index
+	}
+}
+
+// zipfRank draws a rank from the precomputed cumulative table.
+func (p *Picker) zipfRank(rng *rand.Rand) int {
+	u := rng.Float64() * p.cum[len(p.cum)-1]
+	return sort.SearchFloat64s(p.cum, u)
+}
+
+// Mass returns the stationary selection probability of rank r under the
+// picker's Zipf table (zipf/hotshift) — the expected frequency the
+// generator tests bound observed counts against.
+func (p *Picker) Mass(r int) float64 {
+	total := p.cum[len(p.cum)-1]
+	if r == 0 {
+		return p.cum[0] / total
+	}
+	return (p.cum[r] - p.cum[r-1]) / total
+}

@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// testProfiles builds n profiles with descending priority (n..1) and a
+// read fraction rising with the index (template 0 write-heavy, template
+// n−1 read-heavy).
+func testProfiles(n int) []TemplateProfile {
+	out := make([]TemplateProfile, n)
+	for i := range out {
+		out[i] = TemplateProfile{
+			Index:    i,
+			Priority: int32(n - i),
+			ReadFrac: float64(i) / float64(n-1),
+		}
+	}
+	return out
+}
+
+func TestZipfFrequencies(t *testing.T) {
+	const n, draws = 8, 200000
+	prof := testProfiles(n)
+	p := NewPicker(AccessSpec{Kind: AccessZipf, Theta: 0.9}, prof, 10)
+	rng := rand.New(rand.NewSource(5))
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[p.Pick(rng, 0)]++
+	}
+	// Rank r is profile r here (order is priority-descending and priorities
+	// descend with the index). Bound each observed count by ±5σ of its
+	// binomial expectation — loose enough for any seed, tight enough to
+	// catch a wrong exponent or a broken CDF.
+	for r := 0; r < n; r++ {
+		exp := p.Mass(r) * draws
+		sigma := math.Sqrt(exp * (1 - p.Mass(r)))
+		if diff := math.Abs(float64(counts[r]) - exp); diff > 5*sigma {
+			t.Fatalf("rank %d drawn %d times, want %.0f±%.0f", r, counts[r], exp, 5*sigma)
+		}
+	}
+	// Monotone: rank 0 strictly dominates the tail.
+	if counts[0] <= counts[n-1] {
+		t.Fatalf("zipf head drawn %d ≤ tail %d", counts[0], counts[n-1])
+	}
+}
+
+func TestHotShiftRotation(t *testing.T) {
+	const n, draws = 8, 50000
+	prof := testProfiles(n)
+	// ShiftEveryS 2 over a 10s phase: 5 rotation epochs.
+	p := NewPicker(AccessSpec{Kind: AccessHotShift, Theta: 1.2, ShiftEveryS: 2}, prof, 10)
+	hottest := func(frac float64) int {
+		rng := rand.New(rand.NewSource(31))
+		counts := make(map[int]int)
+		for i := 0; i < draws; i++ {
+			counts[p.Pick(rng, frac)]++
+		}
+		best, bestC := -1, -1
+		for idx, c := range counts {
+			if c > bestC {
+				best, bestC = idx, c
+			}
+		}
+		return best
+	}
+	h0, h1 := hottest(0), hottest(0.25)
+	if h0 == h1 {
+		t.Fatalf("hot template did not move across a shift epoch: still %d", h0)
+	}
+	// One epoch advances the hot slot by exactly one rank position.
+	if want := (h0 + 1) % n; h1 != want {
+		t.Fatalf("hot template moved %d→%d, want %d", h0, h1, want)
+	}
+}
+
+func TestMixShiftWeights(t *testing.T) {
+	const n, draws = 8, 50000
+	prof := testProfiles(n)
+	p := NewPicker(AccessSpec{Kind: AccessMixShift}, prof, 10)
+	countEnds := func(frac float64) (writeHeavy, readHeavy int) {
+		rng := rand.New(rand.NewSource(17))
+		for i := 0; i < draws; i++ {
+			switch p.Pick(rng, frac) {
+			case 0:
+				writeHeavy++
+			case n - 1:
+				readHeavy++
+			}
+		}
+		return
+	}
+	w0, r0 := countEnds(0)
+	if w0 <= 2*r0 {
+		t.Fatalf("at frac 0 write-heavy template drawn %d, read-heavy %d: want clear write dominance", w0, r0)
+	}
+	w1, r1 := countEnds(1)
+	if r1 <= 2*w1 {
+		t.Fatalf("at frac 1 read-heavy template drawn %d, write-heavy %d: want clear read dominance", r1, w1)
+	}
+}
+
+func TestPickerDeterminism(t *testing.T) {
+	prof := testProfiles(6)
+	for _, spec := range []AccessSpec{
+		{Kind: AccessUniform},
+		{Kind: AccessZipf, Theta: 0.7},
+		{Kind: AccessHotShift, Theta: 0.7, ShiftEveryS: 1},
+		{Kind: AccessMixShift},
+	} {
+		p := NewPicker(spec, prof, 4)
+		a, b := rand.New(rand.NewSource(8)), rand.New(rand.NewSource(8))
+		for i := 0; i < 1000; i++ {
+			frac := float64(i) / 1000
+			if x, y := p.Pick(a, frac), p.Pick(b, frac); x != y {
+				t.Fatalf("%s: draw %d differs from the same seed: %d vs %d", spec.Kind, i, x, y)
+			}
+		}
+	}
+}

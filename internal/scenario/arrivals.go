@@ -1,0 +1,92 @@
+package scenario
+
+import "math/rand"
+
+// ArrivalTimes renders one phase's arrival process as explicit arrival
+// offsets in seconds, ascending, all < durS. Both backends consume the
+// same schedule: the sim quantizes to ticks (TicksPerSecond), the live
+// runner hands it to client.RunLoad's absolute-time pacer — so a phase
+// offers the identical arrival pattern to both, up to each backend's
+// clock resolution.
+//
+// Every draw comes from rng, so the schedule is a pure function of (spec,
+// seed). The deterministic processes (periodic) draw nothing.
+func ArrivalTimes(a ArrivalSpec, durS float64, rng *rand.Rand) []float64 {
+	switch a.Kind {
+	case ArrivalPeriodic:
+		return periodicTimes(a.Rate, durS)
+	case ArrivalPoisson:
+		return poissonTimes(a.Rate, 0, durS, rng)
+	case ArrivalBursty:
+		return burstyTimes(a, durS, rng)
+	case ArrivalRamp:
+		return rampTimes(a, durS, rng)
+	}
+	return nil // unreachable after Spec.Validate
+}
+
+func periodicTimes(rate, durS float64) []float64 {
+	gap := 1 / rate
+	out := make([]float64, 0, int(durS*rate)+1)
+	for t := 0.0; t < durS; t += gap {
+		out = append(out, t)
+	}
+	return out
+}
+
+// poissonTimes draws a homogeneous Poisson process at rate over
+// [startS, endS).
+func poissonTimes(rate, startS, endS float64, rng *rand.Rand) []float64 {
+	var out []float64
+	for t := startS + rng.ExpFloat64()/rate; t < endS; t += rng.ExpFloat64() / rate {
+		out = append(out, t)
+	}
+	return out
+}
+
+// burstyTimes alternates on-windows (Poisson at the burst rate) with
+// silent off-windows. An unset BurstRate derives the rate that makes the
+// whole-phase mean equal Rate: Rate × (on+off)/on.
+func burstyTimes(a ArrivalSpec, durS float64, rng *rand.Rand) []float64 {
+	burst := a.BurstRate
+	if burst == 0 {
+		burst = a.Rate * (a.OnS + a.OffS) / a.OnS
+	}
+	var out []float64
+	for cycle := 0.0; cycle < durS; cycle += a.OnS + a.OffS {
+		end := cycle + a.OnS
+		if end > durS {
+			end = durS
+		}
+		out = append(out, poissonTimes(burst, cycle, end, rng)...)
+	}
+	return out
+}
+
+// rampTimes draws an inhomogeneous Poisson process whose rate ramps
+// linearly Rate → RateEnd across the phase, by thinning: candidates at the
+// peak rate, each kept with probability rate(t)/peak. Works for both
+// up-ramps (diurnal morning) and down-ramps.
+func rampTimes(a ArrivalSpec, durS float64, rng *rand.Rand) []float64 {
+	peak := a.Rate
+	if a.RateEnd > peak {
+		peak = a.RateEnd
+	}
+	var out []float64
+	for t := rng.ExpFloat64() / peak; t < durS; t += rng.ExpFloat64() / peak {
+		rate := a.Rate + (a.RateEnd-a.Rate)*(t/durS)
+		if rng.Float64()*peak < rate {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// MeanRate returns the process's whole-phase mean arrival rate — the
+// nominal offered rate a report row carries.
+func MeanRate(a ArrivalSpec) float64 {
+	if a.Kind == ArrivalRamp {
+		return (a.Rate + a.RateEnd) / 2
+	}
+	return a.Rate
+}

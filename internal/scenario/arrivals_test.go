@@ -1,0 +1,119 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// checkSchedule asserts the structural invariants every arrival schedule
+// promises: ascending, in [0, durS).
+func checkSchedule(t *testing.T, times []float64, durS float64) {
+	t.Helper()
+	for i, at := range times {
+		if at < 0 || at >= durS {
+			t.Fatalf("arrival %d at %v outside [0, %v)", i, at, durS)
+		}
+		if i > 0 && at < times[i-1] {
+			t.Fatalf("arrival %d at %v before predecessor %v", i, at, times[i-1])
+		}
+	}
+}
+
+func TestPeriodicTimes(t *testing.T) {
+	times := ArrivalTimes(ArrivalSpec{Kind: ArrivalPeriodic, Rate: 4}, 10, rand.New(rand.NewSource(1)))
+	checkSchedule(t, times, 10)
+	if len(times) != 40 {
+		t.Fatalf("periodic 4/s over 10s: got %d arrivals, want 40", len(times))
+	}
+	for i, at := range times {
+		if want := float64(i) * 0.25; math.Abs(at-want) > 1e-9 {
+			t.Fatalf("arrival %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	const rate, durS = 50.0, 200.0
+	times := ArrivalTimes(ArrivalSpec{Kind: ArrivalPoisson, Rate: rate}, durS, rand.New(rand.NewSource(7)))
+	checkSchedule(t, times, durS)
+	// n ~ Poisson(10000): ±5σ = ±500 bounds a seeded draw with huge margin
+	// while still catching a rate-units bug (factor 2 is 100σ away).
+	want := rate * durS
+	if diff := math.Abs(float64(len(times)) - want); diff > 5*math.Sqrt(want) {
+		t.Fatalf("poisson %v/s over %vs: %d arrivals, want %v±%v", rate, durS, len(times), want, 5*math.Sqrt(want))
+	}
+	// Mean inter-arrival gap ≈ 1/rate.
+	gaps := 0.0
+	for i := 1; i < len(times); i++ {
+		gaps += times[i] - times[i-1]
+	}
+	mean := gaps / float64(len(times)-1)
+	if math.Abs(mean-1/rate) > 0.1/rate {
+		t.Fatalf("mean gap %v, want ≈ %v", mean, 1/rate)
+	}
+}
+
+func TestBurstyMeanAndWindows(t *testing.T) {
+	spec := ArrivalSpec{Kind: ArrivalBursty, Rate: 20, OnS: 2, OffS: 3}
+	const durS = 200.0
+	times := ArrivalTimes(spec, durS, rand.New(rand.NewSource(3)))
+	checkSchedule(t, times, durS)
+	// The derived burst rate preserves the whole-phase mean.
+	want := spec.Rate * durS
+	if diff := math.Abs(float64(len(times)) - want); diff > 5*math.Sqrt(want) {
+		t.Fatalf("bursty mean %v/s over %vs: %d arrivals, want %v±%v", spec.Rate, durS, len(times), want, 5*math.Sqrt(want))
+	}
+	// Every arrival must land inside an on-window.
+	cycle := spec.OnS + spec.OffS
+	for _, at := range times {
+		if phase := math.Mod(at, cycle); phase >= spec.OnS {
+			t.Fatalf("arrival at %v lands %vs into a cycle (off-window starts at %vs)", at, phase, spec.OnS)
+		}
+	}
+}
+
+func TestRampThinning(t *testing.T) {
+	spec := ArrivalSpec{Kind: ArrivalRamp, Rate: 10, RateEnd: 50}
+	const durS = 200.0
+	times := ArrivalTimes(spec, durS, rand.New(rand.NewSource(9)))
+	checkSchedule(t, times, durS)
+	want := (spec.Rate + spec.RateEnd) / 2 * durS
+	if diff := math.Abs(float64(len(times)) - want); diff > 5*math.Sqrt(want) {
+		t.Fatalf("ramp %v→%v over %vs: %d arrivals, want %v±%v", spec.Rate, spec.RateEnd, durS, len(times), want, 5*math.Sqrt(want))
+	}
+	// The intensity rises, so the second half must hold well over half the
+	// arrivals (expected split 30:70).
+	half := 0
+	for _, at := range times {
+		if at < durS/2 {
+			half++
+		}
+	}
+	if frac := float64(half) / float64(len(times)); frac > 0.4 {
+		t.Fatalf("ramp first half holds %.0f%% of arrivals, want ≈30%%", frac*100)
+	}
+	if MeanRate(spec) != 30 {
+		t.Fatalf("MeanRate(ramp 10→50) = %v, want 30", MeanRate(spec))
+	}
+}
+
+func TestArrivalDeterminism(t *testing.T) {
+	for _, spec := range []ArrivalSpec{
+		{Kind: ArrivalPeriodic, Rate: 7},
+		{Kind: ArrivalPoisson, Rate: 13},
+		{Kind: ArrivalBursty, Rate: 11, OnS: 1, OffS: 2},
+		{Kind: ArrivalRamp, Rate: 5, RateEnd: 20},
+	} {
+		a := ArrivalTimes(spec, 30, rand.New(rand.NewSource(42)))
+		b := ArrivalTimes(spec, 30, rand.New(rand.NewSource(42)))
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d arrivals from the same seed", spec.Kind, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: arrival %d differs from the same seed: %v vs %v", spec.Kind, i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pcpda/internal/rt"
+	"pcpda/internal/txn"
+)
+
+// maxInstances bounds one compiled phase: a scenario with rate × duration
+// beyond this is almost certainly a units mistake, and the kernel would
+// grind through it for minutes. Raise deliberately if a real scenario
+// needs it.
+const maxInstances = 20000
+
+// compiledPhase is one phase rendered for the simulator: a one-shot
+// transaction set (one template instance per arrival, at its arrival
+// tick) plus the bookkeeping the SLO extraction needs.
+type compiledPhase struct {
+	set *txn.Set
+	// tier maps instance template ID → base priority of the origin
+	// template (the report's tier label; instance priorities are
+	// synthetic — see below).
+	tier []rt.Priority
+	// durTicks is the phase window; horizon covers the window plus the
+	// longest possible straggler.
+	durTicks rt.Ticks
+	horizon  rt.Ticks
+}
+
+// Profiles derives the picker's template profiles from a transaction set
+// (the sim side; the live side derives the same numbers from the wire
+// schema via liveProfiles).
+func Profiles(set *txn.Set) []TemplateProfile {
+	out := make([]TemplateProfile, len(set.Templates))
+	for i, t := range set.Templates {
+		reads, writes := 0, 0
+		for _, st := range t.Steps {
+			switch st.Kind {
+			case txn.ReadStep:
+				reads++
+			case txn.WriteStep:
+				writes++
+			}
+		}
+		rf := 0.0
+		if reads+writes > 0 {
+			rf = float64(reads) / float64(reads+writes)
+		}
+		out[i] = TemplateProfile{Index: i, Priority: int32(t.Priority), ReadFrac: rf}
+	}
+	return out
+}
+
+// compilePhase renders one phase into a one-shot set for one sweep seed.
+//
+// Every arrival becomes a one-shot copy of the base template the access
+// picker selects, released at its arrival tick with the phase's deadline
+// budget. The kernel requires a total priority order, so instances get
+// synthetic unique priorities assigned by (base priority desc, arrival
+// asc): the tier structure is preserved — every instance of a
+// higher-priority base template outranks every instance of a
+// lower-priority one — and within a tier earlier arrivals rank higher
+// (FIFO within priority, exactly the live admission queue's rule).
+func compilePhase(spec *Spec, ph *PhaseSpec, base *txn.Set, seed int64) (*compiledPhase, error) {
+	rng := rand.New(rand.NewSource(seed))
+	times := ArrivalTimes(ph.Arrival, ph.DurationS, rng)
+	if len(times) == 0 {
+		return nil, fmt.Errorf("scenario %s: phase %s: arrival process produced no arrivals", spec.Name, ph.Name)
+	}
+	if len(times) > maxInstances {
+		return nil, fmt.Errorf("scenario %s: phase %s: %d arrivals exceeds the %d-instance cap (rate × duration too large for the sim backend)",
+			spec.Name, ph.Name, len(times), maxInstances)
+	}
+	tps := float64(spec.TicksPerSecond)
+	durTicks := rt.Ticks(ph.DurationS * tps)
+	picker := NewPicker(ph.Access, Profiles(base), ph.DurationS)
+
+	cp := &compiledPhase{
+		set:      &txn.Set{Name: fmt.Sprintf("%s/%s", spec.Name, ph.Name), Catalog: base.Catalog},
+		durTicks: durTicks,
+	}
+	var maxTail rt.Ticks
+	for i, at := range times {
+		bt := base.Templates[picker.Pick(rng, at/ph.DurationS)]
+		dl := bt.RelativeDeadline()
+		if ph.DeadlineMS > 0 {
+			dl = rt.Ticks(ph.DeadlineMS * tps / 1000)
+		}
+		if dl < bt.Exec() {
+			// An infeasible budget would fail Set.Validate; releasing the
+			// instance with the tightest feasible deadline keeps it in the
+			// run (it can still miss through blocking, which is the point).
+			dl = bt.Exec()
+		}
+		inst := &txn.Template{
+			Name:     fmt.Sprintf("%s#%d", bt.Name, i),
+			Priority: bt.Priority, // replaced by the synthetic order below
+			Offset:   rt.Ticks(at * tps),
+			Deadline: dl,
+			Steps:    bt.Steps,
+		}
+		cp.set.Add(inst)
+		cp.tier = append(cp.tier, bt.Priority)
+		if tail := inst.Offset + dl; tail > maxTail {
+			maxTail = tail
+		}
+	}
+
+	// Synthetic total priority order: tiers first, arrival order within.
+	order := make([]int, len(cp.set.Templates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ta, tb := cp.set.Templates[order[a]], cp.set.Templates[order[b]]
+		if ta.Priority != tb.Priority {
+			return ta.Priority > tb.Priority
+		}
+		return ta.Offset < tb.Offset
+	})
+	n := len(order)
+	for rank, idx := range order {
+		cp.set.Templates[idx].Priority = rt.Priority(n - rank)
+	}
+
+	// Horizon: with firm deadlines every job resolves by its absolute
+	// deadline; +1 lets the final commit tick happen.
+	cp.horizon = maxTail + 1
+	if cp.horizon < durTicks {
+		cp.horizon = durTicks
+	}
+	if err := cp.set.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario %s: phase %s: compiled set invalid: %w", spec.Name, ph.Name, err)
+	}
+	return cp, nil
+}

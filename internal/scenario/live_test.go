@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"pcpda/internal/rtm"
+	"pcpda/internal/server"
+)
+
+const liveSpecJSON = `{
+  "name": "live-unit",
+  "seed": 9,
+  "workload": { "n": 6, "items": 10 },
+  "live": { "conns": 4, "window": 16 },
+  "phases": [
+    {
+      "name": "steady",
+      "duration_s": 1,
+      "arrival": { "kind": "poisson", "rate": 30 },
+      "access": { "kind": "zipf", "theta": 0.8 },
+      "deadline_ms": 200
+    },
+    {
+      "name": "mixed",
+      "duration_s": 1,
+      "arrival": { "kind": "periodic", "rate": 20 },
+      "access": { "kind": "mixshift" },
+      "deadline_ms": 200,
+      "read_frac": 0.2,
+      "read_frac_end": 0.6
+    }
+  ]
+}`
+
+// startServer self-hosts an in-process service over the spec's base
+// workload, exactly as cmd/pcpscenario does.
+func startServer(t *testing.T, spec *Spec) string {
+	t.Helper()
+	set, err := spec.BaseSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := rtm.NewWithOptions(set, rtm.Options{FirmDeadlines: true, Seed: spec.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Manager: mgr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Drain(ctx)
+		<-done
+	})
+	return ln.Addr().String()
+}
+
+func TestRunLiveEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a live server for ~2s of wall time")
+	}
+	spec, err := Parse([]byte(liveSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, spec)
+	rep, err := RunLive(context.Background(), spec, LiveOptions{Addr: addr})
+	if err != nil {
+		t.Fatalf("RunLive: %v", err)
+	}
+	if rep.Backend != "live" {
+		t.Fatalf("backend %q, want live", rep.Backend)
+	}
+	if len(rep.Rows) != len(spec.Phases) {
+		t.Fatalf("%d rows, want %d", len(rep.Rows), len(spec.Phases))
+	}
+	for i := range rep.Rows {
+		row := &rep.Rows[i]
+		if row.Protocol != "live" {
+			t.Fatalf("row %s protocol %q", row.Phase, row.Protocol)
+		}
+		if row.Offered == 0 {
+			t.Fatalf("row %s offered 0 arrivals", row.Phase)
+		}
+		if row.Committed == 0 {
+			t.Fatalf("row %s committed nothing", row.Phase)
+		}
+		if row.AchievedRate <= 0 {
+			t.Fatalf("row %s achieved rate %v", row.Phase, row.AchievedRate)
+		}
+		if len(row.Series) != seriesBuckets {
+			t.Fatalf("row %s series has %d buckets, want %d", row.Phase, len(row.Series), seriesBuckets)
+		}
+	}
+	// The live report shares the sim schema: round-trips byte-identically.
+	out, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	out2, err := back.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, out2) {
+		t.Fatal("live report changed across a JSON round trip")
+	}
+}
+
+// TestRunLiveSchemaMismatch: driving a server generated from different
+// workload parameters must fail loudly, not silently run a different
+// experiment.
+func TestRunLiveSchemaMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts a live server")
+	}
+	spec, err := Parse([]byte(liveSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := *spec
+	other.Workload.N = 4 // different template count than the served set
+	addr := startServer(t, &other)
+	if _, err := RunLive(context.Background(), spec, LiveOptions{Addr: addr}); err == nil {
+		t.Fatal("RunLive accepted a server with a mismatched schema")
+	}
+}

@@ -36,6 +36,12 @@ func (k *Kernel) fastForward(j *cc.Job) {
 		k.fastIdle()
 		return
 	}
+	if k.frng != nil {
+		// Fault injection draws once per executed tick; a span would skip
+		// draws and change the fault schedule. Idle gaps (above) are safe —
+		// no job executes, so no draw happens.
+		return
+	}
 	step, ok := j.CurStep()
 	if !ok || j.StepDone == 0 {
 		// Segment boundary: the next tick needs a full dispatch (lock

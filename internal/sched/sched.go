@@ -99,6 +99,23 @@ type Config struct {
 	// lock-table scans. The golden trace tests run every workload both
 	// ways and assert bit-identical schedules.
 	DisableCeilingIndex bool
+	// Ceilings supplies precomputed priority ceilings for the set. Nil
+	// computes them here (the default); a batch runner that simulates the
+	// same set many times over short horizons passes the shared instance so
+	// the O(templates × items) ceiling derivation is paid once, not per
+	// run. The caller vouches that the ceilings belong to this exact set.
+	Ceilings *txn.Ceilings
+	// FaultAbortProb injects seeded transient faults: after every executed
+	// tick, with this probability, the job that ran is firm-aborted (locks
+	// released, workspace discarded, instance terminated — the kernel
+	// counterpart of the live manager's fault injector). Drawn from a
+	// dedicated RNG seeded by FaultSeed, so fault schedules are
+	// reproducible and independent of the sporadic-arrival stream. Nonzero
+	// probability forces tick-by-tick execution for executing spans (every
+	// executed tick needs a fault draw); idle spans still fast-forward.
+	FaultAbortProb float64
+	// FaultSeed seeds the fault RNG (meaningful when FaultAbortProb > 0).
+	FaultSeed int64
 }
 
 // Result is everything a run produced.
@@ -121,6 +138,11 @@ type Result struct {
 	Deadlocked    bool
 	DeadlockAt    rt.Ticks
 	DeadlockCycle []rt.JobID
+
+	// FaultAborts counts jobs terminated by the injected-fault layer
+	// (Config.FaultAbortProb); they are not included in Aborts, which
+	// stays the firm-deadline count.
+	FaultAborts int
 
 	// GrantCounts aggregates Decision.Rule for granted requests;
 	// BlockCounts for fresh denials (retries of an already blocked job do
@@ -158,6 +180,7 @@ type Kernel struct {
 	nextRel []rt.Ticks // per template: next release time (-1 done)
 	nextRun db.RunID
 	rng     *rand.Rand // sporadic arrivals only
+	frng    *rand.Rand // injected-fault draws only; nil when faults are off
 
 	// env is what protocols see: the kernel itself, or the index-bearing
 	// wrapper when the ceiling index is on (idx non-nil).
@@ -195,7 +218,13 @@ func New(set *txn.Set, proto cc.Protocol, cfg Config) (*Kernel, error) {
 	if cfg.Horizon <= 0 {
 		return nil, fmt.Errorf("sched: non-positive horizon %d", cfg.Horizon)
 	}
-	ceil := txn.ComputeCeilings(set)
+	if cfg.FaultAbortProb < 0 || cfg.FaultAbortProb > 1 {
+		return nil, fmt.Errorf("sched: fault-abort probability %v out of [0,1]", cfg.FaultAbortProb)
+	}
+	ceil := cfg.Ceilings
+	if ceil == nil {
+		ceil = txn.ComputeCeilings(set)
+	}
 	proto.Init(set, ceil)
 	k := &Kernel{
 		set:     set,
@@ -208,6 +237,9 @@ func New(set *txn.Set, proto cc.Protocol, cfg Config) (*Kernel, error) {
 		nextRel: make([]rt.Ticks, len(set.Templates)),
 		nextRun: db.InitRun + 1,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.FaultAbortProb > 0 {
+		k.frng = rand.New(rand.NewSource(cfg.FaultSeed))
 	}
 	for i, t := range set.Templates {
 		k.nextRel[i] = t.Offset
@@ -267,7 +299,14 @@ func (k *Kernel) Run() *Result {
 		k.accountTick(j)
 		k.now++
 		k.fastForward(j)
-		if j != nil && j.Finished() {
+		if j != nil && k.frng != nil && k.frng.Float64() < k.cfg.FaultAbortProb {
+			// Injected transient fault: the job that just ran is terminated
+			// at this tick boundary — even one that just finished (a commit
+			// failure). Locks release and the workspace discards exactly as
+			// on a firm-deadline abort.
+			k.abort(j, false)
+			k.res.FaultAborts++
+		} else if j != nil && j.Finished() {
 			k.commit(j)
 		}
 		if k.cfg.Paranoid {

@@ -89,6 +89,12 @@ type Options struct {
 	// Output is deterministic either way: runs share nothing and results
 	// are merged in argument order.
 	Workers int
+	// FaultAbortProb injects seeded transient faults into the kernel: after
+	// every executed tick, with this probability, the running job is
+	// firm-aborted (see sched.Config.FaultAbortProb). FaultSeed drives the
+	// dedicated fault RNG.
+	FaultAbortProb float64
+	FaultSeed      int64
 }
 
 // DefaultHorizon derives a sensible horizon for set: one hyperperiod past
@@ -132,6 +138,13 @@ func Run(set *txn.Set, protocol string, opts Options) (*sched.Result, error) {
 // RunProtocol simulates set under an already-constructed protocol instance.
 // The instance must be fresh (one instance per run).
 func RunProtocol(set *txn.Set, p cc.Protocol, opts Options) (*sched.Result, error) {
+	return runProtocol(set, p, opts, nil)
+}
+
+// runProtocol is the shared core of RunProtocol and RunBatch. A non-nil ceil
+// is handed to the kernel so repeated runs of the same set skip the ceiling
+// derivation.
+func runProtocol(set *txn.Set, p cc.Protocol, opts Options, ceil *txn.Ceilings) (*sched.Result, error) {
 	horizon := opts.Horizon
 	if horizon <= 0 {
 		horizon = DefaultHorizon(set)
@@ -144,6 +157,9 @@ func RunProtocol(set *txn.Set, p cc.Protocol, opts Options) (*sched.Result, erro
 		SporadicJitter:      opts.SporadicJitter,
 		Seed:                opts.Seed,
 		DisableCeilingIndex: opts.DisableCeilingIndex,
+		Ceilings:            ceil,
+		FaultAbortProb:      opts.FaultAbortProb,
+		FaultSeed:           opts.FaultSeed,
 	}
 	if opts.FirmDeadlines {
 		cfg.Deadline = sched.FirmAbort
